@@ -1,0 +1,106 @@
+//! E10 (wall clock): the real-atomics test-and-set implementations.
+//!
+//! * `uncontended/*` — latency of a single test-and-set by one thread:
+//!   speculative (register fast path), solo-fast, and raw hardware swap.
+//! * `biased_lock/*` — lock/unlock cycles of the biased lock vs a swap-based
+//!   spinlock, single owner.
+//! * `contended/*` — total time for 2 threads to decide one object each
+//!   iteration (thread spawn overhead included identically in both series).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use scl_runtime::{BiasedLock, HardwareTas, ResettableTas, SpeculativeTas};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(1))
+}
+
+fn bench_uncontended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("uncontended_tas");
+    g.bench_function("speculative_fast_path", |b| {
+        b.iter_batched(
+            SpeculativeTas::new,
+            |tas| std::hint::black_box(tas.test_and_set(0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("solo_fast_variant", |b| {
+        b.iter_batched(
+            SpeculativeTas::new_solo_fast,
+            |tas| std::hint::black_box(tas.test_and_set(0)),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hardware_swap", |b| {
+        b.iter_batched(
+            HardwareTas::new,
+            |tas| std::hint::black_box(tas.test_and_set()),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("resettable_round", |b| {
+        let tas = ResettableTas::new(1 << 20);
+        b.iter(|| {
+            std::hint::black_box(tas.test_and_set(0));
+            tas.reset(0);
+        })
+    });
+    g.finish();
+}
+
+fn bench_biased_lock(c: &mut Criterion) {
+    let mut g = c.benchmark_group("biased_lock_single_owner");
+    g.bench_function("lock_unlock", |b| {
+        let lock = BiasedLock::new(1 << 22);
+        b.iter(|| {
+            let guard = lock.lock(0);
+            std::hint::black_box(&guard);
+        })
+    });
+    g.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut g = c.benchmark_group("contended_one_shot_2_threads");
+    g.sample_size(10);
+    g.bench_function("speculative", |b| {
+        b.iter_batched(
+            || Arc::new(SpeculativeTas::new()),
+            |tas| {
+                std::thread::scope(|s| {
+                    for t in 0..2usize {
+                        let tas = Arc::clone(&tas);
+                        s.spawn(move || std::hint::black_box(tas.test_and_set(t)));
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("hardware", |b| {
+        b.iter_batched(
+            || Arc::new(HardwareTas::new()),
+            |tas| {
+                std::thread::scope(|s| {
+                    for _ in 0..2usize {
+                        let tas = Arc::clone(&tas);
+                        s.spawn(move || std::hint::black_box(tas.test_and_set()));
+                    }
+                });
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_uncontended, bench_biased_lock, bench_contended
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Wall-clock companion to experiments E3/E5: sequential operations through
+//! the composable universal construction (cost grows with the number of
+//! committed requests) versus the object-specific speculative test-and-set
+//! (constant cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scl_core::{new_composable_universal, new_speculative_tas};
+use scl_sim::{Executor, SharedMemory, SoloAdversary, Workload};
+use scl_spec::{CounterOp, CounterSpec, History, TasOp, TasSpec, TasSwitch};
+use std::time::Duration;
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+fn bench_universal_counter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("universal_counter_sequential_ops");
+    for ops in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("composable_universal", ops), &ops, |b, &ops| {
+            b.iter(|| {
+                let mut mem = SharedMemory::new();
+                let mut uc = new_composable_universal(&mut mem, 1, CounterSpec);
+                let wl: Workload<CounterSpec, History<CounterSpec>> =
+                    Workload::from_ops(vec![vec![CounterOp::Increment; ops]]);
+                Executor::new().run(&mut mem, &mut uc, &wl, &mut SoloAdversary)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_speculative_tas_sequences(c: &mut Criterion) {
+    let mut g = c.benchmark_group("speculative_tas_sequential_ops");
+    for n in [4usize, 16, 64] {
+        g.bench_with_input(BenchmarkId::new("one_op_per_process", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut mem = SharedMemory::new();
+                let mut tas = new_speculative_tas(&mut mem);
+                let wl: Workload<TasSpec, TasSwitch> =
+                    Workload::single_op_each(n, TasOp::TestAndSet);
+                Executor::new().run(&mut mem, &mut tas, &wl, &mut SoloAdversary)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = configure();
+    targets = bench_universal_counter, bench_speculative_tas_sequences
+}
+criterion_main!(benches);

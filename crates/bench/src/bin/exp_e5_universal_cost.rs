@@ -1,0 +1,78 @@
+//! E5 (Proposition 1 + §4.2 complexity remark): the cost of generic
+//! composition.
+//!
+//! The composable universal construction works for any sequential type, but
+//! the state transferred between modules (the abort history) and the per-
+//! operation step count grow linearly with the number of committed requests.
+//! This experiment drives a counter and a queue through the register-only
+//! instance, commits `k` requests, then forces an abort under contention and
+//! reports the abort-history length and the steps of late operations.
+
+use scl_bench::print_table;
+use scl_core::{SplitConsensus, UniversalConstruction};
+use scl_sim::{Executor, OnAbort, RoundRobinAdversary, SharedMemory, SoloAdversary, Workload};
+use scl_spec::{CounterOp, CounterSpec, History, QueueOp, QueueSpec, SequentialSpec};
+
+fn counter_run(k: usize) -> (usize, u64, usize) {
+    let mut mem = SharedMemory::new();
+    let mut uc = UniversalConstruction::<CounterSpec, SplitConsensus>::new(&mut mem, 2, CounterSpec);
+    // Phase 1: process 0 commits k requests alone.
+    let mut ops = vec![Vec::new(), Vec::new()];
+    ops[0] = vec![CounterOp::Increment; k];
+    let wl: Workload<CounterSpec, History<CounterSpec>> = Workload::from_ops(ops);
+    let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut SoloAdversary);
+    assert!(res.completed);
+    let last_solo_steps = res.metrics.ops.last().map(|o| o.steps).unwrap_or(0);
+    // Phase 2: both processes contend; the register-only instance aborts.
+    let wl2: Workload<CounterSpec, History<CounterSpec>> =
+        Workload::single_op_each(2, CounterOp::Increment);
+    let res2 = Executor::new()
+        .on_abort(OnAbort::Stop)
+        .run(&mut mem, &mut uc, &wl2, &mut RoundRobinAdversary::default());
+    assert!(res2.completed);
+    let log = uc.recorded_abstract_trace();
+    let abort_len = log.abort_histories().first().map(|(_, h)| h.len()).unwrap_or(0);
+    (abort_len, last_solo_steps, mem.register_count())
+}
+
+fn queue_total_steps(k: usize) -> f64 {
+    let mut mem = SharedMemory::new();
+    let mut uc = UniversalConstruction::<QueueSpec, SplitConsensus>::new(&mut mem, 1, QueueSpec);
+    let ops: Vec<QueueOp> = (0..k as u64).map(QueueOp::Enqueue).collect();
+    let wl: Workload<QueueSpec, History<QueueSpec>> = Workload::from_ops(vec![ops]);
+    let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut SoloAdversary);
+    assert!(res.completed);
+    res.metrics.mean_steps()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for k in [2usize, 4, 8, 16, 32, 64] {
+        let (abort_len, last_solo_steps, registers) = counter_run(k);
+        let queue_mean = queue_total_steps(k);
+        rows.push(vec![
+            k.to_string(),
+            abort_len.to_string(),
+            last_solo_steps.to_string(),
+            format!("{queue_mean:.1}"),
+            registers.to_string(),
+        ]);
+    }
+    print_table(
+        "E5: cost of the generic universal construction vs committed requests k",
+        &[
+            "k_committed",
+            "abort_history_len",
+            "steps_of_kth_solo_op(counter)",
+            "mean_steps_per_op(queue)",
+            "registers_allocated",
+        ],
+        &rows,
+    );
+    let _ = CounterSpec.initial_state();
+    println!(
+        "\nExpected shape (Prop. 1 remark, [16]): every column grows linearly with k — generic \
+         safe composition pays linear state transfer, space and step complexity, unlike the \
+         object-specific TAS construction (see E3)."
+    );
+}

@@ -1,0 +1,113 @@
+//! Shared helpers for the experiment binaries (`exp-e1` … `exp-e9`) and the
+//! Criterion benches.
+//!
+//! Each experiment binary regenerates one row/series of the paper's
+//! quantitative claims (see EXPERIMENTS.md at the workspace root for the
+//! index) and prints a small table to stdout. The helpers here run a
+//! simulated workload and summarise the per-operation metrics.
+
+#![warn(missing_docs)]
+
+use scl_sim::{Adversary, ExecutionMetrics, Executor, ExecutionResult, SharedMemory, SimObject, Workload};
+use scl_spec::SequentialSpec;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Summary statistics of one simulated execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Summary {
+    /// Mean shared-memory steps per completed operation.
+    pub mean_steps: f64,
+    /// Maximum steps over committed operations.
+    pub max_steps_committed: u64,
+    /// Maximum fences per completed operation.
+    pub max_fences: u64,
+    /// Number of aborted operations.
+    pub aborted: usize,
+    /// Number of committed operations.
+    pub committed: usize,
+    /// Maximum consensus number over base objects used (`u32::MAX` = ∞).
+    pub max_consensus_number: u32,
+    /// Number of registers allocated (space).
+    pub registers: usize,
+}
+
+/// Runs a workload on a freshly built object and returns the execution
+/// result together with summary statistics.
+pub fn run_and_summarise<S, V, O>(
+    build: impl FnOnce(&mut SharedMemory) -> O,
+    workload: &Workload<S, V>,
+    adversary: &mut dyn Adversary,
+) -> (ExecutionResult<S, V>, Summary)
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+{
+    let mut mem = SharedMemory::new();
+    let mut object = build(&mut mem);
+    let res = Executor::new().run(&mut mem, &mut object, workload, adversary);
+    let summary = summarise(&res.metrics, &mem);
+    (res, summary)
+}
+
+/// Builds a [`Summary`] from execution metrics and the memory audit.
+pub fn summarise(metrics: &ExecutionMetrics, mem: &SharedMemory) -> Summary {
+    Summary {
+        mean_steps: metrics.mean_steps(),
+        max_steps_committed: metrics.max_steps_committed(),
+        max_fences: metrics.max_fences(),
+        aborted: metrics.aborted_count(),
+        committed: metrics.committed_count(),
+        max_consensus_number: mem.max_required_consensus_number().unwrap_or(u32::MAX),
+        registers: mem.register_count(),
+    }
+}
+
+/// Formats a consensus number for display (`∞` for `u32::MAX`).
+pub fn fmt_cn(cn: u32) -> String {
+    if cn == u32::MAX {
+        "∞".to_string()
+    } else {
+        cn.to_string()
+    }
+}
+
+/// Prints a table header followed by rows; purely cosmetic glue shared by the
+/// experiment binaries.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    println!("{}", header.join("\t"));
+    for row in rows {
+        println!("{}", row.join("\t"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scl_core::new_speculative_tas;
+    use scl_sim::SoloAdversary;
+    use scl_spec::{TasOp, TasSpec, TasSwitch};
+
+    #[test]
+    fn summary_of_a_solo_run() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let (res, s) = run_and_summarise(
+            |mem| new_speculative_tas(mem),
+            &wl,
+            &mut SoloAdversary,
+        );
+        assert!(res.completed);
+        assert_eq!(s.committed, 2);
+        assert_eq!(s.aborted, 0);
+        assert_eq!(s.max_consensus_number, 1);
+        assert!(s.mean_steps > 0.0);
+    }
+
+    #[test]
+    fn fmt_cn_formats_infinity() {
+        assert_eq!(fmt_cn(2), "2");
+        assert_eq!(fmt_cn(u32::MAX), "∞");
+    }
+}

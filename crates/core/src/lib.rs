@@ -1,0 +1,50 @@
+//! # scl-core
+//!
+//! Safely composable shared-memory algorithms: the primary contribution of
+//! *"On the Cost of Composing Shared-Memory Algorithms"* (SPAA 2012),
+//! implemented as step machines over the [`scl_sim`] simulator and checked
+//! against the specifications in [`scl_spec`].
+//!
+//! The crate contains:
+//!
+//! * [`compose`] — the module-composition combinator of §5: the aborts of the
+//!   first module become the init values of the second.
+//! * [`tas`] — the speculative test-and-set construction of §6: the
+//!   obstruction-free module A1 (Algorithm 1), the wait-free hardware module
+//!   A2, their composition, the long-lived resettable object (Algorithm 2)
+//!   and the solo-fast variant (Appendix B).
+//! * [`consensus`] — the abortable consensus algorithms of Appendix A
+//!   (SplitConsensus and AbortableBakery), a splitter object, and a wait-free
+//!   CAS-based consensus used as the strong baseline.
+//! * [`universal`] — the composable universal construction of §4 (an
+//!   Abstract over abortable consensus), the Herlihy-style wait-free
+//!   baseline (the same construction instantiated with wait-free consensus),
+//!   and the consensus reduction of Proposition 2.
+//!
+//! Every algorithm is a [`scl_sim::SimObject`]: operations advance one
+//! shared-memory step at a time under an adversarial scheduler, so the
+//! paper's step/space/fence complexity and progress claims can be measured
+//! and model-checked. Real-thread (std::sync::atomic) implementations of the
+//! test-and-set algorithms live in the companion crate `scl-runtime`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compose;
+pub mod consensus;
+pub mod tas;
+pub mod universal;
+
+pub use compose::Composed;
+pub use consensus::{
+    AbortableBakery, AbortableConsensus, CasConsensus, ConsensusExec, ConsensusObject,
+    ConsensusOutcome, ConsensusSwitch, SplitConsensus, Splitter, SplitterResult,
+};
+pub use tas::{
+    new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas, ResettableTas, SoloFastTas,
+    SpeculativeTas,
+};
+pub use universal::{
+    consensus_via_abstract, new_composable_universal, new_three_level_universal,
+    ComposableUniversal, ThreeLevelUniversal, UniversalConstruction,
+};

@@ -1,0 +1,30 @@
+//! The speculative test-and-set construction of §6.
+//!
+//! The construction composes two independent modules (Figure 1 of the
+//! paper):
+//!
+//! * [`A1Tas`] — the obstruction-free module (Algorithm 1): only registers,
+//!   constant step and space complexity, commits in the absence of step
+//!   contention and otherwise aborts with a switch value in `{W, L}`
+//!   describing whether the object may still be unwon.
+//! * [`A2Tas`] — the wait-free module: a hardware test-and-set object
+//!   (consensus number 2); processes entering with switch value `L` lose
+//!   immediately without taking a step.
+//! * [`SpeculativeTas`] — the composition `A1 ∘ A2` (Theorem 4): a wait-free
+//!   linearizable one-shot test-and-set that uses only registers and a
+//!   constant number of steps in executions without step contention.
+//! * [`ResettableTas`] — the long-lived object of Algorithm 2: an array of
+//!   speculative instances indexed by a round counter; the current winner
+//!   may reset the object, which also reverts it to the speculative module.
+//! * [`SoloFastTas`] — the Appendix B variant in which a process falls back
+//!   to the hardware object only when *itself* experiencing step contention.
+
+mod a1;
+mod a2;
+mod resettable;
+mod speculative;
+
+pub use a1::{A1Tas, A1Variant};
+pub use a2::A2Tas;
+pub use resettable::ResettableTas;
+pub use speculative::{new_solo_fast_tas, new_speculative_tas, SoloFastTas, SpeculativeTas};

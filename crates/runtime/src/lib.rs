@@ -1,0 +1,43 @@
+//! # scl-runtime
+//!
+//! Real `std::sync::atomic` implementations of the speculative test-and-set
+//! construction of §6, for use from actual OS threads and for the wall-clock
+//! benchmarks (experiment E10).
+//!
+//! The crate mirrors the structure of the simulator algorithms in
+//! `scl-core`:
+//!
+//! * [`AtomicA1`] — the obstruction-free module A1 (Algorithm 1) on plain
+//!   atomic loads/stores (no read-modify-write instructions on its fast
+//!   path).
+//! * [`AtomicA2`] — the wait-free hardware module: one `AtomicBool::swap`.
+//! * [`SpeculativeTas`] — the composition `A1 ∘ A2` (Theorem 4): a one-shot,
+//!   wait-free, linearizable test-and-set whose uncontended path issues no
+//!   atomic read-modify-write instruction.
+//! * [`ResettableTas`] — the long-lived object of Algorithm 2 (round array +
+//!   counter), with winner-only reset.
+//! * [`SoloFastTas`] — the Appendix B variant.
+//! * [`HardwareTas`] — the baseline: always one `swap`.
+//! * [`BiasedLock`] — the §1 motivation: a lock biased towards a single
+//!   owner thread, built directly on the resettable speculative TAS.
+//! * [`OpStats`] — cheap per-object instrumentation (fast-path vs slow-path
+//!   operation counts, RMW instruction counts) used by benchmarks and tests
+//!   to verify *which* path executed, not just the result.
+//!
+//! Memory ordering: registers that the paper's proofs treat as atomic MWMR
+//! registers (`P`, `S`, `V`, `aborted`, `Count`) use `SeqCst`; the
+//! instrumentation counters use `Relaxed`.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod biased_lock;
+mod stats;
+mod tas;
+
+pub use biased_lock::BiasedLock;
+pub use stats::OpStats;
+pub use tas::{
+    AtomicA1, AtomicA2, HardwareTas, ModuleOutcome, ResettableTas, SoloFastTas, SpeculativeTas,
+    TasResult,
+};

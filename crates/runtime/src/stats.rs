@@ -1,0 +1,101 @@
+//! Lightweight per-object instrumentation.
+//!
+//! The paper's claims are about *which mechanism* an operation used (did the
+//! speculation succeed? did the operation fall back to the hardware
+//! object?), not only about its result. [`OpStats`] counts, with relaxed
+//! atomics so the overhead is negligible, how many operations committed on
+//! the register-only fast path, how many switched to the hardware module,
+//! and how many hardware read-modify-write instructions were issued.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Operation-path counters attached to a runtime test-and-set object.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    fast_path_commits: AtomicU64,
+    slow_path_commits: AtomicU64,
+    rmw_instructions: AtomicU64,
+    resets: AtomicU64,
+}
+
+impl OpStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn record_fast_path(&self) {
+        self.fast_path_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_slow_path(&self) {
+        self.slow_path_commits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rmw(&self) {
+        self.rmw_instructions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reset(&self) {
+        self.resets.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Operations that committed inside the register-only module A1.
+    pub fn fast_path_commits(&self) -> u64 {
+        self.fast_path_commits.load(Ordering::Relaxed)
+    }
+
+    /// Operations that fell back to the hardware module A2.
+    pub fn slow_path_commits(&self) -> u64 {
+        self.slow_path_commits.load(Ordering::Relaxed)
+    }
+
+    /// Hardware read-modify-write instructions issued.
+    pub fn rmw_instructions(&self) -> u64 {
+        self.rmw_instructions.load(Ordering::Relaxed)
+    }
+
+    /// Successful resets of the long-lived object.
+    pub fn resets(&self) -> u64 {
+        self.resets.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_start_at_zero_and_accumulate() {
+        let s = OpStats::new();
+        assert_eq!(s.fast_path_commits(), 0);
+        assert_eq!(s.slow_path_commits(), 0);
+        assert_eq!(s.rmw_instructions(), 0);
+        assert_eq!(s.resets(), 0);
+        s.record_fast_path();
+        s.record_fast_path();
+        s.record_slow_path();
+        s.record_rmw();
+        s.record_reset();
+        assert_eq!(s.fast_path_commits(), 2);
+        assert_eq!(s.slow_path_commits(), 1);
+        assert_eq!(s.rmw_instructions(), 1);
+        assert_eq!(s.resets(), 1);
+    }
+
+    #[test]
+    fn counters_are_shareable_across_threads() {
+        let s = std::sync::Arc::new(OpStats::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let s = std::sync::Arc::clone(&s);
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_fast_path();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.fast_path_commits(), 4000);
+    }
+}

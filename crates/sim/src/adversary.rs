@@ -1,0 +1,229 @@
+//! Adversarial schedulers.
+//!
+//! The executor asks an [`Adversary`] which process takes the next
+//! scheduling slot. Scheduling an *idle* process invokes its next operation
+//! (recording the invocation event, no shared-memory step); scheduling a
+//! process with an operation in progress lets that operation perform one
+//! shared-memory step. This separation is what lets adversaries create
+//! interval contention without step contention.
+//!
+//! Provided adversaries:
+//!
+//! * [`SoloAdversary`] — runs one operation at a time to completion:
+//!   sequential executions, no interval and no step contention.
+//! * [`InvokeAllThenSequential`] — invokes every process's operation first,
+//!   then runs operations to completion one at a time: every operation is
+//!   interval-contended, and the first operation to run completes without
+//!   step contention (the regime in which the paper's A1 module must still
+//!   either commit or detect contention).
+//! * [`RoundRobinAdversary`] — alternates single steps between processes:
+//!   heavy step contention.
+//! * [`RandomAdversary`] — seeded uniformly random choices.
+//! * [`ScriptedAdversary`] — replays an explicit schedule (used by the
+//!   exhaustive exploration in [`crate::explore`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use scl_spec::ProcessId;
+
+/// The scheduler's view of the execution at a decision point.
+#[derive(Debug, Clone)]
+pub struct SchedView<'a> {
+    /// Processes that can be scheduled at all (idle with remaining workload,
+    /// or with an operation in progress).
+    pub enabled: &'a [ProcessId],
+    /// The subset of `enabled` that currently has an operation in progress.
+    pub in_progress: &'a [ProcessId],
+    /// The current scheduling tick.
+    pub tick: u64,
+}
+
+/// A scheduling adversary.
+pub trait Adversary {
+    /// Chooses the next process to schedule. Must return a member of
+    /// `view.enabled`; the executor falls back to the first enabled process
+    /// otherwise.
+    fn next(&mut self, view: &SchedView<'_>) -> ProcessId;
+}
+
+/// Runs one operation at a time to completion (sequential executions).
+#[derive(Debug, Clone, Default)]
+pub struct SoloAdversary;
+
+impl Adversary for SoloAdversary {
+    fn next(&mut self, view: &SchedView<'_>) -> ProcessId {
+        // Prefer the process already executing an operation; otherwise start
+        // the smallest enabled process.
+        view.in_progress.first().copied().unwrap_or(view.enabled[0])
+    }
+}
+
+/// Invokes one operation of every process first, then runs the operations to
+/// completion one at a time (interval contention, no step contention).
+#[derive(Debug, Clone, Default)]
+pub struct InvokeAllThenSequential;
+
+impl Adversary for InvokeAllThenSequential {
+    fn next(&mut self, view: &SchedView<'_>) -> ProcessId {
+        // While some enabled process has not yet invoked (is not in
+        // progress), schedule it so that its invocation is recorded.
+        if let Some(idle) = view
+            .enabled
+            .iter()
+            .find(|p| !view.in_progress.contains(p))
+        {
+            return *idle;
+        }
+        // Every enabled process has an operation in progress: run them to
+        // completion in process order.
+        view.in_progress.first().copied().unwrap_or(view.enabled[0])
+    }
+}
+
+/// Alternates single steps between processes in round-robin order.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobinAdversary {
+    last: Option<ProcessId>,
+}
+
+impl Adversary for RoundRobinAdversary {
+    fn next(&mut self, view: &SchedView<'_>) -> ProcessId {
+        let chosen = match self.last {
+            None => view.enabled[0],
+            Some(prev) => *view
+                .enabled
+                .iter()
+                .find(|p| p.0 > prev.0)
+                .unwrap_or(&view.enabled[0]),
+        };
+        self.last = Some(chosen);
+        chosen
+    }
+}
+
+/// Chooses uniformly at random among enabled processes, from a fixed seed.
+#[derive(Debug, Clone)]
+pub struct RandomAdversary {
+    rng: StdRng,
+}
+
+impl RandomAdversary {
+    /// Creates a random adversary from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomAdversary { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl Adversary for RandomAdversary {
+    fn next(&mut self, view: &SchedView<'_>) -> ProcessId {
+        let i = self.rng.gen_range(0..view.enabled.len());
+        view.enabled[i]
+    }
+}
+
+/// Replays an explicit schedule; after the script is exhausted (or when the
+/// scripted process is not enabled) it falls back to the first enabled
+/// process, which keeps replay deterministic.
+#[derive(Debug, Clone)]
+pub struct ScriptedAdversary {
+    script: Vec<ProcessId>,
+    pos: usize,
+}
+
+impl ScriptedAdversary {
+    /// Creates a scripted adversary.
+    pub fn new(script: Vec<ProcessId>) -> Self {
+        ScriptedAdversary { script, pos: 0 }
+    }
+}
+
+impl Adversary for ScriptedAdversary {
+    fn next(&mut self, view: &SchedView<'_>) -> ProcessId {
+        if self.pos < self.script.len() {
+            let p = self.script[self.pos];
+            self.pos += 1;
+            if view.enabled.contains(&p) {
+                return p;
+            }
+        }
+        view.enabled[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view<'a>(
+        enabled: &'a [ProcessId],
+        in_progress: &'a [ProcessId],
+        tick: u64,
+    ) -> SchedView<'a> {
+        SchedView { enabled, in_progress, tick }
+    }
+
+    #[test]
+    fn solo_prefers_in_progress() {
+        let mut a = SoloAdversary;
+        let enabled = [ProcessId(0), ProcessId(1)];
+        assert_eq!(a.next(&view(&enabled, &[], 0)), ProcessId(0));
+        let in_prog = [ProcessId(1)];
+        assert_eq!(a.next(&view(&enabled, &in_prog, 1)), ProcessId(1));
+    }
+
+    #[test]
+    fn invoke_all_then_sequential_invokes_everyone_first() {
+        let mut a = InvokeAllThenSequential;
+        let enabled = [ProcessId(0), ProcessId(1)];
+        // p0 not yet in progress -> schedule p0 (invocation)
+        assert_eq!(a.next(&view(&enabled, &[], 0)), ProcessId(0));
+        // p0 in progress, p1 not -> schedule p1 (invocation)
+        let ip0 = [ProcessId(0)];
+        assert_eq!(a.next(&view(&enabled, &ip0, 1)), ProcessId(1));
+        // both in progress -> run p0 first
+        let both = [ProcessId(0), ProcessId(1)];
+        assert_eq!(a.next(&view(&enabled, &both, 2)), ProcessId(0));
+    }
+
+    #[test]
+    fn round_robin_alternates() {
+        let mut a = RoundRobinAdversary::default();
+        let enabled = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        let choices: Vec<ProcessId> =
+            (0..6).map(|t| a.next(&view(&enabled, &[], t))).collect();
+        assert_eq!(
+            choices,
+            vec![
+                ProcessId(0),
+                ProcessId(1),
+                ProcessId(2),
+                ProcessId(0),
+                ProcessId(1),
+                ProcessId(2)
+            ]
+        );
+    }
+
+    #[test]
+    fn random_is_deterministic_for_a_seed() {
+        let enabled = [ProcessId(0), ProcessId(1), ProcessId(2)];
+        let run = |seed| {
+            let mut a = RandomAdversary::new(seed);
+            (0..10).map(|t| a.next(&view(&enabled, &[], t))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn scripted_follows_script_then_falls_back() {
+        let mut a = ScriptedAdversary::new(vec![ProcessId(1), ProcessId(0)]);
+        let enabled = [ProcessId(0), ProcessId(1)];
+        assert_eq!(a.next(&view(&enabled, &[], 0)), ProcessId(1));
+        assert_eq!(a.next(&view(&enabled, &[], 1)), ProcessId(0));
+        // Script exhausted: falls back to first enabled.
+        assert_eq!(a.next(&view(&enabled, &[], 2)), ProcessId(0));
+        // Scripted process not enabled: falls back.
+        let mut b = ScriptedAdversary::new(vec![ProcessId(9)]);
+        assert_eq!(b.next(&view(&enabled, &[], 0)), ProcessId(0));
+    }
+}

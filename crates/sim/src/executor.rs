@@ -1,0 +1,479 @@
+//! The execution engine: drives `n` simulated processes over per-process
+//! workloads under an adversarial scheduler, recording a trace and metrics.
+//!
+//! Scheduling model (one *tick* per adversary decision):
+//!
+//! * scheduling an idle process with remaining workload **invokes** its next
+//!   operation — the invocation event is recorded and an [`OpExecution`] is
+//!   created, but no shared-memory step is taken;
+//! * scheduling a process with an operation in progress lets that operation
+//!   take **at most one shared-memory step**;
+//! * when an operation finishes, its commit or abort event is recorded and
+//!   the process becomes idle again (ready to invoke its next operation).
+//!
+//! The executor also records, for every tick, which processes were enabled
+//! and which was chosen, so that [`crate::explore`] can enumerate alternative
+//! schedules.
+
+use crate::adversary::{Adversary, SchedView};
+use crate::machine::{OpExecution, OpOutcome, SimObject, StepOutcome};
+use crate::memory::SharedMemory;
+use crate::metrics::{ExecutionMetrics, OpMetrics};
+use scl_spec::{ProcessId, Request, RequestIdGen, SequentialSpec, Trace};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Per-process sequences of operations to execute, each optionally carrying a
+/// switch value (an `(init, m, v)` invocation of §3).
+#[derive(Debug, Clone)]
+pub struct Workload<S: SequentialSpec, V> {
+    /// `ops[p]` is the sequence of operations process `p` invokes, in order.
+    pub ops: Vec<Vec<(S::Op, Option<V>)>>,
+}
+
+impl<S: SequentialSpec, V: Clone> Workload<S, V> {
+    /// Every one of `n` processes invokes the same operation once.
+    pub fn single_op_each(n: usize, op: S::Op) -> Self {
+        Workload { ops: vec![vec![(op, None)]; n] }
+    }
+
+    /// Every one of `n` processes invokes the same operation `count` times.
+    pub fn uniform(n: usize, op: S::Op, count: usize) -> Self {
+        Workload { ops: vec![vec![(op, None); count]; n] }
+    }
+
+    /// A workload built from explicit per-process operation lists (without
+    /// switch values).
+    pub fn from_ops(per_process: Vec<Vec<S::Op>>) -> Self {
+        Workload {
+            ops: per_process
+                .into_iter()
+                .map(|ops| ops.into_iter().map(|o| (o, None)).collect())
+                .collect(),
+        }
+    }
+
+    /// Number of processes.
+    pub fn processes(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Total number of operations across all processes.
+    pub fn total_ops(&self) -> usize {
+        self.ops.iter().map(|v| v.len()).sum()
+    }
+}
+
+/// What a process does after one of its operations aborts at the level of the
+/// driven object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OnAbort {
+    /// The process stops (its remaining workload is dropped). Appropriate
+    /// when driving a bare module: in the composition model the process
+    /// would switch to the next module rather than retry.
+    #[default]
+    Stop,
+    /// The process moves on to its next workload operation.
+    ContinueNextOp,
+}
+
+/// One scheduling decision: which processes were enabled and which was
+/// chosen. Used by the schedule explorer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decision {
+    /// Enabled processes at this tick, in ascending order.
+    pub enabled: Vec<ProcessId>,
+    /// The process that was scheduled.
+    pub chosen: ProcessId,
+}
+
+/// One operation's record: the request and outcome indices into the trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpRecord<S: SequentialSpec, V> {
+    /// The request that was invoked.
+    pub req: Request<S>,
+    /// The outcome, if the operation finished.
+    pub outcome: Option<OpOutcome<S, V>>,
+}
+
+/// The result of one simulated execution.
+#[derive(Debug)]
+pub struct ExecutionResult<S: SequentialSpec, V> {
+    /// The recorded trace (invoke / init / commit / abort events).
+    pub trace: Trace<S, V>,
+    /// Per-operation measurements.
+    pub metrics: ExecutionMetrics,
+    /// Operation records in invocation order.
+    pub ops: Vec<OpRecord<S, V>>,
+    /// The scheduling decisions, one per tick.
+    pub decisions: Vec<Decision>,
+    /// Whether every workload operation ran to a response before the tick
+    /// limit.
+    pub completed: bool,
+    /// Number of ticks consumed.
+    pub ticks: u64,
+}
+
+enum ProcState<S: SequentialSpec, V> {
+    Idle { next_op: usize },
+    Running { exec: Box<dyn OpExecution<S, V>>, metrics_idx: usize, op_cursor: usize },
+    Done,
+}
+
+/// The execution engine. See the module documentation for the scheduling
+/// model.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    /// Maximum number of ticks before the execution is cut off.
+    pub max_ticks: u64,
+    /// Behaviour after an operation aborts.
+    pub on_abort: OnAbort,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor { max_ticks: 1_000_000, on_abort: OnAbort::Stop }
+    }
+}
+
+impl Executor {
+    /// An executor with the default tick limit and [`OnAbort::Stop`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the abort behaviour.
+    pub fn on_abort(mut self, on_abort: OnAbort) -> Self {
+        self.on_abort = on_abort;
+        self
+    }
+
+    /// Sets the tick limit.
+    pub fn max_ticks(mut self, max_ticks: u64) -> Self {
+        self.max_ticks = max_ticks;
+        self
+    }
+
+    /// Runs the workload against the object under the given adversary.
+    pub fn run<S, V, O>(
+        &self,
+        mem: &mut SharedMemory,
+        object: &mut O,
+        workload: &Workload<S, V>,
+        adversary: &mut dyn Adversary,
+    ) -> ExecutionResult<S, V>
+    where
+        S: SequentialSpec,
+        V: Clone + Eq + Hash + Debug,
+        O: SimObject<S, V> + ?Sized,
+    {
+        let n = workload.processes();
+        let mut states: Vec<ProcState<S, V>> = (0..n).map(|_| ProcState::Idle { next_op: 0 }).collect();
+        let mut trace: Trace<S, V> = Trace::new();
+        let mut metrics = ExecutionMetrics::default();
+        let mut ops: Vec<OpRecord<S, V>> = Vec::new();
+        let mut decisions: Vec<Decision> = Vec::new();
+        let mut idgen = RequestIdGen::new();
+        // Indices (into metrics.ops) of currently open operations.
+        let mut open: Vec<usize> = Vec::new();
+        let mut tick: u64 = 0;
+
+        loop {
+            // Compute enabled processes.
+            let mut enabled: Vec<ProcessId> = Vec::new();
+            let mut in_progress: Vec<ProcessId> = Vec::new();
+            for (i, st) in states.iter().enumerate() {
+                match st {
+                    ProcState::Idle { next_op } if *next_op < workload.ops[i].len() => {
+                        enabled.push(ProcessId(i));
+                    }
+                    ProcState::Running { .. } => {
+                        enabled.push(ProcessId(i));
+                        in_progress.push(ProcessId(i));
+                    }
+                    _ => {}
+                }
+            }
+            if enabled.is_empty() {
+                return ExecutionResult {
+                    trace,
+                    metrics,
+                    ops,
+                    decisions,
+                    completed: true,
+                    ticks: tick,
+                };
+            }
+            if tick >= self.max_ticks {
+                return ExecutionResult {
+                    trace,
+                    metrics,
+                    ops,
+                    decisions,
+                    completed: false,
+                    ticks: tick,
+                };
+            }
+
+            let view = SchedView { enabled: &enabled, in_progress: &in_progress, tick };
+            let mut chosen = adversary.next(&view);
+            if !enabled.contains(&chosen) {
+                chosen = enabled[0];
+            }
+            decisions.push(Decision { enabled: enabled.clone(), chosen });
+            let p = chosen;
+            let pi = p.index();
+
+            match &mut states[pi] {
+                ProcState::Idle { next_op } => {
+                    let cursor = *next_op;
+                    let (op, switch) = workload.ops[pi][cursor].clone();
+                    let req = Request::<S> { id: idgen.fresh(), proc: p, op };
+                    match &switch {
+                        Some(v) => trace.record_init(req.clone(), v.clone()),
+                        None => trace.record_invoke(req.clone()),
+                    }
+                    mem.begin_op(p);
+                    let exec = object.invoke(mem, req.clone(), switch);
+                    let metrics_idx = metrics.ops.len();
+                    // Register overlaps with currently open operations.
+                    let mut overlaps = 0;
+                    for &oi in &open {
+                        if metrics.ops[oi].proc != p {
+                            metrics.ops[oi].overlapping_ops += 1;
+                            overlaps += 1;
+                        }
+                    }
+                    metrics.ops.push(OpMetrics {
+                        req_id: req.id,
+                        proc: p,
+                        invoke_tick: tick,
+                        response_tick: None,
+                        steps: 0,
+                        fences: 0,
+                        rmws: 0,
+                        foreign_steps: 0,
+                        overlapping_ops: overlaps,
+                        aborted: false,
+                    });
+                    open.push(metrics_idx);
+                    ops.push(OpRecord { req, outcome: None });
+                    states[pi] = ProcState::Running { exec, metrics_idx, op_cursor: cursor };
+                }
+                ProcState::Running { exec, metrics_idx, op_cursor } => {
+                    let midx = *metrics_idx;
+                    let cursor = *op_cursor;
+                    let before = mem.counters(p);
+                    let outcome = exec.step(mem);
+                    let after = mem.counters(p);
+                    let dsteps = after.steps - before.steps;
+                    metrics.ops[midx].steps += dsteps;
+                    metrics.ops[midx].fences += after.fences - before.fences;
+                    metrics.ops[midx].rmws += after.rmws - before.rmws;
+                    // Charge foreign steps to every other open operation.
+                    if dsteps > 0 {
+                        for &oi in &open {
+                            if metrics.ops[oi].proc != p {
+                                metrics.ops[oi].foreign_steps += dsteps;
+                            }
+                        }
+                    }
+                    if let StepOutcome::Done(outcome) = outcome {
+                        let req_id = metrics.ops[midx].req_id;
+                        metrics.ops[midx].response_tick = Some(tick);
+                        open.retain(|&oi| oi != midx);
+                        let aborted = match &outcome {
+                            OpOutcome::Commit(resp) => {
+                                trace.record_commit(p, req_id, resp.clone());
+                                false
+                            }
+                            OpOutcome::Abort(v) => {
+                                trace.record_abort(p, req_id, v.clone());
+                                true
+                            }
+                        };
+                        metrics.ops[midx].aborted = aborted;
+                        ops[midx].outcome = Some(outcome);
+                        let has_more = cursor + 1 < workload.ops[pi].len();
+                        states[pi] = if aborted && self.on_abort == OnAbort::Stop {
+                            ProcState::Done
+                        } else if has_more {
+                            ProcState::Idle { next_op: cursor + 1 }
+                        } else {
+                            ProcState::Done
+                        };
+                    }
+                }
+                ProcState::Done => {}
+            }
+            tick += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{RoundRobinAdversary, SoloAdversary};
+    use crate::machine::{ImmediateOutcome, OpExecution, OpOutcome, SimObject, StepOutcome};
+    use crate::memory::RegId;
+    use crate::value::Value;
+    use scl_spec::{check_linearizable, TasOp, TasResp, TasSpec, TasSwitch};
+
+    /// A register-swap test-and-set used to exercise the executor plumbing.
+    struct SwapTas {
+        flag: RegId,
+    }
+
+    impl SwapTas {
+        fn new(mem: &mut SharedMemory) -> Self {
+            SwapTas { flag: mem.alloc("flag", Value::Bool(false)) }
+        }
+    }
+
+    struct SwapTasOp {
+        flag: RegId,
+        proc: ProcessId,
+    }
+
+    impl OpExecution<TasSpec, TasSwitch> for SwapTasOp {
+        fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
+            let prev = mem.swap(self.proc, self.flag, Value::Bool(true));
+            StepOutcome::Done(OpOutcome::Commit(if prev.as_bool() {
+                TasResp::Loser
+            } else {
+                TasResp::Winner
+            }))
+        }
+    }
+
+    impl SimObject<TasSpec, TasSwitch> for SwapTas {
+        fn invoke(
+            &mut self,
+            _mem: &mut SharedMemory,
+            req: Request<TasSpec>,
+            switch: Option<TasSwitch>,
+        ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
+            if switch == Some(TasSwitch::L) {
+                return Box::new(ImmediateOutcome::new(OpOutcome::Commit(TasResp::Loser)));
+            }
+            Box::new(SwapTasOp { flag: self.flag, proc: req.proc })
+        }
+    }
+
+    #[test]
+    fn solo_execution_is_sequential_and_linearizable() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let res = Executor::new().run(&mut mem, &mut obj, &wl, &mut SoloAdversary);
+        assert!(res.completed);
+        assert_eq!(res.trace.check_well_formed(), Ok(()));
+        assert_eq!(res.metrics.committed_count(), 3);
+        // No interval or step contention under the solo adversary.
+        for op in &res.metrics.ops {
+            assert!(op.interval_contention_free());
+            assert!(op.step_contention_free());
+            assert_eq!(op.steps, 1);
+        }
+        let lin = check_linearizable(&TasSpec, &res.trace.commit_projection());
+        assert!(lin.is_linearizable());
+    }
+
+    #[test]
+    fn round_robin_creates_step_contention_but_stays_linearizable() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let res =
+            Executor::new().run(&mut mem, &mut obj, &wl, &mut RoundRobinAdversary::default());
+        assert!(res.completed);
+        // Exactly one winner.
+        let winners = res
+            .trace
+            .commits()
+            .iter()
+            .filter(|(_, r)| *r == TasResp::Winner)
+            .count();
+        assert_eq!(winners, 1);
+        let lin = check_linearizable(&TasSpec, &res.trace.commit_projection());
+        assert!(lin.is_linearizable());
+        // At least one operation observed a foreign step.
+        assert!(res.metrics.ops.iter().any(|o| !o.step_contention_free()));
+    }
+
+    #[test]
+    fn invoke_all_then_sequential_gives_interval_but_not_step_contention() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let res = Executor::new().run(
+            &mut mem,
+            &mut obj,
+            &wl,
+            &mut crate::adversary::InvokeAllThenSequential,
+        );
+        assert!(res.completed);
+        // Every operation overlaps with the others (interval contention),
+        // and the first operation to run (process 0's) completes without any
+        // other process taking a step during its interval.
+        for op in &res.metrics.ops {
+            assert!(!op.interval_contention_free());
+        }
+        let p0 = res.metrics.ops.iter().find(|o| o.proc == ProcessId(0)).unwrap();
+        assert!(p0.step_contention_free());
+        // Later operations do observe foreign steps.
+        let p2 = res.metrics.ops.iter().find(|o| o.proc == ProcessId(2)).unwrap();
+        assert!(!p2.step_contention_free());
+    }
+
+    #[test]
+    fn workload_with_switch_values_uses_init_events() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload {
+            ops: vec![
+                vec![(TasOp::TestAndSet, Some(TasSwitch::W))],
+                vec![(TasOp::TestAndSet, Some(TasSwitch::L))],
+            ],
+        };
+        let res = Executor::new().run(&mut mem, &mut obj, &wl, &mut SoloAdversary);
+        assert!(res.completed);
+        assert_eq!(res.trace.init_tokens().len(), 2);
+        // The L process lost without taking any shared-memory step.
+        let l_op = res.metrics.ops.iter().find(|o| o.proc == ProcessId(1)).unwrap();
+        assert_eq!(l_op.steps, 0);
+    }
+
+    #[test]
+    fn decisions_record_one_entry_per_tick() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let res = Executor::new().run(&mut mem, &mut obj, &wl, &mut SoloAdversary);
+        assert_eq!(res.decisions.len() as u64, res.ticks);
+        // 2 invocations + 2 steps = 4 ticks.
+        assert_eq!(res.ticks, 4);
+    }
+
+    #[test]
+    fn tick_limit_stops_execution() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::uniform(2, TasOp::TestAndSet, 10);
+        let res = Executor::new().max_ticks(3).run(&mut mem, &mut obj, &wl, &mut SoloAdversary);
+        assert!(!res.completed);
+        assert_eq!(res.ticks, 3);
+    }
+
+    #[test]
+    fn workload_helpers() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::uniform(3, TasOp::TestAndSet, 2);
+        assert_eq!(wl.processes(), 3);
+        assert_eq!(wl.total_ops(), 6);
+        let wl2: Workload<TasSpec, TasSwitch> =
+            Workload::from_ops(vec![vec![TasOp::TestAndSet], vec![]]);
+        assert_eq!(wl2.processes(), 2);
+        assert_eq!(wl2.total_ops(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # scl-sim
+//!
+//! A deterministic, step-counting shared-memory simulator for analysing
+//! concurrent algorithms at the granularity the paper reasons about: one
+//! *shared-memory step* at a time.
+//!
+//! The paper's complexity claims (constant step complexity of the
+//! obstruction-free test-and-set module, linear cost of the generic
+//! universal construction, fence complexity, consensus number of base
+//! objects) and progress claims (no abort in the absence of step contention)
+//! are all phrased in the asynchronous shared-memory model of §3. Real
+//! threads cannot reproduce adversarial schedules deterministically, so this
+//! crate provides:
+//!
+//! * [`SharedMemory`] — a register file with one-step atomic operations
+//!   (read, write, swap, test-and-set, fetch-and-add, compare-and-swap),
+//!   per-process step counters, and an audit of which primitive classes were
+//!   applied to which register (from which base-object consensus numbers are
+//!   derived).
+//! * [`OpExecution`] / [`SimObject`] — algorithms written as explicit step
+//!   machines: each call to `step` performs exactly one shared-memory step.
+//! * [`Executor`] — drives `n` processes over per-process workloads under a
+//!   pluggable [`Adversary`] (solo, round-robin, random, scripted,
+//!   invoke-all-then-sequential), recording a [`scl_spec::Trace`], per-
+//!   operation step counts and contention measurements.
+//! * [`explore`] — bounded exhaustive exploration of all schedules of small
+//!   executions (stateless-replay model checking), used by the test-suites
+//!   to verify linearizability and safe composability over *every*
+//!   interleaving of small configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod executor;
+pub mod explore;
+pub mod machine;
+pub mod memory;
+pub mod metrics;
+pub mod value;
+
+pub use adversary::{
+    Adversary, InvokeAllThenSequential, RandomAdversary, RoundRobinAdversary, ScriptedAdversary,
+    SoloAdversary,
+};
+pub use executor::{ExecutionResult, Executor, OnAbort, OpRecord, Workload};
+pub use explore::{explore_schedules, ExploreConfig, ExploreOutcome};
+pub use machine::{ImmediateOutcome, OpExecution, OpOutcome, SimObject, StepOutcome};
+pub use memory::{PrimitiveClass, RegId, SharedMemory};
+pub use metrics::{ContentionKind, ExecutionMetrics, OpMetrics};
+pub use value::Value;

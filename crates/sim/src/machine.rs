@@ -1,0 +1,182 @@
+//! Step machines: algorithms expressed one shared-memory step at a time.
+//!
+//! An algorithm implementing an object is written as a [`SimObject`]: shared
+//! registers are allocated when the object is created, and every invocation
+//! produces an [`OpExecution`] — a small explicit state machine whose
+//! [`OpExecution::step`] method performs *at most one* shared-memory step per
+//! call. The executor interleaves executions of different processes by
+//! choosing which one steps next, which is exactly the adversarial scheduler
+//! of the paper's model.
+
+use crate::memory::SharedMemory;
+use scl_spec::{History, Request, SequentialSpec};
+
+/// The final outcome of an operation execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome<S: SequentialSpec, V> {
+    /// The operation commits with a response of the implemented object.
+    Commit(S::Resp),
+    /// The operation aborts with a switch value, to be used to initialise
+    /// the next module of a composition.
+    Abort(V),
+}
+
+impl<S: SequentialSpec, V> OpOutcome<S, V> {
+    /// Whether the outcome is a commit.
+    pub fn is_commit(&self) -> bool {
+        matches!(self, OpOutcome::Commit(_))
+    }
+}
+
+/// The result of one scheduling step of an operation execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome<S: SequentialSpec, V> {
+    /// The operation has not finished; schedule it again to continue.
+    Continue,
+    /// The operation finished with the given outcome.
+    Done(OpOutcome<S, V>),
+}
+
+/// An operation in progress: an explicit state machine performing at most
+/// one shared-memory step per call.
+pub trait OpExecution<S: SequentialSpec, V> {
+    /// Performs at most one shared-memory step. Purely local transitions may
+    /// finish an operation without touching shared memory (they still
+    /// consume a scheduling slot, but no shared-memory step is counted).
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<S, V>;
+}
+
+/// An object implementation whose operations are driven step-by-step by the
+/// executor.
+///
+/// The switch-value parameter `V` is the composition interface of §5: a
+/// `None` switch means a plain `(invoke, m)`; `Some(v)` means `(init, m, v)`.
+pub trait SimObject<S: SequentialSpec, V> {
+    /// Starts executing request `req`, optionally initialised with a switch
+    /// value. Shared registers needed lazily may be allocated here (not
+    /// counted as steps).
+    fn invoke(
+        &mut self,
+        mem: &mut SharedMemory,
+        req: Request<S>,
+        switch: Option<V>,
+    ) -> Box<dyn OpExecution<S, V>>;
+
+    /// A short human-readable name used in reports.
+    fn name(&self) -> &'static str {
+        "object"
+    }
+}
+
+/// Switch values of generic (history-carrying) compositions: the universal
+/// construction aborts with a history of requests.
+pub type HistorySwitch<S> = History<S>;
+
+/// An [`OpExecution`] that finishes immediately with a fixed outcome, taking
+/// no shared-memory steps. Useful for purely local fast paths (e.g. module
+/// A2 returning `loser` to processes entering with switch value `L`).
+pub struct ImmediateOutcome<S: SequentialSpec, V> {
+    outcome: Option<OpOutcome<S, V>>,
+}
+
+impl<S: SequentialSpec, V> ImmediateOutcome<S, V> {
+    /// Creates an execution that finishes with `outcome` on its first step.
+    pub fn new(outcome: OpOutcome<S, V>) -> Self {
+        ImmediateOutcome { outcome: Some(outcome) }
+    }
+}
+
+impl<S: SequentialSpec, V> OpExecution<S, V> for ImmediateOutcome<S, V> {
+    fn step(&mut self, _mem: &mut SharedMemory) -> StepOutcome<S, V> {
+        match self.outcome.take() {
+            Some(o) => StepOutcome::Done(o),
+            None => StepOutcome::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+    use scl_spec::{ProcessId, TasResp, TasSpec, TasSwitch};
+
+    #[test]
+    fn immediate_outcome_finishes_without_steps() {
+        let mut mem = SharedMemory::new();
+        let mut e: ImmediateOutcome<TasSpec, TasSwitch> =
+            ImmediateOutcome::new(OpOutcome::Commit(TasResp::Loser));
+        match e.step(&mut mem) {
+            StepOutcome::Done(OpOutcome::Commit(TasResp::Loser)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(mem.global_steps(), 0);
+    }
+
+    #[test]
+    fn op_outcome_is_commit() {
+        let c: OpOutcome<TasSpec, TasSwitch> = OpOutcome::Commit(TasResp::Winner);
+        let a: OpOutcome<TasSpec, TasSwitch> = OpOutcome::Abort(TasSwitch::W);
+        assert!(c.is_commit());
+        assert!(!a.is_commit());
+    }
+
+    /// A tiny hand-written SimObject used to validate the trait plumbing: a
+    /// register-based "sticky flag" where the first test-and-set-like op to
+    /// swap the flag wins.
+    struct StickyFlag {
+        flag: crate::memory::RegId,
+    }
+
+    struct StickyOp {
+        flag: crate::memory::RegId,
+        proc: ProcessId,
+        done: bool,
+    }
+
+    impl OpExecution<TasSpec, TasSwitch> for StickyOp {
+        fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
+            if self.done {
+                return StepOutcome::Continue;
+            }
+            self.done = true;
+            let prev = mem.swap(self.proc, self.flag, Value::Bool(true));
+            if prev.as_bool() {
+                StepOutcome::Done(OpOutcome::Commit(TasResp::Loser))
+            } else {
+                StepOutcome::Done(OpOutcome::Commit(TasResp::Winner))
+            }
+        }
+    }
+
+    impl SimObject<TasSpec, TasSwitch> for StickyFlag {
+        fn invoke(
+            &mut self,
+            _mem: &mut SharedMemory,
+            req: Request<TasSpec>,
+            _switch: Option<TasSwitch>,
+        ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
+            Box::new(StickyOp { flag: self.flag, proc: req.proc, done: false })
+        }
+    }
+
+    #[test]
+    fn hand_written_object_works_step_by_step() {
+        let mut mem = SharedMemory::new();
+        let flag = mem.alloc("flag", Value::Bool(false));
+        let mut obj = StickyFlag { flag };
+        let r1: Request<TasSpec> = Request::new(1u64, 0usize, scl_spec::TasOp::TestAndSet);
+        let r2: Request<TasSpec> = Request::new(2u64, 1usize, scl_spec::TasOp::TestAndSet);
+        let mut e1 = obj.invoke(&mut mem, r1, None);
+        let mut e2 = obj.invoke(&mut mem, r2, None);
+        match e1.step(&mut mem) {
+            StepOutcome::Done(OpOutcome::Commit(TasResp::Winner)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        match e2.step(&mut mem) {
+            StepOutcome::Done(OpOutcome::Commit(TasResp::Loser)) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(mem.global_steps(), 2);
+    }
+}

@@ -1,0 +1,367 @@
+//! The simulated shared memory: a register file with one-step atomic
+//! operations, step accounting, and a base-object audit.
+//!
+//! Every operation on [`SharedMemory`] models exactly one shared-memory step
+//! of the paper's model. Operations are classified by [`PrimitiveClass`];
+//! the audit records which classes were applied to each register, from which
+//! the *consensus number* required of that base object follows (registers:
+//! 1; swap / test-and-set / fetch-and-add: 2; compare-and-swap: ∞). This is
+//! what experiment E9 uses to verify that the composed test-and-set only
+//! relies on objects with consensus number at most two.
+//!
+//! The memory also approximates *fence complexity* (Attiya et al., "Laws of
+//! Order"): a read-after-write (RAW) fence is charged the first time a
+//! process reads shared memory after having written it within the same
+//! operation, and every atomic read-modify-write primitive is charged as an
+//! atomic-instruction fence. [`SharedMemory::begin_op`] resets the per-
+//! operation write flag.
+
+use crate::value::Value;
+use scl_spec::ProcessId;
+use std::collections::BTreeMap;
+
+/// Identifier of a simulated shared register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RegId(pub usize);
+
+/// Classification of shared-memory primitives by their consensus number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrimitiveClass {
+    /// Atomic read (consensus number 1).
+    Read,
+    /// Atomic write (consensus number 1).
+    Write,
+    /// Atomic swap (consensus number 2).
+    Swap,
+    /// Atomic test-and-set (consensus number 2).
+    TestAndSet,
+    /// Atomic fetch-and-add (consensus number 2).
+    FetchAdd,
+    /// Atomic compare-and-swap (consensus number ∞).
+    CompareAndSwap,
+}
+
+impl PrimitiveClass {
+    /// The consensus number of the primitive; `None` represents ∞.
+    pub fn consensus_number(self) -> Option<u32> {
+        match self {
+            PrimitiveClass::Read | PrimitiveClass::Write => Some(1),
+            PrimitiveClass::Swap | PrimitiveClass::TestAndSet | PrimitiveClass::FetchAdd => Some(2),
+            PrimitiveClass::CompareAndSwap => None,
+        }
+    }
+
+    /// Whether the primitive is a read-modify-write ("strong") primitive.
+    pub fn is_rmw(self) -> bool {
+        !matches!(self, PrimitiveClass::Read | PrimitiveClass::Write)
+    }
+}
+
+/// Per-process step counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProcessCounters {
+    /// Total shared-memory steps.
+    pub steps: u64,
+    /// Reads.
+    pub reads: u64,
+    /// Writes.
+    pub writes: u64,
+    /// Read-modify-write operations (swap, TAS, fetch-add, CAS).
+    pub rmws: u64,
+    /// Approximated fences: RAW fences plus atomic-instruction fences.
+    pub fences: u64,
+}
+
+/// A register's audit entry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegisterAudit {
+    /// Human-readable name given at allocation.
+    pub name: String,
+    /// The primitive classes ever applied to the register.
+    pub classes: Vec<PrimitiveClass>,
+}
+
+impl RegisterAudit {
+    /// The consensus number required of this base object: the maximum over
+    /// the primitive classes applied to it (`None` = ∞).
+    pub fn required_consensus_number(&self) -> Option<u32> {
+        let mut max = Some(1);
+        for c in &self.classes {
+            match (max, c.consensus_number()) {
+                (_, None) => return None,
+                (Some(m), Some(n)) => max = Some(m.max(n)),
+                (None, _) => return None,
+            }
+        }
+        max
+    }
+}
+
+/// The simulated shared memory.
+#[derive(Debug, Clone, Default)]
+pub struct SharedMemory {
+    regs: Vec<Value>,
+    audit: Vec<RegisterAudit>,
+    counters: BTreeMap<ProcessId, ProcessCounters>,
+    /// Whether the process has written during its current operation
+    /// (used for RAW-fence accounting).
+    wrote_in_op: BTreeMap<ProcessId, bool>,
+    /// Global step counter (total across all processes).
+    global_steps: u64,
+}
+
+impl SharedMemory {
+    /// An empty shared memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates a fresh register with the given debug name and initial
+    /// value. Allocation itself is not a shared-memory step.
+    pub fn alloc(&mut self, name: &str, init: Value) -> RegId {
+        let id = RegId(self.regs.len());
+        self.regs.push(init);
+        self.audit.push(RegisterAudit { name: name.to_string(), classes: Vec::new() });
+        id
+    }
+
+    /// Number of registers allocated so far (space complexity).
+    pub fn register_count(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Total shared-memory steps taken by all processes.
+    pub fn global_steps(&self) -> u64 {
+        self.global_steps
+    }
+
+    /// Per-process counters.
+    pub fn counters(&self, p: ProcessId) -> ProcessCounters {
+        self.counters.get(&p).cloned().unwrap_or_default()
+    }
+
+    /// The audit of every register.
+    pub fn audit(&self) -> &[RegisterAudit] {
+        &self.audit
+    }
+
+    /// The maximum consensus number required over all registers that were
+    /// accessed with at least one primitive (`None` = ∞, i.e. CAS was used).
+    pub fn max_required_consensus_number(&self) -> Option<u32> {
+        let mut max = Some(1);
+        for a in &self.audit {
+            if a.classes.is_empty() {
+                continue;
+            }
+            match (max, a.required_consensus_number()) {
+                (_, None) => return None,
+                (Some(m), Some(n)) => max = Some(m.max(n)),
+                (None, _) => return None,
+            }
+        }
+        max
+    }
+
+    /// Marks the beginning of a new operation by process `p` (resets the
+    /// per-operation RAW-fence accounting).
+    pub fn begin_op(&mut self, p: ProcessId) {
+        self.wrote_in_op.insert(p, false);
+    }
+
+    fn record(&mut self, p: ProcessId, r: RegId, class: PrimitiveClass) {
+        self.global_steps += 1;
+        let c = self.counters.entry(p).or_default();
+        c.steps += 1;
+        match class {
+            PrimitiveClass::Read => c.reads += 1,
+            PrimitiveClass::Write => c.writes += 1,
+            _ => c.rmws += 1,
+        }
+        // Fence accounting.
+        if class.is_rmw() {
+            c.fences += 1;
+            self.wrote_in_op.insert(p, false);
+        } else if class == PrimitiveClass::Write {
+            self.wrote_in_op.insert(p, true);
+        } else if class == PrimitiveClass::Read && *self.wrote_in_op.get(&p).unwrap_or(&false) {
+            c.fences += 1;
+            self.wrote_in_op.insert(p, false);
+        }
+        let audit = &mut self.audit[r.0];
+        if !audit.classes.contains(&class) {
+            audit.classes.push(class);
+        }
+    }
+
+    /// Atomic read (one step).
+    pub fn read(&mut self, p: ProcessId, r: RegId) -> Value {
+        self.record(p, r, PrimitiveClass::Read);
+        self.regs[r.0].clone()
+    }
+
+    /// Atomic write (one step).
+    pub fn write(&mut self, p: ProcessId, r: RegId, v: Value) {
+        self.record(p, r, PrimitiveClass::Write);
+        self.regs[r.0] = v;
+    }
+
+    /// Atomic swap: writes `v` and returns the previous value (one step,
+    /// consensus number 2).
+    pub fn swap(&mut self, p: ProcessId, r: RegId, v: Value) -> Value {
+        self.record(p, r, PrimitiveClass::Swap);
+        std::mem::replace(&mut self.regs[r.0], v)
+    }
+
+    /// Atomic test-and-set on a boolean register: sets it to `true` and
+    /// returns the previous boolean (one step, consensus number 2).
+    pub fn test_and_set(&mut self, p: ProcessId, r: RegId) -> bool {
+        self.record(p, r, PrimitiveClass::TestAndSet);
+        let prev = self.regs[r.0].as_bool();
+        self.regs[r.0] = Value::Bool(true);
+        prev
+    }
+
+    /// Atomic fetch-and-add on an integer register (one step, consensus
+    /// number 2). `⊥` is treated as 0.
+    pub fn fetch_add(&mut self, p: ProcessId, r: RegId, delta: i64) -> i64 {
+        self.record(p, r, PrimitiveClass::FetchAdd);
+        let prev = self.regs[r.0].as_opt_int().unwrap_or(0);
+        self.regs[r.0] = Value::Int(prev + delta);
+        prev
+    }
+
+    /// Atomic compare-and-swap (one step, consensus number ∞). Returns the
+    /// value held before the operation; the swap succeeded iff that value
+    /// equals `expected`.
+    pub fn compare_and_swap(
+        &mut self,
+        p: ProcessId,
+        r: RegId,
+        expected: &Value,
+        new: Value,
+    ) -> Value {
+        self.record(p, r, PrimitiveClass::CompareAndSwap);
+        let current = self.regs[r.0].clone();
+        if current == *expected {
+            self.regs[r.0] = new;
+        }
+        current
+    }
+
+    /// Reads a register without counting a step — used only by assertions
+    /// and metrics collection in tests/harnesses, never by algorithms.
+    pub fn peek(&self, r: RegId) -> &Value {
+        &self.regs[r.0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    #[test]
+    fn read_write_round_trip_counts_steps() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::Int(0));
+        m.begin_op(p(0));
+        assert_eq!(m.read(p(0), r), Value::Int(0));
+        m.write(p(0), r, Value::Int(5));
+        assert_eq!(m.read(p(0), r), Value::Int(5));
+        let c = m.counters(p(0));
+        assert_eq!(c.steps, 3);
+        assert_eq!(c.reads, 2);
+        assert_eq!(c.writes, 1);
+        assert_eq!(m.global_steps(), 3);
+    }
+
+    #[test]
+    fn swap_and_tas_are_rmw() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::Int(1));
+        let b = m.alloc("flag", Value::Bool(false));
+        m.begin_op(p(0));
+        assert_eq!(m.swap(p(0), r, Value::Int(2)), Value::Int(1));
+        assert!(!m.test_and_set(p(0), b));
+        assert!(m.test_and_set(p(0), b));
+        let c = m.counters(p(0));
+        assert_eq!(c.rmws, 3);
+        assert_eq!(c.fences, 3);
+    }
+
+    #[test]
+    fn fetch_add_returns_previous() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("count", Value::Int(0));
+        assert_eq!(m.fetch_add(p(0), r, 1), 0);
+        assert_eq!(m.fetch_add(p(1), r, 1), 1);
+        assert_eq!(m.peek(r), &Value::Int(2));
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_expected() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::Null);
+        let before = m.compare_and_swap(p(0), r, &Value::Null, Value::Int(1));
+        assert_eq!(before, Value::Null);
+        let before = m.compare_and_swap(p(1), r, &Value::Null, Value::Int(2));
+        assert_eq!(before, Value::Int(1));
+        assert_eq!(m.peek(r), &Value::Int(1));
+    }
+
+    #[test]
+    fn audit_tracks_consensus_numbers() {
+        let mut m = SharedMemory::new();
+        let a = m.alloc("reg-only", Value::Int(0));
+        let b = m.alloc("tas", Value::Bool(false));
+        let c = m.alloc("cas", Value::Null);
+        m.read(p(0), a);
+        m.write(p(0), a, Value::Int(1));
+        m.test_and_set(p(0), b);
+        assert_eq!(m.audit()[a.0].required_consensus_number(), Some(1));
+        assert_eq!(m.audit()[b.0].required_consensus_number(), Some(2));
+        assert_eq!(m.max_required_consensus_number(), Some(2));
+        m.compare_and_swap(p(0), c, &Value::Null, Value::Int(1));
+        assert_eq!(m.max_required_consensus_number(), None);
+    }
+
+    #[test]
+    fn unused_registers_do_not_affect_audit() {
+        let mut m = SharedMemory::new();
+        let _ = m.alloc("unused-cas-target", Value::Null);
+        let a = m.alloc("used", Value::Int(0));
+        m.read(p(0), a);
+        assert_eq!(m.max_required_consensus_number(), Some(1));
+    }
+
+    #[test]
+    fn raw_fence_charged_on_read_after_write_within_op() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::Int(0));
+        m.begin_op(p(0));
+        m.read(p(0), r); // no fence
+        m.write(p(0), r, Value::Int(1));
+        m.read(p(0), r); // RAW fence
+        m.read(p(0), r); // already fenced
+        assert_eq!(m.counters(p(0)).fences, 1);
+        // New operation resets the accounting.
+        m.begin_op(p(0));
+        m.read(p(0), r);
+        assert_eq!(m.counters(p(0)).fences, 1);
+    }
+
+    #[test]
+    fn per_process_counters_are_independent() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::Int(0));
+        m.read(p(0), r);
+        m.read(p(1), r);
+        m.read(p(1), r);
+        assert_eq!(m.counters(p(0)).steps, 1);
+        assert_eq!(m.counters(p(1)).steps, 2);
+        assert_eq!(m.global_steps(), 3);
+    }
+}

@@ -1,0 +1,155 @@
+//! The value domain stored in simulated shared registers.
+//!
+//! A single small enum keeps the simulator monomorphic (no generic registers)
+//! while covering everything the paper's algorithms store: booleans
+//! (`aborted`, contention flags), small integers (object values, counters,
+//! timestamps), process identifiers (splitter and ownership registers), the
+//! distinguished unset value `⊥`, and pairs (the `(timestamp, value)` entries
+//! of the AbortableBakery arrays).
+
+use scl_spec::ProcessId;
+use std::fmt;
+
+/// A value stored in a simulated shared register.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub enum Value {
+    /// The unset value `⊥`.
+    #[default]
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer (object values, counters, proposals, timestamps).
+    Int(i64),
+    /// A process identifier.
+    Proc(usize),
+    /// A pair of values (e.g. `(timestamp, value)` in the bakery arrays).
+    Pair(Box<Value>, Box<Value>),
+}
+
+impl Value {
+    /// Whether the value is `⊥`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interpret as a boolean; `⊥` reads as `false`.
+    pub fn as_bool(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Null => false,
+            other => panic!("expected Bool, found {other:?}"),
+        }
+    }
+
+    /// Interpret as an integer; panics on other variants.
+    pub fn as_int(&self) -> i64 {
+        match self {
+            Value::Int(i) => *i,
+            other => panic!("expected Int, found {other:?}"),
+        }
+    }
+
+    /// Interpret as an optional integer: `⊥` maps to `None`.
+    pub fn as_opt_int(&self) -> Option<i64> {
+        match self {
+            Value::Null => None,
+            Value::Int(i) => Some(*i),
+            other => panic!("expected Int or Null, found {other:?}"),
+        }
+    }
+
+    /// Interpret as an optional process id: `⊥` maps to `None`.
+    pub fn as_opt_proc(&self) -> Option<ProcessId> {
+        match self {
+            Value::Null => None,
+            Value::Proc(p) => Some(ProcessId(*p)),
+            other => panic!("expected Proc or Null, found {other:?}"),
+        }
+    }
+
+    /// Interpret as an optional pair of integers: `⊥` maps to `None`.
+    pub fn as_opt_int_pair(&self) -> Option<(i64, i64)> {
+        match self {
+            Value::Null => None,
+            Value::Pair(a, b) => Some((a.as_int(), b.as_int())),
+            other => panic!("expected Pair or Null, found {other:?}"),
+        }
+    }
+
+    /// Builds a pair of integers.
+    pub fn int_pair(a: i64, b: i64) -> Value {
+        Value::Pair(Box::new(Value::Int(a)), Box::new(Value::Int(b)))
+    }
+
+    /// Builds a process-id value.
+    pub fn proc(p: ProcessId) -> Value {
+        Value::Proc(p.index())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<ProcessId> for Value {
+    fn from(p: ProcessId) -> Self {
+        Value::Proc(p.index())
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "⊥"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Proc(p) => write!(f, "p{p}"),
+            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_default_and_false() {
+        let v = Value::default();
+        assert!(v.is_null());
+        assert!(!v.as_bool());
+        assert_eq!(v.as_opt_int(), None);
+        assert_eq!(v.as_opt_proc(), None);
+        assert_eq!(v.as_opt_int_pair(), None);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Value::from(true).as_bool(), true);
+        assert_eq!(Value::from(7i64).as_int(), 7);
+        assert_eq!(Value::from(ProcessId(4)).as_opt_proc(), Some(ProcessId(4)));
+        assert_eq!(Value::int_pair(1, 2).as_opt_int_pair(), Some((1, 2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Int")]
+    fn as_int_panics_on_bool() {
+        Value::Bool(true).as_int();
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "⊥");
+        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::proc(ProcessId(2)).to_string(), "p2");
+        assert_eq!(Value::int_pair(1, 2).to_string(), "(1, 2)");
+    }
+}

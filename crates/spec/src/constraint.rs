@@ -1,0 +1,207 @@
+//! Switch tokens and constraint functions `M : 2^T → 2^H` (§5.1).
+//!
+//! A *switch token* is a pair of a request and a switch value; `aborts(τ)`
+//! and `inits(τ)` are sets of switch tokens. A *constraint function* maps a
+//! set of switch tokens to the set of histories that the tokens may encode;
+//! it restricts the allowed interpretations of init/abort values
+//! (Definition 2 quantifies over histories in `M(inits(τ))` and
+//! `M(aborts(τ))`).
+//!
+//! Two constraint functions are provided:
+//!
+//! * [`TasConstraint`] — Definition 3 of the paper, used by the speculative
+//!   test-and-set modules A1 and A2.
+//! * [`PrefixConstraint`] — the constraint function under which the generic
+//!   Abstract/universal construction is safely composable (§5.2, final
+//!   remark): a set of history-valued tokens encodes exactly the histories
+//!   that extend their longest common prefix and contain all token requests.
+
+use crate::history::{History, Request};
+use crate::objects::{TasSpec, TasSwitch};
+use crate::seqspec::SequentialSpec;
+
+/// A switch token: a request together with a switch value.
+pub type SwitchToken<S, V> = (Request<S>, V);
+
+/// A constraint function `M : 2^T → 2^H`.
+///
+/// Implementations only need to provide membership testing
+/// ([`ConstraintFunction::contains`]); the bounded interpretation checker in
+/// [`crate::interpretation`] generates candidate histories itself and filters
+/// them through `contains`. [`ConstraintFunction::is_valid_token_set`]
+/// reports whether `M(T)` is non-empty at all, which is how Definition 2
+/// phrases "trace valid with respect to `M`".
+pub trait ConstraintFunction<S: SequentialSpec, V> {
+    /// Whether history `h` belongs to `M(tokens)`.
+    fn contains(&self, spec: &S, tokens: &[SwitchToken<S, V>], h: &History<S>) -> bool;
+
+    /// Whether `M(tokens)` is non-empty. The default implementation assumes
+    /// it is; override when a token set can be contradictory.
+    fn is_valid_token_set(&self, _spec: &S, _tokens: &[SwitchToken<S, V>]) -> bool {
+        true
+    }
+}
+
+/// The test-and-set constraint function of Definition 3.
+///
+/// Let `S = {(r_1, v_1), …, (r_ℓ, v_ℓ)}` be a set of switch tokens over
+/// switch values `{W, L}`:
+///
+/// * if some token carries `W`, then `M(S)` is the set of histories whose
+///   head is one of the `W`-carrying requests and that contain every request
+///   of `S`;
+/// * otherwise, `M(S)` is the set of non-empty histories whose head is a
+///   request *not* in `S` and that contain every request of `S`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TasConstraint;
+
+impl ConstraintFunction<TasSpec, TasSwitch> for TasConstraint {
+    fn contains(
+        &self,
+        _spec: &TasSpec,
+        tokens: &[SwitchToken<TasSpec, TasSwitch>],
+        h: &History<TasSpec>,
+    ) -> bool {
+        // Every token request must appear in the history.
+        if !tokens.iter().all(|(r, _)| h.contains_id(r.id)) {
+            return false;
+        }
+        let head = match h.head() {
+            Some(head) => head,
+            // The empty history: acceptable only when there are no tokens at
+            // all (then there is nothing to encode).
+            None => return tokens.is_empty(),
+        };
+        let w_requests: Vec<_> = tokens
+            .iter()
+            .filter(|(_, v)| *v == TasSwitch::W)
+            .map(|(r, _)| r.id)
+            .collect();
+        if !w_requests.is_empty() {
+            // Head must be one of the W-aborting requests.
+            w_requests.contains(&head.id)
+        } else {
+            // Head must be a request that is not in the token set.
+            !tokens.iter().any(|(r, _)| r.id == head.id)
+        }
+    }
+}
+
+/// The constraint function for history-valued switch tokens used by the
+/// generic Abstract construction (§5.2).
+///
+/// A token's switch value is itself a history; `M(T)` is the set of histories
+/// that (a) extend the longest common prefix of all token histories and
+/// (b) contain every token's request. With this constraint, the Abstract of
+/// §4 is a safely composable implementation of a generic object.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefixConstraint;
+
+impl<S: SequentialSpec> ConstraintFunction<S, History<S>> for PrefixConstraint {
+    fn contains(
+        &self,
+        _spec: &S,
+        tokens: &[SwitchToken<S, History<S>>],
+        h: &History<S>,
+    ) -> bool {
+        if !tokens.iter().all(|(r, _)| h.contains_id(r.id)) {
+            return false;
+        }
+        let lcp = longest_common_prefix_of(tokens.iter().map(|(_, v)| v));
+        match lcp {
+            Some(prefix) => prefix.is_prefix_of(h),
+            None => true,
+        }
+    }
+
+    fn is_valid_token_set(&self, _spec: &S, tokens: &[SwitchToken<S, History<S>>]) -> bool {
+        // The token histories must be pairwise prefix-compatible up to their
+        // common prefix; this is always true of the LCP construction, so any
+        // token set is valid.
+        let _ = tokens;
+        true
+    }
+}
+
+/// The longest common prefix of a collection of histories, or `None` for an
+/// empty collection.
+pub fn longest_common_prefix_of<'a, S: SequentialSpec + 'a>(
+    histories: impl IntoIterator<Item = &'a History<S>>,
+) -> Option<History<S>> {
+    let mut iter = histories.into_iter();
+    let first = iter.next()?.clone();
+    Some(iter.fold(first, |acc, h| acc.longest_common_prefix(h)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::TasOp;
+
+    fn req(id: u64, p: usize) -> Request<TasSpec> {
+        Request::new(id, p, TasOp::TestAndSet)
+    }
+
+    fn hist(ids: &[(u64, usize)]) -> History<TasSpec> {
+        ids.iter().map(|&(i, p)| req(i, p)).collect()
+    }
+
+    #[test]
+    fn tas_constraint_with_w_token_requires_w_head() {
+        let m = TasConstraint;
+        let spec = TasSpec;
+        let tokens = vec![(req(1, 0), TasSwitch::W), (req(2, 1), TasSwitch::L)];
+        // Head is the W request and all token requests appear: accepted.
+        assert!(m.contains(&spec, &tokens, &hist(&[(1, 0), (2, 1), (3, 2)])));
+        // Head is the L request: rejected.
+        assert!(!m.contains(&spec, &tokens, &hist(&[(2, 1), (1, 0)])));
+        // Missing token request: rejected.
+        assert!(!m.contains(&spec, &tokens, &hist(&[(1, 0)])));
+    }
+
+    #[test]
+    fn tas_constraint_without_w_token_requires_foreign_head() {
+        let m = TasConstraint;
+        let spec = TasSpec;
+        let tokens = vec![(req(2, 1), TasSwitch::L)];
+        // Head not in the token set, token request appears: accepted.
+        assert!(m.contains(&spec, &tokens, &hist(&[(9, 0), (2, 1)])));
+        // Head in the token set: rejected.
+        assert!(!m.contains(&spec, &tokens, &hist(&[(2, 1), (9, 0)])));
+        // Empty history with non-empty tokens: rejected.
+        assert!(!m.contains(&spec, &tokens, &History::empty()));
+    }
+
+    #[test]
+    fn tas_constraint_empty_tokens_accepts_empty_and_nonempty() {
+        let m = TasConstraint;
+        let spec = TasSpec;
+        assert!(m.contains(&spec, &[], &History::empty()));
+        assert!(m.contains(&spec, &[], &hist(&[(1, 0)])));
+    }
+
+    #[test]
+    fn prefix_constraint_requires_lcp_prefix() {
+        let m = PrefixConstraint;
+        let spec = TasSpec;
+        let h12 = hist(&[(1, 0), (2, 1)]);
+        let h123 = hist(&[(1, 0), (2, 1), (3, 2)]);
+        let tokens = vec![(req(2, 1), h12.clone()), (req(3, 2), h123.clone())];
+        // LCP of {h12, h123} is h12, so candidate must extend h12 and contain
+        // requests 2 and 3.
+        assert!(m.contains(&spec, &tokens, &h123));
+        let bad = hist(&[(2, 1), (1, 0), (3, 2)]);
+        assert!(!m.contains(&spec, &tokens, &bad));
+        // Missing request 3.
+        assert!(!m.contains(&spec, &tokens, &h12));
+    }
+
+    #[test]
+    fn lcp_of_histories() {
+        let h1 = hist(&[(1, 0), (2, 1), (3, 2)]);
+        let h2 = hist(&[(1, 0), (2, 1), (4, 3)]);
+        let lcp = longest_common_prefix_of([&h1, &h2]).unwrap();
+        assert_eq!(lcp.len(), 2);
+        assert!(longest_common_prefix_of::<TasSpec>([]).is_none());
+    }
+}

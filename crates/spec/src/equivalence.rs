@@ -1,0 +1,214 @@
+//! The equivalence relation `≡_I` on histories (§5.1).
+//!
+//! Two histories `h1`, `h2` are equivalent with respect to a set of requests
+//! `I` iff (i) both contain all requests in `I`, (ii) for every extension
+//! `h`, `β(h1·h) = β(h2·h)`, and (iii) for every request `m ∈ I`,
+//! `β(h1, m) = β(h2, m)`.
+//!
+//! Condition (ii) quantifies over all (infinitely many) extensions. We offer
+//! two checks:
+//!
+//! * [`equivalent_by_state`] replaces (ii) by equality of the final object
+//!   states. For a deterministic [`SequentialSpec`] equal states imply equal
+//!   responses under every extension, so this check is *sound* (it implies
+//!   `≡_I`) but may be incomplete for objects with observationally
+//!   indistinguishable distinct states.
+//! * [`equivalent`] additionally accepts a finite set of probe operations and
+//!   a depth bound and tests (ii) on all extension sequences up to that
+//!   depth, reporting equivalence if either the state check or the bounded
+//!   probe check succeeds.
+//!
+//! The interpretation checker uses the by-state variant to partition
+//! candidate abort histories into equivalence classes; using a finer relation
+//! only makes the Definition 2 obligation stronger, so positive verdicts
+//! remain sound.
+
+use crate::history::History;
+use crate::ids::RequestId;
+use crate::seqspec::SequentialSpec;
+use std::collections::BTreeSet;
+
+/// Checks `≡_I` using final-state equality for the extension condition.
+pub fn equivalent_by_state<S: SequentialSpec>(
+    spec: &S,
+    i_set: &BTreeSet<RequestId>,
+    h1: &History<S>,
+    h2: &History<S>,
+) -> bool {
+    // (i) both contain all the requests in I.
+    if !i_set.iter().all(|id| h1.contains_id(*id) && h2.contains_id(*id)) {
+        return false;
+    }
+    // (iii) responses matching requests in I agree.
+    for id in i_set {
+        if h1.beta_of(spec, *id) != h2.beta_of(spec, *id) {
+            return false;
+        }
+    }
+    // (ii) sufficient condition: identical final states.
+    h1.final_state(spec) == h2.final_state(spec)
+}
+
+/// Checks `≡_I` using final-state equality *or* a bounded probe of extensions.
+///
+/// `probe_ops` is the alphabet of extension operations and `depth` bounds the
+/// length of probed extension sequences. Probe extensions reuse synthetic
+/// request identities, which is sound because `β` only depends on the
+/// operation payloads.
+pub fn equivalent<S: SequentialSpec>(
+    spec: &S,
+    i_set: &BTreeSet<RequestId>,
+    h1: &History<S>,
+    h2: &History<S>,
+    probe_ops: &[S::Op],
+    depth: usize,
+) -> bool {
+    if !i_set.iter().all(|id| h1.contains_id(*id) && h2.contains_id(*id)) {
+        return false;
+    }
+    for id in i_set {
+        if h1.beta_of(spec, *id) != h2.beta_of(spec, *id) {
+            return false;
+        }
+    }
+    if h1.final_state(spec) == h2.final_state(spec) {
+        return true;
+    }
+    // Bounded probing: compare responses of every extension sequence of
+    // length 1..=depth drawn from probe_ops.
+    let s1 = h1.final_state(spec);
+    let s2 = h2.final_state(spec);
+    probes_agree(spec, &s1, &s2, probe_ops, depth)
+}
+
+fn probes_agree<S: SequentialSpec>(
+    spec: &S,
+    s1: &S::State,
+    s2: &S::State,
+    probe_ops: &[S::Op],
+    depth: usize,
+) -> bool {
+    if depth == 0 {
+        return true;
+    }
+    for op in probe_ops {
+        let (n1, r1) = spec.apply(s1, op);
+        let (n2, r2) = spec.apply(s2, op);
+        if r1 != r2 {
+            return false;
+        }
+        if !probes_agree(spec, &n1, &n2, probe_ops, depth - 1) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Partitions a set of candidate histories into `≡_I` equivalence classes
+/// (using the by-state check).
+pub fn equivalence_classes<S: SequentialSpec>(
+    spec: &S,
+    i_set: &BTreeSet<RequestId>,
+    histories: Vec<History<S>>,
+) -> Vec<Vec<History<S>>> {
+    let mut classes: Vec<Vec<History<S>>> = Vec::new();
+    'next: for h in histories {
+        for class in classes.iter_mut() {
+            if equivalent_by_state(spec, i_set, &class[0], &h) {
+                class.push(h);
+                continue 'next;
+            }
+        }
+        classes.push(vec![h]);
+    }
+    classes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::Request;
+    use crate::objects::{TasOp, TasSpec};
+
+    fn req(id: u64, p: usize) -> Request<TasSpec> {
+        Request::new(id, p, TasOp::TestAndSet)
+    }
+
+    fn hist(ids: &[(u64, usize)]) -> History<TasSpec> {
+        ids.iter().map(|&(i, p)| req(i, p)).collect()
+    }
+
+    #[test]
+    fn histories_with_same_losers_are_equivalent() {
+        let spec = TasSpec;
+        // I = {2}: request 2 is a loser in both orderings.
+        let i: BTreeSet<RequestId> = [RequestId(2)].into_iter().collect();
+        let h1 = hist(&[(1, 0), (2, 1), (3, 2)]);
+        let h2 = hist(&[(3, 2), (1, 0), (2, 1)]);
+        assert!(equivalent_by_state(&spec, &i, &h1, &h2));
+        assert!(equivalent(&spec, &i, &h1, &h2, &[TasOp::TestAndSet], 2));
+    }
+
+    #[test]
+    fn histories_with_different_winner_in_i_are_not_equivalent() {
+        let spec = TasSpec;
+        // I = {1}: request 1 wins in h1 but loses in h2.
+        let i: BTreeSet<RequestId> = [RequestId(1)].into_iter().collect();
+        let h1 = hist(&[(1, 0), (2, 1)]);
+        let h2 = hist(&[(2, 1), (1, 0)]);
+        assert!(!equivalent_by_state(&spec, &i, &h1, &h2));
+    }
+
+    #[test]
+    fn missing_request_breaks_equivalence() {
+        let spec = TasSpec;
+        let i: BTreeSet<RequestId> = [RequestId(5)].into_iter().collect();
+        let h1 = hist(&[(1, 0)]);
+        let h2 = hist(&[(1, 0), (5, 1)]);
+        assert!(!equivalent_by_state(&spec, &i, &h1, &h2));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric_on_samples() {
+        let spec = TasSpec;
+        let i: BTreeSet<RequestId> = [RequestId(1)].into_iter().collect();
+        let h1 = hist(&[(1, 0), (2, 1)]);
+        let h2 = hist(&[(1, 0), (3, 2), (2, 1)]);
+        assert!(equivalent_by_state(&spec, &i, &h1, &h1));
+        assert_eq!(
+            equivalent_by_state(&spec, &i, &h1, &h2),
+            equivalent_by_state(&spec, &i, &h2, &h1)
+        );
+    }
+
+    #[test]
+    fn classes_partition_by_winner() {
+        let spec = TasSpec;
+        // I = all three requests.
+        let i: BTreeSet<RequestId> =
+            [RequestId(1), RequestId(2), RequestId(3)].into_iter().collect();
+        let candidates = vec![
+            hist(&[(1, 0), (2, 1), (3, 2)]),
+            hist(&[(1, 0), (3, 2), (2, 1)]), // same winner as above
+            hist(&[(2, 1), (1, 0), (3, 2)]), // different winner
+        ];
+        let classes = equivalence_classes(&spec, &i, candidates);
+        assert_eq!(classes.len(), 2);
+        let sizes: Vec<usize> = {
+            let mut v: Vec<usize> = classes.iter().map(|c| c.len()).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(sizes, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_probe_detects_difference_without_i() {
+        let spec = TasSpec;
+        let i: BTreeSet<RequestId> = BTreeSet::new();
+        // Empty vs non-empty history: the next TAS response differs.
+        let h1 = History::empty();
+        let h2 = hist(&[(1, 0)]);
+        assert!(!equivalent(&spec, &i, &h1, &h2, &[TasOp::TestAndSet], 1));
+    }
+}

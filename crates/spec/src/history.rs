@@ -1,0 +1,316 @@
+//! Histories: duplicate-free sequences of requests, and the `β` functions.
+//!
+//! §3 defines a history as a sequence of inputs that contains no duplicates
+//! (each request has a unique identifier). §5.1 defines `β(h)` as the last
+//! response obtained by applying `h` sequentially to the object, and
+//! `β(h, m)` as the response matching request `m` in `h`.
+
+use crate::ids::{ProcessId, RequestId};
+use crate::seqspec::SequentialSpec;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A request: an element of the input set `I` tagged with its unique id and
+/// the process that issued it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Request<S: SequentialSpec> {
+    /// Unique identifier of the request.
+    pub id: RequestId,
+    /// The process that issued the request.
+    pub proc: ProcessId,
+    /// The operation payload (element of `I`).
+    pub op: S::Op,
+}
+
+impl<S: SequentialSpec> Request<S> {
+    /// Convenience constructor.
+    pub fn new(id: impl Into<RequestId>, proc: impl Into<ProcessId>, op: S::Op) -> Self {
+        Request { id: id.into(), proc: proc.into(), op }
+    }
+}
+
+impl<S: SequentialSpec> fmt::Display for Request<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}:{:?}", self.id, self.proc, self.op)
+    }
+}
+
+/// A duplicate-free sequence of requests.
+///
+/// The no-duplicates invariant is maintained by construction: [`History::push`]
+/// and [`History::from_requests`] reject requests whose id already appears.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct History<S: SequentialSpec> {
+    requests: Vec<Request<S>>,
+}
+
+impl<S: SequentialSpec> Default for History<S> {
+    fn default() -> Self {
+        History { requests: Vec::new() }
+    }
+}
+
+/// Error returned when constructing a history with a duplicate request id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DuplicateRequest(pub RequestId);
+
+impl fmt::Display for DuplicateRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "duplicate request {} in history", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateRequest {}
+
+impl<S: SequentialSpec> History<S> {
+    /// The empty history (written `⊥` in the paper).
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Builds a history from a sequence of requests, rejecting duplicates.
+    pub fn from_requests(
+        requests: impl IntoIterator<Item = Request<S>>,
+    ) -> Result<Self, DuplicateRequest> {
+        let mut h = Self::empty();
+        for r in requests {
+            h.push(r)?;
+        }
+        Ok(h)
+    }
+
+    /// Appends a request; fails if its id already occurs in the history.
+    pub fn push(&mut self, req: Request<S>) -> Result<(), DuplicateRequest> {
+        if self.contains_id(req.id) {
+            return Err(DuplicateRequest(req.id));
+        }
+        self.requests.push(req);
+        Ok(())
+    }
+
+    /// Number of requests in the history.
+    pub fn len(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Whether the history is empty (`⊥`).
+    pub fn is_empty(&self) -> bool {
+        self.requests.is_empty()
+    }
+
+    /// The requests, in order.
+    pub fn requests(&self) -> &[Request<S>] {
+        &self.requests
+    }
+
+    /// The first request (`head(h)` in Definition 3), if any.
+    pub fn head(&self) -> Option<&Request<S>> {
+        self.requests.first()
+    }
+
+    /// Whether the history contains a request with the given id.
+    pub fn contains_id(&self, id: RequestId) -> bool {
+        self.requests.iter().any(|r| r.id == id)
+    }
+
+    /// Position of a request id in the history, if present.
+    pub fn position(&self, id: RequestId) -> Option<usize> {
+        self.requests.iter().position(|r| r.id == id)
+    }
+
+    /// The set of request ids in the history.
+    pub fn id_set(&self) -> BTreeSet<RequestId> {
+        self.requests.iter().map(|r| r.id).collect()
+    }
+
+    /// Whether `self` is a (non-strict) prefix of `other`, comparing request
+    /// ids position-wise. Used by the Abstract Commit/Abort Ordering
+    /// properties.
+    pub fn is_prefix_of(&self, other: &History<S>) -> bool {
+        if self.len() > other.len() {
+            return false;
+        }
+        self.requests
+            .iter()
+            .zip(other.requests.iter())
+            .all(|(a, b)| a.id == b.id)
+    }
+
+    /// Whether `self` is a strict prefix of `other`.
+    pub fn is_strict_prefix_of(&self, other: &History<S>) -> bool {
+        self.len() < other.len() && self.is_prefix_of(other)
+    }
+
+    /// The prefix of length `len` (clamped to the history length).
+    pub fn prefix(&self, len: usize) -> History<S> {
+        History { requests: self.requests[..len.min(self.len())].to_vec() }
+    }
+
+    /// The prefix ending at (and including) the request with id `id`, if it
+    /// occurs in the history.
+    pub fn prefix_through(&self, id: RequestId) -> Option<History<S>> {
+        self.position(id).map(|i| self.prefix(i + 1))
+    }
+
+    /// Concatenation `self · other`. Fails if the result would contain a
+    /// duplicate request.
+    pub fn concat(&self, other: &History<S>) -> Result<History<S>, DuplicateRequest> {
+        let mut h = self.clone();
+        for r in other.requests.iter().cloned() {
+            h.push(r)?;
+        }
+        Ok(h)
+    }
+
+    /// The longest common prefix of two histories.
+    pub fn longest_common_prefix(&self, other: &History<S>) -> History<S> {
+        let mut n = 0;
+        while n < self.len() && n < other.len() && self.requests[n].id == other.requests[n].id {
+            n += 1;
+        }
+        self.prefix(n)
+    }
+
+    /// `β(h)`: the last response obtained by applying the history
+    /// sequentially to the object, or `None` for the empty history.
+    pub fn beta(&self, spec: &S) -> Option<S::Resp> {
+        let ops: Vec<S::Op> = self.requests.iter().map(|r| r.op.clone()).collect();
+        spec.run(&ops).1.into_iter().last()
+    }
+
+    /// `β(h, m)`: the response matching request `m` (identified by id) in the
+    /// history, or `None` if the request does not occur.
+    pub fn beta_of(&self, spec: &S, id: RequestId) -> Option<S::Resp> {
+        let idx = self.position(id)?;
+        let ops: Vec<S::Op> = self.requests.iter().map(|r| r.op.clone()).collect();
+        spec.run(&ops).1.into_iter().nth(idx)
+    }
+
+    /// All responses, in order, obtained by applying the history sequentially.
+    pub fn all_responses(&self, spec: &S) -> Vec<S::Resp> {
+        let ops: Vec<S::Op> = self.requests.iter().map(|r| r.op.clone()).collect();
+        spec.run(&ops).1
+    }
+
+    /// The object state after applying the whole history sequentially.
+    pub fn final_state(&self, spec: &S) -> S::State {
+        let ops: Vec<S::Op> = self.requests.iter().map(|r| r.op.clone()).collect();
+        spec.final_state(&ops)
+    }
+
+    /// Iterator over the requests.
+    pub fn iter(&self) -> impl Iterator<Item = &Request<S>> {
+        self.requests.iter()
+    }
+}
+
+impl<S: SequentialSpec> FromIterator<Request<S>> for History<S> {
+    /// Collects requests into a history, panicking on duplicates. Use
+    /// [`History::from_requests`] for a fallible version.
+    fn from_iter<T: IntoIterator<Item = Request<S>>>(iter: T) -> Self {
+        History::from_requests(iter).expect("duplicate request id in history")
+    }
+}
+
+impl<S: SequentialSpec> fmt::Display for History<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, r) in self.requests.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{TasOp, TasResp, TasSpec};
+
+    fn req(id: u64, p: usize) -> Request<TasSpec> {
+        Request::new(id, p, TasOp::TestAndSet)
+    }
+
+    #[test]
+    fn push_rejects_duplicates() {
+        let mut h = History::<TasSpec>::empty();
+        h.push(req(1, 0)).unwrap();
+        assert_eq!(h.push(req(1, 1)), Err(DuplicateRequest(RequestId(1))));
+        assert_eq!(h.len(), 1);
+    }
+
+    #[test]
+    fn beta_of_tas_history() {
+        let spec = TasSpec;
+        let h: History<TasSpec> = [req(1, 0), req(2, 1), req(3, 2)].into_iter().collect();
+        assert_eq!(h.beta(&spec), Some(TasResp::Loser));
+        assert_eq!(h.beta_of(&spec, RequestId(1)), Some(TasResp::Winner));
+        assert_eq!(h.beta_of(&spec, RequestId(2)), Some(TasResp::Loser));
+        assert_eq!(h.beta_of(&spec, RequestId(9)), None);
+        assert_eq!(History::<TasSpec>::empty().beta(&spec), None);
+    }
+
+    #[test]
+    fn prefix_relations() {
+        let h: History<TasSpec> = [req(1, 0), req(2, 1), req(3, 2)].into_iter().collect();
+        let p = h.prefix(2);
+        assert!(p.is_prefix_of(&h));
+        assert!(p.is_strict_prefix_of(&h));
+        assert!(h.is_prefix_of(&h));
+        assert!(!h.is_strict_prefix_of(&h));
+        assert!(!h.is_prefix_of(&p));
+
+        let other: History<TasSpec> = [req(1, 0), req(3, 2)].into_iter().collect();
+        assert!(!other.is_prefix_of(&h));
+        assert_eq!(h.longest_common_prefix(&other).len(), 1);
+    }
+
+    #[test]
+    fn prefix_through_and_position() {
+        let h: History<TasSpec> = [req(1, 0), req(2, 1), req(3, 2)].into_iter().collect();
+        let p = h.prefix_through(RequestId(2)).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(h.position(RequestId(3)), Some(2));
+        assert!(h.prefix_through(RequestId(99)).is_none());
+    }
+
+    #[test]
+    fn concat_rejects_duplicates_and_preserves_order() {
+        let a: History<TasSpec> = [req(1, 0)].into_iter().collect();
+        let b: History<TasSpec> = [req(2, 1)].into_iter().collect();
+        let ab = a.concat(&b).unwrap();
+        assert_eq!(ab.len(), 2);
+        assert_eq!(ab.head().unwrap().id, RequestId(1));
+        assert!(a.concat(&a).is_err());
+    }
+
+    #[test]
+    fn final_state_and_all_responses() {
+        let spec = TasSpec;
+        let h: History<TasSpec> = [req(1, 0), req(2, 1)].into_iter().collect();
+        assert!(h.final_state(&spec));
+        assert_eq!(h.all_responses(&spec), vec![TasResp::Winner, TasResp::Loser]);
+        assert!(!History::<TasSpec>::empty().final_state(&spec));
+    }
+
+    #[test]
+    fn id_set_and_contains() {
+        let h: History<TasSpec> = [req(5, 0), req(7, 1)].into_iter().collect();
+        assert!(h.contains_id(RequestId(5)));
+        assert!(!h.contains_id(RequestId(6)));
+        let ids = h.id_set();
+        assert_eq!(ids.len(), 2);
+        assert!(ids.contains(&RequestId(7)));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let h: History<TasSpec> = [req(1, 0)].into_iter().collect();
+        let s = h.to_string();
+        assert!(s.contains("r1"));
+        assert!(s.contains("p0"));
+    }
+}

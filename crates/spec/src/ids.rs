@@ -1,0 +1,124 @@
+//! Identifiers for processes and requests.
+//!
+//! The paper assumes every request has a unique identifier (§3); we make the
+//! identifier explicit so that histories (which must be duplicate-free) and
+//! traces can refer to requests unambiguously.
+
+use std::fmt;
+
+/// Identifier of a process, `0..n`.
+///
+/// The paper's model has `n` asynchronous processes, `n − 1` of which may
+/// crash. A `ProcessId` indexes into per-process state both in the simulator
+/// and in the runtime implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// Returns the raw index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(i: usize) -> Self {
+        ProcessId(i)
+    }
+}
+
+/// Globally unique identifier of a request (an element of the input set `I`).
+///
+/// Histories are duplicate-free sequences of requests, so identity matters:
+/// two `test-and-set()` invocations by the same process are distinct requests
+/// with distinct ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId(pub u64);
+
+impl RequestId {
+    /// Returns the raw id.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RequestId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u64> for RequestId {
+    fn from(i: u64) -> Self {
+        RequestId(i)
+    }
+}
+
+/// A monotone generator of fresh [`RequestId`]s.
+///
+/// Each executor (simulator or runtime harness) owns one generator so that
+/// request ids are unique within an execution.
+#[derive(Debug, Default, Clone)]
+pub struct RequestIdGen {
+    next: u64,
+}
+
+impl RequestIdGen {
+    /// Creates a generator starting at id `0`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh, never-before-returned id.
+    pub fn fresh(&mut self) -> RequestId {
+        let id = RequestId(self.next);
+        self.next += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_id_display_and_index() {
+        let p = ProcessId(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(p.to_string(), "p3");
+        assert_eq!(ProcessId::from(7), ProcessId(7));
+    }
+
+    #[test]
+    fn request_id_display_and_raw() {
+        let r = RequestId(42);
+        assert_eq!(r.raw(), 42);
+        assert_eq!(r.to_string(), "r42");
+        assert_eq!(RequestId::from(9u64), RequestId(9));
+    }
+
+    #[test]
+    fn request_id_gen_is_monotone_and_unique() {
+        let mut gen = RequestIdGen::new();
+        let a = gen.fresh();
+        let b = gen.fresh();
+        let c = gen.fresh();
+        assert!(a < b && b < c);
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn ids_are_ordered() {
+        assert!(ProcessId(1) < ProcessId(2));
+        assert!(RequestId(10) < RequestId(11));
+    }
+}

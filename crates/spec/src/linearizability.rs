@@ -1,0 +1,376 @@
+//! A Wing–Gong style linearizability checker.
+//!
+//! §3 of the paper requires that the sequence of invocations and commits of
+//! an algorithm, ordered by real time, is linearizable; Theorem 3 shows the
+//! same for the invoke/commit projection of safely composable traces. This
+//! module provides the checker used by the test-suites and the experiment
+//! harness to validate recorded traces against a [`SequentialSpec`].
+//!
+//! The checker performs a depth-first search over candidate linearization
+//! orders with memoisation on (set of linearized operations, object state),
+//! following Wing & Gong's algorithm. Completed operations must appear in the
+//! witness with exactly the response they returned; operations that are still
+//! pending (invoked but not yet responded — e.g. crashed or aborted
+//! operations) may either be dropped or linearized with an arbitrary
+//! response, as usual for linearizability.
+
+use crate::history::Request;
+use crate::ids::RequestId;
+use crate::seqspec::SequentialSpec;
+use std::collections::{HashMap, HashSet};
+
+/// A completed operation of a concurrent history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompletedOp<S: SequentialSpec> {
+    /// The request.
+    pub req: Request<S>,
+    /// Real-time index of the invocation event.
+    pub invoke_at: usize,
+    /// Real-time index of the response event.
+    pub respond_at: usize,
+    /// The observed response.
+    pub resp: S::Resp,
+}
+
+/// A pending (incomplete) operation: invoked, never responded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingOp<S: SequentialSpec> {
+    /// The request.
+    pub req: Request<S>,
+    /// Real-time index of the invocation event.
+    pub invoke_at: usize,
+}
+
+/// A concurrent history: completed and pending operations with real-time
+/// invocation/response indices.
+#[derive(Debug, Clone)]
+pub struct ConcurrentHistory<S: SequentialSpec> {
+    invokes: HashMap<RequestId, (Request<S>, usize)>,
+    completed: Vec<CompletedOp<S>>,
+    responded: HashSet<RequestId>,
+}
+
+impl<S: SequentialSpec> Default for ConcurrentHistory<S> {
+    fn default() -> Self {
+        ConcurrentHistory {
+            invokes: HashMap::new(),
+            completed: Vec::new(),
+            responded: HashSet::new(),
+        }
+    }
+}
+
+impl<S: SequentialSpec> ConcurrentHistory<S> {
+    /// An empty concurrent history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an invocation at real-time index `at`.
+    pub fn record_invoke(&mut self, at: usize, req: Request<S>) {
+        self.invokes.insert(req.id, (req, at));
+    }
+
+    /// Records a response at real-time index `at` for a previously recorded
+    /// invocation. Responses without a matching invocation are ignored.
+    pub fn record_response(&mut self, at: usize, id: RequestId, resp: S::Resp) {
+        if let Some((req, invoke_at)) = self.invokes.get(&id).cloned() {
+            if self.responded.insert(id) {
+                self.completed.push(CompletedOp { req, invoke_at, respond_at: at, resp });
+            }
+        }
+    }
+
+    /// The completed operations.
+    pub fn completed(&self) -> &[CompletedOp<S>] {
+        &self.completed
+    }
+
+    /// The pending operations (invoked, never responded).
+    pub fn pending(&self) -> Vec<PendingOp<S>> {
+        let mut pending: Vec<PendingOp<S>> = self
+            .invokes
+            .values()
+            .filter(|(req, _)| !self.responded.contains(&req.id))
+            .map(|(req, at)| PendingOp { req: req.clone(), invoke_at: *at })
+            .collect();
+        pending.sort_by_key(|p| p.invoke_at);
+        pending
+    }
+
+    /// Total number of operations (completed + pending).
+    pub fn len(&self) -> usize {
+        self.invokes.len()
+    }
+
+    /// Whether the history has no operations at all.
+    pub fn is_empty(&self) -> bool {
+        self.invokes.is_empty()
+    }
+}
+
+/// Result of a linearizability check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinCheckResult {
+    /// The history is linearizable; the witness lists the request ids of the
+    /// linearization order (completed operations plus any pending operations
+    /// the checker chose to take effect).
+    Linearizable(Vec<RequestId>),
+    /// No linearization order exists.
+    NotLinearizable,
+    /// The history exceeds the checker's size limit (128 operations).
+    TooLarge,
+}
+
+impl LinCheckResult {
+    /// `true` iff the result is [`LinCheckResult::Linearizable`].
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, LinCheckResult::Linearizable(_))
+    }
+}
+
+#[derive(Clone)]
+struct OpEntry<S: SequentialSpec> {
+    req: Request<S>,
+    invoke_at: usize,
+    /// `Some((respond_at, resp))` for completed ops, `None` for pending ops.
+    completion: Option<(usize, S::Resp)>,
+}
+
+/// Checks whether a concurrent history is linearizable with respect to a
+/// sequential specification.
+///
+/// The search is exponential in the worst case but memoised; histories of up
+/// to 128 operations are supported (larger histories return
+/// [`LinCheckResult::TooLarge`]). The test-suites only check histories far
+/// below this bound.
+pub fn check_linearizable<S: SequentialSpec>(
+    spec: &S,
+    history: &ConcurrentHistory<S>,
+) -> LinCheckResult {
+    let mut ops: Vec<OpEntry<S>> = history
+        .completed
+        .iter()
+        .map(|c| OpEntry {
+            req: c.req.clone(),
+            invoke_at: c.invoke_at,
+            completion: Some((c.respond_at, c.resp.clone())),
+        })
+        .collect();
+    for p in history.pending() {
+        ops.push(OpEntry { req: p.req, invoke_at: p.invoke_at, completion: None });
+    }
+    if ops.len() > 128 {
+        return LinCheckResult::TooLarge;
+    }
+    let full_mask: u128 = if ops.len() == 128 { u128::MAX } else { (1u128 << ops.len()) - 1 };
+    let completed_mask: u128 = ops
+        .iter()
+        .enumerate()
+        .filter(|(_, o)| o.completion.is_some())
+        .fold(0u128, |m, (i, _)| m | (1u128 << i));
+
+    let mut seen: HashSet<(u128, S::State)> = HashSet::new();
+    let mut witness: Vec<RequestId> = Vec::new();
+
+    fn dfs<S: SequentialSpec>(
+        spec: &S,
+        ops: &[OpEntry<S>],
+        done: u128,
+        completed_mask: u128,
+        state: &S::State,
+        seen: &mut HashSet<(u128, S::State)>,
+        witness: &mut Vec<RequestId>,
+    ) -> bool {
+        // Success: all *completed* operations are linearized. Remaining
+        // pending operations are simply dropped.
+        if done & completed_mask == completed_mask {
+            return true;
+        }
+        if !seen.insert((done, state.clone())) {
+            return false;
+        }
+        // The earliest response index among unlinearized completed ops: any op
+        // whose invocation is after that response cannot be linearized next.
+        let min_resp = ops
+            .iter()
+            .enumerate()
+            .filter(|(i, o)| done & (1u128 << i) == 0 && o.completion.is_some())
+            .map(|(_, o)| o.completion.as_ref().unwrap().0)
+            .min()
+            .unwrap_or(usize::MAX);
+        for (i, op) in ops.iter().enumerate() {
+            let bit = 1u128 << i;
+            if done & bit != 0 {
+                continue;
+            }
+            if op.invoke_at > min_resp {
+                continue;
+            }
+            let (next_state, resp) = spec.apply(state, &op.req.op);
+            if let Some((_, observed)) = &op.completion {
+                if *observed != resp {
+                    continue;
+                }
+            }
+            witness.push(op.req.id);
+            if dfs(spec, ops, done | bit, completed_mask, &next_state, seen, witness) {
+                return true;
+            }
+            witness.pop();
+        }
+        false
+    }
+
+    let init = spec.initial_state();
+    if dfs(spec, &ops, 0, completed_mask, &init, &mut seen, &mut witness) {
+        LinCheckResult::Linearizable(witness)
+    } else {
+        let _ = full_mask;
+        LinCheckResult::NotLinearizable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{RegisterOp, RegisterSpec, TasOp, TasResp, TasSpec};
+    use crate::ProcessId;
+
+    fn tas_req(id: u64, p: usize) -> Request<TasSpec> {
+        Request::new(id, p, TasOp::TestAndSet)
+    }
+
+    #[test]
+    fn sequential_tas_history_is_linearizable() {
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0));
+        h.record_response(1, RequestId(1), TasResp::Winner);
+        h.record_invoke(2, tas_req(2, 1));
+        h.record_response(3, RequestId(2), TasResp::Loser);
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn two_winners_is_not_linearizable() {
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0));
+        h.record_invoke(1, tas_req(2, 1));
+        h.record_response(2, RequestId(1), TasResp::Winner);
+        h.record_response(3, RequestId(2), TasResp::Winner);
+        assert_eq!(check_linearizable(&spec, &h), LinCheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn sequential_two_losers_is_not_linearizable() {
+        // If the first completed op (in real time, non-overlapping) returns
+        // Loser with nothing before it, the history cannot be linearized.
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0));
+        h.record_response(1, RequestId(1), TasResp::Loser);
+        h.record_invoke(2, tas_req(2, 1));
+        h.record_response(3, RequestId(2), TasResp::Winner);
+        assert_eq!(check_linearizable(&spec, &h), LinCheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn concurrent_winner_loser_any_order_is_linearizable() {
+        let spec = TasSpec;
+        // Overlapping operations: loser responds before winner.
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0));
+        h.record_invoke(1, tas_req(2, 1));
+        h.record_response(2, RequestId(2), TasResp::Loser);
+        h.record_response(3, RequestId(1), TasResp::Winner);
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn pending_op_can_take_effect() {
+        // A pending (crashed) TAS op can explain why a later op lost.
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0)); // never responds
+        h.record_invoke(1, tas_req(2, 1));
+        h.record_response(2, RequestId(2), TasResp::Loser);
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn pending_op_can_be_dropped() {
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0)); // never responds
+        h.record_invoke(1, tas_req(2, 1));
+        h.record_response(2, RequestId(2), TasResp::Winner);
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn register_stale_read_is_not_linearizable() {
+        let spec = RegisterSpec;
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(0, w);
+        h.record_response(1, RequestId(1), 5);
+        h.record_invoke(2, r);
+        // Read returns 0 even though the write completed before it started.
+        h.record_response(3, RequestId(2), 0);
+        assert_eq!(check_linearizable(&spec, &h), LinCheckResult::NotLinearizable);
+    }
+
+    #[test]
+    fn register_concurrent_read_may_see_old_or_new() {
+        let spec = RegisterSpec;
+        for observed in [0u64, 5u64] {
+            let mut h = ConcurrentHistory::new();
+            let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+            let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+            h.record_invoke(0, w);
+            h.record_invoke(1, r);
+            h.record_response(2, RequestId(2), observed);
+            h.record_response(3, RequestId(1), 5);
+            assert!(
+                check_linearizable(&spec, &h).is_linearizable(),
+                "read observing {observed} should be linearizable"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        let spec = TasSpec;
+        let h = ConcurrentHistory::<TasSpec>::new();
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn witness_respects_real_time_order() {
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0));
+        h.record_response(1, RequestId(1), TasResp::Winner);
+        h.record_invoke(2, tas_req(2, 1));
+        h.record_response(3, RequestId(2), TasResp::Loser);
+        match check_linearizable(&spec, &h) {
+            LinCheckResult::Linearizable(w) => assert_eq!(w, vec![RequestId(1), RequestId(2)]),
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_ops_listed_in_invoke_order() {
+        let mut h = ConcurrentHistory::<TasSpec>::new();
+        h.record_invoke(5, tas_req(2, 1));
+        h.record_invoke(1, tas_req(1, 0));
+        let pend = h.pending();
+        assert_eq!(pend.len(), 2);
+        assert_eq!(pend[0].req.id, RequestId(1));
+        assert_eq!(pend[0].req.proc, ProcessId(0));
+    }
+}

@@ -1,0 +1,85 @@
+//! Sequential object types `(Q, s, I, R, Δ)`.
+//!
+//! §3 of the paper defines an object as a quadruple (really a 5-tuple)
+//! `(Q, s, I, R, Δ)`: a set of states, a starting state, a set of requests, a
+//! set of responses, and a sequential specification relation. We model the
+//! (deterministic) sequential specification as a trait with an `apply`
+//! transition function; every concrete object used in the paper is
+//! deterministic, so a function rather than a relation loses nothing.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A deterministic sequential object type.
+///
+/// Implementations describe *what* the object computes, independently of any
+/// concurrent algorithm implementing it. They are consumed by:
+///
+/// * the `β` functions on [`crate::History`] (apply a history sequentially),
+/// * the linearizability checker ([`crate::linearizability`]),
+/// * the universal constructions in `scl-core`, which execute committed
+///   requests against a local copy of the state.
+pub trait SequentialSpec: Clone {
+    /// The set of states `Q`.
+    type State: Clone + Eq + Hash + Debug;
+    /// The set of requests (inputs) `I`.
+    type Op: Clone + Eq + Hash + Debug;
+    /// The set of responses `R`.
+    type Resp: Clone + Eq + Hash + Debug;
+
+    /// The starting state `s`.
+    fn initial_state(&self) -> Self::State;
+
+    /// The sequential specification `Δ`: applying `op` in `state` yields a
+    /// new state and a response.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Resp);
+
+    /// Applies a sequence of operations starting from the initial state and
+    /// returns the final state together with every response, in order.
+    fn run(&self, ops: &[Self::Op]) -> (Self::State, Vec<Self::Resp>) {
+        let mut state = self.initial_state();
+        let mut resps = Vec::with_capacity(ops.len());
+        for op in ops {
+            let (next, resp) = self.apply(&state, op);
+            state = next;
+            resps.push(resp);
+        }
+        (state, resps)
+    }
+
+    /// Returns the final state after applying `ops` from the initial state.
+    fn final_state(&self, ops: &[Self::Op]) -> Self::State {
+        self.run(ops).0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objects::{CounterOp, CounterSpec};
+
+    #[test]
+    fn run_returns_all_responses_in_order() {
+        let spec = CounterSpec;
+        let ops = vec![CounterOp::Increment, CounterOp::Read, CounterOp::Increment, CounterOp::Read];
+        let (state, resps) = spec.run(&ops);
+        assert_eq!(state, 2);
+        assert_eq!(resps, vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn final_state_matches_run() {
+        let spec = CounterSpec;
+        let ops = vec![CounterOp::Increment; 5];
+        assert_eq!(spec.final_state(&ops), spec.run(&ops).0);
+        assert_eq!(spec.final_state(&ops), 5);
+    }
+
+    #[test]
+    fn run_on_empty_sequence_is_initial_state() {
+        let spec = CounterSpec;
+        let (state, resps) = spec.run(&[]);
+        assert_eq!(state, spec.initial_state());
+        assert!(resps.is_empty());
+    }
+}

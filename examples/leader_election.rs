@@ -1,0 +1,57 @@
+//! Repeated leader election with the long-lived resettable test-and-set
+//! (Algorithm 2 of the paper).
+//!
+//! In every round, a group of worker threads races on the shared object; the
+//! unique winner acts as the round's leader, performs some work, and then
+//! resets the object, which both re-opens the election and reverts the
+//! object to its cheap speculative module.
+//!
+//! Run with: `cargo run --example leader_election`
+
+use scl::runtime::{ResettableTas, TasResult};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+const THREADS: usize = 3;
+const ROUNDS: usize = 5;
+
+fn main() {
+    let tas = Arc::new(ResettableTas::new(ROUNDS + 1));
+    let leaders = Arc::new(AtomicUsize::new(0));
+    let barrier = Arc::new(Barrier::new(THREADS));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let tas = Arc::clone(&tas);
+            let leaders = Arc::clone(&leaders);
+            let barrier = Arc::clone(&barrier);
+            s.spawn(move || {
+                for round in 0..ROUNDS {
+                    barrier.wait();
+                    if tas.test_and_set(t) == TasResult::Winner {
+                        leaders.fetch_add(1, Ordering::SeqCst);
+                        println!("round {round}: thread {t} elected leader");
+                        // ... the leader would do its privileged work here ...
+                        // Handing leadership back re-opens the election and
+                        // re-arms the register-only fast path.
+                        assert!(tas.reset(t));
+                    }
+                    // Wait for the leader to finish before the next round.
+                    barrier.wait();
+                }
+            });
+        }
+    });
+
+    let stats = tas.stats();
+    println!(
+        "elected {} leaders over {ROUNDS} rounds; fast-path commits: {}, slow-path commits: {}, \
+         hardware RMW instructions: {}, resets: {}",
+        leaders.load(Ordering::SeqCst),
+        stats.fast_path_commits,
+        stats.slow_path_commits,
+        stats.rmw_instructions,
+        stats.resets
+    );
+    assert_eq!(leaders.load(Ordering::SeqCst), ROUNDS, "exactly one leader per round");
+}

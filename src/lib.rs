@@ -1,0 +1,44 @@
+//! # scl — Safely Composable shared-memory aLgorithms
+//!
+//! A reproduction of *"On the Cost of Composing Shared-Memory Algorithms"*
+//! (Alistarh, Guerraoui, Kuznetsov, Losa — SPAA 2012) as a Rust workspace.
+//! This facade crate re-exports the four member crates:
+//!
+//! * [`spec`] (`scl-spec`) — sequential specifications, histories, traces,
+//!   the Abstract properties, constraint functions, interpretations and a
+//!   linearizability checker.
+//! * [`sim`] (`scl-sim`) — a deterministic, step-counting shared-memory
+//!   simulator with adversarial schedulers and exhaustive schedule
+//!   exploration.
+//! * [`core`] (`scl-core`) — the paper's algorithms: the speculative
+//!   test-and-set (modules A1 and A2, their composition, the long-lived
+//!   resettable object and the solo-fast variant), abortable consensus
+//!   (SplitConsensus, AbortableBakery), and the composable universal
+//!   construction.
+//! * [`runtime`] (`scl-runtime`) — real `std::sync::atomic` implementations
+//!   of the test-and-set algorithms, plus a biased lock, for use from OS
+//!   threads and wall-clock benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use scl::runtime::{SpeculativeTas, TasResult};
+//!
+//! let tas = SpeculativeTas::new();
+//! assert_eq!(tas.test_and_set(0), TasResult::Winner);
+//! assert_eq!(tas.test_and_set(1), TasResult::Loser);
+//! // The uncontended winner never issued a read-modify-write instruction:
+//! assert_eq!(tas.stats().rmw_instructions(), 0);
+//! ```
+//!
+//! See the `examples/` directory for leader election, an adaptive biased
+//! lock, model-checking a module, and driving a FIFO queue through the
+//! composable universal construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use scl_core as core;
+pub use scl_runtime as runtime;
+pub use scl_sim as sim;
+pub use scl_spec as spec;

@@ -1,0 +1,122 @@
+//! Property-based tests (proptest) on the core data structures and on the
+//! algorithms under randomised workloads and schedules.
+
+use proptest::prelude::*;
+use scl::core::{new_speculative_tas, ResettableTas};
+use scl::sim::{Executor, RandomAdversary, SharedMemory, Workload};
+use scl::spec::{
+    check_linearizable, equivalent_by_state, History, Request, TasOp, TasResp, TasSpec, TasSwitch,
+};
+use std::collections::BTreeSet;
+
+fn arb_tas_ops(max: usize) -> impl Strategy<Value = Vec<TasOp>> {
+    prop::collection::vec(
+        prop_oneof![3 => Just(TasOp::TestAndSet), 1 => Just(TasOp::Reset)],
+        1..=max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// β over any request sequence: exactly one winner between consecutive
+    /// resets, and responses are deterministic under replay.
+    #[test]
+    fn tas_spec_has_one_winner_per_reset_epoch(ops in arb_tas_ops(24)) {
+        let spec = TasSpec;
+        let history: History<TasSpec> = ops
+            .iter()
+            .enumerate()
+            .map(|(i, op)| Request::<TasSpec>::new(i as u64, 0usize, *op))
+            .collect();
+        let responses = history.all_responses(&spec);
+        let mut winners_in_epoch = 0usize;
+        for (op, resp) in ops.iter().zip(&responses) {
+            match op {
+                TasOp::Reset => winners_in_epoch = 0,
+                TasOp::TestAndSet => {
+                    if *resp == TasResp::Winner {
+                        winners_in_epoch += 1;
+                    }
+                    prop_assert!(winners_in_epoch <= 1);
+                }
+            }
+        }
+        // Determinism of β.
+        prop_assert_eq!(history.all_responses(&spec), responses);
+    }
+
+    /// History prefix algebra: prefixes are prefixes, concatenation extends,
+    /// and the longest common prefix is a prefix of both operands.
+    #[test]
+    fn history_prefix_algebra(len in 1usize..12, cut in 0usize..12) {
+        let h: History<TasSpec> = (0..len as u64)
+            .map(|i| Request::<TasSpec>::new(i, (i % 3) as usize, TasOp::TestAndSet))
+            .collect();
+        let cut = cut.min(len);
+        let p = h.prefix(cut);
+        prop_assert!(p.is_prefix_of(&h));
+        prop_assert_eq!(h.longest_common_prefix(&p).len(), cut);
+        let q: History<TasSpec> = (100..100 + len as u64)
+            .map(|i| Request::<TasSpec>::new(i, 0usize, TasOp::TestAndSet))
+            .collect();
+        let hq = h.concat(&q).unwrap();
+        prop_assert!(h.is_prefix_of(&hq));
+        prop_assert_eq!(hq.len(), h.len() + q.len());
+    }
+
+    /// The `≡_I` check is reflexive and symmetric on arbitrary histories.
+    #[test]
+    fn equivalence_is_reflexive_and_symmetric(len in 1usize..8, swap in 0usize..8) {
+        let spec = TasSpec;
+        let reqs: Vec<Request<TasSpec>> = (0..len as u64)
+            .map(|i| Request::<TasSpec>::new(i, 0usize, TasOp::TestAndSet))
+            .collect();
+        let h1: History<TasSpec> = reqs.clone().into_iter().collect();
+        let mut shuffled = reqs;
+        if shuffled.len() > 1 {
+            let j = swap % shuffled.len();
+            shuffled.swap(0, j);
+        }
+        let h2: History<TasSpec> = shuffled.into_iter().collect();
+        let i_set: BTreeSet<_> = h1.id_set();
+        prop_assert!(equivalent_by_state(&spec, &i_set, &h1, &h1));
+        prop_assert_eq!(
+            equivalent_by_state(&spec, &i_set, &h1, &h2),
+            equivalent_by_state(&spec, &i_set, &h2, &h1)
+        );
+    }
+
+    /// The composed test-and-set is linearizable with exactly one winner for
+    /// arbitrary process counts and schedule seeds.
+    #[test]
+    fn speculative_tas_random_schedules(n in 1usize..6, seed in 0u64..200) {
+        let mut mem = SharedMemory::new();
+        let mut tas = new_speculative_tas(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
+        let res = Executor::new().run(&mut mem, &mut tas, &wl, &mut RandomAdversary::new(seed));
+        prop_assert!(res.completed);
+        prop_assert_eq!(res.metrics.aborted_count(), 0);
+        let winners = res.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+        prop_assert_eq!(winners, 1);
+        prop_assert!(
+            check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable()
+        );
+    }
+
+    /// The long-lived resettable object stays linearizable under random
+    /// schedules of test-and-set workloads.
+    #[test]
+    fn resettable_tas_random_schedules(n in 2usize..5, seed in 0u64..100) {
+        let mut mem = SharedMemory::new();
+        let mut tas = ResettableTas::new(&mut mem, n);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
+        let res = Executor::new().run(&mut mem, &mut tas, &wl, &mut RandomAdversary::new(seed));
+        prop_assert!(res.completed);
+        let winners = res.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+        prop_assert_eq!(winners, 1);
+        prop_assert!(
+            check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable()
+        );
+    }
+}
