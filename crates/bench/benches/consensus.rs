@@ -2,13 +2,16 @@
 //! algorithms executed solo (the simulator's wall time is proportional to
 //! the number of shared-memory steps, so the series mirrors the step
 //! complexity table of `exp-e4-consensus`).
+//!
+//! Runs on the in-repo [`scl_bench::microbench`] harness (`harness = false`;
+//! the workspace builds offline without Criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use scl_bench::run_and_summarise;
-use scl_core::consensus::{AbortableBakery, CasConsensus, ConsensusObject, ConsensusSwitch, SplitConsensus};
+use scl_bench::{microbench::case, run_and_summarise};
+use scl_core::consensus::{
+    AbortableBakery, CasConsensus, ConsensusObject, ConsensusSwitch, SplitConsensus,
+};
 use scl_sim::{SoloAdversary, Workload};
 use scl_spec::{ConsensusOp, ConsensusSpec};
-use std::time::Duration;
 
 fn solo_workload(n: usize) -> Workload<ConsensusSpec, ConsensusSwitch> {
     let mut ops = vec![Vec::new(); n];
@@ -16,50 +19,40 @@ fn solo_workload(n: usize) -> Workload<ConsensusSpec, ConsensusSwitch> {
     Workload { ops }
 }
 
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(15)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800))
-}
-
-fn bench_consensus_solo(c: &mut Criterion) {
-    let mut g = c.benchmark_group("consensus_solo_propose");
+fn main() {
     for n in [2usize, 8, 32] {
-        g.bench_with_input(BenchmarkId::new("SplitConsensus", n), &n, |b, &n| {
-            b.iter(|| {
-                run_and_summarise(
+        case(
+            "consensus_solo_propose",
+            &format!("SplitConsensus/{n}"),
+            || {
+                std::hint::black_box(run_and_summarise(
                     |mem| ConsensusObject::<SplitConsensus>::new(mem, n),
                     &solo_workload(n),
                     &mut SoloAdversary,
-                )
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("AbortableBakery", n), &n, |b, &n| {
-            b.iter(|| {
-                run_and_summarise(
+                ));
+            },
+        );
+        case(
+            "consensus_solo_propose",
+            &format!("AbortableBakery/{n}"),
+            || {
+                std::hint::black_box(run_and_summarise(
                     |mem| ConsensusObject::<AbortableBakery>::new(mem, n),
                     &solo_workload(n),
                     &mut SoloAdversary,
-                )
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("CasConsensus", n), &n, |b, &n| {
-            b.iter(|| {
-                run_and_summarise(
+                ));
+            },
+        );
+        case(
+            "consensus_solo_propose",
+            &format!("CasConsensus/{n}"),
+            || {
+                std::hint::black_box(run_and_summarise(
                     |mem| ConsensusObject::<CasConsensus>::new(mem, n),
                     &solo_workload(n),
                     &mut SoloAdversary,
-                )
-            })
-        });
+                ));
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets = bench_consensus_solo
-}
-criterion_main!(benches);

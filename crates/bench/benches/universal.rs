@@ -2,55 +2,50 @@
 //! the composable universal construction (cost grows with the number of
 //! committed requests) versus the object-specific speculative test-and-set
 //! (constant cost).
+//!
+//! Runs on the in-repo [`scl_bench::microbench`] harness (`harness = false`;
+//! the workspace builds offline without Criterion).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scl_bench::microbench::case;
 use scl_core::{new_composable_universal, new_speculative_tas};
 use scl_sim::{Executor, SharedMemory, SoloAdversary, Workload};
 use scl_spec::{CounterOp, CounterSpec, History, TasOp, TasSpec, TasSwitch};
-use std::time::Duration;
 
-fn configure() -> Criterion {
-    Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(200))
-        .measurement_time(Duration::from_millis(800))
-}
-
-fn bench_universal_counter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("universal_counter_sequential_ops");
+fn main() {
     for ops in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("composable_universal", ops), &ops, |b, &ops| {
-            b.iter(|| {
+        case(
+            "universal_counter_sequential_ops",
+            &format!("composable_universal/{ops}"),
+            || {
                 let mut mem = SharedMemory::new();
                 let mut uc = new_composable_universal(&mut mem, 1, CounterSpec);
                 let wl: Workload<CounterSpec, History<CounterSpec>> =
                     Workload::from_ops(vec![vec![CounterOp::Increment; ops]]);
-                Executor::new().run(&mut mem, &mut uc, &wl, &mut SoloAdversary)
-            })
-        });
+                std::hint::black_box(Executor::new().run(
+                    &mut mem,
+                    &mut uc,
+                    &wl,
+                    &mut SoloAdversary,
+                ));
+            },
+        );
     }
-    g.finish();
-}
-
-fn bench_speculative_tas_sequences(c: &mut Criterion) {
-    let mut g = c.benchmark_group("speculative_tas_sequential_ops");
     for n in [4usize, 16, 64] {
-        g.bench_with_input(BenchmarkId::new("one_op_per_process", n), &n, |b, &n| {
-            b.iter(|| {
+        case(
+            "speculative_tas_sequential_ops",
+            &format!("one_op_per_process/{n}"),
+            || {
                 let mut mem = SharedMemory::new();
                 let mut tas = new_speculative_tas(&mut mem);
                 let wl: Workload<TasSpec, TasSwitch> =
                     Workload::single_op_each(n, TasOp::TestAndSet);
-                Executor::new().run(&mut mem, &mut tas, &wl, &mut SoloAdversary)
-            })
-        });
+                std::hint::black_box(Executor::new().run(
+                    &mut mem,
+                    &mut tas,
+                    &wl,
+                    &mut SoloAdversary,
+                ));
+            },
+        );
     }
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = configure();
-    targets = bench_universal_counter, bench_speculative_tas_sequences
-}
-criterion_main!(benches);

@@ -1,0 +1,217 @@
+//! Explorer throughput: schedules/sec and steps/sec on fixed workloads.
+//!
+//! Four modes are measured on the same 2–3 process A1/A2 (speculative TAS)
+//! workloads, in one process and one sitting so the numbers are comparable:
+//!
+//! * `baseline` — replicates the pre-optimization explorer: a fresh
+//!   [`SharedMemory`], executor session and full event trace per schedule
+//!   (the seed explorer rebuilt everything per schedule);
+//! * `reused` — the optimized sequential explorer: one worker-owned memory +
+//!   session reset between schedules ([`explore_schedules`]);
+//! * `metrics_only` — same, with event-trace recording skipped;
+//! * `parallel` — [`explore_schedules_parallel`] with the machine's
+//!   available parallelism (full traces, so the delta vs `reused` isolates
+//!   the partitioning itself).
+//!
+//! Writes `BENCH_PR1.json` at the workspace root (resolved relative to this
+//! crate, independent of the invocation directory) recording all four series
+//! plus the derived speedups; the acceptance bar for PR 1 is
+//! `reused >= 2x baseline` on schedules/sec. The JSON is hand-rolled
+//! (the workspace builds offline, without serde).
+
+use scl_core::new_speculative_tas;
+use scl_sim::{
+    explore_schedules, explore_schedules_parallel, Executor, ExploreConfig, ExploreOutcome,
+    ScriptedAdversary, SharedMemory, Workload,
+};
+use scl_spec::{ProcessId, TasOp, TasSpec, TasSwitch};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    schedules: u64,
+    steps: u64,
+    secs: f64,
+}
+
+impl Measurement {
+    fn sched_per_sec(&self) -> f64 {
+        self.schedules as f64 / self.secs
+    }
+
+    fn steps_per_sec(&self) -> f64 {
+        self.steps as f64 / self.secs
+    }
+}
+
+/// The pre-optimization explorer, preserved verbatim in spirit: a fresh
+/// shared memory, a fresh executor session and a full trace per schedule.
+/// Enumeration order is identical to [`explore_schedules`].
+fn explore_baseline(
+    workload: &Workload<TasSpec, TasSwitch>,
+    config: &ExploreConfig,
+    steps: &mut u64,
+) -> ExploreOutcome {
+    let executor = Executor::new().max_ticks(config.max_ticks);
+    let mut schedules: u64 = 0;
+    let mut stack: Vec<Vec<ProcessId>> = vec![Vec::new()];
+    while let Some(prefix) = stack.pop() {
+        if schedules >= config.max_schedules {
+            return ExploreOutcome::LimitReached { schedules };
+        }
+        schedules += 1;
+        let mut mem = SharedMemory::new();
+        let mut object = new_speculative_tas(&mut mem);
+        let prefix_len = prefix.len();
+        let mut adversary = ScriptedAdversary::new(prefix);
+        let result = executor.run(&mut mem, &mut object, workload, &mut adversary);
+        *steps += mem.global_steps();
+        for i in prefix_len..result.decisions.len() {
+            let chosen = result.decisions.chosen_at(i);
+            for &alt in result.decisions.enabled_at(i) {
+                if alt == chosen {
+                    continue;
+                }
+                let mut new_prefix = result.decisions.chosen()[..i].to_vec();
+                new_prefix.push(alt);
+                stack.push(new_prefix);
+            }
+        }
+    }
+    ExploreOutcome::Exhausted { schedules }
+}
+
+fn measure(mode: &str, n: usize, max_schedules: u64) -> Measurement {
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
+    let config = ExploreConfig {
+        max_schedules,
+        max_ticks: 10_000,
+        ..Default::default()
+    };
+    let mut best: Option<Measurement> = None;
+    // Three repetitions; keep the fastest (the series are compared to each
+    // other, so the minimum is the fairest frequency-noise filter).
+    for _ in 0..3 {
+        let m = match mode {
+            "baseline" => {
+                let mut steps = 0u64;
+                let start = Instant::now();
+                let outcome = explore_baseline(&wl, &config, &mut steps);
+                Measurement {
+                    schedules: outcome.schedules(),
+                    steps,
+                    secs: start.elapsed().as_secs_f64(),
+                }
+            }
+            "reused" | "metrics_only" => {
+                let config = ExploreConfig {
+                    metrics_only: mode == "metrics_only",
+                    ..config.clone()
+                };
+                let mut steps = 0u64;
+                let start = Instant::now();
+                let outcome = explore_schedules(new_speculative_tas, &wl, &config, |_res, mem| {
+                    steps += mem.global_steps();
+                    Ok(())
+                })
+                .expect("no violation expected");
+                Measurement {
+                    schedules: outcome.schedules(),
+                    steps,
+                    secs: start.elapsed().as_secs_f64(),
+                }
+            }
+            "parallel" => {
+                let config = ExploreConfig {
+                    threads: 0,
+                    ..config.clone()
+                };
+                let steps = AtomicU64::new(0);
+                let start = Instant::now();
+                let outcome =
+                    explore_schedules_parallel(new_speculative_tas, &wl, &config, |_res, mem| {
+                        steps.fetch_add(mem.global_steps(), Ordering::Relaxed);
+                        Ok(())
+                    })
+                    .expect("no violation expected");
+                Measurement {
+                    schedules: outcome.schedules(),
+                    steps: steps.load(Ordering::Relaxed),
+                    secs: start.elapsed().as_secs_f64(),
+                }
+            }
+            other => panic!("unknown mode {other}"),
+        };
+        best = Some(match best {
+            Some(b) if b.secs <= m.secs => b,
+            _ => m,
+        });
+    }
+    let m = best.unwrap();
+    println!(
+        "{mode:>12} n={n}: schedules={} steps={} secs={:.3} sched/s={:.0} steps/s={:.0}",
+        m.schedules,
+        m.steps,
+        m.secs,
+        m.sched_per_sec(),
+        m.steps_per_sec()
+    );
+    m
+}
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        "{{\"schedules\": {}, \"steps\": {}, \"secs\": {:.6}, \"schedules_per_sec\": {:.0}, \"steps_per_sec\": {:.0}}}",
+        m.schedules,
+        m.steps,
+        m.secs,
+        m.sched_per_sec(),
+        m.steps_per_sec()
+    )
+}
+
+fn main() {
+    // Fixed workloads: one test-and-set per process on the composed A1 ∘ A2
+    // speculative TAS; n=2 is exhaustive, n=3 is budget-capped.
+    let workloads = [
+        ("speculative_tas_n2", 2usize, 1_000_000u64),
+        ("speculative_tas_n3_capped", 3usize, 50_000u64),
+    ];
+    let modes = ["baseline", "reused", "metrics_only", "parallel"];
+
+    let mut sections = Vec::new();
+    let mut speedup_lines = Vec::new();
+    for (wl_name, n, cap) in workloads {
+        println!("-- {wl_name} --");
+        let results: Vec<(String, Measurement)> = modes
+            .iter()
+            .map(|mode| (mode.to_string(), measure(mode, n, cap)))
+            .collect();
+        let baseline = results[0].1;
+        for (mode, m) in &results[1..] {
+            speedup_lines.push(format!(
+                "    \"{wl_name}/{mode}\": {:.2}",
+                m.sched_per_sec() / baseline.sched_per_sec()
+            ));
+        }
+        let entries: Vec<String> = results
+            .iter()
+            .map(|(mode, m)| format!("    \"{mode}\": {}", json_entry(m)))
+            .collect();
+        sections.push(format!(
+            "  \"{wl_name}\": {{\n{}\n  }}",
+            entries.join(",\n")
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"description\": \"Explorer throughput for PR 1: pre-optimization baseline (fresh memory/session/trace per schedule) vs reusable-executor explorer, metrics-only traces, and parallel root-schedule branch partitioning. Workloads: one TAS op per process on the composed A1*A2 speculative test-and-set.\",\n  \"units\": {{\"schedules_per_sec\": \"schedules/second\", \"steps_per_sec\": \"shared-memory steps/second\"}},\n{},\n  \"speedup_vs_baseline_schedules_per_sec\": {{\n{}\n  }}\n}}\n",
+        sections.join(",\n"),
+        speedup_lines.join(",\n")
+    );
+    // Anchor at the workspace root regardless of the invocation directory.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR1.json");
+    std::fs::write(&path, &json).expect("write BENCH_PR1.json");
+    println!("\nwrote {}", path.display());
+}

@@ -21,10 +21,13 @@ fn main() {
         ] {
             let mut adversary = adversary;
             let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
-            let (res, s) =
-                run_and_summarise(|mem| new_speculative_tas(mem), &wl, adversary.as_mut());
-            let winners =
-                res.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+            let (res, s) = run_and_summarise(new_speculative_tas, &wl, adversary.as_mut());
+            let winners = res
+                .trace
+                .commits()
+                .iter()
+                .filter(|(_, r)| *r == TasResp::Winner)
+                .count();
             let slow_path_ops = res.metrics.ops.iter().filter(|o| o.rmws > 0).count();
             rows.push(vec![
                 n.to_string(),

@@ -10,8 +10,10 @@
 //! constructions grow linearly (they replay/transfer the history).
 
 use scl_bench::{print_table, summarise};
-use scl_core::{new_composable_universal, new_speculative_tas, A1Tas, A2Tas, UniversalConstruction};
 use scl_core::CasConsensus;
+use scl_core::{
+    new_composable_universal, new_speculative_tas, A1Tas, A2Tas, UniversalConstruction,
+};
 use scl_sim::{Executor, SharedMemory, SoloAdversary, Workload};
 use scl_spec::{History, TasOp, TasSpec, TasSwitch};
 
@@ -72,8 +74,7 @@ fn main() {
         // TAS through the wait-free (Herlihy-style) universal construction.
         let herlihy_steps = {
             let mut mem = SharedMemory::new();
-            let mut obj =
-                UniversalConstruction::<TasSpec, CasConsensus>::new(&mut mem, n, TasSpec);
+            let mut obj = UniversalConstruction::<TasSpec, CasConsensus>::new(&mut mem, n, TasSpec);
             let wl: Workload<TasSpec, History<TasSpec>> =
                 Workload::single_op_each(n, TasOp::TestAndSet);
             let res = Executor::new().run(&mut mem, &mut obj, &wl, &mut SoloAdversary);

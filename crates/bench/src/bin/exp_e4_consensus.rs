@@ -6,7 +6,9 @@
 //! contention.
 
 use scl_bench::{fmt_cn, print_table, run_and_summarise};
-use scl_core::consensus::{AbortableBakery, CasConsensus, ConsensusObject, ConsensusSwitch, SplitConsensus};
+use scl_core::consensus::{
+    AbortableBakery, CasConsensus, ConsensusObject, ConsensusSwitch, SplitConsensus,
+};
 use scl_sim::{RandomAdversary, SoloAdversary, Workload};
 use scl_spec::{ConsensusOp, ConsensusSpec};
 
@@ -18,7 +20,9 @@ fn solo_workload(n: usize) -> Workload<ConsensusSpec, ConsensusSwitch> {
 
 fn contended_workload(n: usize) -> Workload<ConsensusSpec, ConsensusSwitch> {
     Workload {
-        ops: (0..n).map(|i| vec![(ConsensusOp { proposal: i as u64 }, None)]).collect(),
+        ops: (0..n)
+            .map(|i| vec![(ConsensusOp { proposal: i as u64 }, None)])
+            .collect(),
     }
 }
 
@@ -53,7 +57,15 @@ fn main() {
     }
     print_table(
         "E4a: solo (uncontended) step complexity of consensus, by number of processes n",
-        &["n", "SplitConsensus", "AbortableBakery", "CasConsensus", "cn(Split)", "cn(Bakery)", "cn(CAS)"],
+        &[
+            "n",
+            "SplitConsensus",
+            "AbortableBakery",
+            "CasConsensus",
+            "cn(Split)",
+            "cn(Bakery)",
+            "cn(CAS)",
+        ],
         &rows,
     );
 
@@ -84,7 +96,10 @@ fn main() {
             totals[2][0] += res.metrics.committed_count() as u64;
             totals[2][1] += res.metrics.aborted_count() as u64;
         }
-        for (algo, t) in ["SplitConsensus", "AbortableBakery", "CasConsensus"].iter().zip(totals) {
+        for (algo, t) in ["SplitConsensus", "AbortableBakery", "CasConsensus"]
+            .iter()
+            .zip(totals)
+        {
             rows.push(vec![
                 n.to_string(),
                 algo.to_string(),

@@ -15,7 +15,8 @@ use scl_spec::{CounterOp, CounterSpec, History, QueueOp, QueueSpec, SequentialSp
 
 fn counter_run(k: usize) -> (usize, u64, usize) {
     let mut mem = SharedMemory::new();
-    let mut uc = UniversalConstruction::<CounterSpec, SplitConsensus>::new(&mut mem, 2, CounterSpec);
+    let mut uc =
+        UniversalConstruction::<CounterSpec, SplitConsensus>::new(&mut mem, 2, CounterSpec);
     // Phase 1: process 0 commits k requests alone.
     let mut ops = vec![Vec::new(), Vec::new()];
     ops[0] = vec![CounterOp::Increment; k];
@@ -26,12 +27,19 @@ fn counter_run(k: usize) -> (usize, u64, usize) {
     // Phase 2: both processes contend; the register-only instance aborts.
     let wl2: Workload<CounterSpec, History<CounterSpec>> =
         Workload::single_op_each(2, CounterOp::Increment);
-    let res2 = Executor::new()
-        .on_abort(OnAbort::Stop)
-        .run(&mut mem, &mut uc, &wl2, &mut RoundRobinAdversary::default());
+    let res2 = Executor::new().on_abort(OnAbort::Stop).run(
+        &mut mem,
+        &mut uc,
+        &wl2,
+        &mut RoundRobinAdversary::default(),
+    );
     assert!(res2.completed);
     let log = uc.recorded_abstract_trace();
-    let abort_len = log.abort_histories().first().map(|(_, h)| h.len()).unwrap_or(0);
+    let abort_len = log
+        .abort_histories()
+        .first()
+        .map(|(_, h)| h.len())
+        .unwrap_or(0);
     (abort_len, last_solo_steps, mem.register_count())
 }
 

@@ -16,8 +16,10 @@ fn main() {
         let mut runs = 0u64;
         let mut agreement_ok = 0u64;
         let mut validity_ok = 0u64;
-        let mut adversaries: Vec<Box<dyn Adversary>> =
-            vec![Box::new(SoloAdversary), Box::new(RoundRobinAdversary::default())];
+        let mut adversaries: Vec<Box<dyn Adversary>> = vec![
+            Box::new(SoloAdversary),
+            Box::new(RoundRobinAdversary::default()),
+        ];
         for seed in 0..100 {
             adversaries.push(Box::new(RandomAdversary::new(seed)));
         }

@@ -48,7 +48,10 @@ fn main() {
                 .ops
                 .iter()
                 .find(|o| {
-                    res2.trace.request(o.req_id).map(|r| r.op == TasOp::TestAndSet).unwrap_or(false)
+                    res2.trace
+                        .request(o.req_id)
+                        .map(|r| r.op == TasOp::TestAndSet)
+                        .unwrap_or(false)
                 })
                 .unwrap();
             post_reset_steps.push(tas_op.steps);

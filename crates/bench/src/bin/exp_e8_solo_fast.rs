@@ -12,7 +12,7 @@
 //! object; under the solo-fast variant it commits with registers only.
 
 use scl_bench::print_table;
-use scl_core::{new_solo_fast_tas, new_speculative_tas, Composed, A1Tas, A2Tas};
+use scl_core::{new_solo_fast_tas, new_speculative_tas, A1Tas, A2Tas, Composed};
 use scl_sim::{Executor, RoundRobinAdversary, SharedMemory, SoloAdversary, Workload};
 use scl_spec::{TasOp, TasResp, TasSpec, TasSwitch};
 
@@ -25,8 +25,12 @@ fn run_variant(mut mem: SharedMemory, mut tas: Composed<A1Tas, A2Tas>) -> (u64, 
     ]);
     let res1 = Executor::new().run(&mut mem, &mut tas, &wl, &mut RoundRobinAdversary::default());
     assert!(res1.completed);
-    let winners1 =
-        res1.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+    let winners1 = res1
+        .trace
+        .commits()
+        .iter()
+        .filter(|(_, r)| *r == TasResp::Winner)
+        .count();
     let switches_phase1 = tas.switch_count();
     // Phase 2: process 2 runs completely alone.
     let wl2: Workload<TasSpec, TasSwitch> =
@@ -34,8 +38,12 @@ fn run_variant(mut mem: SharedMemory, mut tas: Composed<A1Tas, A2Tas>) -> (u64, 
     let res2 = Executor::new().run(&mut mem, &mut tas, &wl2, &mut SoloAdversary);
     assert!(res2.completed);
     let late_op = &res2.metrics.ops[0];
-    let winners2 =
-        res2.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+    let winners2 = res2
+        .trace
+        .commits()
+        .iter()
+        .filter(|(_, r)| *r == TasResp::Winner)
+        .count();
     assert_eq!(winners1 + winners2, 1, "one winner across both phases");
     let late_switched = tas.switch_count() - switches_phase1;
     (switches_phase1, late_switched, late_op.steps)

@@ -15,24 +15,21 @@ use scl_spec::{History, TasOp, TasSpec, TasSwitch};
 fn main() {
     let n = 4usize;
     let mut rows = Vec::new();
-    for (regime, mk_adv) in [
-        ("sequential", true),
-        ("step-contended", false),
-    ] {
+    for (regime, mk_adv) in [("sequential", true), ("step-contended", false)] {
         let mut adv: Box<dyn Adversary> = if mk_adv {
             Box::new(SoloAdversary)
         } else {
             Box::new(RoundRobinAdversary::default())
         };
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
-        let (_, spec) = run_and_summarise(|mem| new_speculative_tas(mem), &wl, adv.as_mut());
+        let (_, spec) = run_and_summarise(new_speculative_tas, &wl, adv.as_mut());
 
         let mut adv: Box<dyn Adversary> = if mk_adv {
             Box::new(SoloAdversary)
         } else {
             Box::new(RoundRobinAdversary::default())
         };
-        let (_, hw) = run_and_summarise(|mem| A2Tas::new(mem), &wl, adv.as_mut());
+        let (_, hw) = run_and_summarise(A2Tas::new, &wl, adv.as_mut());
 
         let mut adv: Box<dyn Adversary> = if mk_adv {
             Box::new(SoloAdversary)
@@ -41,12 +38,17 @@ fn main() {
         };
         let wl_uc: Workload<TasSpec, History<TasSpec>> =
             Workload::single_op_each(n, TasOp::TestAndSet);
-        let (_, uc) =
-            run_and_summarise(|mem| new_composable_universal(mem, n, TasSpec), &wl_uc, adv.as_mut());
+        let (_, uc) = run_and_summarise(
+            |mem| new_composable_universal(mem, n, TasSpec),
+            &wl_uc,
+            adv.as_mut(),
+        );
 
-        for (name, s) in
-            [("speculative A1∘A2", spec), ("hardware TAS", hw), ("composable universal", uc)]
-        {
+        for (name, s) in [
+            ("speculative A1∘A2", spec),
+            ("hardware TAS", hw),
+            ("composable universal", uc),
+        ] {
             rows.push(vec![
                 regime.to_string(),
                 name.to_string(),
@@ -58,7 +60,13 @@ fn main() {
     }
     print_table(
         "E9: base-object consensus number, fence complexity and space (n = 4)",
-        &["regime", "object", "max_consensus_number", "max_fences_per_op", "registers"],
+        &[
+            "regime",
+            "object",
+            "max_consensus_number",
+            "max_fences_per_op",
+            "registers",
+        ],
         &rows,
     );
     println!(

@@ -8,7 +8,9 @@
 
 #![warn(missing_docs)]
 
-use scl_sim::{Adversary, ExecutionMetrics, Executor, ExecutionResult, SharedMemory, SimObject, Workload};
+use scl_sim::{
+    Adversary, ExecutionMetrics, ExecutionResult, Executor, SharedMemory, SimObject, Workload,
+};
 use scl_spec::SequentialSpec;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -83,6 +85,104 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// A minimal self-calibrating wall-clock micro-benchmark harness.
+///
+/// The workspace builds offline with no external crates, so the Criterion
+/// benches were rewritten on top of this: each case runs a short warm-up,
+/// picks an iteration count that fills the measurement window, and reports
+/// mean ns/iter. Good enough to compare series measured in the same run;
+/// not a statistics suite.
+pub mod microbench {
+    use std::time::{Duration, Instant};
+
+    /// Result of one benchmark case.
+    #[derive(Debug, Clone, Copy)]
+    pub struct CaseResult {
+        /// Mean nanoseconds per iteration.
+        pub ns_per_iter: f64,
+        /// Iterations measured.
+        pub iters: u64,
+    }
+
+    /// Times `f` and prints `group/name: <ns>/iter`. Returns the result so
+    /// callers can post-process (e.g. derive throughput).
+    pub fn case(group: &str, name: &str, f: impl FnMut()) -> CaseResult {
+        case_capped(group, name, u64::MAX, f)
+    }
+
+    /// Like [`case`], but bounds the *total* number of iterations (warm-up
+    /// included) to `max_total_iters`. Use when the benched object consumes
+    /// a finite resource per iteration (e.g. the pre-allocated round array
+    /// of a long-lived resettable TAS): an uncapped run would exhaust it
+    /// mid-measurement and silently time a degenerate path — or, for a
+    /// lock, spin forever.
+    pub fn case_capped(
+        group: &str,
+        name: &str,
+        max_total_iters: u64,
+        mut f: impl FnMut(),
+    ) -> CaseResult {
+        // Warm up and estimate the cost of one iteration from the time the
+        // warm-up actually took (it may end early on the iteration cap).
+        let warmup_start = Instant::now();
+        let warmup_deadline = warmup_start + Duration::from_millis(100);
+        let warmup_cap = max_total_iters / 2;
+        let mut warm_iters: u64 = 0;
+        while Instant::now() < warmup_deadline && warm_iters < warmup_cap {
+            f();
+            warm_iters += 1;
+        }
+        let est = warmup_start.elapsed().as_nanos() as u64 / warm_iters.max(1);
+        let target = Duration::from_millis(300).as_nanos() as u64;
+        let iters = (target / est.max(1))
+            .clamp(1, 10_000_000)
+            .min(max_total_iters - warm_iters)
+            .max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let elapsed = start.elapsed();
+        let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+        println!("{group}/{name}: {ns_per_iter:.1} ns/iter ({iters} iters)");
+        CaseResult { ns_per_iter, iters }
+    }
+
+    /// Times `f` over values produced by `setup`, *excluding* `setup` from
+    /// the measurement (the moral equivalent of Criterion's `iter_batched`):
+    /// objects are built in untimed batches and only the consuming loop is
+    /// timed. Use when one iteration needs a fresh object and the object's
+    /// constructor would otherwise dominate a nanosecond-scale operation.
+    pub fn case_batched<T>(
+        group: &str,
+        name: &str,
+        mut setup: impl FnMut() -> T,
+        mut f: impl FnMut(T),
+    ) -> CaseResult {
+        const BATCH: usize = 4096;
+        let run_batch = |setup: &mut dyn FnMut() -> T, f: &mut dyn FnMut(T)| {
+            let batch: Vec<T> = (0..BATCH).map(|_| setup()).collect();
+            let start = Instant::now();
+            for x in batch {
+                f(x);
+            }
+            start.elapsed()
+        };
+        // Warm-up / calibration batch.
+        let per_batch = run_batch(&mut setup, &mut f).max(Duration::from_nanos(1));
+        let target = Duration::from_millis(300);
+        let batches = (target.as_nanos() / per_batch.as_nanos()).clamp(1, 2048) as u64;
+        let mut timed = Duration::ZERO;
+        for _ in 0..batches {
+            timed += run_batch(&mut setup, &mut f);
+        }
+        let iters = batches * BATCH as u64;
+        let ns_per_iter = timed.as_nanos() as f64 / iters as f64;
+        println!("{group}/{name}: {ns_per_iter:.1} ns/iter ({iters} iters, setup untimed)");
+        CaseResult { ns_per_iter, iters }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,11 +193,7 @@ mod tests {
     #[test]
     fn summary_of_a_solo_run() {
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
-        let (res, s) = run_and_summarise(
-            |mem| new_speculative_tas(mem),
-            &wl,
-            &mut SoloAdversary,
-        );
+        let (res, s) = run_and_summarise(new_speculative_tas, &wl, &mut SoloAdversary);
         assert!(res.completed);
         assert_eq!(s.committed, 2);
         assert_eq!(s.aborted, 0);

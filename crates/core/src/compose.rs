@@ -37,7 +37,11 @@ pub struct Composed<A, B> {
 impl<A, B> Composed<A, B> {
     /// Composes two modules.
     pub fn new(first: A, second: B) -> Self {
-        Composed { first, second, switches: Rc::new(Cell::new(0)) }
+        Composed {
+            first,
+            second,
+            switches: Rc::new(Cell::new(0)),
+        }
     }
 
     /// Number of operations that switched from the first to the second
@@ -166,14 +170,17 @@ mod tests {
             if switch == Some(TasSwitch::L) {
                 return Box::new(ImmediateOutcome::new(OpOutcome::Commit(TasResp::Loser)));
             }
-            Box::new(HwTasOp { flag: self.flag, proc: req.proc })
+            Box::new(HwTasOp {
+                flag: self.flag,
+                proc: req.proc,
+            })
         }
     }
 
     #[test]
     fn composition_switches_to_second_module_on_abort() {
         let mut mem = SharedMemory::new();
-        let flag = mem.alloc("hw", Value::Bool(false));
+        let flag = mem.alloc("hw", Value::FALSE);
         let mut composed = Composed::new(AlwaysAbort, HwTas { flag });
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
         let res = Executor::new().run(&mut mem, &mut composed, &wl, &mut SoloAdversary);
@@ -181,7 +188,10 @@ mod tests {
         // Both requests committed via the second module; exactly one winner.
         let commits = res.trace.commits();
         assert_eq!(commits.len(), 2);
-        let winners = commits.iter().filter(|(_, r)| *r == TasResp::Winner).count();
+        let winners = commits
+            .iter()
+            .filter(|(_, r)| *r == TasResp::Winner)
+            .count();
         assert_eq!(winners, 1);
         assert_eq!(composed.switch_count(), 2);
     }
@@ -202,8 +212,8 @@ mod tests {
         // Composing HwTas with HwTas: an L init makes the first module lose
         // immediately without steps.
         let mut mem = SharedMemory::new();
-        let flag1 = mem.alloc("hw1", Value::Bool(false));
-        let flag2 = mem.alloc("hw2", Value::Bool(false));
+        let flag1 = mem.alloc("hw1", Value::FALSE);
+        let flag2 = mem.alloc("hw2", Value::FALSE);
         let mut composed = Composed::new(HwTas { flag: flag1 }, HwTas { flag: flag2 });
         let wl: Workload<TasSpec, TasSwitch> = Workload {
             ops: vec![vec![(TasOp::TestAndSet, Some(TasSwitch::L))]],

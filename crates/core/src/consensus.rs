@@ -135,8 +135,7 @@ impl<C: AbortableConsensus> ConsensusExec for TwoPhaseExec<C> {
                 ConsensusOutcome::Abort(_) => Some(ConsensusOutcome::Abort(self.old)),
                 ConsensusOutcome::Commit(Some(v)) => Some(ConsensusOutcome::Commit(Some(v))),
                 ConsensusOutcome::Commit(None) => {
-                    self.phase =
-                        TwoPhase::Second(self.obj.propose_once(self.p, Some(self.value)));
+                    self.phase = TwoPhase::Second(self.obj.propose_once(self.p, Some(self.value)));
                     None
                 }
             },
@@ -171,21 +170,25 @@ impl Splitter {
     /// Allocates a fresh splitter.
     pub fn new(mem: &mut SharedMemory) -> Self {
         Splitter {
-            x: mem.alloc("splitter.X", Value::Null),
-            y: mem.alloc("splitter.Y", Value::Bool(false)),
+            x: mem.alloc("splitter.X", Value::NULL),
+            y: mem.alloc("splitter.Y", Value::FALSE),
         }
     }
 
     /// Begins an acquisition by process `p` (4 shared-memory steps at most).
     pub fn acquire(&self, p: ProcessId) -> SplitterExec {
-        SplitterExec { regs: *self, p, pc: SplitterPc::WriteX }
+        SplitterExec {
+            regs: *self,
+            p,
+            pc: SplitterPc::WriteX,
+        }
     }
 
     /// Resets the splitter (one write). Only meaningful when the resetter
     /// knows no other process is inside the splitter (the uncontended
     /// committer in SplitConsensus).
     pub fn reset(&self, p: ProcessId, mem: &mut SharedMemory) {
-        mem.write(p, self.y, Value::Bool(false));
+        mem.write(p, self.y, Value::FALSE);
     }
 }
 
@@ -222,7 +225,7 @@ impl SplitterExec {
                 }
             }
             SplitterPc::WriteY => {
-                mem.write(self.p, self.regs.y, Value::Bool(true));
+                mem.write(self.p, self.regs.y, Value::TRUE);
                 self.pc = SplitterPc::ReadX;
                 None
             }
@@ -255,8 +258,8 @@ impl AbortableConsensus for SplitConsensus {
     fn allocate(mem: &mut SharedMemory, _n: usize) -> Self {
         SplitConsensus {
             splitter: Splitter::new(mem),
-            v: mem.alloc("split.V", Value::Int(NIL)),
-            c: mem.alloc("split.C", Value::Bool(false)),
+            v: mem.alloc("split.V", Value::int(NIL)),
+            c: mem.alloc("split.C", Value::FALSE),
         }
     }
 
@@ -332,7 +335,7 @@ impl ConsensusExec for SplitExec {
                 Some(ConsensusOutcome::Commit(from_code(v)))
             }
             SplitPc::WriteV => {
-                mem.write(self.p, self.regs.v, Value::Int(self.value));
+                mem.write(self.p, self.regs.v, Value::int(self.value));
                 self.pc = SplitPc::ReadCAfterWrite;
                 None
             }
@@ -349,7 +352,7 @@ impl ConsensusExec for SplitExec {
                 Some(ConsensusOutcome::Commit(from_code(self.value)))
             }
             SplitPc::WriteContention => {
-                mem.write(self.p, self.regs.c, Value::Bool(true));
+                mem.write(self.p, self.regs.c, Value::TRUE);
                 self.pc = SplitPc::ReadVForAbort;
                 None
             }
@@ -378,13 +381,17 @@ pub struct AbortableBakery {
 
 impl AbortableConsensus for AbortableBakery {
     fn allocate(mem: &mut SharedMemory, n: usize) -> Self {
-        let a = (0..n).map(|i| mem.alloc(&format!("bakery.A[{i}]"), Value::Null)).collect();
-        let b = (0..n).map(|i| mem.alloc(&format!("bakery.B[{i}]"), Value::Null)).collect();
+        let a = (0..n)
+            .map(|i| mem.alloc(&format!("bakery.A[{i}]"), Value::NULL))
+            .collect();
+        let b = (0..n)
+            .map(|i| mem.alloc(&format!("bakery.B[{i}]"), Value::NULL))
+            .collect();
         AbortableBakery {
             a: std::rc::Rc::new(a),
             b: std::rc::Rc::new(b),
-            quit: mem.alloc("bakery.Quit", Value::Bool(false)),
-            dec: mem.alloc("bakery.Dec", Value::Int(NIL)),
+            quit: mem.alloc("bakery.Quit", Value::FALSE),
+            dec: mem.alloc("bakery.Dec", Value::int(NIL)),
         }
     }
 
@@ -444,7 +451,12 @@ impl BakeryExec {
     /// timestamp larger than `k` and no two distinct values with timestamp
     /// `k`.
     fn minimal_timestamp(collected: &[Option<(i64, i64)>]) -> i64 {
-        let max_ts = collected.iter().flatten().map(|(k, _)| *k).max().unwrap_or(0);
+        let max_ts = collected
+            .iter()
+            .flatten()
+            .map(|(k, _)| *k)
+            .max()
+            .unwrap_or(0);
         let mut k = max_ts;
         loop {
             let values_at_k: std::collections::BTreeSet<i64> = collected
@@ -463,7 +475,10 @@ impl BakeryExec {
     /// Whether the collect is "clean" for `(k, v)`: no timestamp larger than
     /// `k` and no value other than `v` with timestamp `k`.
     fn clean(collected: &[Option<(i64, i64)>], k: i64, v: i64) -> bool {
-        collected.iter().flatten().all(|(ts, val)| *ts < k || (*ts == k && *val == v))
+        collected
+            .iter()
+            .flatten()
+            .all(|(ts, val)| *ts < k || (*ts == k && *val == v))
     }
 }
 
@@ -472,14 +487,18 @@ impl ConsensusExec for BakeryExec {
         let n = self.regs.a.len();
         match self.pc {
             BakeryPc::CollectA1(i) => {
-                self.collected.push(mem.read(self.p, self.regs.a[i]).as_opt_int_pair());
+                self.collected
+                    .push(mem.read(self.p, self.regs.a[i]).as_opt_int_pair());
                 if i + 1 < n {
                     self.pc = BakeryPc::CollectA1(i + 1);
                     return None;
                 }
                 self.k = Self::minimal_timestamp(&self.collected);
-                if let Some((_, v)) =
-                    self.collected.iter().flatten().find(|(ts, _)| *ts == self.k)
+                if let Some((_, v)) = self
+                    .collected
+                    .iter()
+                    .flatten()
+                    .find(|(ts, _)| *ts == self.k)
                 {
                     self.v = *v;
                     self.pc = BakeryPc::WriteA;
@@ -490,7 +509,8 @@ impl ConsensusExec for BakeryExec {
                 None
             }
             BakeryPc::CollectB(i) => {
-                self.collected.push(mem.read(self.p, self.regs.b[i]).as_opt_int_pair());
+                self.collected
+                    .push(mem.read(self.p, self.regs.b[i]).as_opt_int_pair());
                 if i + 1 < n {
                     self.pc = BakeryPc::CollectB(i + 1);
                     return None;
@@ -506,13 +526,18 @@ impl ConsensusExec for BakeryExec {
                 None
             }
             BakeryPc::WriteA => {
-                mem.write(self.p, self.regs.a[self.p.index()], Value::int_pair(self.k, self.v));
+                mem.write(
+                    self.p,
+                    self.regs.a[self.p.index()],
+                    Value::int_pair(self.k, self.v),
+                );
                 self.collected.clear();
                 self.pc = BakeryPc::CollectA2(0);
                 None
             }
             BakeryPc::CollectA2(i) => {
-                self.collected.push(mem.read(self.p, self.regs.a[i]).as_opt_int_pair());
+                self.collected
+                    .push(mem.read(self.p, self.regs.a[i]).as_opt_int_pair());
                 if i + 1 < n {
                     self.pc = BakeryPc::CollectA2(i + 1);
                     return None;
@@ -525,13 +550,18 @@ impl ConsensusExec for BakeryExec {
                 None
             }
             BakeryPc::WriteB => {
-                mem.write(self.p, self.regs.b[self.p.index()], Value::int_pair(self.k, self.v));
+                mem.write(
+                    self.p,
+                    self.regs.b[self.p.index()],
+                    Value::int_pair(self.k, self.v),
+                );
                 self.collected.clear();
                 self.pc = BakeryPc::CollectA3(0);
                 None
             }
             BakeryPc::CollectA3(i) => {
-                self.collected.push(mem.read(self.p, self.regs.a[i]).as_opt_int_pair());
+                self.collected
+                    .push(mem.read(self.p, self.regs.a[i]).as_opt_int_pair());
                 if i + 1 < n {
                     self.pc = BakeryPc::CollectA3(i + 1);
                     return None;
@@ -552,11 +582,11 @@ impl ConsensusExec for BakeryExec {
                 None
             }
             BakeryPc::WriteDec => {
-                mem.write(self.p, self.regs.dec, Value::Int(self.v));
+                mem.write(self.p, self.regs.dec, Value::int(self.v));
                 Some(ConsensusOutcome::Commit(from_code(self.v)))
             }
             BakeryPc::WriteQuit => {
-                mem.write(self.p, self.regs.quit, Value::Bool(true));
+                mem.write(self.p, self.regs.quit, Value::TRUE);
                 self.pc = BakeryPc::ReadDec;
                 None
             }
@@ -581,11 +611,18 @@ pub struct CasConsensus {
 
 impl AbortableConsensus for CasConsensus {
     fn allocate(mem: &mut SharedMemory, _n: usize) -> Self {
-        CasConsensus { dec: mem.alloc("cas.Dec", Value::Int(NIL)) }
+        CasConsensus {
+            dec: mem.alloc("cas.Dec", Value::int(NIL)),
+        }
     }
 
     fn propose_once(&self, p: ProcessId, value: Option<i64>) -> Box<dyn ConsensusExec> {
-        Box::new(CasExec { dec: self.dec, p, value: to_code(value), done_cas: false })
+        Box::new(CasExec {
+            dec: self.dec,
+            p,
+            value: to_code(value),
+            done_cas: false,
+        })
     }
 
     fn algorithm_name() -> &'static str {
@@ -609,7 +646,7 @@ impl ConsensusExec for CasExec {
         if !self.done_cas {
             // Proposing ⊥ must not claim the decision slot.
             if self.value != NIL {
-                mem.compare_and_swap(self.p, self.dec, &Value::Int(NIL), Value::Int(self.value));
+                mem.compare_and_swap(self.p, self.dec, Value::int(NIL), Value::int(self.value));
             } else {
                 mem.read(self.p, self.dec);
             }
@@ -640,7 +677,9 @@ pub struct ConsensusObject<C: AbortableConsensus> {
 impl<C: AbortableConsensus> ConsensusObject<C> {
     /// Allocates a standalone consensus object for `n` processes.
     pub fn new(mem: &mut SharedMemory, n: usize) -> Self {
-        ConsensusObject { inner: C::allocate(mem, n) }
+        ConsensusObject {
+            inner: C::allocate(mem, n),
+        }
     }
 
     /// Access to the underlying algorithm instance.
@@ -700,7 +739,10 @@ mod tests {
 
     fn proposals_workload(values: &[u64]) -> Wl {
         Workload {
-            ops: values.iter().map(|v| vec![(ConsensusOp { proposal: *v }, None)]).collect(),
+            ops: values
+                .iter()
+                .map(|v| vec![(ConsensusOp { proposal: *v }, None)])
+                .collect(),
         }
     }
 
@@ -714,7 +756,9 @@ mod tests {
         }
         if let Some(d) = decisions.first() {
             if !proposals.contains(d) {
-                return Err(format!("validity violated: decided {d}, proposed {proposals:?}"));
+                return Err(format!(
+                    "validity violated: decided {d}, proposed {proposals:?}"
+                ));
             }
         }
         Ok(())
@@ -732,7 +776,11 @@ mod tests {
         );
         assert!(res.completed);
         assert_eq!(res.trace.commits()[0].1, 42);
-        assert!(res.metrics.ops[0].steps <= 16, "steps = {}", res.metrics.ops[0].steps);
+        assert!(
+            res.metrics.ops[0].steps <= 16,
+            "steps = {}",
+            res.metrics.ops[0].steps
+        );
         assert_eq!(res.metrics.ops[0].rmws, 0);
         assert_eq!(mem.max_required_consensus_number(), Some(1));
     }
@@ -859,7 +907,11 @@ mod tests {
         explore_schedules(
             |mem| ConsensusObject::<AbortableBakery>::new(mem, 2),
             &proposals_workload(&proposals),
-            &ExploreConfig { max_schedules: 150_000, max_ticks: 10_000 },
+            &ExploreConfig {
+                max_schedules: 150_000,
+                max_ticks: 10_000,
+                ..Default::default()
+            },
             |res, _| {
                 if !res.completed {
                     return Err("did not complete".into());

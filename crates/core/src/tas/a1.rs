@@ -50,10 +50,10 @@ impl A1Tas {
     /// Allocates a fresh instance of the requested variant.
     pub fn with_variant(mem: &mut SharedMemory, variant: A1Variant) -> Self {
         A1Tas {
-            aborted: mem.alloc("a1.aborted", Value::Bool(false)),
-            v: mem.alloc("a1.V", Value::Int(0)),
-            p: mem.alloc("a1.P", Value::Null),
-            s: mem.alloc("a1.S", Value::Null),
+            aborted: mem.alloc("a1.aborted", Value::FALSE),
+            v: mem.alloc("a1.V", Value::int(0)),
+            p: mem.alloc("a1.P", Value::NULL),
+            s: mem.alloc("a1.S", Value::NULL),
             variant,
         }
     }
@@ -176,7 +176,7 @@ impl OpExecution<TasSpec, TasSwitch> for A1Exec {
                 Continue
             }
             Pc::WriteV => {
-                mem.write(p, self.regs.v, Value::Int(1));
+                mem.write(p, self.regs.v, Value::int(1));
                 self.pc = Pc::FinalAbortedCheck;
                 Continue
             }
@@ -188,7 +188,7 @@ impl OpExecution<TasSpec, TasSwitch> for A1Exec {
                 }
             }
             Pc::SetAborted => {
-                mem.write(p, self.regs.aborted, Value::Bool(true));
+                mem.write(p, self.regs.aborted, Value::TRUE);
                 self.pc = Pc::ReadVAfterContention;
                 Continue
             }
@@ -217,7 +217,12 @@ impl SimObject<TasSpec, TasSwitch> for A1Tas {
                     A1Variant::Standard => Pc::ReadAborted,
                     A1Variant::SoloFast => Pc::ReadV,
                 };
-                Box::new(A1Exec { regs: *self, proc: req.proc, entered_with: switch, pc: start })
+                Box::new(A1Exec {
+                    regs: *self,
+                    proc: req.proc,
+                    entered_with: switch,
+                    pc: start,
+                })
             }
             // The one-shot module does not implement reset; the long-lived
             // wrapper (Algorithm 2) handles it by moving to a fresh instance.
@@ -274,7 +279,13 @@ mod tests {
         assert!(res.completed);
         let commits = res.trace.commits();
         assert_eq!(commits.len(), 4);
-        assert_eq!(commits.iter().filter(|(_, r)| *r == TasResp::Winner).count(), 1);
+        assert_eq!(
+            commits
+                .iter()
+                .filter(|(_, r)| *r == TasResp::Winner)
+                .count(),
+            1
+        );
         assert_eq!(res.metrics.aborted_count(), 0);
         assert!(check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable());
     }
@@ -328,7 +339,9 @@ mod tests {
     fn entering_with_l_commits_loser_quickly() {
         let mut mem = SharedMemory::new();
         let mut a1 = A1Tas::new(&mut mem);
-        let wl: Wl = Workload { ops: vec![vec![(TasOp::TestAndSet, Some(TasSwitch::L))]] };
+        let wl: Wl = Workload {
+            ops: vec![vec![(TasOp::TestAndSet, Some(TasSwitch::L))]],
+        };
         let res = Executor::new().run(&mut mem, &mut a1, &wl, &mut SoloAdversary);
         assert_eq!(res.trace.commits()[0].1, TasResp::Loser);
         assert!(res.metrics.ops[0].steps <= 2);
@@ -337,41 +350,38 @@ mod tests {
     #[test]
     fn all_interleavings_of_two_processes_are_safe_and_composable() {
         let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
-        let outcome = explore_schedules(
-            |mem| A1Tas::new(mem),
-            &wl,
-            &ExploreConfig::default(),
-            |res, _mem| {
-                if !res.completed {
-                    return Err("did not complete".into());
-                }
-                let winners = res
-                    .trace
-                    .commits()
-                    .iter()
-                    .filter(|(_, r)| *r == TasResp::Winner)
-                    .count();
-                if winners > 1 {
-                    return Err("two winners".into());
-                }
-                let w_aborts = res
-                    .trace
-                    .abort_tokens()
-                    .iter()
-                    .filter(|(_, v)| *v == TasSwitch::W)
-                    .count();
-                if winners == 1 && w_aborts > 0 {
-                    return Err("winner committed but some process aborted with W (Invariant 2)".into());
-                }
-                if !check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable() {
-                    return Err("commit projection not linearizable".into());
-                }
-                if !find_valid_interpretation(&TasSpec, &res.trace, &TasConstraint).is_composable() {
-                    return Err("no valid interpretation (Definition 2)".into());
-                }
-                Ok(())
-            },
-        )
+        let outcome = explore_schedules(A1Tas::new, &wl, &ExploreConfig::default(), |res, _mem| {
+            if !res.completed {
+                return Err("did not complete".into());
+            }
+            let winners = res
+                .trace
+                .commits()
+                .iter()
+                .filter(|(_, r)| *r == TasResp::Winner)
+                .count();
+            if winners > 1 {
+                return Err("two winners".into());
+            }
+            let w_aborts = res
+                .trace
+                .abort_tokens()
+                .iter()
+                .filter(|(_, v)| *v == TasSwitch::W)
+                .count();
+            if winners == 1 && w_aborts > 0 {
+                return Err(
+                    "winner committed but some process aborted with W (Invariant 2)".into(),
+                );
+            }
+            if !check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable() {
+                return Err("commit projection not linearizable".into());
+            }
+            if !find_valid_interpretation(&TasSpec, &res.trace, &TasConstraint).is_composable() {
+                return Err("no valid interpretation (Definition 2)".into());
+            }
+            Ok(())
+        })
         .expect("A1 must be safe under every interleaving");
         assert!(outcome.schedules() > 10);
     }
@@ -393,7 +403,9 @@ mod tests {
     fn reset_on_one_shot_module_is_a_harmless_noop() {
         let mut mem = SharedMemory::new();
         let mut a1 = A1Tas::new(&mut mem);
-        let wl: Wl = Workload { ops: vec![vec![(TasOp::Reset, None)]] };
+        let wl: Wl = Workload {
+            ops: vec![vec![(TasOp::Reset, None)]],
+        };
         let res = Executor::new().run(&mut mem, &mut a1, &wl, &mut SoloAdversary);
         assert_eq!(res.trace.commits()[0].1, TasResp::ResetDone);
     }

@@ -21,7 +21,9 @@ pub struct A2Tas {
 impl A2Tas {
     /// Allocates a fresh instance backed by one hardware test-and-set cell.
     pub fn new(mem: &mut SharedMemory) -> Self {
-        A2Tas { t: mem.alloc("a2.T", Value::Bool(false)) }
+        A2Tas {
+            t: mem.alloc("a2.T", Value::FALSE),
+        }
     }
 
     /// Number of shared registers used.
@@ -39,7 +41,11 @@ struct A2Exec {
 impl OpExecution<TasSpec, TasSwitch> for A2Exec {
     fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
         let prev = mem.test_and_set(self.proc, self.t);
-        StepOutcome::Done(OpOutcome::Commit(if prev { TasResp::Loser } else { TasResp::Winner }))
+        StepOutcome::Done(OpOutcome::Commit(if prev {
+            TasResp::Loser
+        } else {
+            TasResp::Winner
+        }))
     }
 }
 
@@ -56,7 +62,10 @@ impl SimObject<TasSpec, TasSwitch> for A2Tas {
                     // Already lost in a previous module: no shared step.
                     Box::new(ImmediateOutcome::new(OpOutcome::Commit(TasResp::Loser)))
                 } else {
-                    Box::new(A2Exec { t: self.t, proc: req.proc })
+                    Box::new(A2Exec {
+                        t: self.t,
+                        proc: req.proc,
+                    })
                 }
             }
             TasOp::Reset => Box::new(ImmediateOutcome::new(OpOutcome::Commit(TasResp::ResetDone))),
@@ -87,7 +96,10 @@ mod tests {
         assert!(res.completed);
         let commits = res.trace.commits();
         assert_eq!(commits[0].1, TasResp::Winner);
-        assert_eq!(commits.iter().filter(|(_, r)| *r == TasResp::Loser).count(), 2);
+        assert_eq!(
+            commits.iter().filter(|(_, r)| *r == TasResp::Loser).count(),
+            2
+        );
         for op in &res.metrics.ops {
             assert_eq!(op.steps, A2Tas::MAX_STEPS);
         }
@@ -100,8 +112,7 @@ mod tests {
         let mut mem = SharedMemory::new();
         let mut a2 = A2Tas::new(&mut mem);
         let wl: Wl = Workload::single_op_each(4, TasOp::TestAndSet);
-        let res =
-            Executor::new().run(&mut mem, &mut a2, &wl, &mut RoundRobinAdversary::default());
+        let res = Executor::new().run(&mut mem, &mut a2, &wl, &mut RoundRobinAdversary::default());
         assert!(res.completed);
         assert_eq!(res.metrics.aborted_count(), 0);
         assert!(check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable());
@@ -121,10 +132,18 @@ mod tests {
         let res = Executor::new().run(&mut mem, &mut a2, &wl, &mut SoloAdversary);
         assert!(res.completed);
         let commits = res.trace.commits();
-        let winners = commits.iter().filter(|(_, r)| *r == TasResp::Winner).count();
+        let winners = commits
+            .iter()
+            .filter(|(_, r)| *r == TasResp::Winner)
+            .count();
         assert_eq!(winners, 1);
         // The L entrant took no shared-memory step.
-        let l_op = res.metrics.ops.iter().find(|o| o.proc == scl_spec::ProcessId(1)).unwrap();
+        let l_op = res
+            .metrics
+            .ops
+            .iter()
+            .find(|o| o.proc == scl_spec::ProcessId(1))
+            .unwrap();
         assert_eq!(l_op.steps, 0);
         // The trace with init tokens is certifiably safely composable
         // (Lemma 5).
@@ -134,20 +153,15 @@ mod tests {
     #[test]
     fn all_interleavings_are_linearizable() {
         let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
-        let outcome = explore_schedules(
-            |mem| A2Tas::new(mem),
-            &wl,
-            &ExploreConfig::default(),
-            |res, _| {
-                if !check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable() {
-                    return Err("not linearizable".into());
-                }
-                if res.metrics.aborted_count() > 0 {
-                    return Err("A2 aborted".into());
-                }
-                Ok(())
-            },
-        )
+        let outcome = explore_schedules(A2Tas::new, &wl, &ExploreConfig::default(), |res, _| {
+            if !check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable() {
+                return Err("not linearizable".into());
+            }
+            if res.metrics.aborted_count() > 0 {
+                return Err("A2 aborted".into());
+            }
+            Ok(())
+        })
         .expect("A2 must be linearizable under every interleaving");
         assert!(outcome.schedules() >= 2);
     }

@@ -33,7 +33,7 @@ impl ResettableTas {
     pub fn new(mem: &mut SharedMemory, n: usize) -> Self {
         let first_round = new_speculative_tas(mem);
         ResettableTas {
-            count: mem.alloc("resettable.Count", Value::Int(0)),
+            count: mem.alloc("resettable.Count", Value::int(0)),
             rounds: Rc::new(RefCell::new(vec![first_round])),
             crt_winner: Rc::new(RefCell::new(vec![false; n])),
         }
@@ -46,7 +46,11 @@ impl ResettableTas {
 
     /// Whether process `p` currently believes it is the winner.
     pub fn is_current_winner(&self, p: ProcessId) -> bool {
-        self.crt_winner.borrow().get(p.index()).copied().unwrap_or(false)
+        self.crt_winner
+            .borrow()
+            .get(p.index())
+            .copied()
+            .unwrap_or(false)
     }
 
     fn ensure_round(&self, mem: &mut SharedMemory, round: usize) {
@@ -112,7 +116,7 @@ impl OpExecution<TasSpec, TasSwitch> for ResetExec {
                 StepOutcome::Continue
             }
             ResetPhase::WriteCount(c) => {
-                mem.write(self.proc, self.obj.count, Value::Int(c + 1));
+                mem.write(self.proc, self.obj.count, Value::int(c + 1));
                 self.obj.crt_winner.borrow_mut()[self.proc.index()] = false;
                 StepOutcome::Done(OpOutcome::Commit(TasResp::ResetDone))
             }
@@ -158,9 +162,7 @@ impl SimObject<TasSpec, TasSwitch> for ResettableTas {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scl_sim::{
-        Executor, RandomAdversary, RoundRobinAdversary, SoloAdversary, Workload,
-    };
+    use scl_sim::{Executor, RandomAdversary, RoundRobinAdversary, SoloAdversary, Workload};
     use scl_spec::{check_linearizable, TasSpec};
 
     type Wl = Workload<TasSpec, TasSwitch>;
@@ -206,8 +208,7 @@ mod tests {
             let mut mem = SharedMemory::new();
             let mut tas = ResettableTas::new(&mut mem, 3);
             let wl: Wl = Workload::single_op_each(3, TasOp::TestAndSet);
-            let res =
-                Executor::new().run(&mut mem, &mut tas, &wl, &mut RandomAdversary::new(seed));
+            let res = Executor::new().run(&mut mem, &mut tas, &wl, &mut RandomAdversary::new(seed));
             assert!(res.completed);
             let winners = res
                 .trace
@@ -274,8 +275,12 @@ mod tests {
         let mut tas = ResettableTas::new(&mut mem, 2);
         // Round 0 under contention.
         let wl0: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
-        let res0 =
-            Executor::new().run(&mut mem, &mut tas, &wl0, &mut RoundRobinAdversary::default());
+        let res0 = Executor::new().run(
+            &mut mem,
+            &mut tas,
+            &wl0,
+            &mut RoundRobinAdversary::default(),
+        );
         assert!(res0.completed);
         let winner_proc = res0
             .trace
@@ -303,7 +308,10 @@ mod tests {
             .unwrap();
         // 1 step to read Count + at most MAX_STEPS inside the fresh A1.
         assert!(tas_op.steps <= 1 + crate::tas::A1Tas::MAX_STEPS);
-        assert_eq!(tas_op.rmws, 0, "fresh round must be back on the register-only fast path");
+        assert_eq!(
+            tas_op.rmws, 0,
+            "fresh round must be back on the register-only fast path"
+        );
         assert_eq!(tas.rounds_allocated(), 2);
     }
 }

@@ -32,7 +32,10 @@ pub fn new_speculative_tas(mem: &mut SharedMemory) -> SpeculativeTas {
 
 /// Allocates a fresh solo-fast test-and-set (Appendix B).
 pub fn new_solo_fast_tas(mem: &mut SharedMemory) -> SoloFastTas {
-    Composed::new(A1Tas::with_variant(mem, A1Variant::SoloFast), A2Tas::new(mem))
+    Composed::new(
+        A1Tas::with_variant(mem, A1Variant::SoloFast),
+        A2Tas::new(mem),
+    )
 }
 
 #[cfg(test)]
@@ -57,7 +60,10 @@ mod tests {
         let res = Executor::new().run(&mut mem, &mut tas, &wl, &mut SoloAdversary);
         assert_eq!(res.trace.commits()[0].1, TasResp::Winner);
         assert_eq!(res.metrics.ops[0].steps, A1Tas::MAX_STEPS);
-        assert_eq!(res.metrics.ops[0].rmws, 0, "fast path must not use strong primitives");
+        assert_eq!(
+            res.metrics.ops[0].rmws, 0,
+            "fast path must not use strong primitives"
+        );
         assert_eq!(tas.switch_count(), 0, "no switch to the hardware module");
         // Only register-class objects were touched.
         assert_eq!(mem.max_required_consensus_number(), Some(1));
@@ -92,7 +98,11 @@ mod tests {
             let res =
                 Executor::new().run(&mut mem, &mut tas, &wl, &mut RoundRobinAdversary::default());
             assert!(res.completed, "n={n}");
-            assert_eq!(res.metrics.aborted_count(), 0, "the composition never aborts");
+            assert_eq!(
+                res.metrics.aborted_count(),
+                0,
+                "the composition never aborts"
+            );
             assert_eq!(res.metrics.committed_count(), n);
             let winners = res
                 .trace
@@ -101,9 +111,7 @@ mod tests {
                 .filter(|(_, r)| *r == TasResp::Winner)
                 .count();
             assert_eq!(winners, 1, "exactly one winner, n={n}");
-            assert!(
-                check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable()
-            );
+            assert!(check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable());
             // Base objects stay at consensus number ≤ 2 even on the slow path.
             let cn = mem.max_required_consensus_number();
             assert!(cn == Some(1) || cn == Some(2));
@@ -116,7 +124,10 @@ mod tests {
         let mut tas = new_speculative_tas(&mut mem);
         let wl: Wl = Workload::single_op_each(4, TasOp::TestAndSet);
         let _ = Executor::new().run(&mut mem, &mut tas, &wl, &mut RoundRobinAdversary::default());
-        assert!(tas.switch_count() > 0, "heavy step contention should trigger the slow path");
+        assert!(
+            tas.switch_count() > 0,
+            "heavy step contention should trigger the slow path"
+        );
     }
 
     #[test]
@@ -158,9 +169,13 @@ mod tests {
     fn exhaustive_two_process_check_linearizable_and_composable() {
         let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
         let outcome = explore_schedules(
-            |mem| new_speculative_tas(mem),
+            new_speculative_tas,
             &wl,
-            &ExploreConfig { max_schedules: 500_000, max_ticks: 10_000 },
+            &ExploreConfig {
+                max_schedules: 500_000,
+                max_ticks: 10_000,
+                ..Default::default()
+            },
             |res, _| {
                 if !res.completed {
                     return Err("did not complete".into());
@@ -206,9 +221,13 @@ mod tests {
     fn solo_fast_exhaustive_two_process_check() {
         let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
         explore_schedules(
-            |mem| new_solo_fast_tas(mem),
+            new_solo_fast_tas,
             &wl,
-            &ExploreConfig { max_schedules: 500_000, max_ticks: 10_000 },
+            &ExploreConfig {
+                max_schedules: 500_000,
+                max_ticks: 10_000,
+                ..Default::default()
+            },
             |res, _| {
                 let winners = res
                     .trace

@@ -45,9 +45,7 @@ use scl_sim::{
     Adversary, Executor, OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome,
     Value, Workload,
 };
-use scl_spec::{
-    AbstractTrace, CounterOp, CounterSpec, History, Request, SequentialSpec,
-};
+use scl_spec::{AbstractTrace, CounterOp, CounterSpec, History, Request, SequentialSpec};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::rc::Rc;
@@ -76,13 +74,14 @@ pub struct UniversalConstruction<S: SequentialSpec, C: AbortableConsensus> {
 impl<S: SequentialSpec, C: AbortableConsensus> UniversalConstruction<S, C> {
     /// Allocates a fresh instance for `n` processes.
     pub fn new(mem: &mut SharedMemory, n: usize, spec: S) -> Self {
-        let commit_counts =
-            (0..n).map(|i| mem.alloc(&format!("universal.C[{i}]"), Value::Int(0))).collect();
+        let commit_counts = (0..n)
+            .map(|i| mem.alloc(&format!("universal.C[{i}]"), Value::int(0)))
+            .collect();
         UniversalConstruction {
             spec,
             n,
             commit_counts: Rc::new(commit_counts),
-            aborted: mem.alloc("universal.Aborted", Value::Bool(false)),
+            aborted: mem.alloc("universal.Aborted", Value::FALSE),
             cons: Rc::new(RefCell::new(Vec::new())),
             local_commits: Rc::new(RefCell::new(vec![0; n])),
             requests: Rc::new(RefCell::new(BTreeMap::new())),
@@ -126,9 +125,7 @@ enum UcPhase {
     /// Read the `Aborted` flag before working on the next slot.
     CheckAborted,
     /// Drive the consensus instance of the current slot.
-    InConsensus {
-        exec: Box<dyn ConsensusExec>,
-    },
+    InConsensus { exec: Box<dyn ConsensusExec> },
     /// Our request was decided: increment the committed-request counter.
     IncrementCounter,
     /// Final check of the `Aborted` flag before committing.
@@ -247,7 +244,7 @@ impl<S: SequentialSpec + 'static, C: AbortableConsensus> OpExecution<S, History<
                 local[p.index()] += 1;
                 let total = local[p.index()] as i64;
                 drop(local);
-                mem.write(p, self.obj.commit_counts[p.index()], Value::Int(total));
+                mem.write(p, self.obj.commit_counts[p.index()], Value::int(total));
                 self.phase = UcPhase::FinalAbortCheck;
                 StepOutcome::Continue
             }
@@ -260,7 +257,7 @@ impl<S: SequentialSpec + 'static, C: AbortableConsensus> OpExecution<S, History<
                 }
             }
             UcPhase::SetAborted => {
-                mem.write(p, self.obj.aborted, Value::Bool(true));
+                mem.write(p, self.obj.aborted, Value::TRUE);
                 self.phase = UcPhase::ReadCount { idx: 0, sum: 0 };
                 StepOutcome::Continue
             }
@@ -268,10 +265,17 @@ impl<S: SequentialSpec + 'static, C: AbortableConsensus> OpExecution<S, History<
                 let i = *idx;
                 *sum += mem.read(p, self.obj.commit_counts[i]).as_int().max(0) as usize;
                 if i + 1 < self.obj.commit_counts.len() {
-                    self.phase = UcPhase::ReadCount { idx: i + 1, sum: *sum };
+                    self.phase = UcPhase::ReadCount {
+                        idx: i + 1,
+                        sum: *sum,
+                    };
                 } else {
                     let limit = (*sum).max(self.decided.len());
-                    self.phase = UcPhase::Recover { limit, slot: 0, exec: None };
+                    self.phase = UcPhase::Recover {
+                        limit,
+                        slot: 0,
+                        exec: None,
+                    };
                 }
                 StepOutcome::Continue
             }
@@ -325,9 +329,14 @@ impl<S: SequentialSpec + 'static, C: AbortableConsensus> SimObject<S, History<S>
         // Make sure the payloads of init-history requests are known locally
         // (they come from another module's abort history).
         for r in init.iter() {
-            self.requests.borrow_mut().entry(r.id.raw()).or_insert_with(|| r.clone());
+            self.requests
+                .borrow_mut()
+                .entry(r.id.raw())
+                .or_insert_with(|| r.clone());
         }
-        self.log.borrow_mut().record_invoke(req.clone(), init.clone());
+        self.log
+            .borrow_mut()
+            .record_invoke(req.clone(), init.clone());
         let mut to_propose: VecDeque<u64> = init.iter().map(|r| r.id.raw()).collect();
         if !to_propose.contains(&req.id.raw()) {
             to_propose.push_back(req.id.raw());
@@ -418,7 +427,8 @@ pub fn consensus_via_abstract(
         return Err("the wait-free universal construction did not terminate".into());
     }
     let log = uc.recorded_abstract_trace();
-    log.check().map_err(|e| format!("Abstract property violated: {e}"))?;
+    log.check()
+        .map_err(|e| format!("Abstract property violated: {e}"))?;
     let mut decisions = vec![None; n];
     for (req_id, history) in log.commit_histories() {
         let owner = log
@@ -429,7 +439,9 @@ pub fn consensus_via_abstract(
                 _ => None,
             })
             .ok_or_else(|| "commit for unknown request".to_string())?;
-        let first = history.head().ok_or_else(|| "empty commit history".to_string())?;
+        let first = history
+            .head()
+            .ok_or_else(|| "empty commit history".to_string())?;
         decisions[owner.index()] = Some(proposals[first.proc.index()]);
     }
     decisions
@@ -450,8 +462,7 @@ mod tests {
     #[test]
     fn wait_free_instance_implements_a_queue_sequentially() {
         let mut mem = SharedMemory::new();
-        let mut uc =
-            UniversalConstruction::<QueueSpec, CasConsensus>::new(&mut mem, 2, QueueSpec);
+        let mut uc = UniversalConstruction::<QueueSpec, CasConsensus>::new(&mut mem, 2, QueueSpec);
         let wl: Workload<QueueSpec, History<QueueSpec>> = Workload::from_ops(vec![
             vec![QueueOp::Enqueue(1), QueueOp::Enqueue(2), QueueOp::Dequeue],
             vec![QueueOp::Dequeue],
@@ -471,13 +482,11 @@ mod tests {
                 UniversalConstruction::<CounterSpec, CasConsensus>::new(&mut mem, 3, CounterSpec);
             let wl: Workload<CounterSpec, History<CounterSpec>> =
                 Workload::uniform(3, CounterOp::Increment, 2);
-            let res =
-                Executor::new().run(&mut mem, &mut uc, &wl, &mut RandomAdversary::new(seed));
+            let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut RandomAdversary::new(seed));
             assert!(res.completed, "seed {seed}");
             assert_eq!(res.metrics.aborted_count(), 0);
             assert!(
-                check_linearizable(&CounterSpec, &res.trace.commit_projection())
-                    .is_linearizable(),
+                check_linearizable(&CounterSpec, &res.trace.commit_projection()).is_linearizable(),
                 "seed {seed}"
             );
             assert_eq!(uc.recorded_abstract_trace().check(), Ok(()), "seed {seed}");
@@ -487,11 +496,8 @@ mod tests {
     #[test]
     fn register_only_instance_commits_without_contention() {
         let mut mem = SharedMemory::new();
-        let mut uc = UniversalConstruction::<RegisterSpec, SplitConsensus>::new(
-            &mut mem,
-            2,
-            RegisterSpec,
-        );
+        let mut uc =
+            UniversalConstruction::<RegisterSpec, SplitConsensus>::new(&mut mem, 2, RegisterSpec);
         let wl: Workload<RegisterSpec, History<RegisterSpec>> = Workload::from_ops(vec![
             vec![RegisterOp::Write(7), RegisterOp::Read],
             vec![RegisterOp::Read],
@@ -512,29 +518,35 @@ mod tests {
         let mut found_abort = false;
         for seed in 0..30 {
             let mut mem = SharedMemory::new();
-            let mut uc = UniversalConstruction::<CounterSpec, SplitConsensus>::new(
-                &mut mem,
-                3,
-                CounterSpec,
-            );
+            let mut uc =
+                UniversalConstruction::<CounterSpec, SplitConsensus>::new(&mut mem, 3, CounterSpec);
             let wl: Workload<CounterSpec, History<CounterSpec>> =
                 Workload::single_op_each(3, CounterOp::Increment);
-            let res = Executor::new()
-                .on_abort(OnAbort::Stop)
-                .run(&mut mem, &mut uc, &wl, &mut RandomAdversary::new(seed));
+            let res = Executor::new().on_abort(OnAbort::Stop).run(
+                &mut mem,
+                &mut uc,
+                &wl,
+                &mut RandomAdversary::new(seed),
+            );
             assert!(res.completed, "seed {seed}");
             if res.metrics.aborted_count() > 0 {
                 found_abort = true;
             }
             let log = uc.recorded_abstract_trace();
-            assert_eq!(log.check(), Ok(()), "seed {seed}: Abstract properties must hold");
+            assert_eq!(
+                log.check(),
+                Ok(()),
+                "seed {seed}: Abstract properties must hold"
+            );
             assert!(
-                check_linearizable(&CounterSpec, &res.trace.commit_projection())
-                    .is_linearizable(),
+                check_linearizable(&CounterSpec, &res.trace.commit_projection()).is_linearizable(),
                 "seed {seed}"
             );
         }
-        assert!(found_abort, "contention should trigger at least one abort across seeds");
+        assert!(
+            found_abort,
+            "contention should trigger at least one abort across seeds"
+        );
     }
 
     #[test]
@@ -544,13 +556,15 @@ mod tests {
             let mut uc = new_composable_universal(&mut mem, 3, CounterSpec);
             let wl: Workload<CounterSpec, History<CounterSpec>> =
                 Workload::uniform(3, CounterOp::Increment, 2);
-            let res =
-                Executor::new().run(&mut mem, &mut uc, &wl, &mut RandomAdversary::new(seed));
+            let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut RandomAdversary::new(seed));
             assert!(res.completed, "seed {seed}");
-            assert_eq!(res.metrics.aborted_count(), 0, "the composition never aborts");
+            assert_eq!(
+                res.metrics.aborted_count(),
+                0,
+                "the composition never aborts"
+            );
             assert!(
-                check_linearizable(&CounterSpec, &res.trace.commit_projection())
-                    .is_linearizable(),
+                check_linearizable(&CounterSpec, &res.trace.commit_projection()).is_linearizable(),
                 "seed {seed}"
             );
         }
@@ -564,7 +578,11 @@ mod tests {
             Workload::uniform(2, CounterOp::Increment, 2);
         let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut SoloAdversary);
         assert!(res.completed);
-        assert_eq!(uc.switch_count(), 0, "no operation should leave the speculative instance");
+        assert_eq!(
+            uc.switch_count(),
+            0,
+            "no operation should leave the speculative instance"
+        );
         assert_eq!(mem.max_required_consensus_number(), Some(1));
     }
 
@@ -576,13 +594,10 @@ mod tests {
         let mut uc = new_composable_universal(&mut mem, 3, CounterSpec);
         let wl: Workload<CounterSpec, History<CounterSpec>> =
             Workload::single_op_each(3, CounterOp::Increment);
-        let res =
-            Executor::new().run(&mut mem, &mut uc, &wl, &mut RoundRobinAdversary::default());
+        let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut RoundRobinAdversary::default());
         assert!(res.completed);
         assert_eq!(res.metrics.aborted_count(), 0);
-        assert!(
-            check_linearizable(&CounterSpec, &res.trace.commit_projection()).is_linearizable()
-        );
+        assert!(check_linearizable(&CounterSpec, &res.trace.commit_projection()).is_linearizable());
         if uc.switch_count() > 0 {
             // The slow path uses CAS, i.e. consensus number ∞ base objects —
             // exactly the cost Proposition 2 predicts for generic objects.
@@ -610,11 +625,8 @@ mod tests {
         // history of committed requests, i.e. linear.
         for ops in [2usize, 4, 8] {
             let mut mem = SharedMemory::new();
-            let mut uc = UniversalConstruction::<CounterSpec, SplitConsensus>::new(
-                &mut mem,
-                2,
-                CounterSpec,
-            );
+            let mut uc =
+                UniversalConstruction::<CounterSpec, SplitConsensus>::new(&mut mem, 2, CounterSpec);
             // Process 0 commits `ops` operations alone, then both processes
             // contend and at least one aborts.
             let mut per_proc = vec![Vec::new(), Vec::new()];
@@ -624,9 +636,12 @@ mod tests {
             assert!(res.completed);
             let wl2: Workload<CounterSpec, History<CounterSpec>> =
                 Workload::single_op_each(2, CounterOp::Increment);
-            let res2 = Executor::new()
-                .on_abort(OnAbort::Stop)
-                .run(&mut mem, &mut uc, &wl2, &mut RoundRobinAdversary::default());
+            let res2 = Executor::new().on_abort(OnAbort::Stop).run(
+                &mut mem,
+                &mut uc,
+                &wl2,
+                &mut RoundRobinAdversary::default(),
+            );
             assert!(res2.completed);
             let log = uc.recorded_abstract_trace();
             if let Some((_, h)) = log.abort_histories().first() {
@@ -647,7 +662,10 @@ mod tests {
                 consensus_via_abstract(&proposals, &mut RandomAdversary::new(seed)).unwrap();
             assert_eq!(decisions.len(), proposals.len());
             // Agreement.
-            assert!(decisions.windows(2).all(|w| w[0] == w[1]), "seed {seed}: {decisions:?}");
+            assert!(
+                decisions.windows(2).all(|w| w[0] == w[1]),
+                "seed {seed}: {decisions:?}"
+            );
             // Validity.
             assert!(proposals.contains(&decisions[0]), "seed {seed}");
         }
@@ -663,6 +681,10 @@ mod tests {
             Workload::uniform(2, CounterOp::Increment, 3);
         let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut SoloAdversary);
         assert!(res.completed);
-        assert_eq!(uc.consensus_instances(), 6, "one consensus instance per committed request");
+        assert_eq!(
+            uc.consensus_instances(),
+            6,
+            "one consensus instance per committed request"
+        );
     }
 }

@@ -30,13 +30,18 @@ impl BiasedLock {
     /// Creates a lock that supports up to `max_acquisitions` lock/unlock
     /// cycles (the capacity of the underlying round array).
     pub fn new(max_acquisitions: usize) -> Self {
-        BiasedLock { tas: ResettableTas::new(max_acquisitions) }
+        BiasedLock {
+            tas: ResettableTas::new(max_acquisitions),
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self, me: usize) -> Option<BiasedLockGuard<'_>> {
         if self.tas.test_and_set(me) == TasResult::Winner {
-            Some(BiasedLockGuard { lock: self, owner: me })
+            Some(BiasedLockGuard {
+                lock: self,
+                owner: me,
+            })
         } else {
             None
         }
@@ -71,7 +76,10 @@ impl BiasedLock {
 impl Drop for BiasedLockGuard<'_> {
     fn drop(&mut self) {
         let released = self.lock.tas.reset(self.owner);
-        debug_assert!(released || self.lock.tas.round() > 0, "release must succeed while capacity remains");
+        debug_assert!(
+            released || self.lock.tas.round() > 0,
+            "release must succeed while capacity remains"
+        );
     }
 }
 
@@ -122,6 +130,10 @@ mod tests {
                 });
             }
         });
-        assert_eq!(max_seen.load(Ordering::SeqCst), 1, "at most one thread in the critical section");
+        assert_eq!(
+            max_seen.load(Ordering::SeqCst),
+            1,
+            "at most one thread in the critical section"
+        );
     }
 }

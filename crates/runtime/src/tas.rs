@@ -62,7 +62,10 @@ impl AtomicA1 {
     /// A fresh instance of the Appendix B solo-fast variant (no entry check
     /// of the `aborted` flag).
     pub fn new_solo_fast() -> Self {
-        AtomicA1 { solo_fast: true, ..Self::new() }
+        AtomicA1 {
+            solo_fast: true,
+            ..Self::new()
+        }
     }
 
     /// One test-and-set attempt by thread `me`, optionally entering with a
@@ -174,12 +177,20 @@ impl Default for SpeculativeTas {
 impl SpeculativeTas {
     /// A fresh speculative test-and-set.
     pub fn new() -> Self {
-        SpeculativeTas { a1: AtomicA1::new(), a2: AtomicA2::new(), stats: OpStats::new() }
+        SpeculativeTas {
+            a1: AtomicA1::new(),
+            a2: AtomicA2::new(),
+            stats: OpStats::new(),
+        }
     }
 
     /// A fresh solo-fast test-and-set (Appendix B).
     pub fn new_solo_fast() -> Self {
-        SpeculativeTas { a1: AtomicA1::new_solo_fast(), a2: AtomicA2::new(), stats: OpStats::new() }
+        SpeculativeTas {
+            a1: AtomicA1::new_solo_fast(),
+            a2: AtomicA2::new(),
+            stats: OpStats::new(),
+        }
     }
 
     /// Performs the test-and-set as thread `me` (`me` must not be
@@ -325,7 +336,12 @@ impl ResettableTas {
             slow += r.stats().slow_path_commits();
             rmw += r.stats().rmw_instructions();
         }
-        OpStatsSnapshot { fast_path_commits: fast, slow_path_commits: slow, rmw_instructions: rmw, resets: self.stats.resets() }
+        OpStatsSnapshot {
+            fast_path_commits: fast,
+            slow_path_commits: slow,
+            rmw_instructions: rmw,
+            resets: self.stats.resets(),
+        }
     }
 }
 
@@ -346,7 +362,9 @@ pub struct OpStatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scl_spec::{check_linearizable, ConcurrentHistory, Request, RequestId, TasOp, TasResp, TasSpec};
+    use scl_spec::{
+        check_linearizable, ConcurrentHistory, Request, RequestId, TasOp, TasResp, TasSpec,
+    };
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
@@ -370,18 +388,33 @@ mod tests {
     #[test]
     fn a1_module_solo_winner_then_losers() {
         let a1 = AtomicA1::new();
-        assert_eq!(a1.test_and_set(3, None), ModuleOutcome::Commit(TasResult::Winner));
-        assert_eq!(a1.test_and_set(5, None), ModuleOutcome::Commit(TasResult::Loser));
-        assert_eq!(a1.test_and_set(5, Some(TasSwitch::L)), ModuleOutcome::Commit(TasResult::Loser));
+        assert_eq!(
+            a1.test_and_set(3, None),
+            ModuleOutcome::Commit(TasResult::Winner)
+        );
+        assert_eq!(
+            a1.test_and_set(5, None),
+            ModuleOutcome::Commit(TasResult::Loser)
+        );
+        assert_eq!(
+            a1.test_and_set(5, Some(TasSwitch::L)),
+            ModuleOutcome::Commit(TasResult::Loser)
+        );
     }
 
     #[test]
     fn a2_module_l_entrant_loses_without_rmw() {
         let a2 = AtomicA2::new();
         let stats = OpStats::new();
-        assert_eq!(a2.test_and_set(Some(TasSwitch::L), &stats), TasResult::Loser);
+        assert_eq!(
+            a2.test_and_set(Some(TasSwitch::L), &stats),
+            TasResult::Loser
+        );
         assert_eq!(stats.rmw_instructions(), 0);
-        assert_eq!(a2.test_and_set(Some(TasSwitch::W), &stats), TasResult::Winner);
+        assert_eq!(
+            a2.test_and_set(Some(TasSwitch::W), &stats),
+            TasResult::Winner
+        );
         assert_eq!(a2.test_and_set(None, &stats), TasResult::Loser);
         assert_eq!(stats.rmw_instructions(), 2);
     }
@@ -498,7 +531,10 @@ mod tests {
         assert!(!tas.reset(0));
         let stats = tas.stats();
         assert_eq!(stats.resets, 7);
-        assert_eq!(stats.slow_path_commits, 0, "uncontended rounds stay on the fast path");
+        assert_eq!(
+            stats.slow_path_commits, 0,
+            "uncontended rounds stay on the fast path"
+        );
     }
 
     #[test]
@@ -549,7 +585,9 @@ mod tests {
         // the race; the assertion is therefore advisory only when the fast
         // path always won.
         if !saw_slow_path {
-            eprintln!("note: speculation never failed on this machine (no step contention observed)");
+            eprintln!(
+                "note: speculation never failed on this machine (no step contention observed)"
+            );
         }
     }
 }

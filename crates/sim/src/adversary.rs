@@ -22,8 +22,7 @@
 //! * [`ScriptedAdversary`] — replays an explicit schedule (used by the
 //!   exhaustive exploration in [`crate::explore`]).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SplitMix64;
 use scl_spec::ProcessId;
 
 /// The scheduler's view of the execution at a decision point.
@@ -67,11 +66,7 @@ impl Adversary for InvokeAllThenSequential {
     fn next(&mut self, view: &SchedView<'_>) -> ProcessId {
         // While some enabled process has not yet invoked (is not in
         // progress), schedule it so that its invocation is recorded.
-        if let Some(idle) = view
-            .enabled
-            .iter()
-            .find(|p| !view.in_progress.contains(p))
-        {
+        if let Some(idle) = view.enabled.iter().find(|p| !view.in_progress.contains(p)) {
             return *idle;
         }
         // Every enabled process has an operation in progress: run them to
@@ -104,19 +99,21 @@ impl Adversary for RoundRobinAdversary {
 /// Chooses uniformly at random among enabled processes, from a fixed seed.
 #[derive(Debug, Clone)]
 pub struct RandomAdversary {
-    rng: StdRng,
+    rng: SplitMix64,
 }
 
 impl RandomAdversary {
     /// Creates a random adversary from a seed.
     pub fn new(seed: u64) -> Self {
-        RandomAdversary { rng: StdRng::seed_from_u64(seed) }
+        RandomAdversary {
+            rng: SplitMix64::new(seed),
+        }
     }
 }
 
 impl Adversary for RandomAdversary {
     fn next(&mut self, view: &SchedView<'_>) -> ProcessId {
-        let i = self.rng.gen_range(0..view.enabled.len());
+        let i = self.rng.next_below(view.enabled.len());
         view.enabled[i]
     }
 }
@@ -159,7 +156,11 @@ mod tests {
         in_progress: &'a [ProcessId],
         tick: u64,
     ) -> SchedView<'a> {
-        SchedView { enabled, in_progress, tick }
+        SchedView {
+            enabled,
+            in_progress,
+            tick,
+        }
     }
 
     #[test]
@@ -189,8 +190,7 @@ mod tests {
     fn round_robin_alternates() {
         let mut a = RoundRobinAdversary::default();
         let enabled = [ProcessId(0), ProcessId(1), ProcessId(2)];
-        let choices: Vec<ProcessId> =
-            (0..6).map(|t| a.next(&view(&enabled, &[], t))).collect();
+        let choices: Vec<ProcessId> = (0..6).map(|t| a.next(&view(&enabled, &[], t))).collect();
         assert_eq!(
             choices,
             vec![
@@ -209,7 +209,9 @@ mod tests {
         let enabled = [ProcessId(0), ProcessId(1), ProcessId(2)];
         let run = |seed| {
             let mut a = RandomAdversary::new(seed);
-            (0..10).map(|t| a.next(&view(&enabled, &[], t))).collect::<Vec<_>>()
+            (0..10)
+                .map(|t| a.next(&view(&enabled, &[], t)))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
     }

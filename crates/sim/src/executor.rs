@@ -14,6 +14,22 @@
 //! The executor also records, for every tick, which processes were enabled
 //! and which was chosen, so that [`crate::explore`] can enumerate alternative
 //! schedules.
+//!
+//! # Hot-path structure
+//!
+//! The schedule explorer runs up to hundreds of thousands of executions, so
+//! the engine is built to be *reused*:
+//!
+//! * an [`ExecSession`] owns every buffer a run needs (process states, the
+//!   result's trace/metrics/ops vectors, the decision log, and the scratch
+//!   enabled/in-progress sets); [`Executor::run_in`] rewinds and refills it,
+//!   so a warm session executes a schedule without allocating beyond what
+//!   the object itself boxes per operation;
+//! * scheduling decisions are stored in a flat [`DecisionLog`] (one chosen
+//!   vector plus a flattened enabled-set pool) instead of one heap-allocated
+//!   `Vec` per tick;
+//! * a [`TraceMode::MetricsOnly`] run skips all per-event trace pushes for
+//!   exploration checks that only consume metrics and memory state.
 
 use crate::adversary::{Adversary, SchedView};
 use crate::machine::{OpExecution, OpOutcome, SimObject, StepOutcome};
@@ -34,12 +50,16 @@ pub struct Workload<S: SequentialSpec, V> {
 impl<S: SequentialSpec, V: Clone> Workload<S, V> {
     /// Every one of `n` processes invokes the same operation once.
     pub fn single_op_each(n: usize, op: S::Op) -> Self {
-        Workload { ops: vec![vec![(op, None)]; n] }
+        Workload {
+            ops: vec![vec![(op, None)]; n],
+        }
     }
 
     /// Every one of `n` processes invokes the same operation `count` times.
     pub fn uniform(n: usize, op: S::Op, count: usize) -> Self {
-        Workload { ops: vec![vec![(op, None); count]; n] }
+        Workload {
+            ops: vec![vec![(op, None); count]; n],
+        }
     }
 
     /// A workload built from explicit per-process operation lists (without
@@ -77,14 +97,87 @@ pub enum OnAbort {
     ContinueNextOp,
 }
 
-/// One scheduling decision: which processes were enabled and which was
-/// chosen. Used by the schedule explorer.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Decision {
+/// Whether the executor records the full event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record every invoke/init/commit/abort event (the default).
+    #[default]
+    Full,
+    /// Skip all trace pushes; only metrics, op records and decisions are
+    /// produced. For exploration checks that never look at the trace.
+    MetricsOnly,
+}
+
+/// One scheduling decision, viewed out of a [`DecisionLog`]: which processes
+/// were enabled and which was chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision<'a> {
     /// Enabled processes at this tick, in ascending order.
-    pub enabled: Vec<ProcessId>,
+    pub enabled: &'a [ProcessId],
     /// The process that was scheduled.
     pub chosen: ProcessId,
+}
+
+/// The scheduling decisions of an execution in flat storage: the chosen
+/// process per tick, plus all enabled sets concatenated into one pool. This
+/// avoids the per-tick `Vec` the old `Vec<Decision>` layout allocated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DecisionLog {
+    chosen: Vec<ProcessId>,
+    enabled_pool: Vec<ProcessId>,
+    /// `ends[i]` is the end offset of decision `i`'s enabled set in
+    /// `enabled_pool`; its start is `ends[i - 1]` (or 0).
+    ends: Vec<usize>,
+}
+
+impl DecisionLog {
+    /// Number of decisions (= ticks).
+    pub fn len(&self) -> usize {
+        self.chosen.len()
+    }
+
+    /// Whether no decision was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.chosen.is_empty()
+    }
+
+    /// The chosen process per tick — the schedule itself.
+    pub fn chosen(&self) -> &[ProcessId] {
+        &self.chosen
+    }
+
+    /// The process chosen at tick `i`.
+    pub fn chosen_at(&self, i: usize) -> ProcessId {
+        self.chosen[i]
+    }
+
+    /// The processes enabled at tick `i`, in ascending order.
+    pub fn enabled_at(&self, i: usize) -> &[ProcessId] {
+        let start = if i == 0 { 0 } else { self.ends[i - 1] };
+        &self.enabled_pool[start..self.ends[i]]
+    }
+
+    /// Appends a decision.
+    pub fn push(&mut self, enabled: &[ProcessId], chosen: ProcessId) {
+        self.chosen.push(chosen);
+        self.enabled_pool.extend_from_slice(enabled);
+        self.ends.push(self.enabled_pool.len());
+    }
+
+    /// Clears the log, keeping its allocations.
+    pub fn clear(&mut self) {
+        self.chosen.clear();
+        self.enabled_pool.clear();
+        self.ends.clear();
+    }
+
+    /// Iterates over the decisions.
+    pub fn iter(&self) -> impl Iterator<Item = Decision<'_>> + '_ {
+        (0..self.len()).map(|i| Decision {
+            enabled: self.enabled_at(i),
+            chosen: self.chosen_at(i),
+        })
+    }
 }
 
 /// One operation's record: the request and outcome indices into the trace.
@@ -99,14 +192,15 @@ pub struct OpRecord<S: SequentialSpec, V> {
 /// The result of one simulated execution.
 #[derive(Debug)]
 pub struct ExecutionResult<S: SequentialSpec, V> {
-    /// The recorded trace (invoke / init / commit / abort events).
+    /// The recorded trace (invoke / init / commit / abort events). Empty in
+    /// [`TraceMode::MetricsOnly`] runs.
     pub trace: Trace<S, V>,
     /// Per-operation measurements.
     pub metrics: ExecutionMetrics,
     /// Operation records in invocation order.
     pub ops: Vec<OpRecord<S, V>>,
     /// The scheduling decisions, one per tick.
-    pub decisions: Vec<Decision>,
+    pub decisions: DecisionLog,
     /// Whether every workload operation ran to a response before the tick
     /// limit.
     pub completed: bool,
@@ -114,10 +208,85 @@ pub struct ExecutionResult<S: SequentialSpec, V> {
     pub ticks: u64,
 }
 
+impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Default for ExecutionResult<S, V> {
+    fn default() -> Self {
+        ExecutionResult {
+            trace: Trace::new(),
+            metrics: ExecutionMetrics::default(),
+            ops: Vec::new(),
+            decisions: DecisionLog::default(),
+            completed: false,
+            ticks: 0,
+        }
+    }
+}
+
 enum ProcState<S: SequentialSpec, V> {
-    Idle { next_op: usize },
-    Running { exec: Box<dyn OpExecution<S, V>>, metrics_idx: usize, op_cursor: usize },
+    Idle {
+        next_op: usize,
+    },
+    Running {
+        exec: Box<dyn OpExecution<S, V>>,
+        metrics_idx: usize,
+        op_cursor: usize,
+    },
     Done,
+}
+
+/// A reusable execution context: owns the result buffers and the executor's
+/// scratch state so repeated runs (one per explored schedule) reuse all
+/// allocations. Create once per worker, pass to [`Executor::run_in`].
+pub struct ExecSession<S: SequentialSpec, V> {
+    states: Vec<ProcState<S, V>>,
+    open: Vec<usize>,
+    enabled: Vec<ProcessId>,
+    in_progress: Vec<ProcessId>,
+    result: ExecutionResult<S, V>,
+}
+
+impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Default for ExecSession<S, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
+    /// A fresh session.
+    pub fn new() -> Self {
+        ExecSession {
+            states: Vec::new(),
+            open: Vec::new(),
+            enabled: Vec::new(),
+            in_progress: Vec::new(),
+            result: ExecutionResult::default(),
+        }
+    }
+
+    /// The result of the last [`Executor::run_in`] on this session.
+    pub fn result(&self) -> &ExecutionResult<S, V> {
+        &self.result
+    }
+
+    /// Consumes the session, returning the last result.
+    pub fn into_result(self) -> ExecutionResult<S, V> {
+        self.result
+    }
+
+    /// Rewinds every buffer, keeping allocations.
+    fn rewind(&mut self, n: usize) {
+        self.states.clear();
+        self.states
+            .extend((0..n).map(|_| ProcState::Idle { next_op: 0 }));
+        self.open.clear();
+        self.enabled.clear();
+        self.in_progress.clear();
+        self.result.trace.clear();
+        self.result.metrics.ops.clear();
+        self.result.ops.clear();
+        self.result.decisions.clear();
+        self.result.completed = false;
+        self.result.ticks = 0;
+    }
 }
 
 /// The execution engine. See the module documentation for the scheduling
@@ -128,11 +297,17 @@ pub struct Executor {
     pub max_ticks: u64,
     /// Behaviour after an operation aborts.
     pub on_abort: OnAbort,
+    /// Whether to record the full event trace.
+    pub trace_mode: TraceMode,
 }
 
 impl Default for Executor {
     fn default() -> Self {
-        Executor { max_ticks: 1_000_000, on_abort: OnAbort::Stop }
+        Executor {
+            max_ticks: 1_000_000,
+            on_abort: OnAbort::Stop,
+            trace_mode: TraceMode::Full,
+        }
     }
 }
 
@@ -154,7 +329,14 @@ impl Executor {
         self
     }
 
-    /// Runs the workload against the object under the given adversary.
+    /// Sets the trace mode.
+    pub fn trace_mode(mut self, trace_mode: TraceMode) -> Self {
+        self.trace_mode = trace_mode;
+        self
+    }
+
+    /// Runs the workload against the object under the given adversary,
+    /// allocating a fresh session. For repeated runs prefer [`Self::run_in`].
     pub fn run<S, V, O>(
         &self,
         mem: &mut SharedMemory,
@@ -167,78 +349,94 @@ impl Executor {
         V: Clone + Eq + Hash + Debug,
         O: SimObject<S, V> + ?Sized,
     {
+        let mut session = ExecSession::new();
+        self.run_in(&mut session, mem, object, workload, adversary);
+        session.into_result()
+    }
+
+    /// Runs the workload against the object under the given adversary,
+    /// reusing the session's buffers. The result is left in
+    /// [`ExecSession::result`].
+    pub fn run_in<S, V, O>(
+        &self,
+        session: &mut ExecSession<S, V>,
+        mem: &mut SharedMemory,
+        object: &mut O,
+        workload: &Workload<S, V>,
+        adversary: &mut dyn Adversary,
+    ) where
+        S: SequentialSpec,
+        V: Clone + Eq + Hash + Debug,
+        O: SimObject<S, V> + ?Sized,
+    {
         let n = workload.processes();
-        let mut states: Vec<ProcState<S, V>> = (0..n).map(|_| ProcState::Idle { next_op: 0 }).collect();
-        let mut trace: Trace<S, V> = Trace::new();
-        let mut metrics = ExecutionMetrics::default();
-        let mut ops: Vec<OpRecord<S, V>> = Vec::new();
-        let mut decisions: Vec<Decision> = Vec::new();
+        session.rewind(n);
+        let full_trace = self.trace_mode == TraceMode::Full;
         let mut idgen = RequestIdGen::new();
-        // Indices (into metrics.ops) of currently open operations.
-        let mut open: Vec<usize> = Vec::new();
         let mut tick: u64 = 0;
 
         loop {
             // Compute enabled processes.
-            let mut enabled: Vec<ProcessId> = Vec::new();
-            let mut in_progress: Vec<ProcessId> = Vec::new();
-            for (i, st) in states.iter().enumerate() {
+            session.enabled.clear();
+            session.in_progress.clear();
+            for (i, st) in session.states.iter().enumerate() {
                 match st {
                     ProcState::Idle { next_op } if *next_op < workload.ops[i].len() => {
-                        enabled.push(ProcessId(i));
+                        session.enabled.push(ProcessId(i));
                     }
                     ProcState::Running { .. } => {
-                        enabled.push(ProcessId(i));
-                        in_progress.push(ProcessId(i));
+                        session.enabled.push(ProcessId(i));
+                        session.in_progress.push(ProcessId(i));
                     }
                     _ => {}
                 }
             }
-            if enabled.is_empty() {
-                return ExecutionResult {
-                    trace,
-                    metrics,
-                    ops,
-                    decisions,
-                    completed: true,
-                    ticks: tick,
-                };
+            if session.enabled.is_empty() {
+                session.result.completed = true;
+                session.result.ticks = tick;
+                return;
             }
             if tick >= self.max_ticks {
-                return ExecutionResult {
-                    trace,
-                    metrics,
-                    ops,
-                    decisions,
-                    completed: false,
-                    ticks: tick,
-                };
+                session.result.completed = false;
+                session.result.ticks = tick;
+                return;
             }
 
-            let view = SchedView { enabled: &enabled, in_progress: &in_progress, tick };
+            let view = SchedView {
+                enabled: &session.enabled,
+                in_progress: &session.in_progress,
+                tick,
+            };
             let mut chosen = adversary.next(&view);
-            if !enabled.contains(&chosen) {
-                chosen = enabled[0];
+            if !session.enabled.contains(&chosen) {
+                chosen = session.enabled[0];
             }
-            decisions.push(Decision { enabled: enabled.clone(), chosen });
+            session.result.decisions.push(&session.enabled, chosen);
             let p = chosen;
             let pi = p.index();
 
-            match &mut states[pi] {
+            let metrics = &mut session.result.metrics;
+            match &mut session.states[pi] {
                 ProcState::Idle { next_op } => {
                     let cursor = *next_op;
                     let (op, switch) = workload.ops[pi][cursor].clone();
-                    let req = Request::<S> { id: idgen.fresh(), proc: p, op };
-                    match &switch {
-                        Some(v) => trace.record_init(req.clone(), v.clone()),
-                        None => trace.record_invoke(req.clone()),
+                    let req = Request::<S> {
+                        id: idgen.fresh(),
+                        proc: p,
+                        op,
+                    };
+                    if full_trace {
+                        match &switch {
+                            Some(v) => session.result.trace.record_init(req.clone(), v.clone()),
+                            None => session.result.trace.record_invoke(req.clone()),
+                        }
                     }
                     mem.begin_op(p);
                     let exec = object.invoke(mem, req.clone(), switch);
                     let metrics_idx = metrics.ops.len();
                     // Register overlaps with currently open operations.
                     let mut overlaps = 0;
-                    for &oi in &open {
+                    for &oi in &session.open {
                         if metrics.ops[oi].proc != p {
                             metrics.ops[oi].overlapping_ops += 1;
                             overlaps += 1;
@@ -256,11 +454,19 @@ impl Executor {
                         overlapping_ops: overlaps,
                         aborted: false,
                     });
-                    open.push(metrics_idx);
-                    ops.push(OpRecord { req, outcome: None });
-                    states[pi] = ProcState::Running { exec, metrics_idx, op_cursor: cursor };
+                    session.open.push(metrics_idx);
+                    session.result.ops.push(OpRecord { req, outcome: None });
+                    session.states[pi] = ProcState::Running {
+                        exec,
+                        metrics_idx,
+                        op_cursor: cursor,
+                    };
                 }
-                ProcState::Running { exec, metrics_idx, op_cursor } => {
+                ProcState::Running {
+                    exec,
+                    metrics_idx,
+                    op_cursor,
+                } => {
                     let midx = *metrics_idx;
                     let cursor = *op_cursor;
                     let before = mem.counters(p);
@@ -272,7 +478,7 @@ impl Executor {
                     metrics.ops[midx].rmws += after.rmws - before.rmws;
                     // Charge foreign steps to every other open operation.
                     if dsteps > 0 {
-                        for &oi in &open {
+                        for &oi in &session.open {
                             if metrics.ops[oi].proc != p {
                                 metrics.ops[oi].foreign_steps += dsteps;
                             }
@@ -281,24 +487,30 @@ impl Executor {
                     if let StepOutcome::Done(outcome) = outcome {
                         let req_id = metrics.ops[midx].req_id;
                         metrics.ops[midx].response_tick = Some(tick);
-                        open.retain(|&oi| oi != midx);
+                        session.open.retain(|&oi| oi != midx);
                         let aborted = match &outcome {
                             OpOutcome::Commit(resp) => {
-                                trace.record_commit(p, req_id, resp.clone());
+                                if full_trace {
+                                    session.result.trace.record_commit(p, req_id, resp.clone());
+                                }
                                 false
                             }
                             OpOutcome::Abort(v) => {
-                                trace.record_abort(p, req_id, v.clone());
+                                if full_trace {
+                                    session.result.trace.record_abort(p, req_id, v.clone());
+                                }
                                 true
                             }
                         };
                         metrics.ops[midx].aborted = aborted;
-                        ops[midx].outcome = Some(outcome);
+                        session.result.ops[midx].outcome = Some(outcome);
                         let has_more = cursor + 1 < workload.ops[pi].len();
-                        states[pi] = if aborted && self.on_abort == OnAbort::Stop {
+                        session.states[pi] = if aborted && self.on_abort == OnAbort::Stop {
                             ProcState::Done
                         } else if has_more {
-                            ProcState::Idle { next_op: cursor + 1 }
+                            ProcState::Idle {
+                                next_op: cursor + 1,
+                            }
                         } else {
                             ProcState::Done
                         };
@@ -314,7 +526,7 @@ impl Executor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::adversary::{RoundRobinAdversary, SoloAdversary};
+    use crate::adversary::{RoundRobinAdversary, ScriptedAdversary, SoloAdversary};
     use crate::machine::{ImmediateOutcome, OpExecution, OpOutcome, SimObject, StepOutcome};
     use crate::memory::RegId;
     use crate::value::Value;
@@ -327,7 +539,9 @@ mod tests {
 
     impl SwapTas {
         fn new(mem: &mut SharedMemory) -> Self {
-            SwapTas { flag: mem.alloc("flag", Value::Bool(false)) }
+            SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            }
         }
     }
 
@@ -338,7 +552,7 @@ mod tests {
 
     impl OpExecution<TasSpec, TasSwitch> for SwapTasOp {
         fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
-            let prev = mem.swap(self.proc, self.flag, Value::Bool(true));
+            let prev = mem.swap(self.proc, self.flag, Value::TRUE);
             StepOutcome::Done(OpOutcome::Commit(if prev.as_bool() {
                 TasResp::Loser
             } else {
@@ -357,7 +571,10 @@ mod tests {
             if switch == Some(TasSwitch::L) {
                 return Box::new(ImmediateOutcome::new(OpOutcome::Commit(TasResp::Loser)));
             }
-            Box::new(SwapTasOp { flag: self.flag, proc: req.proc })
+            Box::new(SwapTasOp {
+                flag: self.flag,
+                proc: req.proc,
+            })
         }
     }
 
@@ -385,8 +602,7 @@ mod tests {
         let mut mem = SharedMemory::new();
         let mut obj = SwapTas::new(&mut mem);
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
-        let res =
-            Executor::new().run(&mut mem, &mut obj, &wl, &mut RoundRobinAdversary::default());
+        let res = Executor::new().run(&mut mem, &mut obj, &wl, &mut RoundRobinAdversary::default());
         assert!(res.completed);
         // Exactly one winner.
         let winners = res
@@ -420,10 +636,20 @@ mod tests {
         for op in &res.metrics.ops {
             assert!(!op.interval_contention_free());
         }
-        let p0 = res.metrics.ops.iter().find(|o| o.proc == ProcessId(0)).unwrap();
+        let p0 = res
+            .metrics
+            .ops
+            .iter()
+            .find(|o| o.proc == ProcessId(0))
+            .unwrap();
         assert!(p0.step_contention_free());
         // Later operations do observe foreign steps.
-        let p2 = res.metrics.ops.iter().find(|o| o.proc == ProcessId(2)).unwrap();
+        let p2 = res
+            .metrics
+            .ops
+            .iter()
+            .find(|o| o.proc == ProcessId(2))
+            .unwrap();
         assert!(!p2.step_contention_free());
     }
 
@@ -441,7 +667,12 @@ mod tests {
         assert!(res.completed);
         assert_eq!(res.trace.init_tokens().len(), 2);
         // The L process lost without taking any shared-memory step.
-        let l_op = res.metrics.ops.iter().find(|o| o.proc == ProcessId(1)).unwrap();
+        let l_op = res
+            .metrics
+            .ops
+            .iter()
+            .find(|o| o.proc == ProcessId(1))
+            .unwrap();
         assert_eq!(l_op.steps, 0);
     }
 
@@ -454,6 +685,12 @@ mod tests {
         assert_eq!(res.decisions.len() as u64, res.ticks);
         // 2 invocations + 2 steps = 4 ticks.
         assert_eq!(res.ticks, 4);
+        // The log's iterator view matches the accessors.
+        for (i, d) in res.decisions.iter().enumerate() {
+            assert_eq!(d.chosen, res.decisions.chosen_at(i));
+            assert_eq!(d.enabled, res.decisions.enabled_at(i));
+            assert!(d.enabled.contains(&d.chosen));
+        }
     }
 
     #[test]
@@ -461,7 +698,9 @@ mod tests {
         let mut mem = SharedMemory::new();
         let mut obj = SwapTas::new(&mut mem);
         let wl: Workload<TasSpec, TasSwitch> = Workload::uniform(2, TasOp::TestAndSet, 10);
-        let res = Executor::new().max_ticks(3).run(&mut mem, &mut obj, &wl, &mut SoloAdversary);
+        let res = Executor::new()
+            .max_ticks(3)
+            .run(&mut mem, &mut obj, &wl, &mut SoloAdversary);
         assert!(!res.completed);
         assert_eq!(res.ticks, 3);
     }
@@ -475,5 +714,71 @@ mod tests {
             Workload::from_ops(vec![vec![TasOp::TestAndSet], vec![]]);
         assert_eq!(wl2.processes(), 2);
         assert_eq!(wl2.total_ops(), 1);
+    }
+
+    #[test]
+    fn metrics_only_mode_skips_the_trace_but_not_the_metrics() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let res = Executor::new().trace_mode(TraceMode::MetricsOnly).run(
+            &mut mem,
+            &mut obj,
+            &wl,
+            &mut SoloAdversary,
+        );
+        assert!(res.completed);
+        assert!(res.trace.is_empty());
+        assert_eq!(res.metrics.committed_count(), 3);
+        assert_eq!(res.ops.len(), 3);
+        assert_eq!(res.decisions.len() as u64, res.ticks);
+        // Op records still carry the outcomes.
+        let winners = res
+            .ops
+            .iter()
+            .filter(|o| matches!(o.outcome, Some(OpOutcome::Commit(TasResp::Winner))))
+            .count();
+        assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn session_reuse_replays_identically_after_reset() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let schedule = vec![ProcessId(1), ProcessId(0), ProcessId(1), ProcessId(2)];
+        let executor = Executor::new();
+
+        // Reference run in a fresh memory + session.
+        let mut mem1 = SharedMemory::new();
+        let mut obj1 = SwapTas::new(&mut mem1);
+        let res1 = executor.run(
+            &mut mem1,
+            &mut obj1,
+            &wl,
+            &mut ScriptedAdversary::new(schedule.clone()),
+        );
+
+        // Warm a session on an unrelated schedule, reset, replay.
+        let mut mem2 = SharedMemory::new();
+        let mut session = ExecSession::new();
+        let mut obj2 = SwapTas::new(&mut mem2);
+        executor.run_in(&mut session, &mut mem2, &mut obj2, &wl, &mut SoloAdversary);
+        mem2.reset();
+        let mut obj2 = SwapTas::new(&mut mem2);
+        executor.run_in(
+            &mut session,
+            &mut mem2,
+            &mut obj2,
+            &wl,
+            &mut ScriptedAdversary::new(schedule.clone()),
+        );
+        let res2 = session.result();
+
+        assert_eq!(res1.trace, res2.trace);
+        assert_eq!(res1.metrics, res2.metrics);
+        assert_eq!(res1.decisions, res2.decisions);
+        assert_eq!(res1.ops, res2.ops);
+        assert_eq!(res1.ticks, res2.ticks);
+        assert_eq!(mem1.global_steps(), mem2.global_steps());
+        assert_eq!(mem1.audit(), mem2.audit());
     }
 }

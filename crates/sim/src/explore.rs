@@ -13,14 +13,28 @@
 //! Test-suites use this to verify linearizability, safe composability, the
 //! single-winner invariant and the Lemma 4 invariants over *all*
 //! interleavings of small executions.
+//!
+//! # Throughput
+//!
+//! Each worker owns one [`SharedMemory`] and one [`ExecSession`] and *reuses*
+//! them across schedules ([`SharedMemory::reset`] + [`Executor::run_in`]),
+//! so a schedule replay allocates almost nothing once warm; only the object
+//! under test is rebuilt per schedule via `setup`. Checks that never look at
+//! the event trace can set [`ExploreConfig::metrics_only`] to skip all trace
+//! recording. [`explore_schedules_parallel`] additionally partitions the
+//! depth-first search across OS threads — one branch per alternative
+//! scheduling decision discovered along the root schedule — with a
+//! deterministic merge.
 
 use crate::adversary::ScriptedAdversary;
-use crate::executor::{ExecutionResult, Executor, Workload};
+use crate::executor::{ExecSession, ExecutionResult, Executor, TraceMode, Workload};
 use crate::machine::SimObject;
 use crate::memory::SharedMemory;
 use scl_spec::{ProcessId, SequentialSpec};
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Configuration of the explorer.
 #[derive(Debug, Clone)]
@@ -29,11 +43,35 @@ pub struct ExploreConfig {
     pub max_schedules: u64,
     /// Tick limit per execution.
     pub max_ticks: u64,
+    /// Skip all event-trace recording ([`TraceMode::MetricsOnly`]). Only
+    /// valid for checks that never read `result.trace`.
+    pub metrics_only: bool,
+    /// Worker threads for [`explore_schedules_parallel`]; `0` means "use the
+    /// available parallelism". Ignored by the sequential
+    /// [`explore_schedules`].
+    pub threads: usize,
 }
 
 impl Default for ExploreConfig {
     fn default() -> Self {
-        ExploreConfig { max_schedules: 200_000, max_ticks: 10_000 }
+        ExploreConfig {
+            max_schedules: 200_000,
+            max_ticks: 10_000,
+            metrics_only: false,
+            threads: 0,
+        }
+    }
+}
+
+impl ExploreConfig {
+    fn executor(&self) -> Executor {
+        Executor::new()
+            .max_ticks(self.max_ticks)
+            .trace_mode(if self.metrics_only {
+                TraceMode::MetricsOnly
+            } else {
+                TraceMode::Full
+            })
     }
 }
 
@@ -57,9 +95,8 @@ impl ExploreOutcome {
     /// Number of schedules explored.
     pub fn schedules(&self) -> u64 {
         match self {
-            ExploreOutcome::Exhausted { schedules } | ExploreOutcome::LimitReached { schedules } => {
-                *schedules
-            }
+            ExploreOutcome::Exhausted { schedules }
+            | ExploreOutcome::LimitReached { schedules } => *schedules,
         }
     }
 }
@@ -81,11 +118,74 @@ impl std::fmt::Display for ExploreViolation {
     }
 }
 
+/// One worker's reusable exploration state: a shared memory and an executor
+/// session that persist across all the schedules the worker replays.
+struct Replayer<S: SequentialSpec, V> {
+    mem: SharedMemory,
+    session: ExecSession<S, V>,
+    executor: Executor,
+}
+
+impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Replayer<S, V> {
+    fn new(executor: Executor) -> Self {
+        Replayer {
+            mem: SharedMemory::new(),
+            session: ExecSession::new(),
+            executor,
+        }
+    }
+
+    /// Replays one scripted schedule prefix on a freshly reset memory. The
+    /// result is left in `self.session` (and the memory state in `self.mem`),
+    /// so the caller can borrow both immutably afterwards.
+    fn replay<O, FSetup>(
+        &mut self,
+        setup: &mut FSetup,
+        workload: &Workload<S, V>,
+        prefix: Vec<ProcessId>,
+    ) where
+        O: SimObject<S, V>,
+        FSetup: FnMut(&mut SharedMemory) -> O,
+    {
+        self.mem.reset();
+        let mut object = setup(&mut self.mem);
+        let mut adversary = ScriptedAdversary::new(prefix);
+        self.executor.run_in(
+            &mut self.session,
+            &mut self.mem,
+            &mut object,
+            workload,
+            &mut adversary,
+        );
+    }
+}
+
+/// Pushes, for every decision point of `result` beyond the forced prefix,
+/// the alternative schedule prefixes to explore (in the same order the
+/// original explorer used, so DFS enumeration is unchanged).
+fn push_alternatives<S: SequentialSpec, V>(
+    result: &ExecutionResult<S, V>,
+    prefix_len: usize,
+    stack: &mut Vec<Vec<ProcessId>>,
+) {
+    for i in prefix_len..result.decisions.len() {
+        let chosen = result.decisions.chosen_at(i);
+        for &alt in result.decisions.enabled_at(i) {
+            if alt == chosen {
+                continue;
+            }
+            let mut new_prefix = result.decisions.chosen()[..i].to_vec();
+            new_prefix.push(alt);
+            stack.push(new_prefix);
+        }
+    }
+}
+
 /// Explores all schedules of the executions generated by `setup` and
 /// `workload`, applying `check` to each execution result.
 ///
-/// `setup` must build a fresh shared memory and object for every run (the
-/// explorer re-executes from scratch for each schedule).
+/// `setup` must build a fresh object for every run; the shared memory handed
+/// to it is freshly reset (but reuses its allocations across runs).
 pub fn explore_schedules<S, V, O, FSetup, FCheck>(
     mut setup: FSetup,
     workload: &Workload<S, V>,
@@ -99,7 +199,7 @@ where
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
 {
-    let executor = Executor::new().max_ticks(config.max_ticks);
+    let mut replayer: Replayer<S, V> = Replayer::new(config.executor());
     let mut schedules: u64 = 0;
     // Stack of schedule prefixes still to explore.
     let mut stack: Vec<Vec<ProcessId>> = vec![Vec::new()];
@@ -110,34 +210,224 @@ where
         }
         schedules += 1;
 
-        let mut mem = SharedMemory::new();
-        let mut object = setup(&mut mem);
-        let mut adversary = ScriptedAdversary::new(prefix.clone());
-        let result = executor.run(&mut mem, &mut object, workload, &mut adversary);
-
-        if let Err(message) = check(&result, &mem) {
-            let schedule = result.decisions.iter().map(|d| d.chosen).collect();
-            return Err(ExploreViolation { schedule, message });
+        let prefix_len = prefix.len();
+        replayer.replay(&mut setup, workload, prefix);
+        let result = replayer.session.result();
+        if let Err(message) = check(result, &replayer.mem) {
+            return Err(ExploreViolation {
+                schedule: result.decisions.chosen().to_vec(),
+                message,
+            });
         }
-
-        // Enumerate alternatives at decision points beyond the forced prefix.
-        for (i, decision) in result.decisions.iter().enumerate().skip(prefix.len()) {
-            for &alt in &decision.enabled {
-                if alt == decision.chosen {
-                    continue;
-                }
-                let mut new_prefix: Vec<ProcessId> = result
-                    .decisions
-                    .iter()
-                    .take(i)
-                    .map(|d| d.chosen)
-                    .collect();
-                new_prefix.push(alt);
-                stack.push(new_prefix);
-            }
-        }
+        push_alternatives(result, prefix_len, &mut stack);
     }
     Ok(ExploreOutcome::Exhausted { schedules })
+}
+
+/// What one parallel worker found in its branch of the schedule tree.
+struct BranchReport {
+    schedules: u64,
+    exhausted: bool,
+    violation: Option<ExploreViolation>,
+}
+
+/// Explores all schedules like [`explore_schedules`], but partitions the
+/// depth-first search across OS threads.
+///
+/// The root schedule is replayed once, the alternatives along it become
+/// *branches*, and the branches are handed to `config.threads` workers (each
+/// with its own reusable memory + session). The merge is deterministic:
+///
+/// * branches are ordered exactly as the sequential DFS would visit them,
+///   and the reported violation is the first one in that order — a worker
+///   abandons its branch early only when a strictly earlier branch has
+///   already produced a violation;
+/// * the schedule budget is a shared atomic ticket counter: when the tree
+///   fits the budget every branch runs to exhaustion, so the outcome, the
+///   total and the reported violation are fully deterministic and the
+///   total equals the sequential explorer's count exactly. When the budget
+///   *binds*, the total is exactly `max_schedules` but the split across
+///   branches depends on thread timing — like the sequential explorer, a
+///   budget-limited run may then miss violations, and (unlike the
+///   sequential explorer) *which* violation is reported may vary from run
+///   to run. Size `max_schedules` to cover the tree when determinism of
+///   the violation matters.
+///
+/// Because the check runs concurrently it must be `Fn + Sync` (the
+/// sequential API accepts `FnMut`).
+pub fn explore_schedules_parallel<S, V, O, FSetup, FCheck>(
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    config: &ExploreConfig,
+    check: FCheck,
+) -> Result<ExploreOutcome, ExploreViolation>
+where
+    S: SequentialSpec,
+    S::Op: Sync,
+    V: Clone + Eq + Hash + Debug + Sync,
+    O: SimObject<S, V>,
+    FSetup: Fn(&mut SharedMemory) -> O + Sync,
+    FCheck: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
+{
+    if config.max_schedules == 0 {
+        return Ok(ExploreOutcome::LimitReached { schedules: 0 });
+    }
+
+    // Replay the root schedule once to discover the first-level branches.
+    let mut root: Replayer<S, V> = Replayer::new(config.executor());
+    let mut root_setup = |mem: &mut SharedMemory| setup(mem);
+    root.replay(&mut root_setup, workload, Vec::new());
+    let result = root.session.result();
+    if let Err(message) = check(result, &root.mem) {
+        return Err(ExploreViolation {
+            schedule: result.decisions.chosen().to_vec(),
+            message,
+        });
+    }
+    let mut branches: Vec<Vec<ProcessId>> = Vec::new();
+    push_alternatives(result, 0, &mut branches);
+    drop(root);
+    // The sequential DFS pops its stack LIFO; visit branches in that order.
+    branches.reverse();
+    if branches.is_empty() {
+        return Ok(ExploreOutcome::Exhausted { schedules: 1 });
+    }
+
+    // Shared schedule budget; the root replay took the first ticket.
+    let tickets = AtomicU64::new(1);
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    }
+    .min(branches.len())
+    .max(1);
+
+    let next_branch = AtomicUsize::new(0);
+    let best_violating_branch = AtomicUsize::new(usize::MAX);
+    let reports: Vec<Mutex<Option<BranchReport>>> =
+        branches.iter().map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut replayer: Replayer<S, V> = Replayer::new(config.executor());
+                let mut setup_local = |mem: &mut SharedMemory| setup(mem);
+                loop {
+                    let bi = next_branch.fetch_add(1, Ordering::Relaxed);
+                    if bi >= branches.len() {
+                        return;
+                    }
+                    let report = explore_branch(
+                        &mut replayer,
+                        &mut setup_local,
+                        workload,
+                        branches[bi].clone(),
+                        &tickets,
+                        config.max_schedules,
+                        &check,
+                        bi,
+                        &best_violating_branch,
+                    );
+                    if report.violation.is_some() {
+                        best_violating_branch.fetch_min(bi, Ordering::Relaxed);
+                    }
+                    *reports[bi].lock().unwrap() = Some(report);
+                }
+            });
+        }
+    });
+
+    // Deterministic merge: first violating branch in DFS order wins. Every
+    // branch index is claimed by exactly one worker and always yields a
+    // report (abandoned branches report `violation: None, exhausted: false`).
+    let mut total: u64 = 1;
+    let mut exhausted = true;
+    for cell in &reports {
+        let r = cell
+            .lock()
+            .unwrap()
+            .take()
+            .expect("every branch is claimed exactly once and reports");
+        if let Some(v) = r.violation {
+            return Err(v);
+        }
+        total += r.schedules;
+        exhausted &= r.exhausted;
+    }
+    if exhausted {
+        Ok(ExploreOutcome::Exhausted { schedules: total })
+    } else {
+        Ok(ExploreOutcome::LimitReached { schedules: total })
+    }
+}
+
+/// Depth-first search of one branch of the schedule tree, on the worker's
+/// reusable replayer. Abandons the branch (without reporting a violation)
+/// when a strictly earlier branch has already produced one, and stops when
+/// the shared ticket counter exceeds the schedule budget.
+#[allow(clippy::too_many_arguments)]
+fn explore_branch<S, V, O, FSetup, FCheck>(
+    replayer: &mut Replayer<S, V>,
+    setup: &mut FSetup,
+    workload: &Workload<S, V>,
+    branch_prefix: Vec<ProcessId>,
+    tickets: &AtomicU64,
+    max_schedules: u64,
+    check: &FCheck,
+    branch_index: usize,
+    best_violating_branch: &AtomicUsize,
+) -> BranchReport
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FCheck: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+{
+    let mut schedules: u64 = 0;
+    let mut stack: Vec<Vec<ProcessId>> = vec![branch_prefix];
+    while let Some(prefix) = stack.pop() {
+        if tickets.fetch_add(1, Ordering::Relaxed) >= max_schedules {
+            return BranchReport {
+                schedules,
+                exhausted: false,
+                violation: None,
+            };
+        }
+        if best_violating_branch.load(Ordering::Relaxed) < branch_index {
+            // An earlier branch already violated; our work is irrelevant.
+            return BranchReport {
+                schedules,
+                exhausted: false,
+                violation: None,
+            };
+        }
+        schedules += 1;
+        let prefix_len = prefix.len();
+        replayer.replay(setup, workload, prefix);
+        let result = replayer.session.result();
+        if let Err(message) = check(result, &replayer.mem) {
+            let violation = ExploreViolation {
+                schedule: result.decisions.chosen().to_vec(),
+                message,
+            };
+            return BranchReport {
+                schedules,
+                exhausted: false,
+                violation: Some(violation),
+            };
+        }
+        push_alternatives(result, prefix_len, &mut stack);
+    }
+    BranchReport {
+        schedules,
+        exhausted: true,
+        violation: None,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +448,7 @@ mod tests {
     }
     impl OpExecution<TasSpec, TasSwitch> for SwapTasOp {
         fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
-            let prev = mem.swap(self.proc, self.flag, Value::Bool(true));
+            let prev = mem.swap(self.proc, self.flag, Value::TRUE);
             StepOutcome::Done(OpOutcome::Commit(if prev.as_bool() {
                 TasResp::Loser
             } else {
@@ -173,7 +463,10 @@ mod tests {
             req: Request<TasSpec>,
             _switch: Option<TasSwitch>,
         ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
-            Box::new(SwapTasOp { flag: self.flag, proc: req.proc })
+            Box::new(SwapTasOp {
+                flag: self.flag,
+                proc: req.proc,
+            })
         }
     }
 
@@ -195,7 +488,7 @@ mod tests {
                     StepOutcome::Continue
                 }
                 Some(prev) => {
-                    mem.write(self.proc, self.flag, Value::Bool(true));
+                    mem.write(self.proc, self.flag, Value::TRUE);
                     StepOutcome::Done(OpOutcome::Commit(if prev {
                         TasResp::Loser
                     } else {
@@ -212,7 +505,11 @@ mod tests {
             req: Request<TasSpec>,
             _switch: Option<TasSwitch>,
         ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
-            Box::new(BrokenTasOp { flag: self.flag, proc: req.proc, observed: None })
+            Box::new(BrokenTasOp {
+                flag: self.flag,
+                proc: req.proc,
+                observed: None,
+            })
         }
     }
 
@@ -234,7 +531,9 @@ mod tests {
     fn explorer_exhausts_correct_tas_schedules() {
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
         let outcome = explore_schedules(
-            |mem| SwapTas { flag: mem.alloc("flag", Value::Bool(false)) },
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
             &wl,
             &ExploreConfig::default(),
             lin_check,
@@ -248,7 +547,9 @@ mod tests {
     fn explorer_finds_the_bug_in_broken_tas() {
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
         let violation = explore_schedules(
-            |mem| BrokenTas { flag: mem.alloc("flag", Value::Bool(false)) },
+            |mem| BrokenTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
             &wl,
             &ExploreConfig::default(),
             lin_check,
@@ -262,14 +563,161 @@ mod tests {
     #[test]
     fn schedule_budget_is_respected() {
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
-        let config = ExploreConfig { max_schedules: 5, max_ticks: 1_000 };
+        let config = ExploreConfig {
+            max_schedules: 5,
+            max_ticks: 1_000,
+            ..Default::default()
+        };
         let outcome = explore_schedules(
-            |mem| SwapTas { flag: mem.alloc("flag", Value::Bool(false)) },
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
             &wl,
             &config,
             lin_check,
         )
         .unwrap();
         assert_eq!(outcome, ExploreOutcome::LimitReached { schedules: 5 });
+    }
+
+    #[test]
+    fn parallel_schedule_budget_is_respected_exactly() {
+        // The n=3 tree is far larger than the budget, so the shared ticket
+        // counter must bind — and the documented guarantee is that the
+        // reported total then equals max_schedules exactly, for any thread
+        // count.
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        for threads in [1usize, 2, 4] {
+            let config = ExploreConfig {
+                max_schedules: 50,
+                max_ticks: 1_000,
+                threads,
+                ..Default::default()
+            };
+            let outcome = explore_schedules_parallel(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &config,
+                lin_check,
+            )
+            .unwrap();
+            assert_eq!(
+                outcome,
+                ExploreOutcome::LimitReached { schedules: 50 },
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_explorer_exhausts_the_same_schedule_count() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let sequential = explore_schedules(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig::default(),
+            lin_check,
+        )
+        .unwrap();
+        for threads in [1usize, 2, 4] {
+            let config = ExploreConfig {
+                threads,
+                ..Default::default()
+            };
+            let parallel = explore_schedules_parallel(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &config,
+                lin_check,
+            )
+            .unwrap();
+            assert!(
+                matches!(parallel, ExploreOutcome::Exhausted { .. }),
+                "threads={threads}"
+            );
+            assert_eq!(
+                parallel.schedules(),
+                sequential.schedules(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_explorer_is_deterministic_on_violations() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let config = ExploreConfig {
+            threads: 4,
+            ..Default::default()
+        };
+        let find = || {
+            explore_schedules_parallel(
+                |mem| BrokenTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &config,
+                lin_check,
+            )
+            .expect_err("broken TAS must violate")
+        };
+        let first = find();
+        for _ in 0..5 {
+            assert_eq!(find(), first);
+        }
+    }
+
+    #[test]
+    fn metrics_only_exploration_runs_without_traces() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let config = ExploreConfig {
+            metrics_only: true,
+            ..Default::default()
+        };
+        let full = explore_schedules(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig::default(),
+            lin_check,
+        )
+        .unwrap();
+        let outcome = explore_schedules(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &config,
+            |res, _mem| {
+                if !res.trace.is_empty() {
+                    return Err("metrics-only run recorded a trace".into());
+                }
+                let winners = res
+                    .ops
+                    .iter()
+                    .filter(|o| {
+                        matches!(
+                            o.outcome,
+                            Some(crate::machine::OpOutcome::Commit(TasResp::Winner))
+                        )
+                    })
+                    .count();
+                if winners == 1 {
+                    Ok(())
+                } else {
+                    Err(format!("{winners} winners"))
+                }
+            },
+        )
+        .expect("swap TAS has one winner under every schedule");
+        // Metrics-only exploration covers the identical schedule tree.
+        assert_eq!(outcome.schedules(), full.schedules());
     }
 }

@@ -37,15 +37,22 @@ pub mod explore;
 pub mod machine;
 pub mod memory;
 pub mod metrics;
+pub mod rng;
 pub mod value;
 
 pub use adversary::{
     Adversary, InvokeAllThenSequential, RandomAdversary, RoundRobinAdversary, ScriptedAdversary,
     SoloAdversary,
 };
-pub use executor::{ExecutionResult, Executor, OnAbort, OpRecord, Workload};
-pub use explore::{explore_schedules, ExploreConfig, ExploreOutcome};
+pub use executor::{
+    Decision, DecisionLog, ExecSession, ExecutionResult, Executor, OnAbort, OpRecord, TraceMode,
+    Workload,
+};
+pub use explore::{
+    explore_schedules, explore_schedules_parallel, ExploreConfig, ExploreOutcome, ExploreViolation,
+};
 pub use machine::{ImmediateOutcome, OpExecution, OpOutcome, SimObject, StepOutcome};
 pub use memory::{PrimitiveClass, RegId, SharedMemory};
 pub use metrics::{ContentionKind, ExecutionMetrics, OpMetrics};
+pub use rng::SplitMix64;
 pub use value::Value;

@@ -82,7 +82,9 @@ pub struct ImmediateOutcome<S: SequentialSpec, V> {
 impl<S: SequentialSpec, V> ImmediateOutcome<S, V> {
     /// Creates an execution that finishes with `outcome` on its first step.
     pub fn new(outcome: OpOutcome<S, V>) -> Self {
-        ImmediateOutcome { outcome: Some(outcome) }
+        ImmediateOutcome {
+            outcome: Some(outcome),
+        }
     }
 }
 
@@ -140,7 +142,7 @@ mod tests {
                 return StepOutcome::Continue;
             }
             self.done = true;
-            let prev = mem.swap(self.proc, self.flag, Value::Bool(true));
+            let prev = mem.swap(self.proc, self.flag, Value::TRUE);
             if prev.as_bool() {
                 StepOutcome::Done(OpOutcome::Commit(TasResp::Loser))
             } else {
@@ -156,14 +158,18 @@ mod tests {
             req: Request<TasSpec>,
             _switch: Option<TasSwitch>,
         ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
-            Box::new(StickyOp { flag: self.flag, proc: req.proc, done: false })
+            Box::new(StickyOp {
+                flag: self.flag,
+                proc: req.proc,
+                done: false,
+            })
         }
     }
 
     #[test]
     fn hand_written_object_works_step_by_step() {
         let mut mem = SharedMemory::new();
-        let flag = mem.alloc("flag", Value::Bool(false));
+        let flag = mem.alloc("flag", Value::FALSE);
         let mut obj = StickyFlag { flag };
         let r1: Request<TasSpec> = Request::new(1u64, 0usize, scl_spec::TasOp::TestAndSet);
         let r2: Request<TasSpec> = Request::new(2u64, 1usize, scl_spec::TasOp::TestAndSet);

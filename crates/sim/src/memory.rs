@@ -15,10 +15,24 @@
 //! operation, and every atomic read-modify-write primitive is charged as an
 //! atomic-instruction fence. [`SharedMemory::begin_op`] resets the per-
 //! operation write flag.
+//!
+//! # Hot-path layout
+//!
+//! The schedule explorer executes hundreds of thousands of tiny executions,
+//! so every structure here is flat and allocation-free once warm:
+//!
+//! * registers are a `Vec<Value>` of 16-byte `Copy` [`Value`]s — reads
+//!   return by value, no clone, no heap;
+//! * per-process counters and the RAW-fence flags are `Vec`s indexed
+//!   directly by process id (the old `BTreeMap` lookups were the single
+//!   hottest line of the whole simulator);
+//! * [`SharedMemory::reset`] rewinds the memory to "freshly constructed"
+//!   while *reusing* every allocation: register slots, audit entries
+//!   (including their name `String`s) and counter vectors are recycled by
+//!   the next epoch's `alloc` calls.
 
 use crate::value::Value;
 use scl_spec::ProcessId;
-use std::collections::BTreeMap;
 
 /// Identifier of a simulated shared register.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -58,7 +72,7 @@ impl PrimitiveClass {
 }
 
 /// Per-process step counters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessCounters {
     /// Total shared-memory steps.
     pub steps: u64,
@@ -102,10 +116,15 @@ impl RegisterAudit {
 pub struct SharedMemory {
     regs: Vec<Value>,
     audit: Vec<RegisterAudit>,
-    counters: BTreeMap<ProcessId, ProcessCounters>,
+    /// Registers live in the current epoch (`<= regs.len()`). [`Self::alloc`]
+    /// recycles slots beyond `live` left over from before the last
+    /// [`Self::reset`].
+    live: usize,
+    /// Per-process counters, indexed by process id.
+    counters: Vec<ProcessCounters>,
     /// Whether the process has written during its current operation
-    /// (used for RAW-fence accounting).
-    wrote_in_op: BTreeMap<ProcessId, bool>,
+    /// (used for RAW-fence accounting), indexed by process id.
+    wrote_in_op: Vec<bool>,
     /// Global step counter (total across all processes).
     global_steps: u64,
 }
@@ -116,18 +135,47 @@ impl SharedMemory {
         Self::default()
     }
 
+    /// Rewinds the memory to its freshly-constructed state while keeping
+    /// every allocation for reuse: subsequent [`Self::alloc`] calls recycle
+    /// the existing register slots and audit entries, and the counter
+    /// vectors are zeroed in place. After `reset()` + identical `alloc`
+    /// calls, the memory is indistinguishable from a brand-new one.
+    pub fn reset(&mut self) {
+        self.live = 0;
+        self.counters
+            .iter_mut()
+            .for_each(|c| *c = ProcessCounters::default());
+        self.wrote_in_op.iter_mut().for_each(|w| *w = false);
+        self.global_steps = 0;
+    }
+
     /// Allocates a fresh register with the given debug name and initial
     /// value. Allocation itself is not a shared-memory step.
     pub fn alloc(&mut self, name: &str, init: Value) -> RegId {
-        let id = RegId(self.regs.len());
-        self.regs.push(init);
-        self.audit.push(RegisterAudit { name: name.to_string(), classes: Vec::new() });
+        let id = RegId(self.live);
+        self.live += 1;
+        if id.0 < self.regs.len() {
+            // Recycle a slot from a previous epoch.
+            self.regs[id.0] = init;
+            let audit = &mut self.audit[id.0];
+            audit.classes.clear();
+            if audit.name != name {
+                audit.name.clear();
+                audit.name.push_str(name);
+            }
+        } else {
+            self.regs.push(init);
+            self.audit.push(RegisterAudit {
+                name: name.to_string(),
+                classes: Vec::new(),
+            });
+        }
         id
     }
 
     /// Number of registers allocated so far (space complexity).
     pub fn register_count(&self) -> usize {
-        self.regs.len()
+        self.live
     }
 
     /// Total shared-memory steps taken by all processes.
@@ -137,19 +185,19 @@ impl SharedMemory {
 
     /// Per-process counters.
     pub fn counters(&self, p: ProcessId) -> ProcessCounters {
-        self.counters.get(&p).cloned().unwrap_or_default()
+        self.counters.get(p.index()).copied().unwrap_or_default()
     }
 
     /// The audit of every register.
     pub fn audit(&self) -> &[RegisterAudit] {
-        &self.audit
+        &self.audit[..self.live]
     }
 
     /// The maximum consensus number required over all registers that were
     /// accessed with at least one primitive (`None` = ∞, i.e. CAS was used).
     pub fn max_required_consensus_number(&self) -> Option<u32> {
         let mut max = Some(1);
-        for a in &self.audit {
+        for a in self.audit() {
             if a.classes.is_empty() {
                 continue;
             }
@@ -165,12 +213,26 @@ impl SharedMemory {
     /// Marks the beginning of a new operation by process `p` (resets the
     /// per-operation RAW-fence accounting).
     pub fn begin_op(&mut self, p: ProcessId) {
-        self.wrote_in_op.insert(p, false);
+        self.ensure_proc(p);
+        self.wrote_in_op[p.index()] = false;
     }
 
+    #[inline]
+    fn ensure_proc(&mut self, p: ProcessId) {
+        let n = p.index() + 1;
+        if self.counters.len() < n {
+            self.counters.resize(n, ProcessCounters::default());
+            self.wrote_in_op.resize(n, false);
+        }
+    }
+
+    #[inline]
     fn record(&mut self, p: ProcessId, r: RegId, class: PrimitiveClass) {
+        debug_assert!(r.0 < self.live, "access to a register from a stale epoch");
+        self.ensure_proc(p);
         self.global_steps += 1;
-        let c = self.counters.entry(p).or_default();
+        let pi = p.index();
+        let c = &mut self.counters[pi];
         c.steps += 1;
         match class {
             PrimitiveClass::Read => c.reads += 1,
@@ -180,12 +242,12 @@ impl SharedMemory {
         // Fence accounting.
         if class.is_rmw() {
             c.fences += 1;
-            self.wrote_in_op.insert(p, false);
+            self.wrote_in_op[pi] = false;
         } else if class == PrimitiveClass::Write {
-            self.wrote_in_op.insert(p, true);
-        } else if class == PrimitiveClass::Read && *self.wrote_in_op.get(&p).unwrap_or(&false) {
+            self.wrote_in_op[pi] = true;
+        } else if class == PrimitiveClass::Read && self.wrote_in_op[pi] {
             c.fences += 1;
-            self.wrote_in_op.insert(p, false);
+            self.wrote_in_op[pi] = false;
         }
         let audit = &mut self.audit[r.0];
         if !audit.classes.contains(&class) {
@@ -193,10 +255,11 @@ impl SharedMemory {
         }
     }
 
-    /// Atomic read (one step).
+    /// Atomic read (one step). Returns the value by copy — registers hold
+    /// 16-byte [`Value`]s, so this never allocates.
     pub fn read(&mut self, p: ProcessId, r: RegId) -> Value {
         self.record(p, r, PrimitiveClass::Read);
-        self.regs[r.0].clone()
+        self.regs[r.0]
     }
 
     /// Atomic write (one step).
@@ -217,7 +280,7 @@ impl SharedMemory {
     pub fn test_and_set(&mut self, p: ProcessId, r: RegId) -> bool {
         self.record(p, r, PrimitiveClass::TestAndSet);
         let prev = self.regs[r.0].as_bool();
-        self.regs[r.0] = Value::Bool(true);
+        self.regs[r.0] = Value::TRUE;
         prev
     }
 
@@ -226,7 +289,7 @@ impl SharedMemory {
     pub fn fetch_add(&mut self, p: ProcessId, r: RegId, delta: i64) -> i64 {
         self.record(p, r, PrimitiveClass::FetchAdd);
         let prev = self.regs[r.0].as_opt_int().unwrap_or(0);
-        self.regs[r.0] = Value::Int(prev + delta);
+        self.regs[r.0] = Value::int(prev + delta);
         prev
     }
 
@@ -237,12 +300,12 @@ impl SharedMemory {
         &mut self,
         p: ProcessId,
         r: RegId,
-        expected: &Value,
+        expected: Value,
         new: Value,
     ) -> Value {
         self.record(p, r, PrimitiveClass::CompareAndSwap);
-        let current = self.regs[r.0].clone();
-        if current == *expected {
+        let current = self.regs[r.0];
+        if current == expected {
             self.regs[r.0] = new;
         }
         current
@@ -250,8 +313,8 @@ impl SharedMemory {
 
     /// Reads a register without counting a step — used only by assertions
     /// and metrics collection in tests/harnesses, never by algorithms.
-    pub fn peek(&self, r: RegId) -> &Value {
-        &self.regs[r.0]
+    pub fn peek(&self, r: RegId) -> Value {
+        self.regs[r.0]
     }
 }
 
@@ -266,11 +329,11 @@ mod tests {
     #[test]
     fn read_write_round_trip_counts_steps() {
         let mut m = SharedMemory::new();
-        let r = m.alloc("x", Value::Int(0));
+        let r = m.alloc("x", Value::int(0));
         m.begin_op(p(0));
-        assert_eq!(m.read(p(0), r), Value::Int(0));
-        m.write(p(0), r, Value::Int(5));
-        assert_eq!(m.read(p(0), r), Value::Int(5));
+        assert_eq!(m.read(p(0), r), Value::int(0));
+        m.write(p(0), r, Value::int(5));
+        assert_eq!(m.read(p(0), r), Value::int(5));
         let c = m.counters(p(0));
         assert_eq!(c.steps, 3);
         assert_eq!(c.reads, 2);
@@ -281,10 +344,10 @@ mod tests {
     #[test]
     fn swap_and_tas_are_rmw() {
         let mut m = SharedMemory::new();
-        let r = m.alloc("x", Value::Int(1));
-        let b = m.alloc("flag", Value::Bool(false));
+        let r = m.alloc("x", Value::int(1));
+        let b = m.alloc("flag", Value::FALSE);
         m.begin_op(p(0));
-        assert_eq!(m.swap(p(0), r, Value::Int(2)), Value::Int(1));
+        assert_eq!(m.swap(p(0), r, Value::int(2)), Value::int(1));
         assert!(!m.test_and_set(p(0), b));
         assert!(m.test_and_set(p(0), b));
         let c = m.counters(p(0));
@@ -295,44 +358,44 @@ mod tests {
     #[test]
     fn fetch_add_returns_previous() {
         let mut m = SharedMemory::new();
-        let r = m.alloc("count", Value::Int(0));
+        let r = m.alloc("count", Value::int(0));
         assert_eq!(m.fetch_add(p(0), r, 1), 0);
         assert_eq!(m.fetch_add(p(1), r, 1), 1);
-        assert_eq!(m.peek(r), &Value::Int(2));
+        assert_eq!(m.peek(r), Value::int(2));
     }
 
     #[test]
     fn cas_succeeds_only_on_expected() {
         let mut m = SharedMemory::new();
-        let r = m.alloc("x", Value::Null);
-        let before = m.compare_and_swap(p(0), r, &Value::Null, Value::Int(1));
-        assert_eq!(before, Value::Null);
-        let before = m.compare_and_swap(p(1), r, &Value::Null, Value::Int(2));
-        assert_eq!(before, Value::Int(1));
-        assert_eq!(m.peek(r), &Value::Int(1));
+        let r = m.alloc("x", Value::NULL);
+        let before = m.compare_and_swap(p(0), r, Value::NULL, Value::int(1));
+        assert_eq!(before, Value::NULL);
+        let before = m.compare_and_swap(p(1), r, Value::NULL, Value::int(2));
+        assert_eq!(before, Value::int(1));
+        assert_eq!(m.peek(r), Value::int(1));
     }
 
     #[test]
     fn audit_tracks_consensus_numbers() {
         let mut m = SharedMemory::new();
-        let a = m.alloc("reg-only", Value::Int(0));
-        let b = m.alloc("tas", Value::Bool(false));
-        let c = m.alloc("cas", Value::Null);
+        let a = m.alloc("reg-only", Value::int(0));
+        let b = m.alloc("tas", Value::FALSE);
+        let c = m.alloc("cas", Value::NULL);
         m.read(p(0), a);
-        m.write(p(0), a, Value::Int(1));
+        m.write(p(0), a, Value::int(1));
         m.test_and_set(p(0), b);
         assert_eq!(m.audit()[a.0].required_consensus_number(), Some(1));
         assert_eq!(m.audit()[b.0].required_consensus_number(), Some(2));
         assert_eq!(m.max_required_consensus_number(), Some(2));
-        m.compare_and_swap(p(0), c, &Value::Null, Value::Int(1));
+        m.compare_and_swap(p(0), c, Value::NULL, Value::int(1));
         assert_eq!(m.max_required_consensus_number(), None);
     }
 
     #[test]
     fn unused_registers_do_not_affect_audit() {
         let mut m = SharedMemory::new();
-        let _ = m.alloc("unused-cas-target", Value::Null);
-        let a = m.alloc("used", Value::Int(0));
+        let _ = m.alloc("unused-cas-target", Value::NULL);
+        let a = m.alloc("used", Value::int(0));
         m.read(p(0), a);
         assert_eq!(m.max_required_consensus_number(), Some(1));
     }
@@ -340,10 +403,10 @@ mod tests {
     #[test]
     fn raw_fence_charged_on_read_after_write_within_op() {
         let mut m = SharedMemory::new();
-        let r = m.alloc("x", Value::Int(0));
+        let r = m.alloc("x", Value::int(0));
         m.begin_op(p(0));
         m.read(p(0), r); // no fence
-        m.write(p(0), r, Value::Int(1));
+        m.write(p(0), r, Value::int(1));
         m.read(p(0), r); // RAW fence
         m.read(p(0), r); // already fenced
         assert_eq!(m.counters(p(0)).fences, 1);
@@ -356,12 +419,69 @@ mod tests {
     #[test]
     fn per_process_counters_are_independent() {
         let mut m = SharedMemory::new();
-        let r = m.alloc("x", Value::Int(0));
+        let r = m.alloc("x", Value::int(0));
         m.read(p(0), r);
         m.read(p(1), r);
         m.read(p(1), r);
         assert_eq!(m.counters(p(0)).steps, 1);
         assert_eq!(m.counters(p(1)).steps, 2);
         assert_eq!(m.global_steps(), 3);
+    }
+
+    #[test]
+    fn reset_restores_a_fresh_memory_and_reuses_slots() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::int(7));
+        let probe = m.alloc("probe", Value::FALSE);
+        m.begin_op(p(0));
+        m.write(p(0), r, Value::int(9));
+        m.test_and_set(p(0), probe);
+        assert!(m.global_steps() > 0);
+
+        m.reset();
+        assert_eq!(m.register_count(), 0);
+        assert_eq!(m.global_steps(), 0);
+        assert_eq!(m.counters(p(0)), ProcessCounters::default());
+        assert!(m.audit().is_empty());
+
+        // Reallocate with the same shape: initial values and audit are fresh.
+        let r2 = m.alloc("x", Value::int(7));
+        assert_eq!(r2, r);
+        assert_eq!(m.peek(r2), Value::int(7));
+        assert!(m.audit()[r2.0].classes.is_empty());
+        assert_eq!(m.audit()[r2.0].name, "x");
+
+        // Reallocating under a different name rewrites the audit name.
+        m.reset();
+        let r3 = m.alloc("y", Value::NULL);
+        assert_eq!(m.audit()[r3.0].name, "y");
+    }
+
+    #[test]
+    fn reset_then_same_allocs_is_indistinguishable_from_new() {
+        let build = |m: &mut SharedMemory| {
+            let a = m.alloc("a", Value::NULL);
+            let b = m.alloc("b", Value::int(3));
+            (a, b)
+        };
+        let mut fresh = SharedMemory::new();
+        let (fa, fb) = build(&mut fresh);
+        fresh.read(p(1), fa);
+        fresh.swap(p(0), fb, Value::int(4));
+
+        let mut reused = SharedMemory::new();
+        let _ = build(&mut reused);
+        reused.fetch_add(p(2), RegId(1), 5);
+        reused.reset();
+        let (ra, rb) = build(&mut reused);
+        reused.read(p(1), ra);
+        reused.swap(p(0), rb, Value::int(4));
+
+        assert_eq!(fresh.global_steps(), reused.global_steps());
+        assert_eq!(fresh.counters(p(0)), reused.counters(p(0)));
+        assert_eq!(fresh.counters(p(1)), reused.counters(p(1)));
+        assert_eq!(fresh.counters(p(2)), reused.counters(p(2)));
+        assert_eq!(fresh.audit(), reused.audit());
+        assert_eq!(fresh.peek(fb), reused.peek(rb));
     }
 }

@@ -99,8 +99,11 @@ impl ExecutionMetrics {
     /// The mean number of steps over completed operations (committed or
     /// aborted), or 0.0 if there are none.
     pub fn mean_steps(&self) -> f64 {
-        let completed: Vec<&OpMetrics> =
-            self.ops.iter().filter(|o| o.response_tick.is_some()).collect();
+        let completed: Vec<&OpMetrics> = self
+            .ops
+            .iter()
+            .filter(|o| o.response_tick.is_some())
+            .collect();
         if completed.is_empty() {
             return 0.0;
         }
@@ -158,7 +161,10 @@ mod tests {
     #[test]
     fn contention_classification() {
         assert_eq!(op(3, 0, 0, false).contention(), ContentionKind::None);
-        assert_eq!(op(3, 0, 2, false).contention(), ContentionKind::IntervalOnly);
+        assert_eq!(
+            op(3, 0, 2, false).contention(),
+            ContentionKind::IntervalOnly
+        );
         assert_eq!(op(3, 5, 2, false).contention(), ContentionKind::Step);
         assert!(op(3, 0, 2, false).step_contention_free());
         assert!(!op(3, 0, 2, false).interval_contention_free());

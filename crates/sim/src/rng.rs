@@ -1,0 +1,88 @@
+//! A tiny deterministic pseudo-random number generator.
+//!
+//! The simulator needs randomness only for the [`crate::RandomAdversary`]
+//! and for randomised test workloads, and it needs that randomness to be
+//! *reproducible from a seed* so failing schedules can be replayed. A small
+//! in-repo SplitMix64 keeps the whole workspace free of external crates
+//! (the execution environment is built offline) while being more than good
+//! enough statistically for schedule sampling.
+
+/// A SplitMix64 pseudo-random number generator (Steele, Lea & Flood,
+/// "Fast splittable pseudorandom number generators", OOPSLA 2014).
+///
+/// Deterministic for a given seed; `Clone` copies the full state, so a clone
+/// replays the exact same sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Every seed (including 0) yields a
+    /// full-period sequence.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniformly distributed index in `0..n`. Panics if `n == 0`.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the modulo bias is at most
+    /// `n / 2^64`, which is irrelevant for the simulator's small ranges.
+    pub fn next_below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "next_below(0) is meaningless");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// A uniformly distributed boolean.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly distributed `i64` (full range).
+    pub fn next_i64(&mut self) -> i64 {
+        self.next_u64() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn next_below_stays_in_range_and_hits_everything() {
+        let mut rng = SplitMix64::new(7);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            let i = rng.next_below(5);
+            assert!(i < 5);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        SplitMix64::new(0).next_below(0);
+    }
+}

@@ -1,118 +1,216 @@
 //! The value domain stored in simulated shared registers.
 //!
-//! A single small enum keeps the simulator monomorphic (no generic registers)
-//! while covering everything the paper's algorithms store: booleans
-//! (`aborted`, contention flags), small integers (object values, counters,
-//! timestamps), process identifiers (splitter and ownership registers), the
-//! distinguished unset value `⊥`, and pairs (the `(timestamp, value)` entries
-//! of the AbortableBakery arrays).
+//! [`PackedValue`] is a 16-byte, `Copy`, heap-free tagged representation
+//! covering everything the paper's algorithms store: booleans (`aborted`,
+//! contention flags), integers (object values, counters, timestamps,
+//! proposals), process identifiers (splitter and ownership registers), the
+//! distinguished unset value `⊥`, and integer pairs (the `(timestamp, value)`
+//! entries of the AbortableBakery arrays).
+//!
+//! The previous representation was an enum whose `Pair` variant boxed its
+//! components, so *every* register read cloned and potentially allocated on
+//! the simulator's hottest path. The packed layout keeps the whole value in
+//! two machine words:
+//!
+//! * `wide` (i64) — the integer of `Int`, the index of `Proc`, 0/1 for
+//!   `Bool`, or the *second* component of a pair (kept wide because the
+//!   bakery stores its `⊥` sentinel, `i64::MIN`, there);
+//! * `narrow` (i32) — the *first* component of a pair (bakery timestamps,
+//!   which are bounded by the tick limit and comfortably fit 32 bits);
+//! * `tag` (one byte) — the variant.
+//!
+//! Constructors canonicalise unused fields to zero, so the derived
+//! `PartialEq`/`Hash` compare representations exactly.
 
 use scl_spec::ProcessId;
 use std::fmt;
 
-/// A value stored in a simulated shared register.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
-pub enum Value {
+/// Variant tag of a [`PackedValue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+enum Tag {
     /// The unset value `⊥`.
     #[default]
     Null,
-    /// A boolean.
-    Bool(bool),
-    /// A signed integer (object values, counters, proposals, timestamps).
-    Int(i64),
-    /// A process identifier.
-    Proc(usize),
-    /// A pair of values (e.g. `(timestamp, value)` in the bakery arrays).
-    Pair(Box<Value>, Box<Value>),
+    /// A boolean (`wide` is 0 or 1).
+    Bool,
+    /// A signed integer in `wide`.
+    Int,
+    /// A process identifier in `wide`.
+    Proc,
+    /// An integer pair `(narrow, wide)`.
+    IntPair,
 }
 
-impl Value {
+/// A value stored in a simulated shared register: 16 bytes, `Copy`, no heap.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PackedValue {
+    wide: i64,
+    narrow: i32,
+    tag: Tag,
+}
+
+/// The register value type used throughout the simulator (an alias so call
+/// sites keep reading `Value`).
+pub type Value = PackedValue;
+
+// The whole point of the packed layout: register files are flat arrays of
+// 16-byte words, and reads are plain copies.
+const _: () = assert!(std::mem::size_of::<PackedValue>() == 16);
+
+impl PackedValue {
+    /// The unset value `⊥`.
+    pub const NULL: PackedValue = PackedValue {
+        wide: 0,
+        narrow: 0,
+        tag: Tag::Null,
+    };
+    /// The boolean `false`.
+    pub const FALSE: PackedValue = PackedValue {
+        wide: 0,
+        narrow: 0,
+        tag: Tag::Bool,
+    };
+    /// The boolean `true`.
+    pub const TRUE: PackedValue = PackedValue {
+        wide: 1,
+        narrow: 0,
+        tag: Tag::Bool,
+    };
+
+    /// Builds an integer value.
+    pub const fn int(i: i64) -> PackedValue {
+        PackedValue {
+            wide: i,
+            narrow: 0,
+            tag: Tag::Int,
+        }
+    }
+
+    /// Builds a process-id value.
+    pub const fn proc_index(p: usize) -> PackedValue {
+        PackedValue {
+            wide: p as i64,
+            narrow: 0,
+            tag: Tag::Proc,
+        }
+    }
+
+    /// Builds a process-id value.
+    pub fn proc(p: ProcessId) -> PackedValue {
+        Self::proc_index(p.index())
+    }
+
+    /// Builds a pair of integers.
+    ///
+    /// The first component must fit an `i32` (in the bakery it is a
+    /// timestamp bounded by the number of writes, itself bounded by the tick
+    /// limit); the second component is stored wide, so sentinels like
+    /// `i64::MIN` are preserved exactly.
+    pub fn int_pair(a: i64, b: i64) -> PackedValue {
+        let narrow = i32::try_from(a)
+            .unwrap_or_else(|_| panic!("pair first component {a} does not fit i32"));
+        PackedValue {
+            wide: b,
+            narrow,
+            tag: Tag::IntPair,
+        }
+    }
+
     /// Whether the value is `⊥`.
-    pub fn is_null(&self) -> bool {
-        matches!(self, Value::Null)
+    pub fn is_null(self) -> bool {
+        self.tag == Tag::Null
     }
 
     /// Interpret as a boolean; `⊥` reads as `false`.
-    pub fn as_bool(&self) -> bool {
-        match self {
-            Value::Bool(b) => *b,
-            Value::Null => false,
-            other => panic!("expected Bool, found {other:?}"),
+    pub fn as_bool(self) -> bool {
+        match self.tag {
+            Tag::Bool => self.wide != 0,
+            Tag::Null => false,
+            _ => panic!("expected Bool, found {self:?}"),
         }
     }
 
     /// Interpret as an integer; panics on other variants.
-    pub fn as_int(&self) -> i64 {
-        match self {
-            Value::Int(i) => *i,
-            other => panic!("expected Int, found {other:?}"),
+    pub fn as_int(self) -> i64 {
+        match self.tag {
+            Tag::Int => self.wide,
+            _ => panic!("expected Int, found {self:?}"),
         }
     }
 
     /// Interpret as an optional integer: `⊥` maps to `None`.
-    pub fn as_opt_int(&self) -> Option<i64> {
-        match self {
-            Value::Null => None,
-            Value::Int(i) => Some(*i),
-            other => panic!("expected Int or Null, found {other:?}"),
+    pub fn as_opt_int(self) -> Option<i64> {
+        match self.tag {
+            Tag::Null => None,
+            Tag::Int => Some(self.wide),
+            _ => panic!("expected Int or Null, found {self:?}"),
         }
     }
 
     /// Interpret as an optional process id: `⊥` maps to `None`.
-    pub fn as_opt_proc(&self) -> Option<ProcessId> {
-        match self {
-            Value::Null => None,
-            Value::Proc(p) => Some(ProcessId(*p)),
-            other => panic!("expected Proc or Null, found {other:?}"),
+    pub fn as_opt_proc(self) -> Option<ProcessId> {
+        match self.tag {
+            Tag::Null => None,
+            Tag::Proc => Some(ProcessId(self.wide as usize)),
+            _ => panic!("expected Proc or Null, found {self:?}"),
         }
     }
 
     /// Interpret as an optional pair of integers: `⊥` maps to `None`.
-    pub fn as_opt_int_pair(&self) -> Option<(i64, i64)> {
-        match self {
-            Value::Null => None,
-            Value::Pair(a, b) => Some((a.as_int(), b.as_int())),
-            other => panic!("expected Pair or Null, found {other:?}"),
+    pub fn as_opt_int_pair(self) -> Option<(i64, i64)> {
+        match self.tag {
+            Tag::Null => None,
+            Tag::IntPair => Some((self.narrow as i64, self.wide)),
+            _ => panic!("expected Pair or Null, found {self:?}"),
         }
     }
-
-    /// Builds a pair of integers.
-    pub fn int_pair(a: i64, b: i64) -> Value {
-        Value::Pair(Box::new(Value::Int(a)), Box::new(Value::Int(b)))
-    }
-
-    /// Builds a process-id value.
-    pub fn proc(p: ProcessId) -> Value {
-        Value::Proc(p.index())
-    }
 }
 
-impl From<bool> for Value {
+impl From<bool> for PackedValue {
     fn from(b: bool) -> Self {
-        Value::Bool(b)
+        if b {
+            PackedValue::TRUE
+        } else {
+            PackedValue::FALSE
+        }
     }
 }
 
-impl From<i64> for Value {
+impl From<i64> for PackedValue {
     fn from(i: i64) -> Self {
-        Value::Int(i)
+        PackedValue::int(i)
     }
 }
 
-impl From<ProcessId> for Value {
+impl From<ProcessId> for PackedValue {
     fn from(p: ProcessId) -> Self {
-        Value::Proc(p.index())
+        PackedValue::proc(p)
     }
 }
 
-impl fmt::Display for Value {
+impl fmt::Debug for PackedValue {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Value::Null => write!(f, "⊥"),
-            Value::Bool(b) => write!(f, "{b}"),
-            Value::Int(i) => write!(f, "{i}"),
-            Value::Proc(p) => write!(f, "p{p}"),
-            Value::Pair(a, b) => write!(f, "({a}, {b})"),
+        match self.tag {
+            Tag::Null => write!(f, "Null"),
+            Tag::Bool => write!(f, "Bool({})", self.wide != 0),
+            Tag::Int => write!(f, "Int({})", self.wide),
+            Tag::Proc => write!(f, "Proc({})", self.wide),
+            Tag::IntPair => write!(f, "Pair({}, {})", self.narrow, self.wide),
+        }
+    }
+}
+
+// `Display` kept textually identical to the old enum so experiment output
+// is unchanged.
+impl fmt::Display for PackedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.tag {
+            Tag::Null => write!(f, "⊥"),
+            Tag::Bool => write!(f, "{}", self.wide != 0),
+            Tag::Int => write!(f, "{}", self.wide),
+            Tag::Proc => write!(f, "p{}", self.wide),
+            Tag::IntPair => write!(f, "({}, {})", self.narrow, self.wide),
         }
     }
 }
@@ -129,27 +227,61 @@ mod tests {
         assert_eq!(v.as_opt_int(), None);
         assert_eq!(v.as_opt_proc(), None);
         assert_eq!(v.as_opt_int_pair(), None);
+        assert_eq!(v, Value::NULL);
     }
 
     #[test]
     fn conversions_round_trip() {
-        assert_eq!(Value::from(true).as_bool(), true);
+        assert!(Value::from(true).as_bool());
         assert_eq!(Value::from(7i64).as_int(), 7);
         assert_eq!(Value::from(ProcessId(4)).as_opt_proc(), Some(ProcessId(4)));
         assert_eq!(Value::int_pair(1, 2).as_opt_int_pair(), Some((1, 2)));
     }
 
     #[test]
+    fn pair_second_component_is_wide() {
+        // The bakery's ⊥ sentinel must survive a pair round trip.
+        let v = Value::int_pair(3, i64::MIN);
+        assert_eq!(v.as_opt_int_pair(), Some((3, i64::MIN)));
+        let v = Value::int_pair(-5, i64::MAX);
+        assert_eq!(v.as_opt_int_pair(), Some((-5, i64::MAX)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit i32")]
+    fn pair_first_component_overflow_panics() {
+        Value::int_pair(i64::MAX, 0);
+    }
+
+    #[test]
     #[should_panic(expected = "expected Int")]
     fn as_int_panics_on_bool() {
-        Value::Bool(true).as_int();
+        Value::from(true).as_int();
     }
 
     #[test]
     fn display_forms() {
-        assert_eq!(Value::Null.to_string(), "⊥");
-        assert_eq!(Value::Int(3).to_string(), "3");
+        assert_eq!(Value::NULL.to_string(), "⊥");
+        assert_eq!(Value::int(3).to_string(), "3");
         assert_eq!(Value::proc(ProcessId(2)).to_string(), "p2");
         assert_eq!(Value::int_pair(1, 2).to_string(), "(1, 2)");
+        assert_eq!(Value::TRUE.to_string(), "true");
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        assert_eq!(Value::int(0), Value::from(0i64));
+        assert_ne!(Value::int(0), Value::NULL);
+        assert_ne!(Value::FALSE, Value::NULL);
+        assert_ne!(Value::int(1), Value::TRUE);
+        assert_ne!(Value::proc_index(1), Value::int(1));
+    }
+
+    #[test]
+    fn packed_value_is_16_bytes_and_copy() {
+        assert_eq!(std::mem::size_of::<PackedValue>(), 16);
+        let v = Value::int_pair(1, 2);
+        let w = v; // Copy, not move
+        assert_eq!(v, w);
     }
 }

@@ -167,12 +167,20 @@ impl<S: SequentialSpec> AbstractTrace<S> {
 
     /// Records a commit.
     pub fn record_commit(&mut self, proc: ProcessId, req_id: RequestId, history: History<S>) {
-        self.push(AbstractEvent::Commit { proc, req_id, history });
+        self.push(AbstractEvent::Commit {
+            proc,
+            req_id,
+            history,
+        });
     }
 
     /// Records an abort.
     pub fn record_abort(&mut self, proc: ProcessId, req_id: RequestId, history: History<S>) {
-        self.push(AbstractEvent::Abort { proc, req_id, history });
+        self.push(AbstractEvent::Abort {
+            proc,
+            req_id,
+            history,
+        });
     }
 
     /// The events in real-time order.
@@ -195,7 +203,9 @@ impl<S: SequentialSpec> AbstractTrace<S> {
         self.events
             .iter()
             .filter_map(|e| match e {
-                AbstractEvent::Commit { req_id, history, .. } => Some((*req_id, history)),
+                AbstractEvent::Commit {
+                    req_id, history, ..
+                } => Some((*req_id, history)),
                 _ => None,
             })
             .collect()
@@ -206,7 +216,9 @@ impl<S: SequentialSpec> AbstractTrace<S> {
         self.events
             .iter()
             .filter_map(|e| match e {
-                AbstractEvent::Abort { req_id, history, .. } => Some((*req_id, history)),
+                AbstractEvent::Abort {
+                    req_id, history, ..
+                } => Some((*req_id, history)),
                 _ => None,
             })
             .collect()
@@ -253,7 +265,9 @@ impl<S: SequentialSpec> AbstractTrace<S> {
         let mut aborts: Vec<(RequestId, usize, &History<S>)> = Vec::new();
         for (i, e) in self.events.iter().enumerate() {
             match e {
-                AbstractEvent::Commit { req_id, history, .. } => {
+                AbstractEvent::Commit {
+                    req_id, history, ..
+                } => {
                     if !invoke_at.contains_key(req_id) {
                         return Err(AbstractViolation::UnknownRequest(*req_id));
                     }
@@ -262,7 +276,9 @@ impl<S: SequentialSpec> AbstractTrace<S> {
                     }
                     commits.push((*req_id, i, history));
                 }
-                AbstractEvent::Abort { req_id, history, .. } => {
+                AbstractEvent::Abort {
+                    req_id, history, ..
+                } => {
                     if !invoke_at.contains_key(req_id) {
                         return Err(AbstractViolation::UnknownRequest(*req_id));
                     }
@@ -320,7 +336,10 @@ impl<S: SequentialSpec> AbstractTrace<S> {
         for (rc, _, hc) in commits.iter() {
             for (ra, _, ha) in aborts.iter() {
                 if !hc.is_prefix_of(ha) {
-                    return Err(AbstractViolation::AbortOrdering { commit: *rc, abort: *ra });
+                    return Err(AbstractViolation::AbortOrdering {
+                        commit: *rc,
+                        abort: *ra,
+                    });
                 }
             }
         }
@@ -371,7 +390,10 @@ mod tests {
         t.record_commit(ProcessId(0), RequestId(1), hist(&[(1, 0)]));
         // Not prefix-comparable with [(1,0)]: starts with request 2.
         t.record_commit(ProcessId(1), RequestId(2), hist(&[(2, 1), (1, 0)]));
-        assert!(matches!(t.check(), Err(AbstractViolation::CommitOrder(_, _))));
+        assert!(matches!(
+            t.check(),
+            Err(AbstractViolation::CommitOrder(_, _))
+        ));
     }
 
     #[test]
@@ -382,7 +404,10 @@ mod tests {
         t.record_commit(ProcessId(0), RequestId(1), hist(&[(1, 0)]));
         // Abort history does not have the commit history as a prefix.
         t.record_abort(ProcessId(1), RequestId(2), hist(&[(2, 1), (1, 0)]));
-        assert!(matches!(t.check(), Err(AbstractViolation::AbortOrdering { .. })));
+        assert!(matches!(
+            t.check(),
+            Err(AbstractViolation::AbortOrdering { .. })
+        ));
     }
 
     #[test]
@@ -435,7 +460,10 @@ mod tests {
     fn unknown_request_detected() {
         let mut t = AbstractTrace::<TasSpec>::new();
         t.record_commit(ProcessId(0), RequestId(7), hist(&[(7, 0)]));
-        assert_eq!(t.check(), Err(AbstractViolation::UnknownRequest(RequestId(7))));
+        assert_eq!(
+            t.check(),
+            Err(AbstractViolation::UnknownRequest(RequestId(7)))
+        );
     }
 
     #[test]

@@ -98,12 +98,7 @@ impl ConstraintFunction<TasSpec, TasSwitch> for TasConstraint {
 pub struct PrefixConstraint;
 
 impl<S: SequentialSpec> ConstraintFunction<S, History<S>> for PrefixConstraint {
-    fn contains(
-        &self,
-        _spec: &S,
-        tokens: &[SwitchToken<S, History<S>>],
-        h: &History<S>,
-    ) -> bool {
+    fn contains(&self, _spec: &S, tokens: &[SwitchToken<S, History<S>>], h: &History<S>) -> bool {
         if !tokens.iter().all(|(r, _)| h.contains_id(r.id)) {
             return false;
         }

@@ -36,7 +36,10 @@ pub fn equivalent_by_state<S: SequentialSpec>(
     h2: &History<S>,
 ) -> bool {
     // (i) both contain all the requests in I.
-    if !i_set.iter().all(|id| h1.contains_id(*id) && h2.contains_id(*id)) {
+    if !i_set
+        .iter()
+        .all(|id| h1.contains_id(*id) && h2.contains_id(*id))
+    {
         return false;
     }
     // (iii) responses matching requests in I agree.
@@ -63,7 +66,10 @@ pub fn equivalent<S: SequentialSpec>(
     probe_ops: &[S::Op],
     depth: usize,
 ) -> bool {
-    if !i_set.iter().all(|id| h1.contains_id(*id) && h2.contains_id(*id)) {
+    if !i_set
+        .iter()
+        .all(|id| h1.contains_id(*id) && h2.contains_id(*id))
+    {
         return false;
     }
     for id in i_set {
@@ -185,8 +191,9 @@ mod tests {
     fn classes_partition_by_winner() {
         let spec = TasSpec;
         // I = all three requests.
-        let i: BTreeSet<RequestId> =
-            [RequestId(1), RequestId(2), RequestId(3)].into_iter().collect();
+        let i: BTreeSet<RequestId> = [RequestId(1), RequestId(2), RequestId(3)]
+            .into_iter()
+            .collect();
         let candidates = vec![
             hist(&[(1, 0), (2, 1), (3, 2)]),
             hist(&[(1, 0), (3, 2), (2, 1)]), // same winner as above

@@ -25,7 +25,11 @@ pub struct Request<S: SequentialSpec> {
 impl<S: SequentialSpec> Request<S> {
     /// Convenience constructor.
     pub fn new(id: impl Into<RequestId>, proc: impl Into<ProcessId>, op: S::Op) -> Self {
-        Request { id: id.into(), proc: proc.into(), op }
+        Request {
+            id: id.into(),
+            proc: proc.into(),
+            op,
+        }
     }
 }
 
@@ -46,7 +50,9 @@ pub struct History<S: SequentialSpec> {
 
 impl<S: SequentialSpec> Default for History<S> {
     fn default() -> Self {
-        History { requests: Vec::new() }
+        History {
+            requests: Vec::new(),
+        }
     }
 }
 
@@ -143,7 +149,9 @@ impl<S: SequentialSpec> History<S> {
 
     /// The prefix of length `len` (clamped to the history length).
     pub fn prefix(&self, len: usize) -> History<S> {
-        History { requests: self.requests[..len.min(self.len())].to_vec() }
+        History {
+            requests: self.requests[..len.min(self.len())].to_vec(),
+        }
     }
 
     /// The prefix ending at (and including) the request with id `id`, if it
@@ -292,7 +300,10 @@ mod tests {
         let spec = TasSpec;
         let h: History<TasSpec> = [req(1, 0), req(2, 1)].into_iter().collect();
         assert!(h.final_state(&spec));
-        assert_eq!(h.all_responses(&spec), vec![TasResp::Winner, TasResp::Loser]);
+        assert_eq!(
+            h.all_responses(&spec),
+            vec![TasResp::Winner, TasResp::Loser]
+        );
         assert!(!History::<TasSpec>::empty().final_state(&spec));
     }
 

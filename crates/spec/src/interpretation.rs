@@ -80,10 +80,16 @@ impl std::fmt::Display for InterpretationError {
         match self {
             InterpretationError::MalformedTrace(e) => write!(f, "malformed trace: {e}"),
             InterpretationError::TraceNotValidWrtM => {
-                write!(f, "trace is not valid with respect to the constraint function")
+                write!(
+                    f,
+                    "trace is not valid with respect to the constraint function"
+                )
             }
             InterpretationError::NoInterpretationForClass(i) => {
-                write!(f, "no valid interpretation found for equivalence class #{i}")
+                write!(
+                    f,
+                    "no valid interpretation found for equivalence class #{i}"
+                )
             }
         }
     }
@@ -266,11 +272,7 @@ where
         }
     }
     // Keep required requests in response order where possible.
-    required.sort_by_key(|r| {
-        trace
-            .response_index(r.id)
-            .unwrap_or(usize::MAX)
-    });
+    required.sort_by_key(|r| trace.response_index(r.id).unwrap_or(usize::MAX));
 
     let init_prefixes: Vec<Option<History<S>>> = if init_candidates.is_empty() {
         vec![None]
@@ -284,8 +286,7 @@ where
     // equivalence class admits an interpretation wins.
     let mut last_error = InterpretationError::NoInterpretationForClass(0);
     for init_prefix in &init_prefixes {
-        let base_candidates =
-            candidates_from(&required, &facts.pending, init_prefix.as_ref());
+        let base_candidates = candidates_from(&required, &facts.pending, init_prefix.as_ref());
         let abort_candidates: Vec<History<S>> = if facts.has_aborts {
             base_candidates
                 .iter()
@@ -365,7 +366,11 @@ fn try_interpretation<S: SequentialSpec, V: Clone + Eq + Hash + Debug>(
     // Every abort token request must be contained in habort (Termination /
     // Validity are ensured by construction since candidates only contain
     // invoked requests).
-    if !facts.abort_tokens.iter().all(|(r, _)| habort.contains_id(r.id)) {
+    if !facts
+        .abort_tokens
+        .iter()
+        .all(|(r, _)| habort.contains_id(r.id))
+    {
         return None;
     }
 
@@ -386,7 +391,11 @@ fn try_interpretation<S: SequentialSpec, V: Clone + Eq + Hash + Debug>(
             // composition (their init event in this trace merely re-submits
             // them), so their effect legitimately predates this module.
             let valid = prefix.iter().all(|r| {
-                if init_history.as_ref().map(|h| h.contains_id(r.id)).unwrap_or(false) {
+                if init_history
+                    .as_ref()
+                    .map(|h| h.contains_id(r.id))
+                    .unwrap_or(false)
+                {
                     return facts.invoke_at.contains_key(&r.id);
                 }
                 facts
@@ -411,7 +420,11 @@ fn try_interpretation<S: SequentialSpec, V: Clone + Eq + Hash + Debug>(
     let _ = trace;
     Some(ValidInterpretation {
         init_history,
-        abort_history: if facts.has_aborts { habort.clone() } else { History::empty() },
+        abort_history: if facts.has_aborts {
+            habort.clone()
+        } else {
+            History::empty()
+        },
         commit_histories,
     })
 }

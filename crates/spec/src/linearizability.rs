@@ -76,7 +76,12 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
     pub fn record_response(&mut self, at: usize, id: RequestId, resp: S::Resp) {
         if let Some((req, invoke_at)) = self.invokes.get(&id).cloned() {
             if self.responded.insert(id) {
-                self.completed.push(CompletedOp { req, invoke_at, respond_at: at, resp });
+                self.completed.push(CompletedOp {
+                    req,
+                    invoke_at,
+                    respond_at: at,
+                    resp,
+                });
             }
         }
     }
@@ -92,7 +97,10 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
             .invokes
             .values()
             .filter(|(req, _)| !self.responded.contains(&req.id))
-            .map(|(req, at)| PendingOp { req: req.clone(), invoke_at: *at })
+            .map(|(req, at)| PendingOp {
+                req: req.clone(),
+                invoke_at: *at,
+            })
             .collect();
         pending.sort_by_key(|p| p.invoke_at);
         pending
@@ -158,12 +166,20 @@ pub fn check_linearizable<S: SequentialSpec>(
         })
         .collect();
     for p in history.pending() {
-        ops.push(OpEntry { req: p.req, invoke_at: p.invoke_at, completion: None });
+        ops.push(OpEntry {
+            req: p.req,
+            invoke_at: p.invoke_at,
+            completion: None,
+        });
     }
     if ops.len() > 128 {
         return LinCheckResult::TooLarge;
     }
-    let full_mask: u128 = if ops.len() == 128 { u128::MAX } else { (1u128 << ops.len()) - 1 };
+    let full_mask: u128 = if ops.len() == 128 {
+        u128::MAX
+    } else {
+        (1u128 << ops.len()) - 1
+    };
     let completed_mask: u128 = ops
         .iter()
         .enumerate()
@@ -214,7 +230,15 @@ pub fn check_linearizable<S: SequentialSpec>(
                 }
             }
             witness.push(op.req.id);
-            if dfs(spec, ops, done | bit, completed_mask, &next_state, seen, witness) {
+            if dfs(
+                spec,
+                ops,
+                done | bit,
+                completed_mask,
+                &next_state,
+                seen,
+                witness,
+            ) {
                 return true;
             }
             witness.pop();
@@ -223,7 +247,15 @@ pub fn check_linearizable<S: SequentialSpec>(
     }
 
     let init = spec.initial_state();
-    if dfs(spec, &ops, 0, completed_mask, &init, &mut seen, &mut witness) {
+    if dfs(
+        spec,
+        &ops,
+        0,
+        completed_mask,
+        &init,
+        &mut seen,
+        &mut witness,
+    ) {
         LinCheckResult::Linearizable(witness)
     } else {
         let _ = full_mask;
@@ -260,7 +292,10 @@ mod tests {
         h.record_invoke(1, tas_req(2, 1));
         h.record_response(2, RequestId(1), TasResp::Winner);
         h.record_response(3, RequestId(2), TasResp::Winner);
-        assert_eq!(check_linearizable(&spec, &h), LinCheckResult::NotLinearizable);
+        assert_eq!(
+            check_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
     }
 
     #[test]
@@ -273,7 +308,10 @@ mod tests {
         h.record_response(1, RequestId(1), TasResp::Loser);
         h.record_invoke(2, tas_req(2, 1));
         h.record_response(3, RequestId(2), TasResp::Winner);
-        assert_eq!(check_linearizable(&spec, &h), LinCheckResult::NotLinearizable);
+        assert_eq!(
+            check_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
     }
 
     #[test]
@@ -320,7 +358,10 @@ mod tests {
         h.record_invoke(2, r);
         // Read returns 0 even though the write completed before it started.
         h.record_response(3, RequestId(2), 0);
-        assert_eq!(check_linearizable(&spec, &h), LinCheckResult::NotLinearizable);
+        assert_eq!(
+            check_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
     }
 
     #[test]

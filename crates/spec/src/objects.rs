@@ -333,7 +333,8 @@ mod tests {
     #[test]
     fn counter_increment_returns_previous_value() {
         let spec = CounterSpec;
-        let (state, resps) = spec.run(&[CounterOp::Increment, CounterOp::Increment, CounterOp::Read]);
+        let (state, resps) =
+            spec.run(&[CounterOp::Increment, CounterOp::Increment, CounterOp::Read]);
         assert_eq!(state, 2);
         assert_eq!(resps, vec![0, 1, 2]);
     }

@@ -61,7 +61,12 @@ mod tests {
     #[test]
     fn run_returns_all_responses_in_order() {
         let spec = CounterSpec;
-        let ops = vec![CounterOp::Increment, CounterOp::Read, CounterOp::Increment, CounterOp::Read];
+        let ops = vec![
+            CounterOp::Increment,
+            CounterOp::Read,
+            CounterOp::Increment,
+            CounterOp::Read,
+        ];
         let (state, resps) = spec.run(&ops);
         assert_eq!(state, 2);
         assert_eq!(resps, vec![0, 1, 1, 2]);

@@ -110,7 +110,10 @@ impl std::fmt::Display for WellFormednessError {
                 write!(f, "process {p} has two outstanding invocations")
             }
             WellFormednessError::WrongProcess(r) => {
-                write!(f, "response for {r} issued by a process that did not invoke it")
+                write!(
+                    f,
+                    "response for {r} issued by a process that did not invoke it"
+                )
             }
             WellFormednessError::DuplicateInvocation(r) => write!(f, "request {r} invoked twice"),
             WellFormednessError::DuplicateResponse(r) => {
@@ -145,6 +148,12 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Trace<S, V> {
         self.events.push(event);
     }
 
+    /// Removes all events, keeping the allocation (used by executors that
+    /// reuse one trace buffer across many runs).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// The events in real-time order.
     pub fn events(&self) -> &[Event<S, V>] {
         &self.events
@@ -177,7 +186,11 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Trace<S, V> {
 
     /// Records an `Abort` event.
     pub fn record_abort(&mut self, proc: ProcessId, req_id: RequestId, switch: V) {
-        self.push(Event::Abort { proc, req_id, switch });
+        self.push(Event::Abort {
+            proc,
+            req_id,
+            switch,
+        });
     }
 
     /// The request carried by the invocation (invoke or init) of `id`, if any.
@@ -321,8 +334,12 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Trace<S, V> {
         let mut hist = crate::linearizability::ConcurrentHistory::new();
         for (idx, e) in self.events.iter().enumerate() {
             match e {
-                Event::Invoke { req } | Event::Init { req, .. } => hist.record_invoke(idx, req.clone()),
-                Event::Commit { req_id, resp, .. } => hist.record_response(idx, *req_id, resp.clone()),
+                Event::Invoke { req } | Event::Init { req, .. } => {
+                    hist.record_invoke(idx, req.clone())
+                }
+                Event::Commit { req_id, resp, .. } => {
+                    hist.record_response(idx, *req_id, resp.clone())
+                }
                 Event::Abort { .. } => {}
             }
         }
@@ -430,7 +447,8 @@ mod tests {
         t.record_commit(ProcessId(1), RequestId(1), TasResp::Winner);
         assert!(matches!(
             t.check_well_formed(),
-            Err(WellFormednessError::WrongProcess(_)) | Err(WellFormednessError::OverlappingInvocations(_))
+            Err(WellFormednessError::WrongProcess(_))
+                | Err(WellFormednessError::OverlappingInvocations(_))
         ));
     }
 

@@ -24,7 +24,11 @@ fn main() {
         lock.fast_path_fraction(),
         lock.rmw_instructions()
     );
-    assert_eq!(lock.rmw_instructions(), 0, "the solo owner never needs the hardware object");
+    assert_eq!(
+        lock.rmw_instructions(),
+        0,
+        "the solo owner never needs the hardware object"
+    );
 
     // Phase 2: a second thread occasionally competes for the lock.
     std::thread::scope(|s| {

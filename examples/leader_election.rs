@@ -28,15 +28,25 @@ fn main() {
             s.spawn(move || {
                 for round in 0..ROUNDS {
                     barrier.wait();
-                    if tas.test_and_set(t) == TasResult::Winner {
+                    let won = tas.test_and_set(t) == TasResult::Winner;
+                    if won {
                         leaders.fetch_add(1, Ordering::SeqCst);
                         println!("round {round}: thread {t} elected leader");
                         // ... the leader would do its privileged work here ...
+                    }
+                    // Wait until every thread's test-and-set of this round
+                    // has returned: well-formedness of the long-lived object
+                    // (§6.3) asks that the winner's reset does not overlap
+                    // the round's other operations — otherwise a slow thread
+                    // can legitimately join (and win) the freshly opened
+                    // round within the same election.
+                    barrier.wait();
+                    if won {
                         // Handing leadership back re-opens the election and
                         // re-arms the register-only fast path.
                         assert!(tas.reset(t));
                     }
-                    // Wait for the leader to finish before the next round.
+                    // Wait for the reset before starting the next round.
                     barrier.wait();
                 }
             });
@@ -53,5 +63,9 @@ fn main() {
         stats.rmw_instructions,
         stats.resets
     );
-    assert_eq!(leaders.load(Ordering::SeqCst), ROUNDS, "exactly one leader per round");
+    assert_eq!(
+        leaders.load(Ordering::SeqCst),
+        ROUNDS,
+        "exactly one leader per round"
+    );
 }

@@ -20,9 +20,13 @@ use scl::spec::{
 fn main() {
     let workload: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
     let outcome = explore_schedules(
-        |mem| new_speculative_tas(mem),
+        new_speculative_tas,
         &workload,
-        &ExploreConfig { max_schedules: 1_000_000, max_ticks: 10_000 },
+        &ExploreConfig {
+            max_schedules: 1_000_000,
+            max_ticks: 10_000,
+            ..Default::default()
+        },
         |res, mem| {
             if !res.completed {
                 return Err("execution did not complete".into());
@@ -61,7 +65,10 @@ fn main() {
             done.schedules()
         ),
         Err(violation) => {
-            eprintln!("VIOLATION under schedule {:?}: {}", violation.schedule, violation.message);
+            eprintln!(
+                "VIOLATION under schedule {:?}: {}",
+                violation.schedule, violation.message
+            );
             std::process::exit(1);
         }
     }

@@ -32,8 +32,11 @@ fn main() {
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
 
-    let winners: Vec<usize> =
-        results.iter().filter(|(_, r)| *r == TasResult::Winner).map(|(t, _)| *t).collect();
+    let winners: Vec<usize> = results
+        .iter()
+        .filter(|(_, r)| *r == TasResult::Winner)
+        .map(|(t, _)| *t)
+        .collect();
     for (t, r) in &results {
         println!("thread {t}: {r:?}");
     }
@@ -43,5 +46,9 @@ fn main() {
         tas.stats().slow_path_commits(),
         tas.stats().rmw_instructions()
     );
-    assert_eq!(winners.len(), 1, "a test-and-set object has exactly one winner");
+    assert_eq!(
+        winners.len(),
+        1,
+        "a test-and-set object has exactly one winner"
+    );
 }

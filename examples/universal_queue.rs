@@ -47,8 +47,12 @@ fn main() {
         vec![QueueOp::Enqueue(2), QueueOp::Dequeue],
         vec![QueueOp::Enqueue(3), QueueOp::Dequeue],
     ]);
-    let res =
-        Executor::new().run(&mut mem, &mut queue, &workload, &mut RoundRobinAdversary::default());
+    let res = Executor::new().run(
+        &mut mem,
+        &mut queue,
+        &workload,
+        &mut RoundRobinAdversary::default(),
+    );
     assert!(res.completed);
     println!("contended run:");
     for (req, resp) in res.trace.commits() {
@@ -60,7 +64,5 @@ fn main() {
         mem.max_required_consensus_number()
     );
     assert!(check_linearizable(&QueueSpec, &res.trace.commit_projection()).is_linearizable());
-    println!(
-        "the composition stays linearizable in both regimes; contention is what pays for CAS"
-    );
+    println!("the composition stays linearizable in both regimes; contention is what pays for CAS");
 }

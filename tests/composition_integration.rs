@@ -25,9 +25,17 @@ fn theorem4_composition_correct_across_adversaries_and_sizes() {
             let wl: Wl = Workload::single_op_each(n, TasOp::TestAndSet);
             let res = Executor::new().run(&mut mem, &mut tas, &wl, &mut RandomAdversary::new(seed));
             assert!(res.completed, "n={n} seed={seed}");
-            assert_eq!(res.metrics.aborted_count(), 0, "wait-freedom: the composition never aborts");
-            let winners =
-                res.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+            assert_eq!(
+                res.metrics.aborted_count(),
+                0,
+                "wait-freedom: the composition never aborts"
+            );
+            let winners = res
+                .trace
+                .commits()
+                .iter()
+                .filter(|(_, r)| *r == TasResp::Winner)
+                .count();
             assert_eq!(winners, 1, "n={n} seed={seed}");
             assert!(
                 check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable(),
@@ -57,7 +65,10 @@ fn lemma6_step_contention_free_operations_stay_in_module_a1() {
         assert!(res.completed);
         for op in &res.metrics.ops {
             if op.step_contention_free() {
-                assert_eq!(op.rmws, 0, "n={n}: step-contention-free op used a strong primitive");
+                assert_eq!(
+                    op.rmws, 0,
+                    "n={n}: step-contention-free op used a strong primitive"
+                );
                 assert!(op.steps <= A1Tas::MAX_STEPS);
             }
         }
@@ -76,7 +87,12 @@ fn alternative_composition_orders_remain_correct() {
         let res = Executor::new().run(&mut mem, &mut tas, &wl, &mut RandomAdversary::new(seed));
         assert!(res.completed);
         assert_eq!(res.metrics.aborted_count(), 0);
-        let winners = res.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+        let winners = res
+            .trace
+            .commits()
+            .iter()
+            .filter(|(_, r)| *r == TasResp::Winner)
+            .count();
         assert_eq!(winners, 1, "seed {seed}");
         assert!(
             check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable(),
@@ -94,7 +110,12 @@ fn solo_fast_variant_is_correct_under_contention() {
         let wl: Wl = Workload::single_op_each(4, TasOp::TestAndSet);
         let res = Executor::new().run(&mut mem, &mut tas, &wl, &mut RandomAdversary::new(seed));
         assert!(res.completed);
-        let winners = res.trace.commits().iter().filter(|(_, r)| *r == TasResp::Winner).count();
+        let winners = res
+            .trace
+            .commits()
+            .iter()
+            .filter(|(_, r)| *r == TasResp::Winner)
+            .count();
         assert_eq!(winners, 1, "seed {seed}");
         assert!(
             check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable(),
@@ -121,8 +142,7 @@ fn bare_a1_module_costs_and_certification() {
         let mut mem = SharedMemory::new();
         let mut a1 = A1Tas::new(&mut mem);
         let wl: Wl = Workload::single_op_each(n, TasOp::TestAndSet);
-        let res =
-            Executor::new().run(&mut mem, &mut a1, &wl, &mut RoundRobinAdversary::default());
+        let res = Executor::new().run(&mut mem, &mut a1, &wl, &mut RoundRobinAdversary::default());
         assert!(res.completed);
         assert!(
             find_valid_interpretation(&TasSpec, &res.trace, &TasConstraint).is_composable(),

@@ -2,10 +2,12 @@
 //! (§4) over several object types.
 
 use scl::core::{
-    consensus_via_abstract, new_composable_universal, new_three_level_universal,
-    CasConsensus, SplitConsensus, UniversalConstruction,
+    consensus_via_abstract, new_composable_universal, new_three_level_universal, CasConsensus,
+    SplitConsensus, UniversalConstruction,
 };
-use scl::sim::{Executor, OnAbort, RandomAdversary, RoundRobinAdversary, SharedMemory, SoloAdversary, Workload};
+use scl::sim::{
+    Executor, OnAbort, RandomAdversary, RoundRobinAdversary, SharedMemory, SoloAdversary, Workload,
+};
 use scl::spec::{
     check_linearizable, CounterOp, CounterSpec, FetchIncOp, FetchIncSpec, History, QueueOp,
     QueueSpec,
@@ -36,14 +38,17 @@ fn proposition1_generic_objects_through_the_composition() {
         // Fetch-and-increment: every committed response must be unique.
         let mut mem = SharedMemory::new();
         let mut f = new_composable_universal(&mut mem, 3, FetchIncSpec);
-        let wl: Workload<FetchIncSpec, History<FetchIncSpec>> =
-            Workload::uniform(3, FetchIncOp, 2);
+        let wl: Workload<FetchIncSpec, History<FetchIncSpec>> = Workload::uniform(3, FetchIncOp, 2);
         let res = Executor::new().run(&mut mem, &mut f, &wl, &mut RandomAdversary::new(seed));
         assert!(res.completed);
         let mut values: Vec<u64> = res.trace.commits().iter().map(|(_, v)| *v).collect();
         values.sort_unstable();
         values.dedup();
-        assert_eq!(values.len(), 6, "fetch-and-increment responses must be distinct, seed {seed}");
+        assert_eq!(
+            values.len(),
+            6,
+            "fetch-and-increment responses must be distinct, seed {seed}"
+        );
     }
 }
 
@@ -76,19 +81,20 @@ fn abstract_properties_hold_on_recorded_traces() {
             UniversalConstruction::<CounterSpec, SplitConsensus>::new(&mut mem, 3, CounterSpec);
         let wl: Workload<CounterSpec, History<CounterSpec>> =
             Workload::single_op_each(3, CounterOp::Increment);
-        let res = Executor::new()
-            .on_abort(OnAbort::Stop)
-            .run(&mut mem, &mut uc, &wl, &mut RandomAdversary::new(seed));
+        let res = Executor::new().on_abort(OnAbort::Stop).run(
+            &mut mem,
+            &mut uc,
+            &wl,
+            &mut RandomAdversary::new(seed),
+        );
         assert!(res.completed);
         assert_eq!(uc.recorded_abstract_trace().check(), Ok(()), "seed {seed}");
     }
     let mut mem = SharedMemory::new();
-    let mut uc =
-        UniversalConstruction::<CounterSpec, CasConsensus>::new(&mut mem, 4, CounterSpec);
+    let mut uc = UniversalConstruction::<CounterSpec, CasConsensus>::new(&mut mem, 4, CounterSpec);
     let wl: Workload<CounterSpec, History<CounterSpec>> =
         Workload::uniform(4, CounterOp::Increment, 2);
-    let res =
-        Executor::new().run(&mut mem, &mut uc, &wl, &mut RoundRobinAdversary::default());
+    let res = Executor::new().run(&mut mem, &mut uc, &wl, &mut RoundRobinAdversary::default());
     assert!(res.completed);
     assert_eq!(uc.recorded_abstract_trace().check(), Ok(()));
 }
@@ -101,7 +107,10 @@ fn proposition2_reduction_solves_consensus() {
     for seed in 0..10 {
         let decisions =
             consensus_via_abstract(&proposals, &mut RandomAdversary::new(seed)).unwrap();
-        assert!(decisions.windows(2).all(|w| w[0] == w[1]), "agreement, seed {seed}");
+        assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "agreement, seed {seed}"
+        );
         assert!(proposals.contains(&decisions[0]), "validity, seed {seed}");
     }
     let decisions = consensus_via_abstract(&proposals, &mut SoloAdversary).unwrap();
