@@ -1,37 +1,49 @@
-//! Explorer throughput: schedules/sec and steps/sec on fixed workloads.
+//! Explorer throughput: schedules/sec, executed work and reduction factors
+//! on fixed speculative-TAS workloads.
 //!
-//! Four modes are measured on the same 2–3 process A1/A2 (speculative TAS)
+//! Seven modes are measured on the same 2–3 process A1/A2 (speculative TAS)
 //! workloads, in one process and one sitting so the numbers are comparable:
 //!
-//! * `baseline` — replicates the pre-optimization explorer: a fresh
-//!   [`SharedMemory`], executor session and full event trace per schedule
-//!   (the seed explorer rebuilt everything per schedule);
-//! * `reused` — the optimized sequential explorer: one worker-owned memory +
-//!   session reset between schedules ([`explore_schedules`]);
+//! * `baseline` — the pre-PR-1 explorer preserved for comparison: a fresh
+//!   [`SharedMemory`], executor session and full event trace per schedule;
+//! * `reused` — full-replay enumeration on a reusable memory + session (the
+//!   PR 1 explorer; [`ResumeMode::FullReplay`] + [`Reduction::Off`]);
 //! * `metrics_only` — same, with event-trace recording skipped;
-//! * `parallel` — [`explore_schedules_parallel`] with the machine's
-//!   available parallelism (full traces, so the delta vs `reused` isolates
-//!   the partitioning itself).
+//! * `parallel` — the branch-partitioned explorer with the machine's
+//!   available parallelism;
+//! * `prefix_resume` — [`ResumeMode::PrefixResume`]: backtracking restores a
+//!   checkpoint instead of replaying the prefix (PR 2);
+//! * `sleep_sets` — [`Reduction::SleepSets`]: commuting interleavings are
+//!   explored once (PR 2);
+//! * `combined` — both (the mode that exhausts the *full* n=3 space).
 //!
-//! Writes `BENCH_PR1.json` at the workspace root (resolved relative to this
-//! crate, independent of the invocation directory) recording all four series
-//! plus the derived speedups; the acceptance bar for PR 1 is
-//! `reused >= 2x baseline` on schedules/sec. The JSON is hand-rolled
-//! (the workspace builds offline, without serde).
+//! Writes `BENCH_PR2.json` at the workspace root (resolved relative to this
+//! crate, independent of the invocation directory) recording every series
+//! plus derived speedups, the sleep-set reduction factors, and host metadata
+//! (`std::thread::available_parallelism`, build profile) so single-core
+//! parallel numbers cannot be misread. The JSON is hand-rolled (the
+//! workspace builds offline, without serde).
+//!
+//! `--smoke` caps every enumeration at a few thousand schedules and runs one
+//! repetition per cell — the CI guard that keeps the bench binary and the
+//! JSON schema from rotting.
 
 use scl_core::new_speculative_tas;
 use scl_sim::{
-    explore_schedules, explore_schedules_parallel, Executor, ExploreConfig, ExploreOutcome,
-    ScriptedAdversary, SharedMemory, Workload,
+    explore_schedules_parallel_report, explore_schedules_report, Executor, ExploreConfig,
+    ExploreOutcome, ExploreStats, Reduction, ResumeMode, ScriptedAdversary, SharedMemory, Workload,
 };
 use scl_spec::{ProcessId, TasOp, TasSpec, TasSwitch};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 #[derive(Debug, Clone, Copy)]
 struct Measurement {
     schedules: u64,
-    steps: u64,
+    executed_ticks: u64,
+    executed_steps: u64,
+    replayed_ticks: u64,
+    sleep_blocked: u64,
+    exhausted: bool,
     secs: f64,
 }
 
@@ -41,24 +53,40 @@ impl Measurement {
     }
 
     fn steps_per_sec(&self) -> f64 {
-        self.steps as f64 / self.secs
+        self.executed_steps as f64 / self.secs
+    }
+
+    fn from_stats(stats: &ExploreStats, exhausted: bool, secs: f64) -> Self {
+        Measurement {
+            schedules: stats.schedules,
+            executed_ticks: stats.executed_ticks,
+            executed_steps: stats.executed_steps,
+            replayed_ticks: stats.replayed_ticks,
+            sleep_blocked: stats.sleep_blocked,
+            exhausted,
+            secs,
+        }
     }
 }
 
-/// The pre-optimization explorer, preserved verbatim in spirit: a fresh
-/// shared memory, a fresh executor session and a full trace per schedule.
-/// Enumeration order is identical to [`explore_schedules`].
+/// The pre-PR-1 explorer, preserved verbatim in spirit: a fresh shared
+/// memory, a fresh executor session and a full trace per schedule.
+/// Enumeration order is identical to the unreduced incremental explorer.
 fn explore_baseline(
     workload: &Workload<TasSpec, TasSwitch>,
     config: &ExploreConfig,
-    steps: &mut u64,
-) -> ExploreOutcome {
+) -> Measurement {
     let executor = Executor::new().max_ticks(config.max_ticks);
     let mut schedules: u64 = 0;
+    let mut ticks: u64 = 0;
+    let mut steps: u64 = 0;
+    let mut exhausted = true;
+    let start = Instant::now();
     let mut stack: Vec<Vec<ProcessId>> = vec![Vec::new()];
     while let Some(prefix) = stack.pop() {
         if schedules >= config.max_schedules {
-            return ExploreOutcome::LimitReached { schedules };
+            exhausted = false;
+            break;
         }
         schedules += 1;
         let mut mem = SharedMemory::new();
@@ -66,7 +94,8 @@ fn explore_baseline(
         let prefix_len = prefix.len();
         let mut adversary = ScriptedAdversary::new(prefix);
         let result = executor.run(&mut mem, &mut object, workload, &mut adversary);
-        *steps += mem.global_steps();
+        ticks += result.ticks;
+        steps += mem.global_steps();
         for i in prefix_len..result.decisions.len() {
             let chosen = result.decisions.chosen_at(i);
             for &alt in result.decisions.enabled_at(i) {
@@ -79,92 +108,94 @@ fn explore_baseline(
             }
         }
     }
-    ExploreOutcome::Exhausted { schedules }
+    Measurement {
+        schedules,
+        executed_ticks: ticks,
+        executed_steps: steps,
+        replayed_ticks: 0,
+        sleep_blocked: 0,
+        exhausted,
+        secs: start.elapsed().as_secs_f64(),
+    }
 }
 
-fn measure(mode: &str, n: usize, max_schedules: u64) -> Measurement {
-    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
-    let config = ExploreConfig {
+fn mode_config(mode: &str, max_schedules: u64) -> ExploreConfig {
+    let mut config = ExploreConfig {
         max_schedules,
         max_ticks: 10_000,
         ..Default::default()
     };
+    match mode {
+        "baseline" | "reused" | "parallel" => {}
+        "metrics_only" => config.metrics_only = true,
+        "prefix_resume" => config.resume = ResumeMode::PrefixResume,
+        "sleep_sets" => config.reduction = Reduction::SleepSets,
+        "combined" => {
+            config.reduction = Reduction::SleepSets;
+            config.resume = ResumeMode::PrefixResume;
+        }
+        other => panic!("unknown mode {other}"),
+    }
+    config
+}
+
+fn measure(mode: &str, n: usize, max_schedules: u64, reps: usize) -> Measurement {
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
+    let config = mode_config(mode, max_schedules);
     let mut best: Option<Measurement> = None;
-    // Three repetitions; keep the fastest (the series are compared to each
-    // other, so the minimum is the fairest frequency-noise filter).
-    for _ in 0..3 {
+    // Repetitions; keep the fastest (the series are compared to each other,
+    // so the minimum is the fairest frequency-noise filter).
+    for _ in 0..reps {
         let m = match mode {
-            "baseline" => {
-                let mut steps = 0u64;
-                let start = Instant::now();
-                let outcome = explore_baseline(&wl, &config, &mut steps);
-                Measurement {
-                    schedules: outcome.schedules(),
-                    steps,
-                    secs: start.elapsed().as_secs_f64(),
-                }
-            }
-            "reused" | "metrics_only" => {
-                let config = ExploreConfig {
-                    metrics_only: mode == "metrics_only",
-                    ..config.clone()
-                };
-                let mut steps = 0u64;
-                let start = Instant::now();
-                let outcome = explore_schedules(new_speculative_tas, &wl, &config, |_res, mem| {
-                    steps += mem.global_steps();
-                    Ok(())
-                })
-                .expect("no violation expected");
-                Measurement {
-                    schedules: outcome.schedules(),
-                    steps,
-                    secs: start.elapsed().as_secs_f64(),
-                }
-            }
+            "baseline" => explore_baseline(&wl, &config),
             "parallel" => {
-                let config = ExploreConfig {
-                    threads: 0,
-                    ..config.clone()
-                };
-                let steps = AtomicU64::new(0);
                 let start = Instant::now();
-                let outcome =
-                    explore_schedules_parallel(new_speculative_tas, &wl, &config, |_res, mem| {
-                        steps.fetch_add(mem.global_steps(), Ordering::Relaxed);
-                        Ok(())
-                    })
-                    .expect("no violation expected");
-                Measurement {
-                    schedules: outcome.schedules(),
-                    steps: steps.load(Ordering::Relaxed),
-                    secs: start.elapsed().as_secs_f64(),
-                }
+                let report = explore_schedules_parallel_report(
+                    new_speculative_tas,
+                    &wl,
+                    &config,
+                    |_r, _m| Ok(()),
+                );
+                let exhausted = matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. }));
+                Measurement::from_stats(&report.stats, exhausted, start.elapsed().as_secs_f64())
             }
-            other => panic!("unknown mode {other}"),
+            _ => {
+                let start = Instant::now();
+                let report =
+                    explore_schedules_report(new_speculative_tas, &wl, &config, |_r, _m| Ok(()));
+                let exhausted = matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. }));
+                Measurement::from_stats(&report.stats, exhausted, start.elapsed().as_secs_f64())
+            }
         };
         best = Some(match best {
             Some(b) if b.secs <= m.secs => b,
             _ => m,
         });
     }
-    let m = best.unwrap();
+    let m = best.expect("at least one repetition");
     println!(
-        "{mode:>12} n={n}: schedules={} steps={} secs={:.3} sched/s={:.0} steps/s={:.0}",
+        "{mode:>14} n={n}: schedules={} ticks={} steps={} replayed={} blocked={} exhausted={} secs={:.3} sched/s={:.0}",
         m.schedules,
-        m.steps,
+        m.executed_ticks,
+        m.executed_steps,
+        m.replayed_ticks,
+        m.sleep_blocked,
+        m.exhausted,
         m.secs,
         m.sched_per_sec(),
-        m.steps_per_sec()
     );
     m
 }
 
 fn json_entry(m: &Measurement) -> String {
     format!(
-        "{{\"schedules\": {}, \"steps\": {}, \"secs\": {:.6}, \"schedules_per_sec\": {:.0}, \"steps_per_sec\": {:.0}}}",
+        "{{\"schedules\": {}, \"executed_ticks\": {}, \"executed_steps\": {}, \"replayed_ticks\": {}, \"sleep_blocked\": {}, \"exhausted\": {}, \"secs\": {:.6}, \"schedules_per_sec\": {:.0}, \"executed_steps_per_sec\": {:.0}}}",
         m.schedules,
-        m.steps,
+        m.executed_ticks,
+        m.executed_steps,
+        m.replayed_ticks,
+        m.sleep_blocked,
+        m.exhausted,
         m.secs,
         m.sched_per_sec(),
         m.steps_per_sec()
@@ -172,27 +203,67 @@ fn json_entry(m: &Measurement) -> String {
 }
 
 fn main() {
-    // Fixed workloads: one test-and-set per process on the composed A1 ∘ A2
-    // speculative TAS; n=2 is exhaustive, n=3 is budget-capped.
-    let workloads = [
-        ("speculative_tas_n2", 2usize, 1_000_000u64),
-        ("speculative_tas_n3_capped", 3usize, 50_000u64),
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let reps = if smoke { 1 } else { 3 };
+    // (workload name, processes, schedule cap, modes). `u64::MAX` means
+    // exhaustive. The full n=3 space (>50M schedules) is only tractable for
+    // the reduced modes, which is the point of PR 2.
+    let all: &[&str] = &[
+        "baseline",
+        "reused",
+        "metrics_only",
+        "parallel",
+        "prefix_resume",
+        "sleep_sets",
+        "combined",
     ];
-    let modes = ["baseline", "reused", "metrics_only", "parallel"];
+    let reduced: &[&str] = &["sleep_sets", "combined"];
+    let n2_cap = if smoke { 2_000 } else { 1_000_000 };
+    let n3_cap = if smoke { 2_000 } else { 50_000 };
+    let full_cap = if smoke { 5_000 } else { u64::MAX };
+    let workloads: &[(&str, usize, u64, &[&str])] = &[
+        ("speculative_tas_n2", 2, n2_cap, all),
+        ("speculative_tas_n3_capped", 3, n3_cap, all),
+        ("speculative_tas_n3_full", 3, full_cap, reduced),
+    ];
 
     let mut sections = Vec::new();
-    let mut speedup_lines = Vec::new();
-    for (wl_name, n, cap) in workloads {
+    let mut derived = Vec::new();
+    let mut n2_baseline: Option<Measurement> = None;
+    let mut n2_combined: Option<Measurement> = None;
+    let mut combined_full: Option<Measurement> = None;
+    for &(wl_name, n, cap, modes) in workloads {
         println!("-- {wl_name} --");
         let results: Vec<(String, Measurement)> = modes
             .iter()
-            .map(|mode| (mode.to_string(), measure(mode, n, cap)))
+            .map(|mode| (mode.to_string(), measure(mode, n, cap, reps)))
             .collect();
-        let baseline = results[0].1;
-        for (mode, m) in &results[1..] {
-            speedup_lines.push(format!(
-                "    \"{wl_name}/{mode}\": {:.2}",
-                m.sched_per_sec() / baseline.sched_per_sec()
+        for (mode, m) in &results {
+            match (wl_name, mode.as_str()) {
+                ("speculative_tas_n2", "baseline") => n2_baseline = Some(*m),
+                ("speculative_tas_n2", "combined") => n2_combined = Some(*m),
+                ("speculative_tas_n3_full", "combined") => combined_full = Some(*m),
+                _ => {}
+            }
+        }
+        if results[0].0 == "baseline" {
+            let baseline = results[0].1;
+            for (mode, m) in &results[1..] {
+                derived.push(format!(
+                    "    \"{wl_name}/{mode}/schedules_per_sec_vs_baseline\": {:.2}",
+                    m.sched_per_sec() / baseline.sched_per_sec()
+                ));
+                derived.push(format!(
+                    "    \"{wl_name}/{mode}/executed_steps_saving_vs_baseline\": {:.2}",
+                    baseline.executed_steps as f64 / (m.executed_steps.max(1)) as f64
+                ));
+            }
+        }
+        let by_mode = |name: &str| results.iter().find(|(m, _)| m == name).map(|(_, v)| *v);
+        if let (Some(full), Some(ss)) = (by_mode("reused"), by_mode("sleep_sets")) {
+            derived.push(format!(
+                "    \"{wl_name}/sleep_set_reduction_factor\": {:.2}",
+                full.schedules as f64 / ss.schedules.max(1) as f64
             ));
         }
         let entries: Vec<String> = results
@@ -205,13 +276,48 @@ fn main() {
         ));
     }
 
+    let host = format!(
+        "  \"host\": {{\"available_parallelism\": {}, \"build_profile\": \"{}\", \"debug_assertions\": {}, \"smoke\": {}}}",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0),
+        if cfg!(debug_assertions) { "debug" } else { "release" },
+        cfg!(debug_assertions),
+        smoke,
+    );
     let json = format!(
-        "{{\n  \"description\": \"Explorer throughput for PR 1: pre-optimization baseline (fresh memory/session/trace per schedule) vs reusable-executor explorer, metrics-only traces, and parallel root-schedule branch partitioning. Workloads: one TAS op per process on the composed A1*A2 speculative test-and-set.\",\n  \"units\": {{\"schedules_per_sec\": \"schedules/second\", \"steps_per_sec\": \"shared-memory steps/second\"}},\n{},\n  \"speedup_vs_baseline_schedules_per_sec\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"description\": \"Explorer work accounting for PR 2: prefix-resume DFS (checkpoint/restore instead of prefix replay) and sleep-set partial-order reduction, alongside the PR 1 modes. Workloads: one TAS op per process on the composed A1*A2 speculative test-and-set. executed_steps counts shared-memory steps actually executed, including backtracking replays, so it is the honest cost metric across modes; schedules under sleep_sets counts the explored representatives of the full space.\",\n  \"units\": {{\"schedules_per_sec\": \"schedules/second\", \"executed_steps_per_sec\": \"shared-memory steps/second\"}},\n{host},\n{},\n  \"derived\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n"),
-        speedup_lines.join(",\n")
+        derived.join(",\n")
     );
     // Anchor at the workspace root regardless of the invocation directory.
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR1.json");
-    std::fs::write(&path, &json).expect("write BENCH_PR1.json");
+    // Smoke runs write a sibling file so they never clobber the committed
+    // full-run numbers.
+    let file = if smoke {
+        "../../BENCH_PR2.smoke.json"
+    } else {
+        "../../BENCH_PR2.json"
+    };
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
+    std::fs::write(&path, &json).expect("write BENCH_PR2.json");
     println!("\nwrote {}", path.display());
+
+    if !smoke {
+        // Acceptance guards for PR 2 (loud failures beat silent rot).
+        let full = combined_full.expect("n3_full/combined was measured");
+        assert!(
+            full.exhausted,
+            "the reduced explorer must exhaust the full n=3 space"
+        );
+        let (b, c) = (
+            n2_baseline.expect("n2/baseline was measured"),
+            n2_combined.expect("n2/combined was measured"),
+        );
+        let saving = b.executed_steps as f64 / c.executed_steps.max(1) as f64;
+        assert!(
+            saving >= 5.0,
+            "the reduced explorer must execute >=5x fewer steps than full replay \
+             on the exhaustive n=2 workload (got {saving:.1}x)"
+        );
+    }
 }

@@ -15,7 +15,9 @@
 //! test-suites check this on recorded traces with
 //! [`scl_spec::find_valid_interpretation`].
 
-use scl_sim::{OpExecution, OpOutcome, SharedMemory, SimObject, StepOutcome};
+use scl_sim::{
+    Footprint, ObjectSnapshot, OpExecution, OpOutcome, SharedMemory, SimObject, StepOutcome,
+};
 use scl_spec::{Request, SequentialSpec};
 use std::cell::Cell;
 use std::fmt::Debug;
@@ -67,7 +69,7 @@ impl<S, V, B> OpExecution<S, V> for ComposedExec<S, V, B>
 where
     S: SequentialSpec + 'static,
     V: Clone + Eq + Hash + Debug + 'static,
-    B: SimObject<S, V> + 'static,
+    B: SimObject<S, V> + Clone + 'static,
 {
     fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<S, V> {
         match &mut self.phase {
@@ -89,6 +91,33 @@ where
             Phase::Second(exec) => exec.step(mem),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<S, V>>> {
+        let phase = match &self.phase {
+            Phase::First(exec) => Phase::First(exec.fork()?),
+            Phase::Second(exec) => Phase::Second(exec.fork()?),
+        };
+        Some(Box::new(ComposedExec {
+            second: self.second.clone(),
+            req: self.req.clone(),
+            phase,
+            switches: Rc::clone(&self.switches),
+        }))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match &self.phase {
+            Phase::First(exec) | Phase::Second(exec) => exec.next_footprint(),
+        }
+    }
+}
+
+/// Snapshot of a [`Composed`] object: the switch counter plus the component
+/// snapshots.
+struct ComposedSnap {
+    switches: u64,
+    first: ObjectSnapshot,
+    second: ObjectSnapshot,
 }
 
 impl<S, V, A, B> SimObject<S, V> for Composed<A, B>
@@ -117,6 +146,23 @@ where
 
     fn name(&self) -> &'static str {
         "composed"
+    }
+
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        Some(ObjectSnapshot::new(ComposedSnap {
+            switches: self.switches.get(),
+            first: self.first.snapshot()?,
+            second: self.second.snapshot()?,
+        }))
+    }
+
+    fn restore(&mut self, snap: &ObjectSnapshot) {
+        let s = snap.downcast::<ComposedSnap>();
+        // The counter cell is shared with every in-flight ComposedExec, so
+        // setting it here rewinds them all.
+        self.switches.set(s.switches);
+        self.first.restore(&s.first);
+        self.second.restore(&s.second);
     }
 }
 

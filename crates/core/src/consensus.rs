@@ -22,7 +22,10 @@
 //! any of them to a standalone [`SimObject`] so the experiment harness can
 //! measure their step complexity and abort rates directly.
 
-use scl_sim::{OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome, Value};
+use scl_sim::{
+    Footprint, ObjectSnapshot, OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome,
+    Value,
+};
 use scl_spec::{ConsensusOp, ConsensusSpec, ProcessId, Request};
 
 /// The sentinel encoding of the unset value `⊥` in consensus registers.
@@ -70,6 +73,20 @@ impl ConsensusOutcome {
 pub trait ConsensusExec {
     /// Performs at most one shared-memory step.
     fn step(&mut self, mem: &mut SharedMemory) -> Option<ConsensusOutcome>;
+
+    /// Duplicates the in-flight propose so executions embedding it (the
+    /// universal construction, [`ConsensusObject`]) can be checkpointed by
+    /// the schedule explorer. `None` (the default) opts out; the explorer
+    /// then falls back to prefix replay.
+    fn fork(&self) -> Option<Box<dyn ConsensusExec>> {
+        None
+    }
+
+    /// The access footprint of the next [`Self::step`] call (must depend on
+    /// local state only); [`Footprint::Unknown`] is always sound.
+    fn next_footprint(&self) -> Footprint {
+        Footprint::Unknown
+    }
 }
 
 /// An abortable consensus object usable inside the universal construction.
@@ -142,6 +159,26 @@ impl<C: AbortableConsensus> ConsensusExec for TwoPhaseExec<C> {
             TwoPhase::Second(exec) => exec.step(mem),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn ConsensusExec>> {
+        let phase = match &self.phase {
+            TwoPhase::First(exec) => TwoPhase::First(exec.fork()?),
+            TwoPhase::Second(exec) => TwoPhase::Second(exec.fork()?),
+        };
+        Some(Box::new(TwoPhaseExec {
+            obj: self.obj.clone(),
+            p: self.p,
+            old: self.old,
+            value: self.value,
+            phase,
+        }))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match &self.phase {
+            TwoPhase::First(exec) | TwoPhase::Second(exec) => exec.next_footprint(),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +238,7 @@ enum SplitterPc {
 }
 
 /// A splitter acquisition in progress.
+#[derive(Debug, Clone, Copy)]
 pub struct SplitterExec {
     regs: Splitter,
     p: ProcessId,
@@ -208,6 +246,15 @@ pub struct SplitterExec {
 }
 
 impl SplitterExec {
+    /// The register the next [`Self::step`] call accesses.
+    pub fn next_footprint(&self) -> Footprint {
+        match self.pc {
+            SplitterPc::WriteX => Footprint::Write(self.regs.x),
+            SplitterPc::ReadY => Footprint::Read(self.regs.y),
+            SplitterPc::WriteY => Footprint::Write(self.regs.y),
+            SplitterPc::ReadX => Footprint::Read(self.regs.x),
+        }
+    }
     /// Performs one shared-memory step; returns the result when finished.
     pub fn step(&mut self, mem: &mut SharedMemory) -> Option<SplitterResult> {
         match self.pc {
@@ -277,6 +324,7 @@ impl AbortableConsensus for SplitConsensus {
     }
 }
 
+#[derive(Clone, Copy)]
 enum SplitPc {
     Splitter(SplitterExec),
     ReadV,
@@ -289,6 +337,7 @@ enum SplitPc {
     ReadVForAbort,
 }
 
+#[derive(Clone, Copy)]
 struct SplitExec {
     regs: SplitConsensus,
     p: ProcessId,
@@ -360,6 +409,26 @@ impl ConsensusExec for SplitExec {
                 let v = mem.read(self.p, self.regs.v).as_int();
                 Some(ConsensusOutcome::Abort(from_code(v)))
             }
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn ConsensusExec>> {
+        Some(Box::new(*self))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match &self.pc {
+            SplitPc::Splitter(exec) => exec.next_footprint(),
+            SplitPc::ReadV | SplitPc::ReadVForAbort => Footprint::Read(self.regs.v),
+            SplitPc::ReadCAfterExisting(_) | SplitPc::ReadCAfterWrite => {
+                Footprint::Read(self.regs.c)
+            }
+            // Splitter::reset writes the splitter's Y register.
+            SplitPc::ResetSplitterExisting(_) | SplitPc::ResetSplitter => {
+                Footprint::Write(self.regs.splitter.y)
+            }
+            SplitPc::WriteV => Footprint::Write(self.regs.v),
+            SplitPc::WriteContention => Footprint::Write(self.regs.c),
         }
     }
 }
@@ -436,6 +505,7 @@ enum BakeryPc {
     ReadDec,
 }
 
+#[derive(Clone)]
 struct BakeryExec {
     regs: AbortableBakery,
     p: ProcessId,
@@ -596,6 +666,25 @@ impl ConsensusExec for BakeryExec {
             }
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn ConsensusExec>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match self.pc {
+            BakeryPc::CollectA1(i) | BakeryPc::CollectA2(i) | BakeryPc::CollectA3(i) => {
+                Footprint::Read(self.regs.a[i])
+            }
+            BakeryPc::CollectB(i) => Footprint::Read(self.regs.b[i]),
+            BakeryPc::WriteA => Footprint::Write(self.regs.a[self.p.index()]),
+            BakeryPc::WriteB => Footprint::Write(self.regs.b[self.p.index()]),
+            BakeryPc::ReadQuit => Footprint::Read(self.regs.quit),
+            BakeryPc::WriteDec => Footprint::Write(self.regs.dec),
+            BakeryPc::WriteQuit => Footprint::Write(self.regs.quit),
+            BakeryPc::ReadDec => Footprint::Read(self.regs.dec),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -634,6 +723,7 @@ impl AbortableConsensus for CasConsensus {
     }
 }
 
+#[derive(Clone, Copy)]
 struct CasExec {
     dec: RegId,
     p: ProcessId,
@@ -655,6 +745,18 @@ impl ConsensusExec for CasExec {
         }
         let d = mem.read(self.p, self.dec).as_int();
         Some(ConsensusOutcome::Commit(from_code(d)))
+    }
+
+    fn fork(&self) -> Option<Box<dyn ConsensusExec>> {
+        Some(Box::new(*self))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        if !self.done_cas && self.value != NIL {
+            Footprint::Write(self.dec)
+        } else {
+            Footprint::Read(self.dec)
+        }
     }
 }
 
@@ -705,6 +807,16 @@ impl OpExecution<ConsensusSpec, ConsensusSwitch> for ConsensusObjectExec {
             Some(ConsensusOutcome::Abort(v)) => StepOutcome::Done(OpOutcome::Abort(v)),
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<ConsensusSpec, ConsensusSwitch>>> {
+        Some(Box::new(ConsensusObjectExec {
+            exec: self.exec.fork()?,
+        }))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        self.exec.next_footprint()
+    }
 }
 
 impl<C: AbortableConsensus> SimObject<ConsensusSpec, ConsensusSwitch> for ConsensusObject<C> {
@@ -723,6 +835,12 @@ impl<C: AbortableConsensus> SimObject<ConsensusSpec, ConsensusSwitch> for Consen
 
     fn name(&self) -> &'static str {
         C::algorithm_name()
+    }
+
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        // Every provided consensus algorithm keeps its whole state in shared
+        // registers; the instance structs are plain register handles.
+        Some(ObjectSnapshot::stateless())
     }
 }
 

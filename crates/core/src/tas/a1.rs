@@ -13,7 +13,10 @@
 //! (having already lost in a previous module) commits `loser` immediately
 //! after the initial reads.
 
-use scl_sim::{OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome, Value};
+use scl_sim::{
+    Footprint, ObjectSnapshot, OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome,
+    Value,
+};
 use scl_spec::{ProcessId, Request, TasOp, TasResp, TasSpec, TasSwitch};
 
 /// Which variant of the module to run.
@@ -29,6 +32,15 @@ pub enum A1Variant {
     /// flag is removed, so a process reverts to the next module only when it
     /// itself experiences step contention.
     SoloFast,
+    /// A deliberately broken mutant used as a seeded bug by the explorer's
+    /// soundness tests: the final read of `aborted` after writing `V` — the
+    /// read the RAW fence of the analysis pays for (line 15) — is dropped,
+    /// so a process commits `winner` immediately after `V ← 1`. A
+    /// concurrent process that already detected contention may then abort
+    /// with `W` although a winner committed (violating Invariant 2), and in
+    /// the composition `A1 ∘ A2` that process goes on to win the hardware
+    /// object: two winners. **Never use outside explorer tests.**
+    DroppedRawFence,
 }
 
 /// The obstruction-free test-and-set module A1.
@@ -103,6 +115,7 @@ enum Pc {
 }
 
 /// An A1 operation in progress.
+#[derive(Clone, Copy)]
 pub struct A1Exec {
     regs: A1Tas,
     proc: ProcessId,
@@ -177,6 +190,11 @@ impl OpExecution<TasSpec, TasSwitch> for A1Exec {
             }
             Pc::WriteV => {
                 mem.write(p, self.regs.v, Value::int(1));
+                if self.regs.variant == A1Variant::DroppedRawFence {
+                    // Seeded bug: skip the final `aborted` check (the
+                    // RAW-fenced read) and commit straight away.
+                    return Done(Commit(TasResp::Winner));
+                }
                 self.pc = Pc::FinalAbortedCheck;
                 Continue
             }
@@ -202,6 +220,25 @@ impl OpExecution<TasSpec, TasSwitch> for A1Exec {
             }
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+        Some(Box::new(*self))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match self.pc {
+            Pc::ReadAborted | Pc::FinalAbortedCheck => Footprint::Read(self.regs.aborted),
+            Pc::ReadVForAbort | Pc::ReadV | Pc::ReadVAfterContention => {
+                Footprint::Read(self.regs.v)
+            }
+            Pc::ReadP | Pc::RecheckP => Footprint::Read(self.regs.p),
+            Pc::WriteP => Footprint::Write(self.regs.p),
+            Pc::ReadS => Footprint::Read(self.regs.s),
+            Pc::WriteS => Footprint::Write(self.regs.s),
+            Pc::WriteV => Footprint::Write(self.regs.v),
+            Pc::SetAborted => Footprint::Write(self.regs.aborted),
+        }
+    }
 }
 
 impl SimObject<TasSpec, TasSwitch> for A1Tas {
@@ -214,7 +251,7 @@ impl SimObject<TasSpec, TasSwitch> for A1Tas {
         match req.op {
             TasOp::TestAndSet => {
                 let start = match self.variant {
-                    A1Variant::Standard => Pc::ReadAborted,
+                    A1Variant::Standard | A1Variant::DroppedRawFence => Pc::ReadAborted,
                     A1Variant::SoloFast => Pc::ReadV,
                 };
                 Box::new(A1Exec {
@@ -234,6 +271,11 @@ impl SimObject<TasSpec, TasSwitch> for A1Tas {
 
     fn name(&self) -> &'static str {
         "A1 (obstruction-free)"
+    }
+
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        // A1's entire state lives in its four shared registers.
+        Some(ObjectSnapshot::stateless())
     }
 }
 

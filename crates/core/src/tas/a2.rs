@@ -8,7 +8,8 @@
 //! `A1 ∘ A2` is wait-free.
 
 use scl_sim::{
-    ImmediateOutcome, OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome, Value,
+    Footprint, ImmediateOutcome, ObjectSnapshot, OpExecution, OpOutcome, RegId, SharedMemory,
+    SimObject, StepOutcome, Value,
 };
 use scl_spec::{ProcessId, Request, TasOp, TasResp, TasSpec, TasSwitch};
 
@@ -33,6 +34,7 @@ impl A2Tas {
     pub const MAX_STEPS: u64 = 1;
 }
 
+#[derive(Clone, Copy)]
 struct A2Exec {
     t: RegId,
     proc: ProcessId,
@@ -46,6 +48,15 @@ impl OpExecution<TasSpec, TasSwitch> for A2Exec {
         } else {
             TasResp::Winner
         }))
+    }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+        Some(Box::new(*self))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        // test-and-set is a read-modify-write: a writing access.
+        Footprint::Write(self.t)
     }
 }
 
@@ -74,6 +85,11 @@ impl SimObject<TasSpec, TasSwitch> for A2Tas {
 
     fn name(&self) -> &'static str {
         "A2 (wait-free hardware TAS)"
+    }
+
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        // A2's entire state is the hardware test-and-set cell.
+        Some(ObjectSnapshot::stateless())
     }
 }
 

@@ -12,7 +12,8 @@
 
 use crate::tas::speculative::{new_speculative_tas, SpeculativeTas};
 use scl_sim::{
-    ImmediateOutcome, OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome, Value,
+    Footprint, ImmediateOutcome, ObjectSnapshot, OpExecution, OpOutcome, RegId, SharedMemory,
+    SimObject, StepOutcome, Value,
 };
 use scl_spec::{ProcessId, Request, TasOp, TasResp, TasSpec, TasSwitch};
 use std::cell::RefCell;
@@ -94,8 +95,28 @@ impl OpExecution<TasSpec, TasSwitch> for TasExec {
             },
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+        let phase = match &self.phase {
+            TasPhase::ReadCount => TasPhase::ReadCount,
+            TasPhase::Inner(exec) => TasPhase::Inner(exec.fork()?),
+        };
+        Some(Box::new(TasExec {
+            obj: self.obj.clone(),
+            req: self.req.clone(),
+            phase,
+        }))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match &self.phase {
+            TasPhase::ReadCount => Footprint::Read(self.obj.count),
+            TasPhase::Inner(exec) => exec.next_footprint(),
+        }
+    }
 }
 
+#[derive(Clone, Copy)]
 enum ResetPhase {
     ReadCount,
     WriteCount(i64),
@@ -120,6 +141,21 @@ impl OpExecution<TasSpec, TasSwitch> for ResetExec {
                 self.obj.crt_winner.borrow_mut()[self.proc.index()] = false;
                 StepOutcome::Done(OpOutcome::Commit(TasResp::ResetDone))
             }
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+        Some(Box::new(ResetExec {
+            obj: self.obj.clone(),
+            proc: self.proc,
+            phase: self.phase,
+        }))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match self.phase {
+            ResetPhase::ReadCount => Footprint::Read(self.obj.count),
+            ResetPhase::WriteCount(_) => Footprint::Write(self.obj.count),
         }
     }
 }
@@ -157,6 +193,39 @@ impl SimObject<TasSpec, TasSwitch> for ResettableTas {
     fn name(&self) -> &'static str {
         "resettable speculative TAS"
     }
+
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        let rounds = self.rounds.borrow();
+        let mut round_snaps = Vec::with_capacity(rounds.len());
+        for round in rounds.iter() {
+            round_snaps.push(round.snapshot()?);
+        }
+        Some(ObjectSnapshot::new(ResettableSnap {
+            rounds: round_snaps,
+            crt_winner: self.crt_winner.borrow().clone(),
+        }))
+    }
+
+    fn restore(&mut self, snap: &ObjectSnapshot) {
+        let s = snap.downcast::<ResettableSnap>();
+        let mut rounds = self.rounds.borrow_mut();
+        // Rounds allocated after the snapshot are rolled back; the paired
+        // memory restore reclaims their registers, and a later re-allocation
+        // recycles the same slots deterministically.
+        rounds.truncate(s.rounds.len());
+        for (round, round_snap) in rounds.iter_mut().zip(&s.rounds) {
+            round.restore(round_snap);
+        }
+        drop(rounds);
+        self.crt_winner.borrow_mut().copy_from_slice(&s.crt_winner);
+    }
+}
+
+/// Snapshot of a [`ResettableTas`]: per-round composed-object snapshots plus
+/// the local `crtWinner` flags.
+struct ResettableSnap {
+    rounds: Vec<ObjectSnapshot>,
+    crt_winner: Vec<bool>,
 }
 
 #[cfg(test)]

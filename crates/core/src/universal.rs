@@ -42,8 +42,8 @@ use crate::consensus::{
     AbortableConsensus, CasConsensus, ConsensusExec, ConsensusOutcome, SplitConsensus,
 };
 use scl_sim::{
-    Adversary, Executor, OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome,
-    Value, Workload,
+    Adversary, Executor, Footprint, ObjectSnapshot, OpExecution, OpOutcome, RegId, SharedMemory,
+    SimObject, StepOutcome, Value, Workload,
 };
 use scl_spec::{AbstractTrace, CounterOp, CounterSpec, History, Request, SequentialSpec};
 use std::cell::RefCell;
@@ -313,6 +313,55 @@ impl<S: SequentialSpec + 'static, C: AbortableConsensus> OpExecution<S, History<
             }
         }
     }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<S, History<S>>>> {
+        let phase = match &self.phase {
+            UcPhase::CheckAborted => UcPhase::CheckAborted,
+            UcPhase::InConsensus { exec } => UcPhase::InConsensus { exec: exec.fork()? },
+            UcPhase::IncrementCounter => UcPhase::IncrementCounter,
+            UcPhase::FinalAbortCheck => UcPhase::FinalAbortCheck,
+            UcPhase::SetAborted => UcPhase::SetAborted,
+            UcPhase::ReadCount { idx, sum } => UcPhase::ReadCount {
+                idx: *idx,
+                sum: *sum,
+            },
+            UcPhase::Recover { limit, slot, exec } => UcPhase::Recover {
+                limit: *limit,
+                slot: *slot,
+                exec: match exec {
+                    None => None,
+                    Some(e) => Some(e.fork()?),
+                },
+            },
+        };
+        Some(Box::new(UcExec {
+            obj: self.obj.clone(),
+            req: self.req.clone(),
+            decided: self.decided.clone(),
+            to_propose: self.to_propose.clone(),
+            phase,
+        }))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match &self.phase {
+            UcPhase::CheckAborted | UcPhase::FinalAbortCheck => Footprint::Read(self.obj.aborted),
+            UcPhase::InConsensus { exec } => exec.next_footprint(),
+            UcPhase::IncrementCounter => {
+                Footprint::Write(self.obj.commit_counts[self.req.proc.index()])
+            }
+            UcPhase::SetAborted => Footprint::Write(self.obj.aborted),
+            UcPhase::ReadCount { idx, .. } => Footprint::Read(self.obj.commit_counts[*idx]),
+            // The next recover step may finish locally, skip a known slot, or
+            // lazily create (and step) a fresh consensus propose whose
+            // registers may not even be allocated yet — not predictable from
+            // local state.
+            UcPhase::Recover { exec, .. } => match exec {
+                Some(e) => e.next_footprint(),
+                None => Footprint::Unknown,
+            },
+        }
+    }
 }
 
 impl<S: SequentialSpec + 'static, C: AbortableConsensus> SimObject<S, History<S>>
@@ -353,6 +402,36 @@ impl<S: SequentialSpec + 'static, C: AbortableConsensus> SimObject<S, History<S>
     fn name(&self) -> &'static str {
         "universal construction"
     }
+
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        Some(ObjectSnapshot::new(UcSnap::<S> {
+            cons_len: self.cons.borrow().len(),
+            local_commits: self.local_commits.borrow().clone(),
+            requests: self.requests.borrow().clone(),
+            log: self.log.borrow().clone(),
+        }))
+    }
+
+    fn restore(&mut self, snap: &ObjectSnapshot) {
+        let s = snap.downcast::<UcSnap<S>>();
+        // Consensus instances are plain register handles; instances
+        // allocated after the snapshot are rolled back (their registers are
+        // reclaimed by the paired memory restore).
+        self.cons.borrow_mut().truncate(s.cons_len);
+        self.local_commits
+            .borrow_mut()
+            .copy_from_slice(&s.local_commits);
+        *self.requests.borrow_mut() = s.requests.clone();
+        *self.log.borrow_mut() = s.log.clone();
+    }
+}
+
+/// Snapshot of a [`UniversalConstruction`]'s private state.
+struct UcSnap<S: SequentialSpec> {
+    cons_len: usize,
+    local_commits: Vec<u64>,
+    requests: BTreeMap<u64, Request<S>>,
+    log: AbstractTrace<S>,
 }
 
 /// The composition of a register-only universal construction with the

@@ -19,8 +19,12 @@
 //! * [`RoundRobinAdversary`] — alternates single steps between processes:
 //!   heavy step contention.
 //! * [`RandomAdversary`] — seeded uniformly random choices.
-//! * [`ScriptedAdversary`] — replays an explicit schedule (used by the
-//!   exhaustive exploration in [`crate::explore`]).
+//! * [`ScriptedAdversary`] — replays an explicit schedule. (The exhaustive
+//!   exploration in [`crate::explore`] used to be built on it; since the
+//!   incremental DFS rework the explorer drives the step-wise
+//!   [`crate::Executor::survey`]/[`crate::Executor::tick`] API directly, and
+//!   the scripted adversary remains for deterministic replay in tests and
+//!   harnesses.)
 
 use crate::rng::SplitMix64;
 use scl_spec::ProcessId;

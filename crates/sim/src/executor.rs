@@ -33,11 +33,23 @@
 
 use crate::adversary::{Adversary, SchedView};
 use crate::machine::{OpExecution, OpOutcome, SimObject, StepOutcome};
-use crate::memory::SharedMemory;
+use crate::memory::{Footprint, SharedMemory};
 use crate::metrics::{ExecutionMetrics, OpMetrics};
-use scl_spec::{ProcessId, Request, RequestIdGen, SequentialSpec, Trace};
+use scl_spec::{ProcessId, Request, RequestId, SequentialSpec, Trace};
 use std::fmt::Debug;
 use std::hash::Hash;
+
+/// Builds the request id of process `p`'s `cursor`-th workload operation.
+///
+/// Ids are a pure function of `(process, operation index)` rather than a
+/// global invocation counter, so two executions assign the same id to the
+/// same logical operation regardless of how invocations interleave. The
+/// schedule explorer relies on this: resuming an execution from a mid-run
+/// snapshot, and exploring only one order of commuting invocations, must not
+/// change request identities.
+fn request_id(p: ProcessId, cursor: usize) -> RequestId {
+    RequestId(((p.index() as u64) << 32) | cursor as u64)
+}
 
 /// Per-process sequences of operations to execute, each optionally carrying a
 /// switch value (an `(init, m, v)` invocation of §3).
@@ -171,6 +183,18 @@ impl DecisionLog {
         self.ends.clear();
     }
 
+    /// Truncates the log to its first `len` decisions (used when rewinding a
+    /// session to an earlier point of the same run).
+    pub fn truncate(&mut self, len: usize) {
+        if len >= self.len() {
+            return;
+        }
+        self.enabled_pool
+            .truncate(if len == 0 { 0 } else { self.ends[len - 1] });
+        self.chosen.truncate(len);
+        self.ends.truncate(len);
+    }
+
     /// Iterates over the decisions.
     pub fn iter(&self) -> impl Iterator<Item = Decision<'_>> + '_ {
         (0..self.len()).map(|i| Decision {
@@ -233,6 +257,55 @@ enum ProcState<S: SequentialSpec, V> {
     Done,
 }
 
+impl<S: SequentialSpec, V> ProcState<S, V> {
+    /// Duplicates the state; `None` if a running operation cannot
+    /// [`OpExecution::fork`].
+    fn fork(&self) -> Option<Self> {
+        Some(match self {
+            ProcState::Idle { next_op } => ProcState::Idle { next_op: *next_op },
+            ProcState::Running {
+                exec,
+                metrics_idx,
+                op_cursor,
+            } => ProcState::Running {
+                exec: exec.fork()?,
+                metrics_idx: *metrics_idx,
+                op_cursor: *op_cursor,
+            },
+            ProcState::Done => ProcState::Done,
+        })
+    }
+}
+
+/// A mid-run checkpoint of an [`ExecSession`], restorable with
+/// [`Executor::resume_from`].
+///
+/// Captures every piece of session state a continuation depends on: the
+/// per-process operation state machines (via [`OpExecution::fork`]), the set
+/// of open operations together with their still-mutable metrics, and the
+/// high-water marks of the append-only result buffers (trace, op records,
+/// decision log). Pair it with [`crate::memory::MemSnapshot`] for the shared
+/// memory and [`crate::machine::ObjectSnapshot`] for the object under test to
+/// rewind a complete execution.
+pub struct SessionSnapshot<S: SequentialSpec, V> {
+    states: Vec<ProcState<S, V>>,
+    open: Vec<usize>,
+    /// Copies of `metrics.ops[i]` for each `i` in `open` (closed operations
+    /// never mutate again, open ones do).
+    open_metrics: Vec<OpMetrics>,
+    trace_len: usize,
+    ops_len: usize,
+    decisions_len: usize,
+}
+
+impl<S: SequentialSpec, V> SessionSnapshot<S, V> {
+    /// The number of scheduling decisions taken when the snapshot was made —
+    /// i.e. the depth at which [`Executor::resume_from`] resumes.
+    pub fn depth(&self) -> usize {
+        self.decisions_len
+    }
+}
+
 /// A reusable execution context: owns the result buffers and the executor's
 /// scratch state so repeated runs (one per explored schedule) reuse all
 /// allocations. Create once per worker, pass to [`Executor::run_in`].
@@ -267,6 +340,56 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         &self.result
     }
 
+    /// The processes schedulable at the current decision point, in ascending
+    /// order. Valid after [`Executor::survey`] returned
+    /// [`SurveyStatus::Choose`].
+    pub fn enabled(&self) -> &[ProcessId] {
+        &self.enabled
+    }
+
+    /// The subset of [`Self::enabled`] with an operation in progress.
+    pub fn in_progress(&self) -> &[ProcessId] {
+        &self.in_progress
+    }
+
+    /// The number of scheduling decisions taken so far (the current tick).
+    pub fn depth(&self) -> usize {
+        self.result.decisions.len()
+    }
+
+    /// The shared-memory access process `p`'s next transition would perform:
+    /// [`Footprint::Pure`] for an invocation (invocations take no
+    /// shared-memory step), the in-flight operation's
+    /// [`OpExecution::next_footprint`] otherwise.
+    pub fn next_footprint(&self, p: ProcessId) -> Footprint {
+        match self.states.get(p.index()) {
+            Some(ProcState::Running { exec, .. }) => exec.next_footprint(),
+            _ => Footprint::Pure,
+        }
+    }
+
+    /// Checkpoints the session mid-run. Returns `None` when some in-flight
+    /// operation does not support [`OpExecution::fork`] — callers then fall
+    /// back to replaying the prefix.
+    pub fn snapshot(&self) -> Option<SessionSnapshot<S, V>> {
+        let mut states = Vec::with_capacity(self.states.len());
+        for st in &self.states {
+            states.push(st.fork()?);
+        }
+        Some(SessionSnapshot {
+            states,
+            open: self.open.clone(),
+            open_metrics: self
+                .open
+                .iter()
+                .map(|&i| self.result.metrics.ops[i].clone())
+                .collect(),
+            trace_len: self.result.trace.len(),
+            ops_len: self.result.ops.len(),
+            decisions_len: self.result.decisions.len(),
+        })
+    }
+
     /// Consumes the session, returning the last result.
     pub fn into_result(self) -> ExecutionResult<S, V> {
         self.result
@@ -287,6 +410,20 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         self.result.completed = false;
         self.result.ticks = 0;
     }
+}
+
+/// What [`Executor::survey`] found at the current decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SurveyStatus {
+    /// At least one process is schedulable; pick one and call
+    /// [`Executor::tick`].
+    Choose,
+    /// Every workload operation has responded; the run is complete (the
+    /// session result has been finalised).
+    Complete,
+    /// The tick limit was reached with work remaining (the session result has
+    /// been finalised with `completed = false`).
+    Cutoff,
 }
 
 /// The execution engine. See the module documentation for the scheduling
@@ -369,157 +506,244 @@ impl Executor {
         V: Clone + Eq + Hash + Debug,
         O: SimObject<S, V> + ?Sized,
     {
-        let n = workload.processes();
-        session.rewind(n);
-        let full_trace = self.trace_mode == TraceMode::Full;
-        let mut idgen = RequestIdGen::new();
-        let mut tick: u64 = 0;
-
-        loop {
-            // Compute enabled processes.
-            session.enabled.clear();
-            session.in_progress.clear();
-            for (i, st) in session.states.iter().enumerate() {
-                match st {
-                    ProcState::Idle { next_op } if *next_op < workload.ops[i].len() => {
-                        session.enabled.push(ProcessId(i));
-                    }
-                    ProcState::Running { .. } => {
-                        session.enabled.push(ProcessId(i));
-                        session.in_progress.push(ProcessId(i));
-                    }
-                    _ => {}
-                }
-            }
-            if session.enabled.is_empty() {
-                session.result.completed = true;
-                session.result.ticks = tick;
-                return;
-            }
-            if tick >= self.max_ticks {
-                session.result.completed = false;
-                session.result.ticks = tick;
-                return;
-            }
-
+        self.begin(session, workload);
+        while self.survey(session, workload) == SurveyStatus::Choose {
             let view = SchedView {
                 enabled: &session.enabled,
                 in_progress: &session.in_progress,
-                tick,
+                tick: session.result.decisions.len() as u64,
             };
             let mut chosen = adversary.next(&view);
             if !session.enabled.contains(&chosen) {
                 chosen = session.enabled[0];
             }
-            session.result.decisions.push(&session.enabled, chosen);
-            let p = chosen;
-            let pi = p.index();
+            self.tick(session, mem, object, workload, chosen);
+        }
+    }
 
-            let metrics = &mut session.result.metrics;
-            match &mut session.states[pi] {
-                ProcState::Idle { next_op } => {
-                    let cursor = *next_op;
-                    let (op, switch) = workload.ops[pi][cursor].clone();
-                    let req = Request::<S> {
-                        id: idgen.fresh(),
-                        proc: p,
-                        op,
-                    };
-                    if full_trace {
-                        match &switch {
-                            Some(v) => session.result.trace.record_init(req.clone(), v.clone()),
-                            None => session.result.trace.record_invoke(req.clone()),
-                        }
-                    }
-                    mem.begin_op(p);
-                    let exec = object.invoke(mem, req.clone(), switch);
-                    let metrics_idx = metrics.ops.len();
-                    // Register overlaps with currently open operations.
-                    let mut overlaps = 0;
-                    for &oi in &session.open {
-                        if metrics.ops[oi].proc != p {
-                            metrics.ops[oi].overlapping_ops += 1;
-                            overlaps += 1;
-                        }
-                    }
-                    metrics.ops.push(OpMetrics {
-                        req_id: req.id,
-                        proc: p,
-                        invoke_tick: tick,
-                        response_tick: None,
-                        steps: 0,
-                        fences: 0,
-                        rmws: 0,
-                        foreign_steps: 0,
-                        overlapping_ops: overlaps,
-                        aborted: false,
-                    });
-                    session.open.push(metrics_idx);
-                    session.result.ops.push(OpRecord { req, outcome: None });
-                    session.states[pi] = ProcState::Running {
-                        exec,
-                        metrics_idx,
-                        op_cursor: cursor,
-                    };
+    /// Rewinds the session for a fresh run of `workload` (tick 0, no
+    /// operations invoked). Follow with [`Self::survey`] / [`Self::tick`], or
+    /// use [`Self::run_in`] for the adversary-driven loop.
+    pub fn begin<S, V>(&self, session: &mut ExecSession<S, V>, workload: &Workload<S, V>)
+    where
+        S: SequentialSpec,
+        V: Clone + Eq + Hash + Debug,
+    {
+        session.rewind(workload.processes());
+    }
+
+    /// Computes the enabled set at the current decision point (readable via
+    /// [`ExecSession::enabled`]). When the execution is over — every
+    /// operation responded, or the tick limit was hit — finalises
+    /// `session.result` and reports it.
+    pub fn survey<S, V>(
+        &self,
+        session: &mut ExecSession<S, V>,
+        workload: &Workload<S, V>,
+    ) -> SurveyStatus
+    where
+        S: SequentialSpec,
+        V: Clone + Eq + Hash + Debug,
+    {
+        session.enabled.clear();
+        session.in_progress.clear();
+        for (i, st) in session.states.iter().enumerate() {
+            match st {
+                ProcState::Idle { next_op } if *next_op < workload.ops[i].len() => {
+                    session.enabled.push(ProcessId(i));
                 }
-                ProcState::Running {
+                ProcState::Running { .. } => {
+                    session.enabled.push(ProcessId(i));
+                    session.in_progress.push(ProcessId(i));
+                }
+                _ => {}
+            }
+        }
+        let tick = session.result.decisions.len() as u64;
+        if session.enabled.is_empty() {
+            session.result.completed = true;
+            session.result.ticks = tick;
+            SurveyStatus::Complete
+        } else if tick >= self.max_ticks {
+            session.result.completed = false;
+            session.result.ticks = tick;
+            SurveyStatus::Cutoff
+        } else {
+            SurveyStatus::Choose
+        }
+    }
+
+    /// Executes one scheduling decision: invokes `chosen`'s next operation if
+    /// it is idle, or lets its in-flight operation take at most one
+    /// shared-memory step. `chosen` must be a member of the enabled set
+    /// computed by the immediately preceding [`Self::survey`].
+    pub fn tick<S, V, O>(
+        &self,
+        session: &mut ExecSession<S, V>,
+        mem: &mut SharedMemory,
+        object: &mut O,
+        workload: &Workload<S, V>,
+        chosen: ProcessId,
+    ) where
+        S: SequentialSpec,
+        V: Clone + Eq + Hash + Debug,
+        O: SimObject<S, V> + ?Sized,
+    {
+        debug_assert!(
+            session.enabled.contains(&chosen),
+            "tick({chosen:?}) without a preceding survey enabling it"
+        );
+        let full_trace = self.trace_mode == TraceMode::Full;
+        let tick = session.result.decisions.len() as u64;
+        session.result.decisions.push(&session.enabled, chosen);
+        let p = chosen;
+        let pi = p.index();
+
+        let metrics = &mut session.result.metrics;
+        match &mut session.states[pi] {
+            ProcState::Idle { next_op } => {
+                let cursor = *next_op;
+                let (op, switch) = workload.ops[pi][cursor].clone();
+                let req = Request::<S> {
+                    id: request_id(p, cursor),
+                    proc: p,
+                    op,
+                };
+                if full_trace {
+                    match &switch {
+                        Some(v) => session.result.trace.record_init(req.clone(), v.clone()),
+                        None => session.result.trace.record_invoke(req.clone()),
+                    }
+                }
+                mem.begin_op(p);
+                let steps_before_invoke = mem.global_steps();
+                let exec = object.invoke(mem, req.clone(), switch);
+                debug_assert_eq!(
+                    mem.global_steps(),
+                    steps_before_invoke,
+                    "SimObject::invoke must not take shared-memory steps \
+                     (allocate lazily, access in OpExecution::step)"
+                );
+                let metrics_idx = metrics.ops.len();
+                // Register overlaps with currently open operations.
+                let mut overlaps = 0;
+                for &oi in &session.open {
+                    if metrics.ops[oi].proc != p {
+                        metrics.ops[oi].overlapping_ops += 1;
+                        overlaps += 1;
+                    }
+                }
+                metrics.ops.push(OpMetrics {
+                    req_id: req.id,
+                    proc: p,
+                    invoke_tick: tick,
+                    response_tick: None,
+                    steps: 0,
+                    fences: 0,
+                    rmws: 0,
+                    foreign_steps: 0,
+                    overlapping_ops: overlaps,
+                    aborted: false,
+                });
+                session.open.push(metrics_idx);
+                session.result.ops.push(OpRecord { req, outcome: None });
+                session.states[pi] = ProcState::Running {
                     exec,
                     metrics_idx,
-                    op_cursor,
-                } => {
-                    let midx = *metrics_idx;
-                    let cursor = *op_cursor;
-                    let before = mem.counters(p);
-                    let outcome = exec.step(mem);
-                    let after = mem.counters(p);
-                    let dsteps = after.steps - before.steps;
-                    metrics.ops[midx].steps += dsteps;
-                    metrics.ops[midx].fences += after.fences - before.fences;
-                    metrics.ops[midx].rmws += after.rmws - before.rmws;
-                    // Charge foreign steps to every other open operation.
-                    if dsteps > 0 {
-                        for &oi in &session.open {
-                            if metrics.ops[oi].proc != p {
-                                metrics.ops[oi].foreign_steps += dsteps;
-                            }
+                    op_cursor: cursor,
+                };
+            }
+            ProcState::Running {
+                exec,
+                metrics_idx,
+                op_cursor,
+            } => {
+                let midx = *metrics_idx;
+                let cursor = *op_cursor;
+                let before = mem.counters(p);
+                let outcome = exec.step(mem);
+                let after = mem.counters(p);
+                let dsteps = after.steps - before.steps;
+                metrics.ops[midx].steps += dsteps;
+                metrics.ops[midx].fences += after.fences - before.fences;
+                metrics.ops[midx].rmws += after.rmws - before.rmws;
+                // Charge foreign steps to every other open operation.
+                if dsteps > 0 {
+                    for &oi in &session.open {
+                        if metrics.ops[oi].proc != p {
+                            metrics.ops[oi].foreign_steps += dsteps;
                         }
                     }
-                    if let StepOutcome::Done(outcome) = outcome {
-                        let req_id = metrics.ops[midx].req_id;
-                        metrics.ops[midx].response_tick = Some(tick);
-                        session.open.retain(|&oi| oi != midx);
-                        let aborted = match &outcome {
-                            OpOutcome::Commit(resp) => {
-                                if full_trace {
-                                    session.result.trace.record_commit(p, req_id, resp.clone());
-                                }
-                                false
-                            }
-                            OpOutcome::Abort(v) => {
-                                if full_trace {
-                                    session.result.trace.record_abort(p, req_id, v.clone());
-                                }
-                                true
-                            }
-                        };
-                        metrics.ops[midx].aborted = aborted;
-                        session.result.ops[midx].outcome = Some(outcome);
-                        let has_more = cursor + 1 < workload.ops[pi].len();
-                        session.states[pi] = if aborted && self.on_abort == OnAbort::Stop {
-                            ProcState::Done
-                        } else if has_more {
-                            ProcState::Idle {
-                                next_op: cursor + 1,
-                            }
-                        } else {
-                            ProcState::Done
-                        };
-                    }
                 }
-                ProcState::Done => {}
+                if let StepOutcome::Done(outcome) = outcome {
+                    let req_id = metrics.ops[midx].req_id;
+                    metrics.ops[midx].response_tick = Some(tick);
+                    session.open.retain(|&oi| oi != midx);
+                    let aborted = match &outcome {
+                        OpOutcome::Commit(resp) => {
+                            if full_trace {
+                                session.result.trace.record_commit(p, req_id, resp.clone());
+                            }
+                            false
+                        }
+                        OpOutcome::Abort(v) => {
+                            if full_trace {
+                                session.result.trace.record_abort(p, req_id, v.clone());
+                            }
+                            true
+                        }
+                    };
+                    metrics.ops[midx].aborted = aborted;
+                    session.result.ops[midx].outcome = Some(outcome);
+                    let has_more = cursor + 1 < workload.ops[pi].len();
+                    session.states[pi] = if aborted && self.on_abort == OnAbort::Stop {
+                        ProcState::Done
+                    } else if has_more {
+                        ProcState::Idle {
+                            next_op: cursor + 1,
+                        }
+                    } else {
+                        ProcState::Done
+                    };
+                }
             }
-            tick += 1;
+            ProcState::Done => {}
         }
+    }
+
+    /// Rewinds `session` to the state captured by an earlier
+    /// [`ExecSession::snapshot`] of the *same* run, so exploration can
+    /// backtrack one scheduling decision and re-execute only the suffix. The
+    /// caller restores the paired [`crate::memory::MemSnapshot`] and
+    /// [`crate::machine::ObjectSnapshot`] alongside; the snapshot stays
+    /// usable for further restores.
+    pub fn resume_from<S, V>(&self, session: &mut ExecSession<S, V>, snap: &SessionSnapshot<S, V>)
+    where
+        S: SequentialSpec,
+        V: Clone + Eq + Hash + Debug,
+    {
+        session.states.clear();
+        for st in &snap.states {
+            session.states.push(
+                st.fork()
+                    .expect("a snapshot only holds forkable operation states"),
+            );
+        }
+        session.open.clear();
+        session.open.extend_from_slice(&snap.open);
+        let result = &mut session.result;
+        result.trace.truncate(snap.trace_len);
+        result.ops.truncate(snap.ops_len);
+        result.metrics.ops.truncate(snap.ops_len);
+        for (&oi, m) in snap.open.iter().zip(&snap.open_metrics) {
+            result.metrics.ops[oi] = m.clone();
+            // An operation open at snapshot time had no outcome yet; if the
+            // abandoned suffix closed it, reopen it.
+            result.ops[oi].outcome = None;
+        }
+        result.decisions.truncate(snap.decisions_len);
+        result.completed = false;
+        result.ticks = snap.decisions_len as u64;
     }
 }
 

@@ -1,12 +1,15 @@
-//! Bounded exhaustive exploration of schedules (stateless-replay model
-//! checking).
+//! Bounded exhaustive exploration of schedules: an incremental,
+//! reduction-aware depth-first search over the scheduling tree.
 //!
 //! The paper's correctness claims are universally quantified over schedules
 //! ("in every execution…"). For small configurations (2–3 processes, one or
 //! two operations each) the space of schedules is small enough to enumerate
-//! completely: the explorer re-runs the deterministic executor once per
-//! schedule, forcing scheduling decisions with a [`ScriptedAdversary`] and
-//! enumerating alternatives at every decision point, depth-first.
+//! completely. The explorer owns the scheduling loop directly (via the
+//! step-wise [`Executor::survey`] / [`Executor::tick`] API): at every
+//! decision point it runs the first schedulable process and records the
+//! remaining choices as a branch frame; when an execution completes, it
+//! backtracks to the deepest frame with an untried alternative and continues
+//! from there.
 //!
 //! A user-supplied check runs on every execution; the first violation aborts
 //! the exploration and is reported together with the offending schedule.
@@ -14,27 +17,88 @@
 //! single-winner invariant and the Lemma 4 invariants over *all*
 //! interleavings of small executions.
 //!
+//! # Backtracking cost: [`ResumeMode`]
+//!
+//! With [`ResumeMode::FullReplay`] every backtrack rebuilds the object and
+//! re-executes the schedule prefix from tick 0 — total cost proportional to
+//! *schedules × schedule length* (the PR 1 behaviour). With
+//! [`ResumeMode::PrefixResume`] the explorer checkpoints the execution
+//! (shared memory, executor session, object) at every branch point and
+//! restores the checkpoint instead, re-executing only the suffix — total
+//! cost proportional to the *edges of the scheduling tree*. Prefix-resume
+//! needs the object to support [`SimObject::snapshot`] and its in-flight
+//! operations [`crate::OpExecution::fork`]; wherever they are unsupported
+//! the explorer silently falls back to replay for that branch, so the mode
+//! is always safe to enable.
+//!
+//! # Pruning: [`Reduction`]
+//!
+//! With [`Reduction::SleepSets`] the explorer additionally prunes schedules
+//! that are guaranteed to lead to already-covered states, using the
+//! sleep-set partial-order reduction driven by per-step access footprints
+//! ([`Footprint`]). See [`Reduction`] for the exact soundness contract.
+//!
 //! # Throughput
 //!
-//! Each worker owns one [`SharedMemory`] and one [`ExecSession`] and *reuses*
-//! them across schedules ([`SharedMemory::reset`] + [`Executor::run_in`]),
-//! so a schedule replay allocates almost nothing once warm; only the object
-//! under test is rebuilt per schedule via `setup`. Checks that never look at
-//! the event trace can set [`ExploreConfig::metrics_only`] to skip all trace
-//! recording. [`explore_schedules_parallel`] additionally partitions the
-//! depth-first search across OS threads — one branch per alternative
-//! scheduling decision discovered along the root schedule — with a
-//! deterministic merge.
+//! Each worker owns one [`SharedMemory`] and one [`ExecSession`] and reuses
+//! them across the whole exploration; only the object under test is rebuilt
+//! on replays via `setup`. Checks that never look at the event trace can set
+//! [`ExploreConfig::metrics_only`] to skip all trace recording.
+//! [`explore_schedules_parallel`] partitions the depth-first search across
+//! OS threads — one branch per alternative scheduling decision discovered
+//! along the root schedule — with a deterministic merge; checkpoints are
+//! per-worker and sleep sets travel with each branch ticket.
 
-use crate::adversary::ScriptedAdversary;
-use crate::executor::{ExecSession, ExecutionResult, Executor, TraceMode, Workload};
-use crate::machine::SimObject;
-use crate::memory::SharedMemory;
+use crate::executor::{ExecSession, ExecutionResult, Executor, SurveyStatus, TraceMode, Workload};
+use crate::machine::{ObjectSnapshot, SimObject};
+use crate::memory::{Footprint, MemSnapshot, SharedMemory};
 use scl_spec::{ProcessId, SequentialSpec};
 use std::fmt::Debug;
 use std::hash::Hash;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// How the explorer prunes the scheduling tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Reduction {
+    /// Enumerate every schedule (the oracle mode).
+    #[default]
+    Off,
+    /// Sleep-set partial-order reduction: after exploring the subtree in
+    /// which process `p` moves first at a decision point, sibling subtrees
+    /// put `p` "to sleep" and never schedule it until some executed step is
+    /// *dependent* with `p`'s pending step (same register, at least one
+    /// write — see [`Footprint::dependent`]). Schedules that differ only in
+    /// the order of commuting steps are explored once.
+    ///
+    /// # Soundness contract
+    ///
+    /// Every reachable *final state* (register contents, step counters,
+    /// operation outcomes) of a complete execution is still reached by at
+    /// least one explored schedule, so checks over final states and outcome
+    /// sets lose nothing. What is **not** preserved is the bookkeeping that
+    /// distinguishes commuting interleavings: trace event *order* (and thus
+    /// real-time precedence between operations of different processes),
+    /// contention metrics (`foreign_steps`, `overlapping_ops`), and register
+    /// identities allocated lazily mid-execution. Checks that depend on
+    /// those must run under [`Reduction::Off`], which remains the oracle
+    /// that this mode is tested against.
+    SleepSets,
+}
+
+/// How the explorer re-establishes the execution state when backtracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResumeMode {
+    /// Rebuild the object and replay the schedule prefix from tick 0 on
+    /// every backtrack (always available).
+    #[default]
+    FullReplay,
+    /// Checkpoint at branch points ([`SharedMemory::snapshot_into`],
+    /// [`ExecSession::snapshot`], [`SimObject::snapshot`]) and restore the
+    /// checkpoint, re-executing only the suffix. Falls back to replay for
+    /// any branch whose in-flight state cannot be snapshotted.
+    PrefixResume,
+}
 
 /// Configuration of the explorer.
 #[derive(Debug, Clone)]
@@ -50,6 +114,10 @@ pub struct ExploreConfig {
     /// available parallelism". Ignored by the sequential
     /// [`explore_schedules`].
     pub threads: usize,
+    /// Partial-order reduction mode.
+    pub reduction: Reduction,
+    /// Backtracking strategy.
+    pub resume: ResumeMode,
 }
 
 impl Default for ExploreConfig {
@@ -59,11 +127,25 @@ impl Default for ExploreConfig {
             max_ticks: 10_000,
             metrics_only: false,
             threads: 0,
+            reduction: Reduction::Off,
+            resume: ResumeMode::FullReplay,
         }
     }
 }
 
 impl ExploreConfig {
+    /// The fast mode: sleep-set reduction combined with prefix-resume
+    /// backtracking (the configuration that makes the full n=3 spaces
+    /// tractable). Subject to the [`Reduction::SleepSets`] soundness
+    /// contract.
+    pub fn reduced() -> Self {
+        ExploreConfig {
+            reduction: Reduction::SleepSets,
+            resume: ResumeMode::PrefixResume,
+            ..Default::default()
+        }
+    }
+
     fn executor(&self) -> Executor {
         Executor::new()
             .max_ticks(self.max_ticks)
@@ -79,7 +161,7 @@ impl ExploreConfig {
 /// check.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExploreOutcome {
-    /// Every schedule was enumerated.
+    /// Every schedule was enumerated (modulo the configured [`Reduction`]).
     Exhausted {
         /// Number of schedules explored.
         schedules: u64,
@@ -118,79 +200,491 @@ impl std::fmt::Display for ExploreViolation {
     }
 }
 
-/// One worker's reusable exploration state: a shared memory and an executor
-/// session that persist across all the schedules the worker replays.
-struct Replayer<S: SequentialSpec, V> {
-    mem: SharedMemory,
-    session: ExecSession<S, V>,
-    executor: Executor,
+/// Work accounting for one exploration, used to quantify what prefix-resume
+/// and the partial-order reduction actually save.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Complete executions enumerated (equals the outcome's schedule count).
+    pub schedules: u64,
+    /// Scheduling transitions actually executed, including prefix replays.
+    pub executed_ticks: u64,
+    /// Shared-memory steps actually executed, including prefix replays.
+    pub executed_steps: u64,
+    /// The subset of `executed_ticks` spent re-running prefixes while
+    /// backtracking (0 when every branch restores from a checkpoint).
+    pub replayed_ticks: u64,
+    /// Continuations abandoned because every enabled process was asleep
+    /// (their states are covered by sibling subtrees).
+    pub sleep_blocked: u64,
+    /// Checkpoints taken ([`ResumeMode::PrefixResume`]).
+    pub snapshots: u64,
+    /// Branch points where checkpointing was unsupported and the explorer
+    /// fell back to replay.
+    pub snapshot_fallbacks: u64,
 }
 
-impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Replayer<S, V> {
-    fn new(executor: Executor) -> Self {
-        Replayer {
+impl ExploreStats {
+    fn absorb(&mut self, other: &ExploreStats) {
+        self.schedules += other.schedules;
+        self.executed_ticks += other.executed_ticks;
+        self.executed_steps += other.executed_steps;
+        self.replayed_ticks += other.replayed_ticks;
+        self.sleep_blocked += other.sleep_blocked;
+        self.snapshots += other.snapshots;
+        self.snapshot_fallbacks += other.snapshot_fallbacks;
+    }
+}
+
+/// An exploration result together with its work accounting.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// The outcome (or first violation, in DFS order).
+    pub outcome: Result<ExploreOutcome, ExploreViolation>,
+    /// Work performed to produce it.
+    pub stats: ExploreStats,
+}
+
+/// The sleep-set mask bit of process `p`. Processes beyond the 64-bit mask
+/// (only reachable with [`Reduction::Off`] — sleep sets assert `n <= 64`)
+/// map to the empty mask: they are never put to sleep, which costs
+/// reduction, never soundness.
+#[inline]
+fn bit(p: ProcessId) -> u64 {
+    if p.index() < 64 {
+        1u64 << p.index()
+    } else {
+        0
+    }
+}
+
+/// The sleep set a sibling branch `alt` starts with: everything asleep at
+/// the node plus every already-explored sibling, minus `alt` itself. Used
+/// identically by the sequential backtracker and the parallel ticket
+/// harvest — they must agree for the parallel reduced tree to equal the
+/// sequential one.
+#[inline]
+fn sibling_entry_sleep(frame_sleep: u64, explored: u64, alt: ProcessId) -> u64 {
+    (frame_sleep | explored) & !bit(alt)
+}
+
+/// A checkpoint of a whole execution at a branch point.
+struct Checkpoint<S: SequentialSpec, V> {
+    mem: MemSnapshot,
+    session: crate::executor::SessionSnapshot<S, V>,
+    object: ObjectSnapshot,
+    /// The object generation ([`Engine::object_gen`]) this checkpoint was
+    /// taken under. A fallback replay rebuilds the object, so checkpoints
+    /// from earlier generations must not be restored: their forked
+    /// executions reference the *previous* object instance's shared state.
+    gen: u64,
+}
+
+/// One branch point of the DFS: the decision depth, the untried siblings
+/// (ascending; popped from the back so the visit order matches the replay
+/// explorer of PR 1), and the sleep-set bookkeeping.
+struct Frame<S: SequentialSpec, V> {
+    depth: usize,
+    alts: Vec<ProcessId>,
+    /// Choices whose subtrees are explored or in progress at this node.
+    explored: u64,
+    /// Sleep set in force when this node was first reached.
+    sleep: u64,
+    snap: Option<Checkpoint<S, V>>,
+}
+
+enum Leaf {
+    /// The execution ran to completion (or the tick limit) and must be
+    /// counted and checked.
+    Complete,
+    /// Every enabled process is asleep: the continuation is covered by
+    /// sibling subtrees.
+    SleepBlocked,
+}
+
+enum Subtree {
+    Exhausted,
+    Stopped,
+}
+
+/// The sequential DFS engine. One engine per worker; memory, session and all
+/// scratch buffers persist across the whole exploration.
+struct Engine<'a, S, V, O, FSetup, FCheck>
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+{
+    executor: Executor,
+    config: &'a ExploreConfig,
+    workload: &'a Workload<S, V>,
+    setup: FSetup,
+    check: FCheck,
+    mem: SharedMemory,
+    session: ExecSession<S, V>,
+    object: Option<O>,
+    /// The decisions of the current execution prefix (mirrors the session's
+    /// decision log; kept separately so replays survive session rewinds).
+    path: Vec<ProcessId>,
+    frames: Vec<Frame<S, V>>,
+    /// Sleep set in force at the current point of the drive (always 0 when
+    /// the reduction is off).
+    cur_sleep: u64,
+    /// Whether this engine takes checkpoints (PrefixResume and not the
+    /// root-branch discovery pass).
+    take_snapshots: bool,
+    /// Recycled memory-snapshot buffers.
+    spare_mem: Vec<MemSnapshot>,
+    /// Incremented every time a replay rebuilds the object; checkpoints
+    /// record the generation they were taken under and are only restored
+    /// while that object instance is still the live one.
+    object_gen: u64,
+    enabled_buf: Vec<ProcessId>,
+    stats: ExploreStats,
+}
+
+impl<'a, S, V, O, FSetup, FCheck> Engine<'a, S, V, O, FSetup, FCheck>
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+{
+    fn new(
+        config: &'a ExploreConfig,
+        workload: &'a Workload<S, V>,
+        setup: FSetup,
+        check: FCheck,
+        take_snapshots: bool,
+    ) -> Self {
+        if config.reduction == Reduction::SleepSets {
+            assert!(
+                workload.processes() <= 64,
+                "sleep-set reduction supports at most 64 processes"
+            );
+        }
+        Engine {
+            executor: config.executor(),
+            config,
+            workload,
+            setup,
+            check,
             mem: SharedMemory::new(),
             session: ExecSession::new(),
-            executor,
+            object: None,
+            path: Vec::new(),
+            frames: Vec::new(),
+            cur_sleep: 0,
+            take_snapshots: take_snapshots && config.resume == ResumeMode::PrefixResume,
+            spare_mem: Vec::new(),
+            object_gen: 0,
+            enabled_buf: Vec::new(),
+            stats: ExploreStats::default(),
         }
     }
 
-    /// Replays one scripted schedule prefix on a freshly reset memory. The
-    /// result is left in `self.session` (and the memory state in `self.mem`),
-    /// so the caller can borrow both immutably afterwards.
-    fn replay<O, FSetup>(
-        &mut self,
-        setup: &mut FSetup,
-        workload: &Workload<S, V>,
-        prefix: Vec<ProcessId>,
-    ) where
-        O: SimObject<S, V>,
-        FSetup: FnMut(&mut SharedMemory) -> O,
-    {
+    fn sleep_sets(&self) -> bool {
+        self.config.reduction == Reduction::SleepSets
+    }
+
+    /// Rebuilds the execution state for the first `depth` decisions of
+    /// `self.path` by replaying them from tick 0.
+    fn replay_prefix(&mut self, depth: usize) {
+        self.path.truncate(depth);
         self.mem.reset();
-        let mut object = setup(&mut self.mem);
-        let mut adversary = ScriptedAdversary::new(prefix);
-        self.executor.run_in(
+        self.object = Some((self.setup)(&mut self.mem));
+        self.object_gen += 1;
+        self.executor.begin(&mut self.session, self.workload);
+        let steps_before = self.mem.global_steps();
+        for i in 0..depth {
+            let status = self.executor.survey(&mut self.session, self.workload);
+            debug_assert_eq!(status, SurveyStatus::Choose, "prefix replay diverged");
+            self.executor.tick(
+                &mut self.session,
+                &mut self.mem,
+                self.object.as_mut().expect("object built above"),
+                self.workload,
+                self.path[i],
+            );
+        }
+        self.stats.executed_ticks += depth as u64;
+        self.stats.replayed_ticks += depth as u64;
+        self.stats.executed_steps += self.mem.global_steps() - steps_before;
+    }
+
+    /// Executes one scheduling decision and applies the sleep-set wake rule:
+    /// any sleeping process whose pending step is dependent with the step
+    /// just executed is woken.
+    fn exec_tick(&mut self, chosen: ProcessId) {
+        let steps_before = self.mem.global_steps();
+        self.executor.tick(
             &mut self.session,
             &mut self.mem,
-            &mut object,
-            workload,
-            &mut adversary,
+            self.object.as_mut().expect("engine has an object"),
+            self.workload,
+            chosen,
         );
-    }
-}
-
-/// Pushes, for every decision point of `result` beyond the forced prefix,
-/// the alternative schedule prefixes to explore (in the same order the
-/// original explorer used, so DFS enumeration is unchanged).
-fn push_alternatives<S: SequentialSpec, V>(
-    result: &ExecutionResult<S, V>,
-    prefix_len: usize,
-    stack: &mut Vec<Vec<ProcessId>>,
-) {
-    for i in prefix_len..result.decisions.len() {
-        let chosen = result.decisions.chosen_at(i);
-        for &alt in result.decisions.enabled_at(i) {
-            if alt == chosen {
-                continue;
+        self.stats.executed_ticks += 1;
+        let delta = self.mem.global_steps() - steps_before;
+        self.stats.executed_steps += delta;
+        if self.cur_sleep != 0 {
+            let fp = match delta {
+                0 => Footprint::Pure,
+                1 => self.mem.last_footprint(),
+                // An object that takes several steps per tick violates the
+                // one-step contract; treat conservatively.
+                _ => Footprint::Unknown,
+            };
+            let mut rest = self.cur_sleep;
+            while rest != 0 {
+                let i = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                let q = ProcessId(i);
+                if self.session.next_footprint(q).dependent(fp) {
+                    self.cur_sleep &= !bit(q);
+                }
             }
-            let mut new_prefix = result.decisions.chosen()[..i].to_vec();
-            new_prefix.push(alt);
-            stack.push(new_prefix);
+        }
+        self.path.push(chosen);
+    }
+
+    /// Takes a checkpoint of the current execution state, if supported.
+    fn checkpoint(&mut self) -> Option<Checkpoint<S, V>> {
+        if !self.take_snapshots {
+            return None;
+        }
+        // Session first: forking the (small) in-flight op states is cheaper
+        // than a deep object snapshot, so an unforkable op short-circuits
+        // before the object pays for a clone that would be thrown away.
+        let Some(session) = self.session.snapshot() else {
+            self.stats.snapshot_fallbacks += 1;
+            return None;
+        };
+        let Some(object) = self
+            .object
+            .as_ref()
+            .expect("engine has an object")
+            .snapshot()
+        else {
+            self.stats.snapshot_fallbacks += 1;
+            return None;
+        };
+        let mut mem = self.spare_mem.pop().unwrap_or_default();
+        self.mem.snapshot_into(&mut mem);
+        self.stats.snapshots += 1;
+        Some(Checkpoint {
+            mem,
+            session,
+            object,
+            gen: self.object_gen,
+        })
+    }
+
+    /// Drives the current execution forward to its next leaf, creating a
+    /// branch frame at every decision point with more than one non-sleeping
+    /// choice.
+    fn drive(&mut self) -> Leaf {
+        loop {
+            match self.executor.survey(&mut self.session, self.workload) {
+                SurveyStatus::Complete | SurveyStatus::Cutoff => return Leaf::Complete,
+                SurveyStatus::Choose => {}
+            }
+            self.enabled_buf.clear();
+            self.enabled_buf.extend_from_slice(self.session.enabled());
+            let sleep = self.cur_sleep;
+            let Some(chosen) = self
+                .enabled_buf
+                .iter()
+                .copied()
+                .find(|p| sleep & bit(*p) == 0)
+            else {
+                return Leaf::SleepBlocked;
+            };
+            // Untried siblings, ascending (popped from the back, so siblings
+            // are visited in descending order — the PR 1 DFS order).
+            let alts: Vec<ProcessId> = self
+                .enabled_buf
+                .iter()
+                .copied()
+                .filter(|p| *p != chosen && sleep & bit(*p) == 0)
+                .collect();
+            if !alts.is_empty() {
+                let snap = self.checkpoint();
+                self.frames.push(Frame {
+                    depth: self.session.depth(),
+                    alts,
+                    explored: bit(chosen),
+                    sleep,
+                    snap,
+                });
+            }
+            self.exec_tick(chosen);
+        }
+    }
+
+    /// Backtracks to the deepest frame with an untried sibling, restores the
+    /// execution state at that depth and executes the sibling. Returns
+    /// `false` when the whole subtree is exhausted.
+    fn backtrack(&mut self) -> bool {
+        let sleep_sets = self.sleep_sets();
+        loop {
+            let Some(frame) = self.frames.last_mut() else {
+                return false;
+            };
+            let Some(alt) = frame.alts.pop() else {
+                let done = self.frames.pop().expect("frame checked above");
+                if let Some(cp) = done.snap {
+                    self.spare_mem.push(cp.mem);
+                }
+                continue;
+            };
+            let depth = frame.depth;
+            let entry_sleep = if sleep_sets {
+                sibling_entry_sleep(frame.sleep, frame.explored, alt)
+            } else {
+                0
+            };
+            frame.explored |= bit(alt);
+            let restored = match &self.frames.last().expect("frame exists").snap {
+                // A checkpoint from an older object generation references a
+                // rebuilt-and-discarded object instance through its forked
+                // executions; restoring it would split the execution state
+                // across two objects. Replay instead.
+                Some(cp) if cp.gen == self.object_gen => {
+                    self.mem.restore(&cp.mem);
+                    self.executor.resume_from(&mut self.session, &cp.session);
+                    self.object
+                        .as_mut()
+                        .expect("engine has an object")
+                        .restore(&cp.object);
+                    self.path.truncate(depth);
+                    true
+                }
+                _ => false,
+            };
+            if !restored {
+                self.replay_prefix(depth);
+            }
+            self.cur_sleep = entry_sleep;
+            // Re-establish the enabled set at the branch point (the restore
+            // or replay left the session's scratch view stale).
+            let status = self.executor.survey(&mut self.session, self.workload);
+            debug_assert_eq!(status, SurveyStatus::Choose, "branch point disappeared");
+            self.exec_tick(alt);
+            return true;
+        }
+    }
+
+    /// Explores the subtree reached by replaying `forced` and then (if
+    /// given) taking `branch` with sleep set `entry_sleep`. `gate` is
+    /// consulted once per complete execution *before* it is counted;
+    /// returning `false` stops the exploration (budget exhausted or branch
+    /// abandoned). `root_only` stops after the first leaf, leaving the
+    /// discovered frames in place for branch harvesting.
+    fn explore_subtree(
+        &mut self,
+        forced: &[ProcessId],
+        branch: Option<ProcessId>,
+        entry_sleep: u64,
+        gate: &mut dyn FnMut() -> bool,
+        root_only: bool,
+    ) -> Result<Subtree, ExploreViolation> {
+        self.frames.clear();
+        self.path.clear();
+        self.path.extend_from_slice(forced);
+        self.replay_prefix(forced.len());
+        // Replayed prefix ticks of the entry are forced, not backtracking
+        // overhead; count them as plain executed work.
+        self.stats.replayed_ticks -= forced.len() as u64;
+        self.cur_sleep = entry_sleep;
+        if let Some(b) = branch {
+            let status = self.executor.survey(&mut self.session, self.workload);
+            debug_assert_eq!(status, SurveyStatus::Choose, "ticket branch point gone");
+            self.exec_tick(b);
+        }
+        loop {
+            match self.drive() {
+                Leaf::Complete => {
+                    if !gate() {
+                        return Ok(Subtree::Stopped);
+                    }
+                    self.stats.schedules += 1;
+                    if let Err(message) = (self.check)(self.session.result(), &self.mem) {
+                        return Err(ExploreViolation {
+                            schedule: self.session.result().decisions.chosen().to_vec(),
+                            message,
+                        });
+                    }
+                    if root_only {
+                        return Ok(Subtree::Exhausted);
+                    }
+                }
+                Leaf::SleepBlocked => {
+                    self.stats.sleep_blocked += 1;
+                }
+            }
+            if !self.backtrack() {
+                return Ok(Subtree::Exhausted);
+            }
         }
     }
 }
 
 /// Explores all schedules of the executions generated by `setup` and
-/// `workload`, applying `check` to each execution result.
+/// `workload`, applying `check` to each execution result, and reports the
+/// work performed.
 ///
-/// `setup` must build a fresh object for every run; the shared memory handed
-/// to it is freshly reset (but reuses its allocations across runs).
-pub fn explore_schedules<S, V, O, FSetup, FCheck>(
-    mut setup: FSetup,
+/// `setup` must build a fresh object for every call; the shared memory
+/// handed to it is freshly reset (but reuses its allocations across runs).
+pub fn explore_schedules_report<S, V, O, FSetup, FCheck>(
+    setup: FSetup,
     workload: &Workload<S, V>,
     config: &ExploreConfig,
-    mut check: FCheck,
+    check: FCheck,
+) -> ExploreReport
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+{
+    let mut engine = Engine::new(config, workload, setup, check, true);
+    let max = config.max_schedules;
+    // The gate compares the count *before* the pending execution, exactly as
+    // the replay explorer checked its budget before each replay.
+    let mut schedules_seen = 0u64;
+    let mut gate = move || {
+        if schedules_seen >= max {
+            return false;
+        }
+        schedules_seen += 1;
+        true
+    };
+    let outcome = match engine.explore_subtree(&[], None, 0, &mut gate, false) {
+        Err(v) => Err(v),
+        Ok(Subtree::Exhausted) => Ok(ExploreOutcome::Exhausted {
+            schedules: engine.stats.schedules,
+        }),
+        Ok(Subtree::Stopped) => Ok(ExploreOutcome::LimitReached {
+            schedules: engine.stats.schedules,
+        }),
+    };
+    ExploreReport {
+        outcome,
+        stats: engine.stats,
+    }
+}
+
+/// Explores all schedules of the executions generated by `setup` and
+/// `workload`, applying `check` to each execution result.
+pub fn explore_schedules<S, V, O, FSetup, FCheck>(
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    config: &ExploreConfig,
+    check: FCheck,
 ) -> Result<ExploreOutcome, ExploreViolation>
 where
     S: SequentialSpec,
@@ -199,44 +693,31 @@ where
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
 {
-    let mut replayer: Replayer<S, V> = Replayer::new(config.executor());
-    let mut schedules: u64 = 0;
-    // Stack of schedule prefixes still to explore.
-    let mut stack: Vec<Vec<ProcessId>> = vec![Vec::new()];
+    explore_schedules_report(setup, workload, config, check).outcome
+}
 
-    while let Some(prefix) = stack.pop() {
-        if schedules >= config.max_schedules {
-            return Ok(ExploreOutcome::LimitReached { schedules });
-        }
-        schedules += 1;
-
-        let prefix_len = prefix.len();
-        replayer.replay(&mut setup, workload, prefix);
-        let result = replayer.session.result();
-        if let Err(message) = check(result, &replayer.mem) {
-            return Err(ExploreViolation {
-                schedule: result.decisions.chosen().to_vec(),
-                message,
-            });
-        }
-        push_alternatives(result, prefix_len, &mut stack);
-    }
-    Ok(ExploreOutcome::Exhausted { schedules })
+/// A unit of parallel work: replay `prefix`, take `branch` with sleep set
+/// `sleep`, explore the subtree.
+struct Ticket {
+    prefix_len: usize,
+    branch: ProcessId,
+    sleep: u64,
 }
 
 /// What one parallel worker found in its branch of the schedule tree.
 struct BranchReport {
-    schedules: u64,
+    stats: ExploreStats,
     exhausted: bool,
     violation: Option<ExploreViolation>,
 }
 
 /// Explores all schedules like [`explore_schedules`], but partitions the
-/// depth-first search across OS threads.
+/// depth-first search across OS threads, and reports the combined work.
 ///
-/// The root schedule is replayed once, the alternatives along it become
+/// The root schedule is run once, the alternatives along it become
 /// *branches*, and the branches are handed to `config.threads` workers (each
-/// with its own reusable memory + session). The merge is deterministic:
+/// with its own reusable memory + session + checkpoints). The merge is
+/// deterministic:
 ///
 /// * branches are ordered exactly as the sequential DFS would visit them,
 ///   and the reported violation is the first one in that order — a worker
@@ -253,8 +734,200 @@ struct BranchReport {
 ///   to run. Size `max_schedules` to cover the tree when determinism of
 ///   the violation matters.
 ///
+/// Under [`Reduction::SleepSets`] each branch ticket carries the sleep set
+/// in force at its branch point, so the union of the workers' subtrees is
+/// exactly the sequential reduced tree.
+///
 /// Because the check runs concurrently it must be `Fn + Sync` (the
 /// sequential API accepts `FnMut`).
+pub fn explore_schedules_parallel_report<S, V, O, FSetup, FCheck>(
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    config: &ExploreConfig,
+    check: FCheck,
+) -> ExploreReport
+where
+    S: SequentialSpec,
+    S::Op: Sync,
+    V: Clone + Eq + Hash + Debug + Sync,
+    O: SimObject<S, V>,
+    FSetup: Fn(&mut SharedMemory) -> O + Sync,
+    FCheck: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
+{
+    let mut stats = ExploreStats::default();
+    if config.max_schedules == 0 {
+        return ExploreReport {
+            outcome: Ok(ExploreOutcome::LimitReached { schedules: 0 }),
+            stats,
+        };
+    }
+
+    // Run the root schedule once to discover the first-level branches. The
+    // discovery pass never snapshots: its frames are converted into tickets
+    // that the workers replay themselves.
+    let mut root_engine = Engine::new(
+        config,
+        workload,
+        |mem: &mut SharedMemory| setup(mem),
+        |res: &ExecutionResult<S, V>, mem: &SharedMemory| check(res, mem),
+        false,
+    );
+    let root_result = root_engine.explore_subtree(&[], None, 0, &mut || true, true);
+    stats.absorb(&root_engine.stats);
+    if let Err(v) = root_result {
+        return ExploreReport {
+            outcome: Err(v),
+            stats,
+        };
+    }
+
+    // Harvest branch tickets in sequential DFS visit order: deepest decision
+    // first, siblings in descending order, with sleep sets accumulating over
+    // earlier-visited siblings.
+    let root_path: Vec<ProcessId> = root_engine.path.clone();
+    let sleep_sets = config.reduction == Reduction::SleepSets;
+    let mut tickets: Vec<Ticket> = Vec::new();
+    for frame in root_engine.frames.iter().rev() {
+        let mut explored = frame.explored;
+        for &alt in frame.alts.iter().rev() {
+            let sleep = if sleep_sets {
+                sibling_entry_sleep(frame.sleep, explored, alt)
+            } else {
+                0
+            };
+            tickets.push(Ticket {
+                prefix_len: frame.depth,
+                branch: alt,
+                sleep,
+            });
+            explored |= bit(alt);
+        }
+    }
+    drop(root_engine);
+    if tickets.is_empty() {
+        return ExploreReport {
+            outcome: Ok(ExploreOutcome::Exhausted { schedules: 1 }),
+            stats,
+        };
+    }
+
+    // Shared schedule budget; the root run took the first ticket.
+    let budget = AtomicU64::new(1);
+    let max_schedules = config.max_schedules;
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        config.threads
+    }
+    .min(tickets.len())
+    .max(1);
+
+    let next_ticket = AtomicUsize::new(0);
+    let best_violating_branch = AtomicUsize::new(usize::MAX);
+    let reports: Vec<Mutex<Option<BranchReport>>> =
+        tickets.iter().map(|_| Mutex::new(None)).collect();
+    let tickets = &tickets;
+    let root_path = &root_path;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let budget = &budget;
+            let next_ticket = &next_ticket;
+            let best_violating_branch = &best_violating_branch;
+            let reports = &reports;
+            let setup = &setup;
+            let check = &check;
+            scope.spawn(move || {
+                let mut engine = Engine::new(
+                    config,
+                    workload,
+                    |mem: &mut SharedMemory| setup(mem),
+                    |res: &ExecutionResult<S, V>, mem: &SharedMemory| check(res, mem),
+                    true,
+                );
+                loop {
+                    let bi = next_ticket.fetch_add(1, Ordering::Relaxed);
+                    if bi >= tickets.len() {
+                        return;
+                    }
+                    let ticket = &tickets[bi];
+                    engine.stats = ExploreStats::default();
+                    let mut gate = || {
+                        budget.fetch_add(1, Ordering::Relaxed) < max_schedules
+                            && best_violating_branch.load(Ordering::Relaxed) >= bi
+                    };
+                    let result = engine.explore_subtree(
+                        &root_path[..ticket.prefix_len],
+                        Some(ticket.branch),
+                        ticket.sleep,
+                        &mut gate,
+                        false,
+                    );
+                    let delta = engine.stats;
+                    let report = match result {
+                        Err(violation) => {
+                            best_violating_branch.fetch_min(bi, Ordering::Relaxed);
+                            BranchReport {
+                                stats: delta,
+                                exhausted: false,
+                                violation: Some(violation),
+                            }
+                        }
+                        Ok(Subtree::Exhausted) => BranchReport {
+                            stats: delta,
+                            exhausted: true,
+                            violation: None,
+                        },
+                        Ok(Subtree::Stopped) => BranchReport {
+                            stats: delta,
+                            exhausted: false,
+                            violation: None,
+                        },
+                    };
+                    *reports[bi].lock().unwrap() = Some(report);
+                }
+            });
+        }
+    });
+
+    // Deterministic merge: first violating branch in DFS order wins. Every
+    // ticket is claimed by exactly one worker and always yields a report
+    // (abandoned branches report `violation: None, exhausted: false`).
+    let mut exhausted = true;
+    let mut first_violation = None;
+    for cell in &reports {
+        let r = cell
+            .lock()
+            .unwrap()
+            .take()
+            .expect("every ticket is claimed exactly once and reports");
+        stats.absorb(&r.stats);
+        if first_violation.is_none() {
+            if let Some(v) = r.violation {
+                first_violation = Some(v);
+            }
+        }
+        exhausted &= r.exhausted;
+    }
+    let outcome = match first_violation {
+        Some(v) => Err(v),
+        None if exhausted => Ok(ExploreOutcome::Exhausted {
+            schedules: stats.schedules,
+        }),
+        None => Ok(ExploreOutcome::LimitReached {
+            schedules: stats.schedules,
+        }),
+    };
+    ExploreReport { outcome, stats }
+}
+
+/// Explores all schedules like [`explore_schedules`], but partitions the
+/// depth-first search across OS threads. See
+/// [`explore_schedules_parallel_report`] for the partitioning and merge
+/// semantics.
 pub fn explore_schedules_parallel<S, V, O, FSetup, FCheck>(
     setup: FSetup,
     workload: &Workload<S, V>,
@@ -269,165 +942,7 @@ where
     FSetup: Fn(&mut SharedMemory) -> O + Sync,
     FCheck: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
 {
-    if config.max_schedules == 0 {
-        return Ok(ExploreOutcome::LimitReached { schedules: 0 });
-    }
-
-    // Replay the root schedule once to discover the first-level branches.
-    let mut root: Replayer<S, V> = Replayer::new(config.executor());
-    let mut root_setup = |mem: &mut SharedMemory| setup(mem);
-    root.replay(&mut root_setup, workload, Vec::new());
-    let result = root.session.result();
-    if let Err(message) = check(result, &root.mem) {
-        return Err(ExploreViolation {
-            schedule: result.decisions.chosen().to_vec(),
-            message,
-        });
-    }
-    let mut branches: Vec<Vec<ProcessId>> = Vec::new();
-    push_alternatives(result, 0, &mut branches);
-    drop(root);
-    // The sequential DFS pops its stack LIFO; visit branches in that order.
-    branches.reverse();
-    if branches.is_empty() {
-        return Ok(ExploreOutcome::Exhausted { schedules: 1 });
-    }
-
-    // Shared schedule budget; the root replay took the first ticket.
-    let tickets = AtomicU64::new(1);
-
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        config.threads
-    }
-    .min(branches.len())
-    .max(1);
-
-    let next_branch = AtomicUsize::new(0);
-    let best_violating_branch = AtomicUsize::new(usize::MAX);
-    let reports: Vec<Mutex<Option<BranchReport>>> =
-        branches.iter().map(|_| Mutex::new(None)).collect();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                let mut replayer: Replayer<S, V> = Replayer::new(config.executor());
-                let mut setup_local = |mem: &mut SharedMemory| setup(mem);
-                loop {
-                    let bi = next_branch.fetch_add(1, Ordering::Relaxed);
-                    if bi >= branches.len() {
-                        return;
-                    }
-                    let report = explore_branch(
-                        &mut replayer,
-                        &mut setup_local,
-                        workload,
-                        branches[bi].clone(),
-                        &tickets,
-                        config.max_schedules,
-                        &check,
-                        bi,
-                        &best_violating_branch,
-                    );
-                    if report.violation.is_some() {
-                        best_violating_branch.fetch_min(bi, Ordering::Relaxed);
-                    }
-                    *reports[bi].lock().unwrap() = Some(report);
-                }
-            });
-        }
-    });
-
-    // Deterministic merge: first violating branch in DFS order wins. Every
-    // branch index is claimed by exactly one worker and always yields a
-    // report (abandoned branches report `violation: None, exhausted: false`).
-    let mut total: u64 = 1;
-    let mut exhausted = true;
-    for cell in &reports {
-        let r = cell
-            .lock()
-            .unwrap()
-            .take()
-            .expect("every branch is claimed exactly once and reports");
-        if let Some(v) = r.violation {
-            return Err(v);
-        }
-        total += r.schedules;
-        exhausted &= r.exhausted;
-    }
-    if exhausted {
-        Ok(ExploreOutcome::Exhausted { schedules: total })
-    } else {
-        Ok(ExploreOutcome::LimitReached { schedules: total })
-    }
-}
-
-/// Depth-first search of one branch of the schedule tree, on the worker's
-/// reusable replayer. Abandons the branch (without reporting a violation)
-/// when a strictly earlier branch has already produced one, and stops when
-/// the shared ticket counter exceeds the schedule budget.
-#[allow(clippy::too_many_arguments)]
-fn explore_branch<S, V, O, FSetup, FCheck>(
-    replayer: &mut Replayer<S, V>,
-    setup: &mut FSetup,
-    workload: &Workload<S, V>,
-    branch_prefix: Vec<ProcessId>,
-    tickets: &AtomicU64,
-    max_schedules: u64,
-    check: &FCheck,
-    branch_index: usize,
-    best_violating_branch: &AtomicUsize,
-) -> BranchReport
-where
-    S: SequentialSpec,
-    V: Clone + Eq + Hash + Debug,
-    O: SimObject<S, V>,
-    FSetup: FnMut(&mut SharedMemory) -> O,
-    FCheck: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
-{
-    let mut schedules: u64 = 0;
-    let mut stack: Vec<Vec<ProcessId>> = vec![branch_prefix];
-    while let Some(prefix) = stack.pop() {
-        if tickets.fetch_add(1, Ordering::Relaxed) >= max_schedules {
-            return BranchReport {
-                schedules,
-                exhausted: false,
-                violation: None,
-            };
-        }
-        if best_violating_branch.load(Ordering::Relaxed) < branch_index {
-            // An earlier branch already violated; our work is irrelevant.
-            return BranchReport {
-                schedules,
-                exhausted: false,
-                violation: None,
-            };
-        }
-        schedules += 1;
-        let prefix_len = prefix.len();
-        replayer.replay(setup, workload, prefix);
-        let result = replayer.session.result();
-        if let Err(message) = check(result, &replayer.mem) {
-            let violation = ExploreViolation {
-                schedule: result.decisions.chosen().to_vec(),
-                message,
-            };
-            return BranchReport {
-                schedules,
-                exhausted: false,
-                violation: Some(violation),
-            };
-        }
-        push_alternatives(result, prefix_len, &mut stack);
-    }
-    BranchReport {
-        schedules,
-        exhausted: true,
-        violation: None,
-    }
+    explore_schedules_parallel_report(setup, workload, config, check).outcome
 }
 
 #[cfg(test)]
@@ -438,10 +953,12 @@ mod tests {
     use crate::value::Value;
     use scl_spec::{check_linearizable, Request, TasOp, TasResp, TasSpec, TasSwitch};
 
-    /// Correct swap-based TAS.
+    /// Correct swap-based TAS, with full explorer hooks (forkable,
+    /// footprint-aware, stateless snapshots).
     struct SwapTas {
         flag: RegId,
     }
+    #[derive(Clone)]
     struct SwapTasOp {
         flag: RegId,
         proc: scl_spec::ProcessId,
@@ -454,6 +971,12 @@ mod tests {
             } else {
                 TasResp::Winner
             }))
+        }
+        fn fork(&self) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+            Some(Box::new(self.clone()))
+        }
+        fn next_footprint(&self) -> Footprint {
+            Footprint::Write(self.flag)
         }
     }
     impl SimObject<TasSpec, TasSwitch> for SwapTas {
@@ -468,6 +991,9 @@ mod tests {
                 proc: req.proc,
             })
         }
+        fn snapshot(&self) -> Option<ObjectSnapshot> {
+            Some(ObjectSnapshot::stateless())
+        }
     }
 
     /// A deliberately broken TAS (read then write, not atomic): two
@@ -475,6 +1001,7 @@ mod tests {
     struct BrokenTas {
         flag: RegId,
     }
+    #[derive(Clone)]
     struct BrokenTasOp {
         flag: RegId,
         proc: scl_spec::ProcessId,
@@ -497,6 +1024,15 @@ mod tests {
                 }
             }
         }
+        fn fork(&self) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+            Some(Box::new(self.clone()))
+        }
+        fn next_footprint(&self) -> Footprint {
+            match self.observed {
+                None => Footprint::Read(self.flag),
+                Some(_) => Footprint::Write(self.flag),
+            }
+        }
     }
     impl SimObject<TasSpec, TasSwitch> for BrokenTas {
         fn invoke(
@@ -510,6 +1046,9 @@ mod tests {
                 proc: req.proc,
                 observed: None,
             })
+        }
+        fn snapshot(&self) -> Option<ObjectSnapshot> {
+            Some(ObjectSnapshot::stateless())
         }
     }
 
@@ -525,6 +1064,20 @@ mod tests {
         } else {
             Err("not linearizable".into())
         }
+    }
+
+    fn all_mode_configs() -> Vec<ExploreConfig> {
+        let mut configs = Vec::new();
+        for reduction in [Reduction::Off, Reduction::SleepSets] {
+            for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+                configs.push(ExploreConfig {
+                    reduction,
+                    resume,
+                    ..Default::default()
+                });
+            }
+        }
+        configs
     }
 
     #[test]
@@ -558,6 +1111,324 @@ mod tests {
         assert!(violation.message.contains("not linearizable"));
         assert!(!violation.schedule.is_empty());
         assert!(!violation.to_string().is_empty());
+    }
+
+    #[test]
+    fn every_mode_finds_the_bug_in_broken_tas() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        for config in all_mode_configs() {
+            let violation = explore_schedules(
+                |mem| BrokenTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &config,
+                lin_check,
+            )
+            .unwrap_err();
+            assert!(
+                violation.message.contains("not linearizable"),
+                "config {config:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_resume_is_equivalent_to_full_replay() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let replay = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig::default(),
+            lin_check,
+        );
+        let resume = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                resume: ResumeMode::PrefixResume,
+                ..Default::default()
+            },
+            lin_check,
+        );
+        // Identical enumeration...
+        assert_eq!(replay.outcome, resume.outcome);
+        assert_eq!(replay.stats.schedules, resume.stats.schedules);
+        // ...at strictly less execution work: no prefix is ever replayed
+        // (this object is fully snapshottable).
+        assert_eq!(resume.stats.replayed_ticks, 0);
+        assert_eq!(resume.stats.snapshot_fallbacks, 0);
+        assert!(resume.stats.snapshots > 0);
+        assert!(resume.stats.executed_ticks < replay.stats.executed_ticks);
+    }
+
+    #[test]
+    fn prefix_resume_reports_the_same_violation() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let mk = |resume| {
+            explore_schedules(
+                |mem| BrokenTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &ExploreConfig {
+                    resume,
+                    ..Default::default()
+                },
+                lin_check,
+            )
+            .unwrap_err()
+        };
+        assert_eq!(mk(ResumeMode::FullReplay), mk(ResumeMode::PrefixResume));
+    }
+
+    #[test]
+    fn sleep_sets_prune_commuting_schedules_but_stay_exhaustive() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let full = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig::default(),
+            lin_check,
+        );
+        let reduced = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                reduction: Reduction::SleepSets,
+                ..Default::default()
+            },
+            lin_check,
+        );
+        assert!(matches!(
+            reduced.outcome,
+            Ok(ExploreOutcome::Exhausted { .. })
+        ));
+        let full_count = full.outcome.unwrap().schedules();
+        let reduced_count = reduced.outcome.unwrap().schedules();
+        // The three invocations commute pairwise (they take no shared step),
+        // so the reduction must prune a substantial part of the tree.
+        assert!(
+            reduced_count < full_count,
+            "sleep sets pruned nothing: {reduced_count} vs {full_count}"
+        );
+        assert!(reduced.stats.executed_steps < full.stats.executed_steps);
+    }
+
+    #[test]
+    fn combined_mode_agrees_with_sleep_sets_alone() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let replay = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                reduction: Reduction::SleepSets,
+                ..Default::default()
+            },
+            lin_check,
+        );
+        let combined = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig::reduced(),
+            lin_check,
+        );
+        assert_eq!(replay.outcome, combined.outcome);
+        assert_eq!(replay.stats.schedules, combined.stats.schedules);
+        assert_eq!(replay.stats.sleep_blocked, combined.stats.sleep_blocked);
+        assert!(combined.stats.executed_ticks <= replay.stats.executed_ticks);
+    }
+
+    #[test]
+    fn unforkable_objects_fall_back_to_replay_under_prefix_resume() {
+        /// A SwapTas whose operations refuse to fork (default hooks).
+        struct Opaque {
+            flag: RegId,
+        }
+        struct OpaqueOp {
+            flag: RegId,
+            proc: scl_spec::ProcessId,
+        }
+        impl OpExecution<TasSpec, TasSwitch> for OpaqueOp {
+            fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
+                let prev = mem.swap(self.proc, self.flag, Value::TRUE);
+                StepOutcome::Done(OpOutcome::Commit(if prev.as_bool() {
+                    TasResp::Loser
+                } else {
+                    TasResp::Winner
+                }))
+            }
+        }
+        impl SimObject<TasSpec, TasSwitch> for Opaque {
+            fn invoke(
+                &mut self,
+                _mem: &mut SharedMemory,
+                req: Request<TasSpec>,
+                _switch: Option<TasSwitch>,
+            ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
+                Box::new(OpaqueOp {
+                    flag: self.flag,
+                    proc: req.proc,
+                })
+            }
+        }
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let reference = explore_schedules_report(
+            |mem| Opaque {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig::default(),
+            lin_check,
+        );
+        let fallback = explore_schedules_report(
+            |mem| Opaque {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                resume: ResumeMode::PrefixResume,
+                ..Default::default()
+            },
+            lin_check,
+        );
+        assert_eq!(reference.outcome, fallback.outcome);
+        assert_eq!(fallback.stats.snapshots, 0);
+        assert!(fallback.stats.snapshot_fallbacks > 0);
+        assert!(fallback.stats.replayed_ticks > 0);
+    }
+
+    #[test]
+    fn partially_forkable_objects_explore_identically_under_prefix_resume() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        // A (deliberately racy) TAS whose object carries Rc-shared private
+        // state and whose operations are forkable only before their first
+        // step. Prefix-resume then checkpoints at some branch points and
+        // falls back to replay at others — the mixed regime in which a
+        // checkpoint taken against one object instance must never be
+        // restored into a rebuilt one.
+        struct Partial {
+            flag: RegId,
+            log: RegId,
+            steps: Rc<Cell<i64>>,
+        }
+        #[derive(Clone)]
+        struct PartialOp {
+            flag: RegId,
+            log: RegId,
+            steps: Rc<Cell<i64>>,
+            proc: scl_spec::ProcessId,
+            phase: u8,
+            observed: bool,
+        }
+        impl OpExecution<TasSpec, TasSwitch> for PartialOp {
+            fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
+                self.steps.set(self.steps.get() + 1);
+                match self.phase {
+                    0 => {
+                        self.observed = mem.read(self.proc, self.flag).as_bool();
+                        self.phase = 1;
+                        StepOutcome::Continue
+                    }
+                    1 => {
+                        mem.write(self.proc, self.flag, Value::TRUE);
+                        self.phase = 2;
+                        StepOutcome::Continue
+                    }
+                    _ => {
+                        // Publish the object-level counter so any state
+                        // corruption shows up in the final register file.
+                        mem.write(self.proc, self.log, Value::int(self.steps.get()));
+                        StepOutcome::Done(OpOutcome::Commit(if self.observed {
+                            TasResp::Loser
+                        } else {
+                            TasResp::Winner
+                        }))
+                    }
+                }
+            }
+            fn fork(&self) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+                // Forkable only before the first step.
+                (self.phase == 0).then(|| Box::new(self.clone()) as _)
+            }
+        }
+        impl SimObject<TasSpec, TasSwitch> for Partial {
+            fn invoke(
+                &mut self,
+                _mem: &mut SharedMemory,
+                req: Request<TasSpec>,
+                _switch: Option<TasSwitch>,
+            ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
+                Box::new(PartialOp {
+                    flag: self.flag,
+                    log: self.log,
+                    steps: Rc::clone(&self.steps),
+                    proc: req.proc,
+                    phase: 0,
+                    observed: false,
+                })
+            }
+            fn snapshot(&self) -> Option<ObjectSnapshot> {
+                Some(ObjectSnapshot::new(self.steps.get()))
+            }
+            fn restore(&mut self, snap: &ObjectSnapshot) {
+                self.steps.set(*snap.downcast::<i64>());
+            }
+        }
+
+        let setup = |mem: &mut SharedMemory| Partial {
+            flag: mem.alloc("flag", Value::FALSE),
+            log: mem.alloc("log", Value::int(0)),
+            steps: Rc::new(Cell::new(0)),
+        };
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let run = |resume| {
+            let mut states = std::collections::BTreeSet::new();
+            let report = explore_schedules_report(
+                setup,
+                &wl,
+                &ExploreConfig {
+                    resume,
+                    ..Default::default()
+                },
+                |res, mem| {
+                    let mut fp = String::new();
+                    for i in 0..mem.register_count() {
+                        fp.push_str(&format!("{:?};", mem.peek(RegId(i))));
+                    }
+                    fp.push_str(&format!("{:?}", res.ops));
+                    states.insert(fp);
+                    Ok(())
+                },
+            );
+            (report, states)
+        };
+        let (replay, replay_states) = run(ResumeMode::FullReplay);
+        let (resume, resume_states) = run(ResumeMode::PrefixResume);
+        assert_eq!(replay.outcome, resume.outcome);
+        assert_eq!(replay_states, resume_states);
+        // The mixed regime was actually exercised: some checkpoints
+        // succeeded, some branch points fell back to replay.
+        assert!(resume.stats.snapshots > 0, "no checkpoint ever succeeded");
+        assert!(
+            resume.stats.snapshot_fallbacks > 0,
+            "no branch point ever fell back"
+        );
+        assert!(resume.stats.replayed_ticks > 0);
     }
 
     #[test]
@@ -612,64 +1483,68 @@ mod tests {
     }
 
     #[test]
-    fn parallel_explorer_exhausts_the_same_schedule_count() {
+    fn parallel_explorer_exhausts_the_same_schedule_count_in_every_mode() {
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
-        let sequential = explore_schedules(
-            |mem| SwapTas {
-                flag: mem.alloc("flag", Value::FALSE),
-            },
-            &wl,
-            &ExploreConfig::default(),
-            lin_check,
-        )
-        .unwrap();
-        for threads in [1usize, 2, 4] {
-            let config = ExploreConfig {
-                threads,
-                ..Default::default()
-            };
-            let parallel = explore_schedules_parallel(
+        for base in all_mode_configs() {
+            let sequential = explore_schedules(
                 |mem| SwapTas {
                     flag: mem.alloc("flag", Value::FALSE),
                 },
                 &wl,
-                &config,
+                &base,
                 lin_check,
             )
             .unwrap();
-            assert!(
-                matches!(parallel, ExploreOutcome::Exhausted { .. }),
-                "threads={threads}"
-            );
-            assert_eq!(
-                parallel.schedules(),
-                sequential.schedules(),
-                "threads={threads}"
-            );
+            for threads in [1usize, 2, 4] {
+                let config = ExploreConfig {
+                    threads,
+                    ..base.clone()
+                };
+                let parallel = explore_schedules_parallel(
+                    |mem| SwapTas {
+                        flag: mem.alloc("flag", Value::FALSE),
+                    },
+                    &wl,
+                    &config,
+                    lin_check,
+                )
+                .unwrap();
+                assert!(
+                    matches!(parallel, ExploreOutcome::Exhausted { .. }),
+                    "threads={threads} config={config:?}"
+                );
+                assert_eq!(
+                    parallel.schedules(),
+                    sequential.schedules(),
+                    "threads={threads} config={config:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn parallel_explorer_is_deterministic_on_violations() {
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
-        let config = ExploreConfig {
-            threads: 4,
-            ..Default::default()
-        };
-        let find = || {
-            explore_schedules_parallel(
-                |mem| BrokenTas {
-                    flag: mem.alloc("flag", Value::FALSE),
-                },
-                &wl,
-                &config,
-                lin_check,
-            )
-            .expect_err("broken TAS must violate")
-        };
-        let first = find();
-        for _ in 0..5 {
-            assert_eq!(find(), first);
+        for base in all_mode_configs() {
+            let config = ExploreConfig {
+                threads: 4,
+                ..base.clone()
+            };
+            let find = || {
+                explore_schedules_parallel(
+                    |mem| BrokenTas {
+                        flag: mem.alloc("flag", Value::FALSE),
+                    },
+                    &wl,
+                    &config,
+                    lin_check,
+                )
+                .expect_err("broken TAS must violate")
+            };
+            let first = find();
+            for _ in 0..5 {
+                assert_eq!(find(), first, "config={config:?}");
+            }
         }
     }
 

@@ -24,9 +24,13 @@
 //!   invoke-all-then-sequential), recording a [`scl_spec::Trace`], per-
 //!   operation step counts and contention measurements.
 //! * [`explore`] — bounded exhaustive exploration of all schedules of small
-//!   executions (stateless-replay model checking), used by the test-suites
-//!   to verify linearizability and safe composability over *every*
-//!   interleaving of small configurations.
+//!   executions: an incremental depth-first search with optional
+//!   prefix-resume backtracking (snapshot/restore of memory, session and
+//!   object instead of prefix replay) and sleep-set partial-order reduction
+//!   driven by per-step access footprints. Used by the test-suites to verify
+//!   linearizability and safe composability over *every* interleaving of
+//!   small configurations, and by `bench_explorer` to exhaust the full n=3
+//!   speculative-TAS space.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,14 +49,18 @@ pub use adversary::{
     SoloAdversary,
 };
 pub use executor::{
-    Decision, DecisionLog, ExecSession, ExecutionResult, Executor, OnAbort, OpRecord, TraceMode,
-    Workload,
+    Decision, DecisionLog, ExecSession, ExecutionResult, Executor, OnAbort, OpRecord,
+    SessionSnapshot, SurveyStatus, TraceMode, Workload,
 };
 pub use explore::{
-    explore_schedules, explore_schedules_parallel, ExploreConfig, ExploreOutcome, ExploreViolation,
+    explore_schedules, explore_schedules_parallel, explore_schedules_parallel_report,
+    explore_schedules_report, ExploreConfig, ExploreOutcome, ExploreReport, ExploreStats,
+    ExploreViolation, Reduction, ResumeMode,
 };
-pub use machine::{ImmediateOutcome, OpExecution, OpOutcome, SimObject, StepOutcome};
-pub use memory::{PrimitiveClass, RegId, SharedMemory};
+pub use machine::{
+    ImmediateOutcome, ObjectSnapshot, OpExecution, OpOutcome, SimObject, StepOutcome,
+};
+pub use memory::{Footprint, MemSnapshot, PrimitiveClass, RegId, SharedMemory};
 pub use metrics::{ContentionKind, ExecutionMetrics, OpMetrics};
 pub use rng::SplitMix64;
 pub use value::Value;

@@ -8,8 +8,42 @@
 //! choosing which one steps next, which is exactly the adversarial scheduler
 //! of the paper's model.
 
-use crate::memory::SharedMemory;
+use crate::memory::{Footprint, SharedMemory};
 use scl_spec::{History, Request, SequentialSpec};
+use std::any::Any;
+
+/// An opaque snapshot of a [`SimObject`]'s *private* state — everything the
+/// object keeps outside the simulated [`SharedMemory`] (switch counters,
+/// lazily allocated sub-objects, request tables, …).
+///
+/// Snapshots are produced by [`SimObject::snapshot`] and consumed by
+/// [`SimObject::restore`]; the schedule explorer pairs them with
+/// [`crate::memory::MemSnapshot`] and
+/// [`crate::executor::SessionSnapshot`] to rewind a whole execution to an
+/// earlier decision point. Objects whose entire state lives in shared
+/// registers use [`ObjectSnapshot::stateless`].
+pub struct ObjectSnapshot(Box<dyn Any>);
+
+impl ObjectSnapshot {
+    /// Wraps an arbitrary state value.
+    pub fn new<T: Any>(state: T) -> Self {
+        ObjectSnapshot(Box::new(state))
+    }
+
+    /// The snapshot of an object with no private state.
+    pub fn stateless() -> Self {
+        Self::new(())
+    }
+
+    /// Recovers the wrapped state. Panics if the snapshot was produced by a
+    /// different object type — snapshots must only be fed back to the object
+    /// (type) that produced them.
+    pub fn downcast<T: Any>(&self) -> &T {
+        self.0
+            .downcast_ref::<T>()
+            .expect("ObjectSnapshot restored into a different object type")
+    }
+}
 
 /// The final outcome of an operation execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -44,6 +78,33 @@ pub trait OpExecution<S: SequentialSpec, V> {
     /// finish an operation without touching shared memory (they still
     /// consume a scheduling slot, but no shared-memory step is counted).
     fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<S, V>;
+
+    /// Duplicates the in-flight operation state so the schedule explorer can
+    /// checkpoint an execution mid-operation and later resume it.
+    ///
+    /// Returning `None` (the default) opts out: explorations fall back to
+    /// replaying the schedule prefix from the start, which is always correct,
+    /// just slower. Implementations must produce an execution that behaves
+    /// exactly like `self` would from this point on; state shared with the
+    /// owning [`SimObject`] (e.g. through `Rc` cells) may — and should — stay
+    /// shared, because [`SimObject::restore`] rewinds it in place.
+    fn fork(&self) -> Option<Box<dyn OpExecution<S, V>>> {
+        None
+    }
+
+    /// The shared-memory access the *next* [`Self::step`] call would perform,
+    /// used by the sleep-set partial-order reduction to decide which pending
+    /// transitions commute.
+    ///
+    /// Must be a function of the operation's local state only (it must not
+    /// depend on current register values: the explorer queries it for
+    /// processes that have not moved while memory changed around them). The
+    /// default, [`Footprint::Unknown`], is always sound — it is treated as
+    /// dependent with everything and simply yields no reduction for this
+    /// object.
+    fn next_footprint(&self) -> Footprint {
+        Footprint::Unknown
+    }
 }
 
 /// An object implementation whose operations are driven step-by-step by the
@@ -54,7 +115,10 @@ pub trait OpExecution<S: SequentialSpec, V> {
 pub trait SimObject<S: SequentialSpec, V> {
     /// Starts executing request `req`, optionally initialised with a switch
     /// value. Shared registers needed lazily may be allocated here (not
-    /// counted as steps).
+    /// counted as steps), but the invocation must not *access* shared memory
+    /// — every read/write/RMW belongs in [`OpExecution::step`]. The executor
+    /// debug-asserts this, and the sleep-set reduction relies on it
+    /// (invocations are treated as commuting with every memory step).
     fn invoke(
         &mut self,
         mem: &mut SharedMemory,
@@ -65,6 +129,26 @@ pub trait SimObject<S: SequentialSpec, V> {
     /// A short human-readable name used in reports.
     fn name(&self) -> &'static str {
         "object"
+    }
+
+    /// Captures the object's private (non-shared-memory) state for the
+    /// explorer's prefix-resume backtracking.
+    ///
+    /// Returning `None` (the default) opts out of snapshotting; explorations
+    /// then rebuild the object and replay the prefix instead. Objects whose
+    /// whole state lives in shared registers return
+    /// `Some(ObjectSnapshot::stateless())`.
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        None
+    }
+
+    /// Restores the state captured by [`Self::snapshot`]. Must rewind shared
+    /// interior state (e.g. `Rc<RefCell<…>>` / `Rc<Cell<…>>`) *in place*, so
+    /// that in-flight [`OpExecution`]s holding clones of the object observe
+    /// the restored state too. Only called with snapshots this object (or a
+    /// clone sharing its state) produced.
+    fn restore(&mut self, snap: &ObjectSnapshot) {
+        let _ = snap;
     }
 }
 
@@ -88,12 +172,22 @@ impl<S: SequentialSpec, V> ImmediateOutcome<S, V> {
     }
 }
 
-impl<S: SequentialSpec, V> OpExecution<S, V> for ImmediateOutcome<S, V> {
+impl<S: SequentialSpec + 'static, V: Clone + 'static> OpExecution<S, V> for ImmediateOutcome<S, V> {
     fn step(&mut self, _mem: &mut SharedMemory) -> StepOutcome<S, V> {
         match self.outcome.take() {
             Some(o) => StepOutcome::Done(o),
             None => StepOutcome::Continue,
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<S, V>>> {
+        Some(Box::new(ImmediateOutcome {
+            outcome: self.outcome.clone(),
+        }))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        Footprint::Pure
     }
 }
 

@@ -38,6 +38,52 @@ use scl_spec::ProcessId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegId(pub usize);
 
+/// The shared-memory access footprint of one scheduling transition.
+///
+/// In the paper's model a transition performs *at most one* shared-memory
+/// step, so a footprint is at most one register together with the direction
+/// of the access. Footprints drive the partial-order reduction in
+/// [`crate::explore`]: two transitions *commute* (lead to the same state in
+/// either order) whenever their footprints are [independent](Self::dependent).
+///
+/// `Write` covers plain writes and every read-modify-write primitive.
+/// `Unknown` is the conservative footprint of transitions whose access
+/// cannot be predicted; it is treated as dependent with everything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Footprint {
+    /// No shared-memory access (an invocation, or a purely local transition).
+    #[default]
+    Pure,
+    /// An atomic read of the register.
+    Read(RegId),
+    /// A write or read-modify-write of the register.
+    Write(RegId),
+    /// Not statically known; conservatively dependent with everything.
+    Unknown,
+}
+
+impl Footprint {
+    /// Whether two transitions with these footprints may fail to commute.
+    ///
+    /// Two footprints are dependent iff either is [`Footprint::Unknown`], or
+    /// they touch the same register and at least one of them writes it.
+    /// [`Footprint::Pure`] transitions commute with everything *at the level
+    /// of shared memory and operation outcomes* (they may still reorder
+    /// bookkeeping such as contention metrics and trace event order — see
+    /// the soundness notes on [`crate::explore::Reduction`]).
+    pub fn dependent(self, other: Footprint) -> bool {
+        match (self, other) {
+            (Footprint::Unknown, _) | (_, Footprint::Unknown) => true,
+            (Footprint::Pure, _) | (_, Footprint::Pure) => false,
+            // Read-read pairs commute even on the same register.
+            (Footprint::Read(_), Footprint::Read(_)) => false,
+            (Footprint::Write(a), Footprint::Write(b))
+            | (Footprint::Read(a), Footprint::Write(b))
+            | (Footprint::Write(a), Footprint::Read(b)) => a == b,
+        }
+    }
+}
+
 /// Classification of shared-memory primitives by their consensus number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PrimitiveClass {
@@ -111,6 +157,37 @@ impl RegisterAudit {
     }
 }
 
+/// A point-in-time copy of a [`SharedMemory`], restorable in `O(state)`.
+///
+/// The snapshot records the register values and all step accounting, plus the
+/// *high-water marks* of the append-only structures (live register count and
+/// per-register audit class counts), so [`SharedMemory::restore`] can rewind
+/// allocations performed after the snapshot by truncation. Snapshots are
+/// plain buffers; reuse one across [`SharedMemory::snapshot_into`] calls to
+/// avoid reallocating.
+#[derive(Debug, Clone, Default)]
+pub struct MemSnapshot {
+    live: usize,
+    regs: Vec<Value>,
+    /// `audit[i].classes.len()` for `i < live` at snapshot time.
+    class_lens: Vec<usize>,
+    counters: Vec<ProcessCounters>,
+    wrote_in_op: Vec<bool>,
+    global_steps: u64,
+}
+
+impl MemSnapshot {
+    /// An empty snapshot buffer (fill with [`SharedMemory::snapshot_into`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The global step count at snapshot time.
+    pub fn global_steps(&self) -> u64 {
+        self.global_steps
+    }
+}
+
 /// The simulated shared memory.
 #[derive(Debug, Clone, Default)]
 pub struct SharedMemory {
@@ -127,6 +204,9 @@ pub struct SharedMemory {
     wrote_in_op: Vec<bool>,
     /// Global step counter (total across all processes).
     global_steps: u64,
+    /// Footprint of the most recent shared-memory step (for the explorer's
+    /// dependence tracking); `Pure` until the first step.
+    last_footprint: Footprint,
 }
 
 impl SharedMemory {
@@ -147,6 +227,7 @@ impl SharedMemory {
             .for_each(|c| *c = ProcessCounters::default());
         self.wrote_in_op.iter_mut().for_each(|w| *w = false);
         self.global_steps = 0;
+        self.last_footprint = Footprint::Pure;
     }
 
     /// Allocates a fresh register with the given debug name and initial
@@ -210,6 +291,63 @@ impl SharedMemory {
         max
     }
 
+    /// Captures the memory state into `snap`, reusing its buffers.
+    ///
+    /// Together with [`Self::restore`] this implements the prefix-resume
+    /// backtracking of the schedule explorer: snapshot before a scheduling
+    /// decision, execute one branch, restore, execute the next branch —
+    /// without replaying the prefix. Only allocations performed *after* the
+    /// snapshot are rolled back (by truncating the live range); registers
+    /// allocated before it keep their identity.
+    pub fn snapshot_into(&self, snap: &mut MemSnapshot) {
+        snap.live = self.live;
+        snap.regs.clear();
+        snap.regs.extend_from_slice(&self.regs[..self.live]);
+        snap.class_lens.clear();
+        snap.class_lens
+            .extend(self.audit[..self.live].iter().map(|a| a.classes.len()));
+        snap.counters.clear();
+        snap.counters.extend_from_slice(&self.counters);
+        snap.wrote_in_op.clear();
+        snap.wrote_in_op.extend_from_slice(&self.wrote_in_op);
+        snap.global_steps = self.global_steps;
+    }
+
+    /// Captures the memory state into a fresh [`MemSnapshot`].
+    pub fn snapshot(&self) -> MemSnapshot {
+        let mut snap = MemSnapshot::new();
+        self.snapshot_into(&mut snap);
+        snap
+    }
+
+    /// Restores the state captured by [`Self::snapshot_into`]. The snapshot
+    /// must have been taken on this memory within the current epoch (no
+    /// intervening [`Self::reset`]); registers allocated after the snapshot
+    /// are rolled back and their slots become recyclable by future `alloc`s,
+    /// exactly as after a `reset`.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        debug_assert!(
+            snap.live <= self.regs.len(),
+            "snapshot from a different memory or epoch"
+        );
+        self.live = snap.live;
+        self.regs[..snap.live].copy_from_slice(&snap.regs);
+        for (audit, &len) in self.audit[..snap.live].iter_mut().zip(&snap.class_lens) {
+            audit.classes.truncate(len);
+        }
+        self.counters.truncate(snap.counters.len());
+        self.counters.copy_from_slice(&snap.counters);
+        self.wrote_in_op.truncate(snap.wrote_in_op.len());
+        self.wrote_in_op.copy_from_slice(&snap.wrote_in_op);
+        self.global_steps = snap.global_steps;
+    }
+
+    /// The footprint of the most recent shared-memory step
+    /// ([`Footprint::Pure`] before the first step).
+    pub fn last_footprint(&self) -> Footprint {
+        self.last_footprint
+    }
+
     /// Marks the beginning of a new operation by process `p` (resets the
     /// per-operation RAW-fence accounting).
     pub fn begin_op(&mut self, p: ProcessId) {
@@ -253,6 +391,11 @@ impl SharedMemory {
         if !audit.classes.contains(&class) {
             audit.classes.push(class);
         }
+        self.last_footprint = if class == PrimitiveClass::Read {
+            Footprint::Read(r)
+        } else {
+            Footprint::Write(r)
+        };
     }
 
     /// Atomic read (one step). Returns the value by copy — registers hold
@@ -455,6 +598,126 @@ mod tests {
         m.reset();
         let r3 = m.alloc("y", Value::NULL);
         assert_eq!(m.audit()[r3.0].name, "y");
+    }
+
+    #[test]
+    fn footprint_dependence_rules() {
+        let a = RegId(0);
+        let b = RegId(1);
+        assert!(!Footprint::Read(a).dependent(Footprint::Read(a)));
+        assert!(!Footprint::Read(a).dependent(Footprint::Read(b)));
+        assert!(Footprint::Read(a).dependent(Footprint::Write(a)));
+        assert!(Footprint::Write(a).dependent(Footprint::Read(a)));
+        assert!(Footprint::Write(a).dependent(Footprint::Write(a)));
+        assert!(!Footprint::Write(a).dependent(Footprint::Write(b)));
+        assert!(!Footprint::Pure.dependent(Footprint::Write(a)));
+        assert!(!Footprint::Pure.dependent(Footprint::Pure));
+        assert!(Footprint::Unknown.dependent(Footprint::Pure));
+        assert!(Footprint::Read(a).dependent(Footprint::Unknown));
+    }
+
+    #[test]
+    fn last_footprint_tracks_the_most_recent_step() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::int(0));
+        let s = m.alloc("y", Value::FALSE);
+        assert_eq!(m.last_footprint(), Footprint::Pure);
+        m.read(p(0), r);
+        assert_eq!(m.last_footprint(), Footprint::Read(r));
+        m.write(p(0), r, Value::int(1));
+        assert_eq!(m.last_footprint(), Footprint::Write(r));
+        m.test_and_set(p(1), s);
+        assert_eq!(m.last_footprint(), Footprint::Write(s));
+        m.reset();
+        assert_eq!(m.last_footprint(), Footprint::Pure);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_values_counters_and_audit() {
+        let mut m = SharedMemory::new();
+        let r = m.alloc("x", Value::int(7));
+        let f = m.alloc("flag", Value::FALSE);
+        m.begin_op(p(0));
+        m.write(p(0), r, Value::int(9));
+
+        let snap = m.snapshot();
+        let audit_before = m.audit().to_vec();
+        let counters_before = m.counters(p(0));
+
+        // Mutate: new values, new classes, new registers, new processes.
+        m.test_and_set(p(1), f);
+        m.swap(p(0), r, Value::int(11));
+        m.read(p(0), r); // RAW-relevant read by a process that wrote
+        let extra = m.alloc("late", Value::NULL);
+        m.compare_and_swap(p(2), extra, Value::NULL, Value::int(1));
+        assert_eq!(m.max_required_consensus_number(), None);
+
+        m.restore(&snap);
+        assert_eq!(m.register_count(), 2);
+        assert_eq!(m.peek(r), Value::int(9));
+        assert_eq!(m.peek(f), Value::FALSE);
+        assert_eq!(m.audit(), &audit_before[..]);
+        assert_eq!(m.counters(p(0)), counters_before);
+        assert_eq!(m.counters(p(1)), ProcessCounters::default());
+        assert_eq!(m.counters(p(2)), ProcessCounters::default());
+        assert_eq!(m.global_steps(), snap.global_steps());
+        assert_eq!(m.max_required_consensus_number(), Some(1));
+    }
+
+    #[test]
+    fn snapshot_restore_then_replay_is_bit_identical_to_uninterrupted_run() {
+        let suffix = |m: &mut SharedMemory, r: RegId, f: RegId| {
+            m.begin_op(p(1));
+            m.test_and_set(p(1), f);
+            m.write(p(1), r, Value::int(3));
+            m.read(p(1), r);
+        };
+
+        // Uninterrupted reference run.
+        let mut a = SharedMemory::new();
+        let (ra, fa) = (a.alloc("x", Value::int(0)), a.alloc("f", Value::FALSE));
+        a.begin_op(p(0));
+        a.write(p(0), ra, Value::int(1));
+        suffix(&mut a, ra, fa);
+
+        // Snapshot mid-way, take a detour, restore, replay the suffix.
+        let mut b = SharedMemory::new();
+        let (rb, fb) = (b.alloc("x", Value::int(0)), b.alloc("f", Value::FALSE));
+        b.begin_op(p(0));
+        b.write(p(0), rb, Value::int(1));
+        let mut snap = MemSnapshot::new();
+        b.snapshot_into(&mut snap);
+        b.fetch_add(p(2), rb, 40);
+        let _ = b.alloc("detour", Value::TRUE);
+        b.restore(&snap);
+        suffix(&mut b, rb, fb);
+
+        assert_eq!(a.peek(ra), b.peek(rb));
+        assert_eq!(a.peek(fa), b.peek(fb));
+        assert_eq!(a.audit(), b.audit());
+        assert_eq!(a.global_steps(), b.global_steps());
+        for i in 0..3 {
+            assert_eq!(a.counters(p(i)), b.counters(p(i)), "process {i}");
+        }
+        assert_eq!(a.last_footprint(), b.last_footprint());
+    }
+
+    #[test]
+    fn registers_allocated_after_a_restore_recycle_rolled_back_slots() {
+        let mut m = SharedMemory::new();
+        let keep = m.alloc("keep", Value::int(1));
+        let snap = m.snapshot();
+        let rolled = m.alloc("rolled-back", Value::TRUE);
+        m.write(p(0), rolled, Value::FALSE);
+        m.restore(&snap);
+        assert_eq!(m.register_count(), 1);
+        // The next alloc reuses the rolled-back slot with fresh contents.
+        let fresh = m.alloc("fresh", Value::int(5));
+        assert_eq!(fresh, rolled);
+        assert_eq!(m.peek(fresh), Value::int(5));
+        assert!(m.audit()[fresh.0].classes.is_empty());
+        assert_eq!(m.audit()[fresh.0].name, "fresh");
+        assert_eq!(m.peek(keep), Value::int(1));
     }
 
     #[test]

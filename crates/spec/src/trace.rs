@@ -154,6 +154,12 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Trace<S, V> {
         self.events.clear();
     }
 
+    /// Truncates the trace to its first `len` events (used by executors that
+    /// rewind a session to an earlier point of the same run).
+    pub fn truncate(&mut self, len: usize) {
+        self.events.truncate(len);
+    }
+
     /// The events in real-time order.
     pub fn events(&self) -> &[Event<S, V>] {
         &self.events

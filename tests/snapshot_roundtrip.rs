@@ -1,0 +1,299 @@
+//! Snapshot round-trip property tests: for every core `SimObject`,
+//! `snapshot → mutate → restore → replay` must be bit-identical to an
+//! uninterrupted fresh replay — traces, metrics, op records, decision logs,
+//! tick counts, and the shared memory's registers, counters and audit.
+//!
+//! This is the property the explorer's prefix-resume mode rests on. The
+//! `SharedMemory`-only round trip is unit-tested in `scl-sim`; these tests
+//! exercise the full (memory, session, object) triple through the public
+//! checkpoint API on the paper's actual algorithms.
+
+use scl::core::{
+    new_composable_universal, new_solo_fast_tas, new_speculative_tas, new_three_level_universal,
+    A1Tas, A2Tas, CasConsensus, ConsensusObject, ResettableTas, SplitConsensus,
+    UniversalConstruction,
+};
+use scl::sim::{
+    ExecSession, Executor, MemSnapshot, SharedMemory, SimObject, SplitMix64, SurveyStatus, Workload,
+};
+use scl::spec::{
+    ConsensusOp, ConsensusSpec, CounterOp, CounterSpec, History, ProcessId, SequentialSpec, TasOp,
+    TasSpec, TasSwitch,
+};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Replicates `ScriptedAdversary`'s choice rule for the step-wise API.
+struct Script<'a> {
+    script: &'a [ProcessId],
+    pos: usize,
+}
+
+impl<'a> Script<'a> {
+    fn choose(&mut self, enabled: &[ProcessId]) -> ProcessId {
+        if self.pos < self.script.len() {
+            let p = self.script[self.pos];
+            self.pos += 1;
+            if enabled.contains(&p) {
+                return p;
+            }
+        }
+        enabled[0]
+    }
+}
+
+/// Drives `object` under `script`; at decision `checkpoint_at` takes a full
+/// (memory, session, object) snapshot, executes a detour, restores, and
+/// finishes the scripted run. Returns nothing; panics on any divergence from
+/// the uninterrupted reference run.
+fn assert_roundtrip_bit_identical<S, V, O>(
+    build: impl Fn(&mut SharedMemory) -> O,
+    workload: &Workload<S, V>,
+    script: &[ProcessId],
+    checkpoint_at: usize,
+) where
+    S: SequentialSpec + PartialEq + Debug,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+{
+    let executor = Executor::new();
+
+    // Uninterrupted reference run.
+    let mut ref_mem = SharedMemory::new();
+    let mut ref_obj = build(&mut ref_mem);
+    let mut ref_session: ExecSession<S, V> = ExecSession::new();
+    executor.begin(&mut ref_session, workload);
+    let mut ref_script = Script { script, pos: 0 };
+    while executor.survey(&mut ref_session, workload) == SurveyStatus::Choose {
+        let chosen = ref_script.choose(ref_session.enabled());
+        executor.tick(
+            &mut ref_session,
+            &mut ref_mem,
+            &mut ref_obj,
+            workload,
+            chosen,
+        );
+    }
+
+    // Interrupted run: checkpoint, detour, restore, replay.
+    let mut mem = SharedMemory::new();
+    let mut obj = build(&mut mem);
+    let mut session: ExecSession<S, V> = ExecSession::new();
+    executor.begin(&mut session, workload);
+    let mut run_script = Script { script, pos: 0 };
+    let mut mem_snap = MemSnapshot::new();
+    let mut saved = None;
+    loop {
+        let status = executor.survey(&mut session, workload);
+        if saved.is_none() && session.depth() == checkpoint_at && status == SurveyStatus::Choose {
+            mem.snapshot_into(&mut mem_snap);
+            let session_snap = session
+                .snapshot()
+                .expect("every core object must support in-flight forking");
+            let object_snap = obj
+                .snapshot()
+                .expect("every core object must support snapshotting");
+            saved = Some((session_snap, object_snap, run_script.pos));
+
+            // Detour: run the execution some other way to scramble every
+            // piece of state the restore must rewind.
+            for _ in 0..8 {
+                if executor.survey(&mut session, workload) != SurveyStatus::Choose {
+                    break;
+                }
+                let last = *session.enabled().last().expect("enabled is non-empty");
+                executor.tick(&mut session, &mut mem, &mut obj, workload, last);
+            }
+
+            let (session_snap, object_snap, pos) = saved.as_ref().expect("saved above");
+            mem.restore(&mem_snap);
+            executor.resume_from(&mut session, session_snap);
+            obj.restore(object_snap);
+            run_script.pos = *pos;
+            continue;
+        }
+        if status != SurveyStatus::Choose {
+            break;
+        }
+        let chosen = run_script.choose(session.enabled());
+        executor.tick(&mut session, &mut mem, &mut obj, workload, chosen);
+    }
+    // Short executions may finish before `checkpoint_at`; the run then
+    // degenerates to two uninterrupted replays, which must still agree (the
+    // depth lists below include small values so every object gets real
+    // checkpoint coverage).
+
+    let r = ref_session.result();
+    let c = session.result();
+    assert_eq!(r.trace, c.trace, "trace diverged");
+    assert_eq!(r.metrics, c.metrics, "metrics diverged");
+    assert_eq!(r.ops, c.ops, "op records diverged");
+    assert_eq!(r.decisions, c.decisions, "decision log diverged");
+    assert_eq!(r.ticks, c.ticks);
+    assert_eq!(r.completed, c.completed);
+    assert_eq!(ref_mem.global_steps(), mem.global_steps());
+    assert_eq!(ref_mem.register_count(), mem.register_count());
+    assert_eq!(ref_mem.audit(), mem.audit());
+    for i in 0..ref_mem.register_count() {
+        assert_eq!(
+            ref_mem.peek(scl::sim::RegId(i)),
+            mem.peek(scl::sim::RegId(i)),
+            "register {i} diverged"
+        );
+    }
+    for p in 0..workload.processes() {
+        assert_eq!(
+            ref_mem.counters(ProcessId(p)),
+            mem.counters(ProcessId(p)),
+            "counters of process {p} diverged"
+        );
+    }
+}
+
+fn scripts(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
+    seeds
+        .iter()
+        .map(|&seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..len).map(|_| ProcessId(rng.next_below(n))).collect()
+        })
+        .collect()
+}
+
+fn check_tas_object<O: SimObject<TasSpec, TasSwitch>>(build: impl Fn(&mut SharedMemory) -> O) {
+    let n = 3;
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
+    for script in scripts(n, 48, &[2012, 7, 99]) {
+        for checkpoint_at in [1, 4, 9] {
+            assert_roundtrip_bit_identical(&build, &wl, &script, checkpoint_at);
+        }
+    }
+}
+
+#[test]
+fn a1_roundtrip() {
+    check_tas_object(A1Tas::new);
+}
+
+#[test]
+fn a2_roundtrip() {
+    check_tas_object(A2Tas::new);
+}
+
+#[test]
+fn speculative_tas_roundtrip() {
+    check_tas_object(new_speculative_tas);
+}
+
+#[test]
+fn solo_fast_tas_roundtrip() {
+    check_tas_object(new_solo_fast_tas);
+}
+
+#[test]
+fn resettable_tas_roundtrip() {
+    // Include resets so the round-array state (lazily allocated rounds,
+    // crtWinner flags) is exercised across the checkpoint.
+    let n = 2;
+    let wl: Workload<TasSpec, TasSwitch> = Workload::from_ops(vec![
+        vec![TasOp::TestAndSet, TasOp::Reset, TasOp::TestAndSet],
+        vec![TasOp::TestAndSet, TasOp::TestAndSet],
+    ]);
+    for script in scripts(n, 64, &[3, 41, 2024]) {
+        for checkpoint_at in [2, 7, 13] {
+            assert_roundtrip_bit_identical(
+                |mem| ResettableTas::new(mem, n),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+        }
+    }
+}
+
+#[test]
+fn universal_construction_roundtrip() {
+    let n = 2;
+    let wl: Workload<CounterSpec, History<CounterSpec>> =
+        Workload::uniform(n, CounterOp::Increment, 2);
+    for script in scripts(n, 96, &[11, 500]) {
+        for checkpoint_at in [3, 10, 21] {
+            assert_roundtrip_bit_identical(
+                |mem| UniversalConstruction::<CounterSpec, CasConsensus>::new(mem, n, CounterSpec),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+            assert_roundtrip_bit_identical(
+                |mem| {
+                    UniversalConstruction::<CounterSpec, SplitConsensus>::new(mem, n, CounterSpec)
+                },
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+        }
+    }
+}
+
+#[test]
+fn composable_universal_roundtrip() {
+    let n = 2;
+    let wl: Workload<CounterSpec, History<CounterSpec>> =
+        Workload::uniform(n, CounterOp::Increment, 2);
+    for script in scripts(n, 96, &[13, 77]) {
+        for checkpoint_at in [4, 15] {
+            assert_roundtrip_bit_identical(
+                |mem| new_composable_universal(mem, n, CounterSpec),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+            assert_roundtrip_bit_identical(
+                |mem| new_three_level_universal(mem, n, CounterSpec),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+        }
+    }
+}
+
+#[test]
+fn consensus_object_roundtrip() {
+    let n = 3;
+    let wl: Workload<ConsensusSpec, Option<i64>> = Workload {
+        ops: (0..n)
+            .map(|i| {
+                vec![(
+                    ConsensusOp {
+                        proposal: 10 + i as u64,
+                    },
+                    None,
+                )]
+            })
+            .collect(),
+    };
+    for script in scripts(n, 64, &[5, 23]) {
+        for checkpoint_at in [2, 6, 12] {
+            assert_roundtrip_bit_identical(
+                |mem| ConsensusObject::<SplitConsensus>::new(mem, n),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+            assert_roundtrip_bit_identical(
+                |mem| ConsensusObject::<CasConsensus>::new(mem, n),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+            assert_roundtrip_bit_identical(
+                |mem| ConsensusObject::<scl::core::AbortableBakery>::new(mem, n),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+        }
+    }
+}
