@@ -1,0 +1,198 @@
+//! The explorer ↔ specification bridge: a [`ScheduleMonitor`] that records
+//! invoke/commit events into a [`ConcurrentHistory`] *incrementally* while
+//! the schedule explorer runs, and answers per-schedule linearizability
+//! verdicts.
+//!
+//! Before this bridge existed, every test that wanted a linearizability
+//! verdict per schedule called `res.trace.commit_projection()` in its check
+//! — allocating a fresh history and re-running the Wing–Gong search from
+//! scratch for every explored schedule, and requiring full trace recording.
+//! The bridge instead:
+//!
+//! * maintains **one** [`ConcurrentHistory`] per worker for the whole
+//!   exploration, rewound by high-water-mark truncation whenever the
+//!   explorer restores a checkpoint (the PR 1 allocation-free discipline);
+//! * works under [`TraceMode::MetricsOnly`](scl_sim::TraceMode) — events are
+//!   taken from the executor's [`TickEmission`] stream, not from the trace;
+//! * in [`CheckerMode::Incremental`], feeds the events to an
+//!   [`IncrementalLinChecker`] whose frontier is memoised at branch points,
+//!   so backtracking re-checks only the suffix of each schedule instead of
+//!   re-running the checker from tick 0.
+
+use scl_sim::{ExecSession, OpOutcome, ScheduleMonitor, TickEmission};
+use scl_spec::{
+    check_linearizable_with_stats, ConcurrentHistory, HistoryMark, IncVerdict,
+    IncrementalLinChecker, LinCheckResult, SequentialSpec,
+};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// How [`LinMonitor`] computes its per-schedule verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckerMode {
+    /// The incremental Wing–Gong checker: frontier states are checkpointed
+    /// at branch points and only the suffix is re-checked on backtrack.
+    #[default]
+    Incremental,
+    /// Re-run the from-scratch Wing–Gong search on the (incrementally
+    /// maintained, allocation-reusing) history at every leaf. The baseline
+    /// the incremental mode is measured against in `bench_check`.
+    FromScratch,
+}
+
+impl CheckerMode {
+    /// The CLI/report name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            CheckerMode::Incremental => "incremental",
+            CheckerMode::FromScratch => "from_scratch",
+        }
+    }
+}
+
+/// See the [module documentation](self).
+pub struct LinMonitor<S: SequentialSpec> {
+    spec: S,
+    mode: CheckerMode,
+    hist: ConcurrentHistory<S>,
+    inc: IncrementalLinChecker<S>,
+    /// Stack of (token, history mark, incremental-checker token).
+    marks: Vec<(u64, HistoryMark, u64)>,
+    next_token: u64,
+    /// Checker states expanded by [`CheckerMode::FromScratch`] verdicts.
+    scratch_states: u64,
+}
+
+impl<S: SequentialSpec> LinMonitor<S> {
+    /// A fresh monitor checking against `spec`.
+    pub fn new(spec: S, mode: CheckerMode) -> Self {
+        LinMonitor {
+            inc: IncrementalLinChecker::new(spec.clone()),
+            spec,
+            mode,
+            hist: ConcurrentHistory::new(),
+            marks: Vec::new(),
+            next_token: 0,
+            scratch_states: 0,
+        }
+    }
+
+    /// The checker mode.
+    pub fn mode(&self) -> CheckerMode {
+        self.mode
+    }
+
+    /// The history of the execution currently being observed.
+    pub fn history(&self) -> &ConcurrentHistory<S> {
+        &self.hist
+    }
+
+    /// Total checker states expanded so far (across the whole exploration):
+    /// frontier expansions in incremental mode, search nodes of the repeated
+    /// from-scratch runs otherwise.
+    pub fn checker_states(&self) -> u64 {
+        match self.mode {
+            CheckerMode::Incremental => self.inc.stats().states,
+            CheckerMode::FromScratch => self.scratch_states,
+        }
+    }
+
+    /// The linearizability verdict for the execution observed since the last
+    /// explorer restart/rewind, as a check-style result.
+    pub fn verdict(&mut self) -> Result<(), String> {
+        match self.mode {
+            CheckerMode::Incremental => match self.inc.verdict() {
+                IncVerdict::Linearizable => Ok(()),
+                IncVerdict::NotLinearizable(id) => Err(format!(
+                    "commit projection is not linearizable (no order admits the response of {id})"
+                )),
+                IncVerdict::TooLarge => {
+                    Err("history exceeds the 128-operation checker bound".to_string())
+                }
+            },
+            CheckerMode::FromScratch => {
+                let (result, stats) = check_linearizable_with_stats(&self.spec, &self.hist);
+                self.scratch_states += stats.states;
+                match result {
+                    LinCheckResult::Linearizable(_) => Ok(()),
+                    LinCheckResult::NotLinearizable => {
+                        Err("commit projection is not linearizable".to_string())
+                    }
+                    LinCheckResult::TooLarge => {
+                        Err("history exceeds the 128-operation checker bound".to_string())
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<S, V> ScheduleMonitor<S, V> for LinMonitor<S>
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+{
+    fn begin(&mut self) {
+        self.hist.clear();
+        self.inc.begin();
+        self.marks.clear();
+    }
+
+    fn observe(&mut self, session: &ExecSession<S, V>) {
+        match session.last_emission() {
+            TickEmission::Invoked { op_index } => {
+                let req = session.result().ops[op_index].req.clone();
+                // `event_count` is a dense clock over recorded events, so
+                // relative order (all the checker consumes) matches the
+                // trace's.
+                let at = self.hist.event_count();
+                if self.mode == CheckerMode::Incremental {
+                    self.inc.invoke(&req);
+                }
+                self.hist.record_invoke(at, req);
+            }
+            TickEmission::Committed { op_index } => {
+                let record = &session.result().ops[op_index];
+                let Some(OpOutcome::Commit(resp)) = &record.outcome else {
+                    unreachable!("Committed emission always carries a commit outcome");
+                };
+                let at = self.hist.event_count();
+                if self.mode == CheckerMode::Incremental {
+                    self.inc.commit(record.req.id, resp);
+                }
+                self.hist.record_response(at, record.req.id, resp.clone());
+            }
+            // Aborts are not part of the commit projection (the operation
+            // simply stays pending), and silent steps record nothing.
+            TickEmission::Aborted { .. } | TickEmission::None => {}
+        }
+    }
+
+    fn mark(&mut self) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        let inc_token = if self.mode == CheckerMode::Incremental {
+            self.inc.mark()
+        } else {
+            0
+        };
+        self.marks.push((token, self.hist.mark(), inc_token));
+        token
+    }
+
+    fn rewind_to(&mut self, mark: u64) {
+        while let Some(&(token, _, _)) = self.marks.last() {
+            if token > mark {
+                self.marks.pop();
+            } else {
+                break;
+            }
+        }
+        let &(token, hist_mark, inc_token) = self.marks.last().expect("mark exists");
+        assert_eq!(token, mark, "rewound to an unknown monitor mark");
+        self.hist.truncate_to(hist_mark);
+        if self.mode == CheckerMode::Incremental {
+            self.inc.rewind_to(inc_token);
+        }
+    }
+}

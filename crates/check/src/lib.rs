@@ -1,0 +1,119 @@
+//! # scl-check
+//!
+//! Scenario-driven linearizability model checking: "model-check object X for
+//! linearizability under reduction Y" as a one-liner for every object in the
+//! repository.
+//!
+//! §3 of the paper defines correctness of (composed) algorithms as
+//! linearizability of the invoke/commit projection of their traces
+//! (Theorem 3). The schedule explorer of `scl-sim` enumerates every
+//! interleaving of small configurations, and this crate supplies the three
+//! pieces that turn it into a linearizability model checker:
+//!
+//! * [`bridge`] — the explorer↔spec bridge: a [`scl_sim::ScheduleMonitor`]
+//!   that records the invoke/commit projection into one reusable
+//!   [`scl_spec::ConcurrentHistory`] as the explorer runs, and computes
+//!   per-schedule verdicts either with the *incremental* Wing–Gong checker
+//!   (frontier states memoised at branch points, suffix-only re-checking
+//!   under prefix-resume) or by re-running the from-scratch checker per
+//!   schedule;
+//! * [`scenarios`] — the declarative scenario registry: named workloads over
+//!   the speculative/solo-fast/resettable test-and-set, the bare A1 module
+//!   and its seeded `DroppedRawFence` mutant, the composable universal
+//!   construction (queue and register) and the consensus objects, each with
+//!   its checks and expected outcome;
+//! * the `scl-check` binary — runs any scenario by name with
+//!   reduction/resume/checker/budget flags and emits a JSON report
+//!   (`--smoke` runs the whole registry under tiny bounds in CI).
+//!
+//! The reduced modes matter here: `Reduction::SleepSets` explicitly does
+//! *not* preserve real-time order, so it may miss (or, harmlessly, can never
+//! invent) linearizability counterexamples that depend only on event order.
+//! [`scl_sim::Reduction::SleepSetsLinPreserving`] closes that gap with
+//! invoke/commit barrier footprints; the oracle tests in `tests/` verify it
+//! against unreduced enumeration.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod scenarios;
+
+pub use bridge::{CheckerMode, LinMonitor};
+pub use scenarios::{
+    find, parse_checker, parse_reduction, parse_resume, reduction_name, registry, resume_name,
+    CheckConfig, Outcome, Scenario, ScenarioReport,
+};
+
+/// Renders a set of scenario reports (plus the configuration that produced
+/// them) as a JSON document. Hand-rolled: the workspace builds offline,
+/// without serde.
+pub fn reports_to_json(config: &CheckConfig, reports: &[ScenarioReport]) -> String {
+    let mut entries = Vec::new();
+    for r in reports {
+        let (schedules, violation) = match &r.outcome {
+            Outcome::Exhausted { schedules } | Outcome::LimitReached { schedules } => {
+                (*schedules, "null".to_string())
+            }
+            Outcome::Violation { schedule, message } => {
+                let sched: Vec<String> = schedule.iter().map(|p| p.index().to_string()).collect();
+                (
+                    r.explore.schedules,
+                    format!(
+                        "{{\"schedule\": [{}], \"message\": {}}}",
+                        sched.join(", "),
+                        json_string(message)
+                    ),
+                )
+            }
+            Outcome::ConfigError(msg) => (0, format!("{{\"config_error\": {}}}", json_string(msg))),
+        };
+        entries.push(format!(
+            "    \"{}\": {{\"outcome\": \"{}\", \"schedules\": {}, \"executed_steps\": {}, \
+             \"executed_ticks\": {}, \"checker_states\": {}, \"expect_violation\": {}, \
+             \"as_expected\": {}, \"violation\": {}}}",
+            r.name,
+            r.outcome.tag(),
+            schedules,
+            r.explore.executed_steps,
+            r.explore.executed_ticks,
+            r.checker_states,
+            r.expect_violation,
+            r.as_expected(),
+            violation,
+        ));
+    }
+    let all_as_expected = reports.iter().all(|r| r.as_expected());
+    format!(
+        "{{\n  \"tool\": \"scl-check\",\n  \"config\": {{\"reduction\": \"{}\", \"resume\": \
+         \"{}\", \"checker\": \"{}\", \"max_schedules\": {}, \"max_ticks\": {}, \
+         \"metrics_only\": {}}},\n  \"scenarios\": {{\n{}\n  }},\n  \"all_as_expected\": {}\n}}\n",
+        reduction_name(config.reduction),
+        resume_name(config.resume),
+        config.checker.name(),
+        config.max_schedules,
+        config.max_ticks,
+        config.metrics_only,
+        entries.join(",\n"),
+        all_as_expected,
+    )
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,177 @@
+//! The `scl-check` CLI: run any registered model-checking scenario by name.
+//!
+//! ```text
+//! scl-check --list
+//! scl-check spec_tas_n2 a1_dropped_raw_fence_n2
+//! scl-check --all --reduction sleep-sets-lin --resume prefix-resume
+//! scl-check --smoke --json SCL_CHECK_SMOKE.json        # the CI entry point
+//! ```
+//!
+//! Exit code 0 iff every run matched its scenario's expectation (correct
+//! objects pass, seeded mutants violate).
+
+use scl_check::{
+    find, parse_checker, parse_reduction, parse_resume, registry, reports_to_json, CheckConfig,
+    Outcome, Scenario, ScenarioReport,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scl-check [SCENARIO...] [options]\n\
+         \n\
+         Scenario selection:\n\
+         \x20  SCENARIO...             run the named scenarios (see --list)\n\
+         \x20  --all                   run every registered scenario\n\
+         \x20  --smoke                 --all under tiny bounds (CI)\n\
+         \x20  --list                  print the scenario catalogue and exit\n\
+         \n\
+         Options:\n\
+         \x20  --reduction MODE        off | sleep-sets | sleep-sets-lin (default)\n\
+         \x20  --resume MODE           full-replay | prefix-resume (default)\n\
+         \x20  --checker MODE          incremental (default) | from-scratch\n\
+         \x20  --max-schedules N       schedule budget (default 200000)\n\
+         \x20  --max-ticks N           tick limit per execution (default 10000)\n\
+         \x20  --metrics-only          skip event-trace recording (rejected for\n\
+         \x20                          scenarios with trace-consuming checks)\n\
+         \x20  --json PATH             also write the JSON report to PATH"
+    );
+    std::process::exit(2);
+}
+
+fn list() {
+    println!(
+        "{:<26} {:>5}  {:<44} checks / expected",
+        "scenario", "procs", "object"
+    );
+    for s in registry() {
+        println!(
+            "{:<26} {:>5}  {:<44} {} / {}",
+            s.name,
+            s.processes,
+            s.object,
+            s.checks.join(","),
+            if s.expect_violation {
+                "violation"
+            } else {
+                "pass"
+            },
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = CheckConfig::default();
+    let mut names: Vec<String> = Vec::new();
+    let mut all = false;
+    let mut smoke = false;
+    let mut json_path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| usage())
+        };
+        match arg {
+            "--list" => {
+                list();
+                return;
+            }
+            "--all" => all = true,
+            "--smoke" => smoke = true,
+            "--metrics-only" => config.metrics_only = true,
+            "--reduction" => {
+                let v = value(&mut i);
+                config.reduction = parse_reduction(&v).unwrap_or_else(|| usage());
+            }
+            "--resume" => {
+                let v = value(&mut i);
+                config.resume = parse_resume(&v).unwrap_or_else(|| usage());
+            }
+            "--checker" => {
+                let v = value(&mut i);
+                config.checker = parse_checker(&v).unwrap_or_else(|| usage());
+            }
+            "--max-schedules" => {
+                let v = value(&mut i);
+                config.max_schedules = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--max-ticks" => {
+                let v = value(&mut i);
+                config.max_ticks = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => json_path = Some(value(&mut i)),
+            "--help" | "-h" => usage(),
+            name if !name.starts_with('-') => names.push(name.to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if smoke {
+        let smoke_defaults = CheckConfig::smoke();
+        config.max_schedules = config.max_schedules.min(smoke_defaults.max_schedules);
+        config.max_ticks = config.max_ticks.min(smoke_defaults.max_ticks);
+        all = true;
+    }
+    let scenarios: Vec<&'static Scenario> = if all {
+        registry().iter().collect()
+    } else if names.is_empty() {
+        usage();
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                find(n).unwrap_or_else(|| {
+                    eprintln!("unknown scenario `{n}` (see scl-check --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    let mut reports: Vec<ScenarioReport> = Vec::new();
+    for s in &scenarios {
+        let start = std::time::Instant::now();
+        let report = s.run(&config);
+        let secs = start.elapsed().as_secs_f64();
+        let status = match (&report.outcome, report.as_expected()) {
+            (Outcome::ConfigError(msg), _) => format!("CONFIG ERROR: {msg}"),
+            (Outcome::Violation { schedule, message }, true) => {
+                format!("violation as expected ({message}; schedule {schedule:?})")
+            }
+            (Outcome::Violation { schedule, message }, false) => {
+                format!("UNEXPECTED VIOLATION: {message}; schedule {schedule:?}")
+            }
+            (Outcome::Exhausted { schedules }, true) => {
+                format!("ok, exhausted {schedules} schedules")
+            }
+            (Outcome::LimitReached { schedules }, true) => {
+                format!("ok within budget ({schedules} schedules, not exhausted)")
+            }
+            (_, false) => "EXPECTED A VIOLATION, none found".to_string(),
+        };
+        println!(
+            "{:<26} {status} [steps={} checker_states={} {:.3}s]",
+            s.name, report.explore.executed_steps, report.checker_states, secs
+        );
+        reports.push(report);
+    }
+
+    let json = reports_to_json(&config, &reports);
+    if let Some(path) = &json_path {
+        std::fs::write(path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+
+    let ok = reports.iter().all(|r| r.as_expected());
+    if !ok {
+        eprintln!("some scenarios did not match their expected outcome");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,678 @@
+//! The scenario registry: declarative model-checking workloads over every
+//! object in the repository, runnable by name from tests, benches and the
+//! `scl-check` CLI.
+//!
+//! A [`Scenario`] bundles an object constructor, a process count, per-process
+//! operation sequences, the named checks applied to every explored schedule
+//! and the expected outcome (the `a1_dropped_raw_fence_n2` mutant *must*
+//! violate). Every scenario runs the same pipeline: the explorer enumerates
+//! schedules under the configured [`Reduction`]/[`ResumeMode`], the
+//! [`LinMonitor`] bridge records the invoke/commit projection incrementally,
+//! and the check asks it for a per-schedule linearizability verdict plus any
+//! scenario-specific outcome predicates.
+
+use crate::bridge::{CheckerMode, LinMonitor};
+use scl_core::{
+    new_composable_universal, new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas,
+    CasConsensus, Composed, ConsensusObject, ConsensusSwitch, ResettableTas, SplitConsensus,
+};
+use scl_sim::{
+    explore_schedules_monitored_report, ExecutionResult, ExploreConfig, ExploreOutcome,
+    ExploreReport, ExploreStats, OpOutcome, Reduction, ResumeMode, SharedMemory, SimObject,
+    Workload,
+};
+use scl_spec::{
+    ConsensusOp, ConsensusSpec, History, ProcessId, QueueOp, QueueSpec, RegisterOp, RegisterSpec,
+    SequentialSpec, TasOp, TasResp, TasSpec, TasSwitch,
+};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// Configuration of one scenario run (the CLI flags).
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Partial-order reduction mode. The default is the
+    /// linearizability-preserving reduction — the only reduced mode whose
+    /// pruning provably cannot change the commit projection.
+    pub reduction: Reduction,
+    /// Backtracking strategy.
+    pub resume: ResumeMode,
+    /// How per-schedule verdicts are computed.
+    pub checker: CheckerMode,
+    /// Schedule budget.
+    pub max_schedules: u64,
+    /// Tick limit per execution.
+    pub max_ticks: u64,
+    /// Skip event-trace recording. Valid only for scenarios whose checks
+    /// never read the trace ([`Scenario::needs_trace`] is `false`); the
+    /// history bridge itself works fine without traces.
+    pub metrics_only: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            reduction: Reduction::SleepSetsLinPreserving,
+            resume: ResumeMode::PrefixResume,
+            checker: CheckerMode::Incremental,
+            max_schedules: 200_000,
+            max_ticks: 10_000,
+            metrics_only: false,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// The tiny-bounds configuration used by `scl-check --smoke` and CI.
+    pub fn smoke() -> Self {
+        CheckConfig {
+            max_schedules: 2_000,
+            max_ticks: 2_000,
+            ..Default::default()
+        }
+    }
+
+    fn explore_config(&self) -> ExploreConfig {
+        ExploreConfig {
+            max_schedules: self.max_schedules,
+            max_ticks: self.max_ticks,
+            metrics_only: self.metrics_only,
+            threads: 0,
+            reduction: self.reduction,
+            resume: self.resume,
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// Every schedule (modulo the reduction) passed every check.
+    Exhausted {
+        /// Schedules explored.
+        schedules: u64,
+    },
+    /// The budget ran out with every explored schedule passing.
+    LimitReached {
+        /// Schedules explored.
+        schedules: u64,
+    },
+    /// A schedule failed a check.
+    Violation {
+        /// The failing schedule.
+        schedule: Vec<ProcessId>,
+        /// The check's error.
+        message: String,
+    },
+    /// The configuration is invalid for this scenario.
+    ConfigError(String),
+}
+
+impl Outcome {
+    /// Short machine-readable tag.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Outcome::Exhausted { .. } => "exhausted",
+            Outcome::LimitReached { .. } => "limit_reached",
+            Outcome::Violation { .. } => "violation",
+            Outcome::ConfigError(_) => "config_error",
+        }
+    }
+}
+
+/// The result of running one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// The scenario name.
+    pub name: &'static str,
+    /// What happened.
+    pub outcome: Outcome,
+    /// Explorer work accounting.
+    pub explore: ExploreStats,
+    /// Checker states expanded across the whole run (see
+    /// [`LinMonitor::checker_states`]).
+    pub checker_states: u64,
+    /// Whether the scenario expected a violation.
+    pub expect_violation: bool,
+}
+
+impl ScenarioReport {
+    /// Whether the outcome matches the scenario's expectation: violating
+    /// scenarios must violate, correct ones must pass (exhausted or merely
+    /// within budget).
+    pub fn as_expected(&self) -> bool {
+        match (&self.outcome, self.expect_violation) {
+            (Outcome::Violation { .. }, expected) => expected,
+            (Outcome::Exhausted { .. } | Outcome::LimitReached { .. }, expected) => !expected,
+            (Outcome::ConfigError(_), _) => false,
+        }
+    }
+}
+
+type RunnerOutput = (ExploreReport, u64);
+
+/// A registered model-checking scenario.
+pub struct Scenario {
+    /// Unique name (the CLI argument).
+    pub name: &'static str,
+    /// The object under test.
+    pub object: &'static str,
+    /// Number of processes.
+    pub processes: usize,
+    /// One-line description of the workload.
+    pub description: &'static str,
+    /// Names of the checks applied to every explored schedule.
+    pub checks: &'static [&'static str],
+    /// Whether the scenario is *expected* to violate (seeded bugs).
+    pub expect_violation: bool,
+    /// Whether some check reads the event trace (and therefore cannot run
+    /// under `metrics_only`).
+    pub needs_trace: bool,
+    runner: fn(&CheckConfig) -> RunnerOutput,
+}
+
+impl Scenario {
+    /// Runs the scenario under `config` and reports.
+    pub fn run(&self, config: &CheckConfig) -> ScenarioReport {
+        if config.metrics_only && self.needs_trace {
+            return ScenarioReport {
+                name: self.name,
+                outcome: Outcome::ConfigError(format!(
+                    "scenario `{}` has trace-consuming checks ({}); metrics_only would silently \
+                     check an empty trace — drop --metrics-only for this scenario",
+                    self.name,
+                    self.checks.join(", ")
+                )),
+                explore: ExploreStats::default(),
+                checker_states: 0,
+                expect_violation: self.expect_violation,
+            };
+        }
+        let (report, checker_states) = (self.runner)(config);
+        let outcome = match report.outcome {
+            Ok(ExploreOutcome::Exhausted { schedules }) => Outcome::Exhausted { schedules },
+            Ok(ExploreOutcome::LimitReached { schedules }) => Outcome::LimitReached { schedules },
+            Err(v) => Outcome::Violation {
+                schedule: v.schedule,
+                message: v.message,
+            },
+        };
+        ScenarioReport {
+            name: self.name,
+            outcome,
+            explore: report.stats,
+            checker_states,
+            expect_violation: self.expect_violation,
+        }
+    }
+}
+
+/// Runs a workload through the explorer with the linearizability bridge
+/// attached; `extra` adds scenario-specific per-schedule checks on top of
+/// the (optional) linearizability verdict.
+fn explore_with_lin_opt<S, V, O, FSetup, FExtra, FGate>(
+    config: &CheckConfig,
+    spec: S,
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    mut extra: FExtra,
+    mut lin_applies: FGate,
+) -> RunnerOutput
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FExtra: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+    FGate: FnMut(&ExecutionResult<S, V>) -> bool,
+{
+    let mut monitor = LinMonitor::new(spec, config.checker);
+    let report = explore_schedules_monitored_report(
+        setup,
+        workload,
+        &config.explore_config(),
+        &mut monitor,
+        |res, mem, m: &mut LinMonitor<S>| {
+            extra(res, mem)?;
+            if lin_applies(res) {
+                m.verdict()
+            } else {
+                Ok(())
+            }
+        },
+    );
+    (report, monitor.checker_states())
+}
+
+/// [`explore_with_lin_opt`] with the verdict always applied.
+fn explore_with_lin<S, V, O, FSetup, FExtra>(
+    config: &CheckConfig,
+    spec: S,
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    extra: FExtra,
+) -> RunnerOutput
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FExtra: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+{
+    explore_with_lin_opt(config, spec, setup, workload, extra, |_res| true)
+}
+
+/// Counts committed `Winner` responses from the op records (works in
+/// metrics-only runs).
+fn winners<V>(res: &ExecutionResult<TasSpec, V>) -> usize {
+    res.ops
+        .iter()
+        .filter(|o| matches!(o.outcome, Some(OpOutcome::Commit(TasResp::Winner))))
+        .count()
+}
+
+/// The wait-free composed-TAS check: completes, never aborts, exactly one
+/// winner.
+fn tas_wait_free_single_winner<V>(
+    res: &ExecutionResult<TasSpec, V>,
+    _mem: &SharedMemory,
+) -> Result<(), String> {
+    if !res.completed {
+        return Err("execution hit the tick limit".into());
+    }
+    if res.metrics.aborted_count() > 0 {
+        return Err("the composition aborted".into());
+    }
+    let w = winners(res);
+    if w != 1 {
+        return Err(format!("{w} winners (expected exactly 1)"));
+    }
+    Ok(())
+}
+
+fn run_spec_tas_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+    explore_with_lin(
+        config,
+        TasSpec,
+        new_speculative_tas,
+        &wl,
+        tas_wait_free_single_winner,
+    )
+}
+
+fn run_spec_tas_n3(config: &CheckConfig) -> RunnerOutput {
+    // Outcome checks only: the n=3 commit projection of the transcribed
+    // composition is genuinely not linearizable in real time (see
+    // `spec_tas_n3_realtime`), so this scenario verifies what the object
+    // does guarantee under every interleaving — wait-freedom and a single
+    // winner. The monitor runs in FromScratch mode so only recording
+    // happens: with the verdict gated off, feeding the incremental
+    // checker's frontier search would be pure waste.
+    let config = CheckConfig {
+        checker: CheckerMode::FromScratch,
+        ..config.clone()
+    };
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+    explore_with_lin_opt(
+        &config,
+        TasSpec,
+        new_speculative_tas,
+        &wl,
+        tas_wait_free_single_winner,
+        |_res| false,
+    )
+}
+
+fn run_spec_tas_n3_realtime(config: &CheckConfig) -> RunnerOutput {
+    // A finding of this subsystem, pinned as an expected violation: with
+    // three processes the composition admits a *real-time inversion* — a
+    // process that entered A1's splitter (wrote P and S) can fail the
+    // re-check of P, abort with W while V = 0, and lose the hardware race,
+    // while a second process returns `loser` merely for having seen the
+    // splitter marks; the eventual winner then invokes strictly *after*
+    // that loser's response. Outcome checks (single winner) cannot see
+    // this; the per-schedule linearizability verdict must keep finding it.
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+    explore_with_lin(
+        config,
+        TasSpec,
+        new_speculative_tas,
+        &wl,
+        tas_wait_free_single_winner,
+    )
+}
+
+fn run_solo_fast_tas_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+    explore_with_lin(
+        config,
+        TasSpec,
+        new_solo_fast_tas,
+        &wl,
+        tas_wait_free_single_winner,
+    )
+}
+
+fn run_a1_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+    explore_with_lin(config, TasSpec, A1Tas::new, &wl, |res, _mem| {
+        if !res.completed {
+            return Err("execution hit the tick limit".into());
+        }
+        let w = winners(res);
+        if w > 1 {
+            return Err(format!("{w} winners (Invariant 1)"));
+        }
+        // Invariant 2: once a winner committed, no process may abort with W
+        // (it would go on to win the next module). Needs the trace.
+        let w_aborts = res
+            .trace
+            .abort_tokens()
+            .iter()
+            .filter(|(_, v)| *v == TasSwitch::W)
+            .count();
+        if w == 1 && w_aborts > 0 {
+            return Err("winner committed but some process aborted with W (Invariant 2)".into());
+        }
+        Ok(())
+    })
+}
+
+fn run_a1_dropped_raw_fence_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+    explore_with_lin(
+        config,
+        TasSpec,
+        |mem| {
+            Composed::new(
+                A1Tas::with_variant(mem, A1Variant::DroppedRawFence),
+                A2Tas::new(mem),
+            )
+        },
+        &wl,
+        tas_wait_free_single_winner,
+    )
+}
+
+fn run_resettable_tas_n2(config: &CheckConfig) -> RunnerOutput {
+    // p0: test-and-set, reset, test-and-set; p1: test-and-set. §6.3's
+    // linearizability statement is conditional on *well-formed* usage (only
+    // the current winner resets): when p0 loses round 0, its reset is a
+    // no-op that still commits ResetDone, which the plain TasSpec cannot
+    // model — so the per-schedule verdict applies only to the executions in
+    // which p0 won its first test-and-set.
+    let wl: Workload<TasSpec, TasSwitch> = Workload::from_ops(vec![
+        vec![TasOp::TestAndSet, TasOp::Reset, TasOp::TestAndSet],
+        vec![TasOp::TestAndSet],
+    ]);
+    let p0_won_first = |res: &ExecutionResult<TasSpec, TasSwitch>| {
+        res.ops
+            .iter()
+            .find(|o| o.req.proc == ProcessId(0))
+            .map(|o| matches!(o.outcome, Some(OpOutcome::Commit(TasResp::Winner))))
+            .unwrap_or(false)
+    };
+    explore_with_lin_opt(
+        config,
+        TasSpec,
+        |mem| ResettableTas::new(mem, 2),
+        &wl,
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            Ok(())
+        },
+        p0_won_first,
+    )
+}
+
+fn run_universal_queue_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl: Workload<QueueSpec, History<QueueSpec>> =
+        Workload::from_ops(vec![vec![QueueOp::Enqueue(1)], vec![QueueOp::Dequeue]]);
+    explore_with_lin(
+        config,
+        QueueSpec,
+        |mem| new_composable_universal(mem, 2, QueueSpec),
+        &wl,
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            if res.metrics.aborted_count() > 0 {
+                return Err("the composed universal construction aborted".into());
+            }
+            Ok(())
+        },
+    )
+}
+
+fn run_universal_register_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl: Workload<RegisterSpec, History<RegisterSpec>> =
+        Workload::from_ops(vec![vec![RegisterOp::Write(5)], vec![RegisterOp::Read]]);
+    explore_with_lin(
+        config,
+        RegisterSpec,
+        |mem| new_composable_universal(mem, 2, RegisterSpec),
+        &wl,
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            Ok(())
+        },
+    )
+}
+
+fn consensus_workload(proposals: &[u64]) -> Workload<ConsensusSpec, ConsensusSwitch> {
+    Workload {
+        ops: proposals
+            .iter()
+            .map(|&p| vec![(ConsensusOp { proposal: p }, None)])
+            .collect(),
+    }
+}
+
+fn run_consensus_split_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl = consensus_workload(&[1, 2]);
+    explore_with_lin(
+        config,
+        ConsensusSpec,
+        |mem| ConsensusObject::<SplitConsensus>::new(mem, 2),
+        &wl,
+        // SplitConsensus may abort under contention (the process then stops
+        // and its operation stays pending in the projection); agreement and
+        // validity of the committed decisions are exactly linearizability
+        // against ConsensusSpec.
+        |_res, _mem| Ok(()),
+    )
+}
+
+fn run_consensus_cas_n2(config: &CheckConfig) -> RunnerOutput {
+    let wl = consensus_workload(&[1, 2]);
+    explore_with_lin(
+        config,
+        ConsensusSpec,
+        |mem| ConsensusObject::<CasConsensus>::new(mem, 2),
+        &wl,
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            if res.metrics.aborted_count() > 0 {
+                return Err("wait-free consensus aborted".into());
+            }
+            Ok(())
+        },
+    )
+}
+
+/// Every registered scenario.
+static SCENARIOS: &[Scenario] = &[
+    Scenario {
+        name: "spec_tas_n2",
+        object: "speculative TAS (A1 ∘ A2)",
+        processes: 2,
+        description: "one test-and-set per process, every interleaving",
+        checks: &["linearizable", "single_winner", "wait_free"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_spec_tas_n2,
+    },
+    Scenario {
+        name: "spec_tas_n3",
+        object: "speculative TAS (A1 ∘ A2)",
+        processes: 3,
+        description: "one test-and-set per process; outcome guarantees over every interleaving",
+        checks: &["single_winner", "wait_free"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_spec_tas_n3,
+    },
+    Scenario {
+        name: "spec_tas_n3_realtime",
+        object: "speculative TAS (A1 ∘ A2) — real-time inversion",
+        processes: 3,
+        description: "pins the discovered n=3 real-time inversion of the commit projection",
+        checks: &["linearizable", "single_winner", "wait_free"],
+        expect_violation: true,
+        needs_trace: false,
+        runner: run_spec_tas_n3_realtime,
+    },
+    Scenario {
+        name: "solo_fast_tas_n2",
+        object: "solo-fast TAS (A1sf ∘ A2)",
+        processes: 2,
+        description: "one test-and-set per process, every interleaving",
+        checks: &["linearizable", "single_winner", "wait_free"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_solo_fast_tas_n2,
+    },
+    Scenario {
+        name: "a1_n2",
+        object: "bare A1 (obstruction-free)",
+        processes: 2,
+        description: "one test-and-set per process; Invariants 1–2 over the trace",
+        checks: &["linearizable", "at_most_one_winner", "invariant_2"],
+        expect_violation: false,
+        needs_trace: true,
+        runner: run_a1_n2,
+    },
+    Scenario {
+        name: "a1_dropped_raw_fence_n2",
+        object: "A1(DroppedRawFence) ∘ A2 — seeded bug",
+        processes: 2,
+        description: "the mutant that skips the RAW-fenced aborted check: two winners",
+        checks: &["linearizable", "single_winner", "wait_free"],
+        expect_violation: true,
+        needs_trace: false,
+        runner: run_a1_dropped_raw_fence_n2,
+    },
+    Scenario {
+        name: "resettable_tas_n2",
+        object: "resettable TAS (Algorithm 2)",
+        processes: 2,
+        description: "p0: TAS, reset, TAS; p1: TAS — round transitions under every interleaving",
+        checks: &["linearizable", "completes"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_resettable_tas_n2,
+    },
+    Scenario {
+        name: "universal_queue_n2",
+        object: "composable universal construction ⟨queue⟩",
+        processes: 2,
+        description: "p0 enqueues, p1 dequeues through the §4 construction",
+        checks: &["linearizable", "wait_free"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_universal_queue_n2,
+    },
+    Scenario {
+        name: "universal_register_n2",
+        object: "composable universal construction ⟨register⟩",
+        processes: 2,
+        description: "p0 writes 5, p1 reads through the §4 construction",
+        checks: &["linearizable", "completes"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_universal_register_n2,
+    },
+    Scenario {
+        name: "consensus_split_n2",
+        object: "SplitConsensus (abortable, Appendix A)",
+        processes: 2,
+        description: "two proposals; agreement+validity of committed decisions",
+        checks: &["linearizable"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_consensus_split_n2,
+    },
+    Scenario {
+        name: "consensus_cas_n2",
+        object: "CasConsensus (wait-free baseline)",
+        processes: 2,
+        description: "two proposals; wait-free agreement",
+        checks: &["linearizable", "wait_free"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_consensus_cas_n2,
+    },
+];
+
+/// The scenario registry, in catalogue order.
+pub fn registry() -> &'static [Scenario] {
+    SCENARIOS
+}
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<&'static Scenario> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// Reduction modes by CLI name.
+pub fn parse_reduction(s: &str) -> Option<Reduction> {
+    match s {
+        "off" => Some(Reduction::Off),
+        "sleep-sets" => Some(Reduction::SleepSets),
+        "sleep-sets-lin" => Some(Reduction::SleepSetsLinPreserving),
+        _ => None,
+    }
+}
+
+/// Resume modes by CLI name.
+pub fn parse_resume(s: &str) -> Option<ResumeMode> {
+    match s {
+        "full-replay" => Some(ResumeMode::FullReplay),
+        "prefix-resume" => Some(ResumeMode::PrefixResume),
+        _ => None,
+    }
+}
+
+/// Checker modes by CLI name.
+pub fn parse_checker(s: &str) -> Option<CheckerMode> {
+    match s {
+        "incremental" => Some(CheckerMode::Incremental),
+        "from-scratch" => Some(CheckerMode::FromScratch),
+        _ => None,
+    }
+}
+
+/// The CLI/report name of a reduction.
+pub fn reduction_name(r: Reduction) -> &'static str {
+    match r {
+        Reduction::Off => "off",
+        Reduction::SleepSets => "sleep_sets",
+        Reduction::SleepSetsLinPreserving => "sleep_sets_lin_preserving",
+    }
+}
+
+/// The CLI/report name of a resume mode.
+pub fn resume_name(r: ResumeMode) -> &'static str {
+    match r {
+        ResumeMode::FullReplay => "full_replay",
+        ResumeMode::PrefixResume => "prefix_resume",
+    }
+}

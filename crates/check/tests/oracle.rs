@@ -1,0 +1,242 @@
+//! Oracle tests for the linearizability-preserving reduction and the
+//! incremental checker: everything is validated against unreduced full
+//! enumeration and the from-scratch Wing–Gong checker.
+
+use scl_check::{find, CheckConfig, CheckerMode, LinMonitor, Outcome};
+use scl_core::{new_speculative_tas, A1Tas, A1Variant, A2Tas, Composed};
+use scl_sim::{
+    explore_schedules_monitored_report, explore_schedules_report, ExecutionResult, ExploreConfig,
+    ExploreOutcome, Reduction, ResumeMode, SharedMemory, Workload,
+};
+use scl_spec::{check_linearizable, TasOp, TasSpec, TasSwitch};
+use std::collections::BTreeSet;
+
+type Wl = Workload<TasSpec, TasSwitch>;
+
+/// A canonical per-schedule signature: every operation's outcome plus the
+/// linearizability verdict of the commit projection. Two schedules with the
+/// same signature are indistinguishable to any check over outcomes and
+/// real-time precedence.
+fn signature(res: &ExecutionResult<TasSpec, TasSwitch>) -> String {
+    let mut ops: Vec<String> = res
+        .ops
+        .iter()
+        .map(|o| format!("{}={:?}", o.req.id, o.outcome))
+        .collect();
+    ops.sort();
+    let lin = check_linearizable(&TasSpec, &res.trace.commit_projection()).is_linearizable();
+    format!("{}|lin={lin}", ops.join(","))
+}
+
+/// Collects the signature set of a whole exploration (never failing a
+/// schedule, so violating schedules are recorded instead of aborting).
+fn signature_set<O, F>(setup: F, wl: &Wl, reduction: Reduction) -> (BTreeSet<String>, u64)
+where
+    O: scl_sim::SimObject<TasSpec, TasSwitch>,
+    F: FnMut(&mut SharedMemory) -> O,
+{
+    let mut set = BTreeSet::new();
+    let report = explore_schedules_report(
+        setup,
+        wl,
+        &ExploreConfig {
+            max_schedules: 1_000_000,
+            reduction,
+            resume: ResumeMode::PrefixResume,
+            ..Default::default()
+        },
+        |res, _mem| {
+            set.insert(signature(res));
+            Ok(())
+        },
+    );
+    let schedules = match report.outcome {
+        Ok(ExploreOutcome::Exhausted { schedules }) => schedules,
+        other => panic!("exploration must exhaust, got {other:?}"),
+    };
+    (set, schedules)
+}
+
+#[test]
+fn lin_preserving_reduction_has_the_full_verdict_set_on_n2_speculative_tas() {
+    let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
+    let (full, full_scheds) = signature_set(new_speculative_tas, &wl, Reduction::Off);
+    let (reduced, reduced_scheds) =
+        signature_set(new_speculative_tas, &wl, Reduction::SleepSetsLinPreserving);
+    assert_eq!(
+        full, reduced,
+        "the reduced exploration must reach exactly the outcome+verdict signatures of the full one"
+    );
+    assert!(
+        reduced_scheds < full_scheds,
+        "the reduction must actually prune: {reduced_scheds} vs {full_scheds}"
+    );
+    // Every signature of the correct object is linearizable.
+    assert!(full.iter().all(|s| s.ends_with("lin=true")));
+}
+
+#[test]
+fn lin_preserving_reduction_keeps_the_mutants_violating_signatures() {
+    // Same oracle on the seeded DroppedRawFence mutant: the violating
+    // signatures (two winners, not linearizable) must survive the reduction.
+    let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
+    let mk = |mem: &mut SharedMemory| {
+        Composed::new(
+            A1Tas::with_variant(mem, A1Variant::DroppedRawFence),
+            A2Tas::new(mem),
+        )
+    };
+    let (full, _) = signature_set(mk, &wl, Reduction::Off);
+    let (reduced, _) = signature_set(mk, &wl, Reduction::SleepSetsLinPreserving);
+    assert_eq!(full, reduced);
+    assert!(
+        full.iter().any(|s| s.ends_with("lin=false")),
+        "the mutant must produce non-linearizable signatures"
+    );
+}
+
+#[test]
+fn incremental_checker_agrees_with_from_scratch_on_every_explored_schedule() {
+    // Drive the bridge through the explorer (checkpoints, rewinds, replay
+    // fallbacks included) and compare its verdict with a from-scratch
+    // Wing–Gong run on the trace's commit projection at every single leaf.
+    let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
+    for reduction in [Reduction::Off, Reduction::SleepSetsLinPreserving] {
+        for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+            let mut monitor = LinMonitor::new(TasSpec, CheckerMode::Incremental);
+            let mut schedules = 0u64;
+            let report = explore_schedules_monitored_report(
+                new_speculative_tas,
+                &wl,
+                &ExploreConfig {
+                    max_schedules: 1_000_000,
+                    reduction,
+                    resume,
+                    ..Default::default()
+                },
+                &mut monitor,
+                |res, _mem, m: &mut LinMonitor<TasSpec>| {
+                    schedules += 1;
+                    let incremental = m.verdict().is_ok();
+                    let scratch = check_linearizable(&TasSpec, &res.trace.commit_projection())
+                        .is_linearizable();
+                    if incremental == scratch {
+                        Ok(())
+                    } else {
+                        Err(format!(
+                            "checkers disagree (incremental={incremental}, scratch={scratch})"
+                        ))
+                    }
+                },
+            );
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "reduction={reduction:?} resume={resume:?}: {:?}",
+                report.outcome
+            );
+            assert!(schedules > 0);
+        }
+    }
+}
+
+#[test]
+fn dropped_raw_fence_mutant_is_detected_in_every_mode() {
+    let scenario = find("a1_dropped_raw_fence_n2").expect("registered");
+    for reduction in [
+        Reduction::Off,
+        Reduction::SleepSets,
+        Reduction::SleepSetsLinPreserving,
+    ] {
+        for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+            for checker in [CheckerMode::Incremental, CheckerMode::FromScratch] {
+                for metrics_only in [false, true] {
+                    let config = CheckConfig {
+                        reduction,
+                        resume,
+                        checker,
+                        metrics_only,
+                        ..Default::default()
+                    };
+                    let report = scenario.run(&config);
+                    assert!(
+                        matches!(report.outcome, Outcome::Violation { .. }),
+                        "mutant not detected under {reduction:?}/{resume:?}/{checker:?}/\
+                         metrics_only={metrics_only}: {:?}",
+                        report.outcome
+                    );
+                    assert!(report.as_expected());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn n3_realtime_inversion_is_detected_by_the_lin_preserving_reduction() {
+    // The pinned finding: the n=3 composition admits a loser whose interval
+    // precedes the winner's. It must be found under full enumeration and
+    // still under the linearizability-preserving reduction (a plain
+    // final-state check cannot see it; that is the whole point of the mode).
+    let scenario = find("spec_tas_n3_realtime").expect("registered");
+    for reduction in [Reduction::Off, Reduction::SleepSetsLinPreserving] {
+        let config = CheckConfig {
+            reduction,
+            max_schedules: 5_000_000,
+            ..Default::default()
+        };
+        let report = scenario.run(&config);
+        assert!(
+            matches!(report.outcome, Outcome::Violation { .. }),
+            "{reduction:?}: {:?}",
+            report.outcome
+        );
+    }
+}
+
+#[test]
+fn metrics_only_with_trace_consuming_checks_is_a_config_error() {
+    let scenario = find("a1_n2").expect("registered");
+    let config = CheckConfig {
+        metrics_only: true,
+        ..Default::default()
+    };
+    let report = scenario.run(&config);
+    match &report.outcome {
+        Outcome::ConfigError(msg) => {
+            assert!(
+                msg.contains("metrics_only") && msg.contains("a1_n2"),
+                "unhelpful error: {msg}"
+            );
+        }
+        other => panic!("expected a config error, got {other:?}"),
+    }
+    assert!(!report.as_expected());
+    // Dropping the flag runs the scenario normally.
+    let ok = scenario.run(&CheckConfig::default());
+    assert!(matches!(ok.outcome, Outcome::Exhausted { .. }), "{ok:?}");
+}
+
+#[test]
+fn every_registered_scenario_matches_its_expectation_under_smoke_bounds() {
+    let config = CheckConfig::smoke();
+    for scenario in scl_check::registry() {
+        let report = scenario.run(&config);
+        assert!(
+            report.as_expected(),
+            "scenario {}: {:?}",
+            scenario.name,
+            report.outcome
+        );
+    }
+}
+
+#[test]
+fn json_report_escapes_and_summarises() {
+    let config = CheckConfig::default();
+    let scenario = find("spec_tas_n2").expect("registered");
+    let report = scenario.run(&config);
+    let json = scl_check::reports_to_json(&config, &[report]);
+    assert!(json.contains("\"spec_tas_n2\""));
+    assert!(json.contains("\"all_as_expected\": true"));
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+}

@@ -362,9 +362,7 @@ pub struct OpStatsSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use scl_spec::{
-        check_linearizable, ConcurrentHistory, Request, RequestId, TasOp, TasResp, TasSpec,
-    };
+    use scl_spec::{check_linearizable, ConcurrentHistory, Request, TasOp, TasResp, TasSpec};
     use std::sync::atomic::AtomicUsize;
     use std::sync::Arc;
 
@@ -481,7 +479,12 @@ mod tests {
     #[test]
     fn concurrent_histories_are_linearizable() {
         // Record per-thread invocation/response order with a global ticket
-        // counter and check the resulting concurrent history.
+        // counter and check the resulting concurrent history. One history
+        // buffer is reused across rounds; each completed operation is
+        // recorded with the shared `record_completed_op` helper from
+        // scl-spec (the same recorder the simulator bridge uses) instead of
+        // hand-rolled invoke/response bookkeeping.
+        let mut hist = ConcurrentHistory::<TasSpec>::new();
         for round in 0..50 {
             let tas = Arc::new(SpeculativeTas::new());
             let clock = Arc::new(AtomicUsize::new(0));
@@ -500,11 +503,10 @@ mod tests {
                     .collect();
                 handles.into_iter().map(|h| h.join().unwrap()).collect()
             });
-            let mut hist = ConcurrentHistory::<TasSpec>::new();
+            hist.clear();
             for (t, invoke_at, respond_at, r) in results {
                 let req: Request<TasSpec> = Request::new(t as u64, t, TasOp::TestAndSet);
-                hist.record_invoke(invoke_at, req);
-                hist.record_response(respond_at, RequestId(t as u64), to_resp(r));
+                hist.record_completed_op(req, invoke_at, respond_at, to_resp(r));
             }
             assert!(
                 check_linearizable(&TasSpec, &hist).is_linearizable(),

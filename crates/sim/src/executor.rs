@@ -204,6 +204,32 @@ impl DecisionLog {
     }
 }
 
+/// What the most recent [`Executor::tick`] emitted at the trace level,
+/// regardless of [`TraceMode`] (so metrics-only explorations can still feed
+/// incremental history consumers such as the linearizability bridge in
+/// `scl-check`). The payload indexes into [`ExecutionResult::ops`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TickEmission {
+    /// The tick took a silent step (or was a no-op on a done process).
+    #[default]
+    None,
+    /// The tick invoked `ops[op_index]` (an invoke or init event).
+    Invoked {
+        /// Index of the invoked operation in [`ExecutionResult::ops`].
+        op_index: usize,
+    },
+    /// The tick committed `ops[op_index]`.
+    Committed {
+        /// Index of the committed operation in [`ExecutionResult::ops`].
+        op_index: usize,
+    },
+    /// The tick aborted `ops[op_index]`.
+    Aborted {
+        /// Index of the aborted operation in [`ExecutionResult::ops`].
+        op_index: usize,
+    },
+}
+
 /// One operation's record: the request and outcome indices into the trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct OpRecord<S: SequentialSpec, V> {
@@ -314,6 +340,7 @@ pub struct ExecSession<S: SequentialSpec, V> {
     open: Vec<usize>,
     enabled: Vec<ProcessId>,
     in_progress: Vec<ProcessId>,
+    last_emission: TickEmission,
     result: ExecutionResult<S, V>,
 }
 
@@ -331,6 +358,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
             open: Vec::new(),
             enabled: Vec::new(),
             in_progress: Vec::new(),
+            last_emission: TickEmission::None,
             result: ExecutionResult::default(),
         }
     }
@@ -368,6 +396,28 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         }
     }
 
+    /// Whether process `p`'s next transition would be an invocation (emit an
+    /// invoke/init event).
+    pub fn next_is_invocation(&self, p: ProcessId) -> bool {
+        matches!(self.states.get(p.index()), Some(ProcState::Idle { .. }))
+    }
+
+    /// Whether process `p`'s next transition could emit a response event
+    /// (commit or abort): it has an operation in flight whose next step may
+    /// finish ([`OpExecution::may_respond_next`]).
+    pub fn next_may_respond(&self, p: ProcessId) -> bool {
+        match self.states.get(p.index()) {
+            Some(ProcState::Running { exec, .. }) => exec.may_respond_next(),
+            _ => false,
+        }
+    }
+
+    /// What the most recent [`Executor::tick`] emitted. Reset by
+    /// [`Executor::begin`] and [`Executor::resume_from`].
+    pub fn last_emission(&self) -> TickEmission {
+        self.last_emission
+    }
+
     /// Checkpoints the session mid-run. Returns `None` when some in-flight
     /// operation does not support [`OpExecution::fork`] — callers then fall
     /// back to replaying the prefix.
@@ -403,6 +453,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         self.open.clear();
         self.enabled.clear();
         self.in_progress.clear();
+        self.last_emission = TickEmission::None;
         self.result.trace.clear();
         self.result.metrics.ops.clear();
         self.result.ops.clear();
@@ -596,6 +647,7 @@ impl Executor {
         let full_trace = self.trace_mode == TraceMode::Full;
         let tick = session.result.decisions.len() as u64;
         session.result.decisions.push(&session.enabled, chosen);
+        session.last_emission = TickEmission::None;
         let p = chosen;
         let pi = p.index();
 
@@ -647,6 +699,9 @@ impl Executor {
                 });
                 session.open.push(metrics_idx);
                 session.result.ops.push(OpRecord { req, outcome: None });
+                session.last_emission = TickEmission::Invoked {
+                    op_index: metrics_idx,
+                };
                 session.states[pi] = ProcState::Running {
                     exec,
                     metrics_idx,
@@ -695,6 +750,11 @@ impl Executor {
                     };
                     metrics.ops[midx].aborted = aborted;
                     session.result.ops[midx].outcome = Some(outcome);
+                    session.last_emission = if aborted {
+                        TickEmission::Aborted { op_index: midx }
+                    } else {
+                        TickEmission::Committed { op_index: midx }
+                    };
                     let has_more = cursor + 1 < workload.ops[pi].len();
                     session.states[pi] = if aborted && self.on_abort == OnAbort::Stop {
                         ProcState::Done
@@ -731,6 +791,7 @@ impl Executor {
         }
         session.open.clear();
         session.open.extend_from_slice(&snap.open);
+        session.last_emission = TickEmission::None;
         let result = &mut session.result;
         result.trace.truncate(snap.trace_len);
         result.ops.truncate(snap.ops_len);

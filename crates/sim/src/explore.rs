@@ -84,6 +84,47 @@ pub enum Reduction {
     /// those must run under [`Reduction::Off`], which remains the oracle
     /// that this mode is tested against.
     SleepSets,
+    /// Sleep sets with *invoke/commit barrier footprints*: in addition to
+    /// the shared-memory dependence of [`Reduction::SleepSets`], a
+    /// transition that may emit a **response** event (its operation's next
+    /// step may finish — [`crate::OpExecution::may_respond_next`]) is
+    /// treated as dependent with every other process's **invocation**
+    /// transition, and vice versa.
+    ///
+    /// # Why this preserves linearizability verdicts
+    ///
+    /// The commit projection checked by Theorem 3 is sensitive to exactly
+    /// one cross-process ordering: whether a response event precedes another
+    /// process's invocation event (real-time precedence). Swapping two
+    /// adjacent transitions that are *independent* under this extended
+    /// relation never changes the projection: swaps involving a silent
+    /// transition move no event, and invocation–invocation or
+    /// response–response swaps reorder only event pairs the precedence
+    /// relation ignores. Every pruned schedule is therefore equivalent to an
+    /// explored one with the *same* operation outcomes **and** the same
+    /// invoke/commit precedence relation — per-schedule linearizability
+    /// verdicts (and any check over outcomes plus real-time precedence) lose
+    /// nothing. The POR oracle tests in `scl-check` verify this against full
+    /// enumeration.
+    ///
+    /// Contention metrics and register identities allocated mid-execution
+    /// are still *not* preserved (as under [`Reduction::SleepSets`]).
+    SleepSetsLinPreserving,
+}
+
+impl Reduction {
+    /// Whether this mode runs the sleep-set machinery.
+    pub fn uses_sleep_sets(self) -> bool {
+        matches!(
+            self,
+            Reduction::SleepSets | Reduction::SleepSetsLinPreserving
+        )
+    }
+
+    /// Whether this mode adds the invoke/commit barrier footprints.
+    pub fn preserves_lin(self) -> bool {
+        self == Reduction::SleepSetsLinPreserving
+    }
 }
 
 /// How the explorer re-establishes the execution state when backtracking.
@@ -244,6 +285,50 @@ pub struct ExploreReport {
     pub stats: ExploreStats,
 }
 
+/// An incremental observer of the exploration, wired into the explorer's
+/// checkpoint machinery: it sees every executed scheduling decision (via the
+/// session's [`crate::executor::TickEmission`]) and is snapshotted/rewound
+/// together with the memory/session/object checkpoints, so prefix-resume
+/// backtracking re-feeds it only the suffix of each schedule.
+///
+/// The motivating implementation is the linearizability bridge in
+/// `scl-check`, which maintains a [`scl_spec::ConcurrentHistory`] and an
+/// incremental Wing–Gong checker across the whole exploration instead of
+/// rebuilding both from the trace for every schedule.
+pub trait ScheduleMonitor<S: SequentialSpec, V> {
+    /// A fresh execution is starting from tick 0 — the initial drive, or a
+    /// branch whose checkpoint was unavailable and which therefore replays
+    /// (the replayed prefix is re-observed tick by tick).
+    fn begin(&mut self);
+
+    /// One scheduling decision was executed; inspect
+    /// [`ExecSession::last_emission`] (and, if needed,
+    /// [`ExecSession::result`]) for what it did.
+    fn observe(&mut self, session: &ExecSession<S, V>);
+
+    /// A checkpoint is being taken at a branch point; return a token that
+    /// [`Self::rewind_to`] accepts. Tokens form a stack: rewinding to one
+    /// discards all later tokens, and a token may be rewound to repeatedly
+    /// (once per sibling branch).
+    fn mark(&mut self) -> u64;
+
+    /// The paired checkpoint was restored: rewind to the state at `mark`.
+    fn rewind_to(&mut self, mark: u64);
+}
+
+/// The trivial monitor used by the unmonitored exploration APIs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoMonitor;
+
+impl<S: SequentialSpec, V> ScheduleMonitor<S, V> for NoMonitor {
+    fn begin(&mut self) {}
+    fn observe(&mut self, _session: &ExecSession<S, V>) {}
+    fn mark(&mut self) -> u64 {
+        0
+    }
+    fn rewind_to(&mut self, _mark: u64) {}
+}
+
 /// The sleep-set mask bit of process `p`. Processes beyond the 64-bit mask
 /// (only reachable with [`Reduction::Off`] — sleep sets assert `n <= 64`)
 /// map to the empty mask: they are never put to sleep, which costs
@@ -272,6 +357,8 @@ struct Checkpoint<S: SequentialSpec, V> {
     mem: MemSnapshot,
     session: crate::executor::SessionSnapshot<S, V>,
     object: ObjectSnapshot,
+    /// The monitor position at the branch point ([`ScheduleMonitor::mark`]).
+    monitor_mark: u64,
     /// The object generation ([`Engine::object_gen`]) this checkpoint was
     /// taken under. A fallback replay rebuilds the object, so checkpoints
     /// from earlier generations must not be restored: their forked
@@ -308,19 +395,21 @@ enum Subtree {
 
 /// The sequential DFS engine. One engine per worker; memory, session and all
 /// scratch buffers persist across the whole exploration.
-struct Engine<'a, S, V, O, FSetup, FCheck>
+struct Engine<'a, S, V, O, M, FSetup, FCheck>
 where
     S: SequentialSpec,
     V: Clone + Eq + Hash + Debug,
     O: SimObject<S, V>,
+    M: ScheduleMonitor<S, V>,
     FSetup: FnMut(&mut SharedMemory) -> O,
-    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
 {
     executor: Executor,
     config: &'a ExploreConfig,
     workload: &'a Workload<S, V>,
     setup: FSetup,
     check: FCheck,
+    monitor: &'a mut M,
     mem: SharedMemory,
     session: ExecSession<S, V>,
     object: Option<O>,
@@ -344,22 +433,24 @@ where
     stats: ExploreStats,
 }
 
-impl<'a, S, V, O, FSetup, FCheck> Engine<'a, S, V, O, FSetup, FCheck>
+impl<'a, S, V, O, M, FSetup, FCheck> Engine<'a, S, V, O, M, FSetup, FCheck>
 where
     S: SequentialSpec,
     V: Clone + Eq + Hash + Debug,
     O: SimObject<S, V>,
+    M: ScheduleMonitor<S, V>,
     FSetup: FnMut(&mut SharedMemory) -> O,
-    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
 {
     fn new(
         config: &'a ExploreConfig,
         workload: &'a Workload<S, V>,
         setup: FSetup,
         check: FCheck,
+        monitor: &'a mut M,
         take_snapshots: bool,
     ) -> Self {
-        if config.reduction == Reduction::SleepSets {
+        if config.reduction.uses_sleep_sets() {
             assert!(
                 workload.processes() <= 64,
                 "sleep-set reduction supports at most 64 processes"
@@ -371,6 +462,7 @@ where
             workload,
             setup,
             check,
+            monitor,
             mem: SharedMemory::new(),
             session: ExecSession::new(),
             object: None,
@@ -386,17 +478,19 @@ where
     }
 
     fn sleep_sets(&self) -> bool {
-        self.config.reduction == Reduction::SleepSets
+        self.config.reduction.uses_sleep_sets()
     }
 
     /// Rebuilds the execution state for the first `depth` decisions of
-    /// `self.path` by replaying them from tick 0.
+    /// `self.path` by replaying them from tick 0. The monitor is restarted
+    /// and re-observes the replayed prefix.
     fn replay_prefix(&mut self, depth: usize) {
         self.path.truncate(depth);
         self.mem.reset();
         self.object = Some((self.setup)(&mut self.mem));
         self.object_gen += 1;
         self.executor.begin(&mut self.session, self.workload);
+        self.monitor.begin();
         let steps_before = self.mem.global_steps();
         for i in 0..depth {
             let status = self.executor.survey(&mut self.session, self.workload);
@@ -408,6 +502,7 @@ where
                 self.workload,
                 self.path[i],
             );
+            self.monitor.observe(&self.session);
         }
         self.stats.executed_ticks += depth as u64;
         self.stats.replayed_ticks += depth as u64;
@@ -416,7 +511,10 @@ where
 
     /// Executes one scheduling decision and applies the sleep-set wake rule:
     /// any sleeping process whose pending step is dependent with the step
-    /// just executed is woken.
+    /// just executed is woken. Under
+    /// [`Reduction::SleepSetsLinPreserving`] the rule additionally treats
+    /// response emissions and invocations of different processes as
+    /// dependent (invoke/commit barrier footprints).
     fn exec_tick(&mut self, chosen: ProcessId) {
         let steps_before = self.mem.global_steps();
         self.executor.tick(
@@ -426,6 +524,7 @@ where
             self.workload,
             chosen,
         );
+        self.monitor.observe(&self.session);
         self.stats.executed_ticks += 1;
         let delta = self.mem.global_steps() - steps_before;
         self.stats.executed_steps += delta;
@@ -437,12 +536,25 @@ where
                 // one-step contract; treat conservatively.
                 _ => Footprint::Unknown,
             };
+            let (executed_invoked, executed_responded) = if self.config.reduction.preserves_lin() {
+                match self.session.last_emission() {
+                    crate::executor::TickEmission::Invoked { .. } => (true, false),
+                    crate::executor::TickEmission::Committed { .. }
+                    | crate::executor::TickEmission::Aborted { .. } => (false, true),
+                    crate::executor::TickEmission::None => (false, false),
+                }
+            } else {
+                (false, false)
+            };
             let mut rest = self.cur_sleep;
             while rest != 0 {
                 let i = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
                 let q = ProcessId(i);
-                if self.session.next_footprint(q).dependent(fp) {
+                let wake = self.session.next_footprint(q).dependent(fp)
+                    || (executed_responded && self.session.next_is_invocation(q))
+                    || (executed_invoked && self.session.next_may_respond(q));
+                if wake {
                     self.cur_sleep &= !bit(q);
                 }
             }
@@ -478,6 +590,7 @@ where
             mem,
             session,
             object,
+            monitor_mark: self.monitor.mark(),
             gen: self.object_gen,
         })
     }
@@ -559,6 +672,7 @@ where
                         .as_mut()
                         .expect("engine has an object")
                         .restore(&cp.object);
+                    self.monitor.rewind_to(cp.monitor_mark);
                     self.path.truncate(depth);
                     true
                 }
@@ -611,7 +725,9 @@ where
                         return Ok(Subtree::Stopped);
                     }
                     self.stats.schedules += 1;
-                    if let Err(message) = (self.check)(self.session.result(), &self.mem) {
+                    if let Err(message) =
+                        (self.check)(self.session.result(), &self.mem, &mut *self.monitor)
+                    {
                         return Err(ExploreViolation {
                             schedule: self.session.result().decisions.chosen().to_vec(),
                             message,
@@ -642,7 +758,7 @@ pub fn explore_schedules_report<S, V, O, FSetup, FCheck>(
     setup: FSetup,
     workload: &Workload<S, V>,
     config: &ExploreConfig,
-    check: FCheck,
+    mut check: FCheck,
 ) -> ExploreReport
 where
     S: SequentialSpec,
@@ -651,7 +767,38 @@ where
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
 {
-    let mut engine = Engine::new(config, workload, setup, check, true);
+    let mut monitor = NoMonitor;
+    explore_schedules_monitored_report(
+        setup,
+        workload,
+        config,
+        &mut monitor,
+        move |res, mem, _m: &mut NoMonitor| check(res, mem),
+    )
+}
+
+/// Explores all schedules like [`explore_schedules_report`], additionally
+/// feeding every executed scheduling decision to `monitor` — which is
+/// checkpointed and rewound together with the explorer's prefix-resume
+/// machinery, so it observes each schedule's events exactly once (the shared
+/// prefix once per branch *point*, not once per schedule). The check
+/// receives the monitor and typically asks it for a per-schedule verdict.
+pub fn explore_schedules_monitored_report<S, V, O, M, FSetup, FCheck>(
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    config: &ExploreConfig,
+    monitor: &mut M,
+    check: FCheck,
+) -> ExploreReport
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    M: ScheduleMonitor<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
+{
+    let mut engine = Engine::new(config, workload, setup, check, monitor, true);
     let max = config.max_schedules;
     // The gate compares the count *before* the pending execution, exactly as
     // the replay explorer checked its budget before each replay.
@@ -765,11 +912,13 @@ where
     // Run the root schedule once to discover the first-level branches. The
     // discovery pass never snapshots: its frames are converted into tickets
     // that the workers replay themselves.
+    let mut root_monitor = NoMonitor;
     let mut root_engine = Engine::new(
         config,
         workload,
         |mem: &mut SharedMemory| setup(mem),
-        |res: &ExecutionResult<S, V>, mem: &SharedMemory| check(res, mem),
+        |res: &ExecutionResult<S, V>, mem: &SharedMemory, _m: &mut NoMonitor| check(res, mem),
+        &mut root_monitor,
         false,
     );
     let root_result = root_engine.explore_subtree(&[], None, 0, &mut || true, true);
@@ -785,7 +934,7 @@ where
     // first, siblings in descending order, with sleep sets accumulating over
     // earlier-visited siblings.
     let root_path: Vec<ProcessId> = root_engine.path.clone();
-    let sleep_sets = config.reduction == Reduction::SleepSets;
+    let sleep_sets = config.reduction.uses_sleep_sets();
     let mut tickets: Vec<Ticket> = Vec::new();
     for frame in root_engine.frames.iter().rev() {
         let mut explored = frame.explored;
@@ -841,11 +990,15 @@ where
             let setup = &setup;
             let check = &check;
             scope.spawn(move || {
+                let mut monitor = NoMonitor;
                 let mut engine = Engine::new(
                     config,
                     workload,
                     |mem: &mut SharedMemory| setup(mem),
-                    |res: &ExecutionResult<S, V>, mem: &SharedMemory| check(res, mem),
+                    |res: &ExecutionResult<S, V>, mem: &SharedMemory, _m: &mut NoMonitor| {
+                        check(res, mem)
+                    },
+                    &mut monitor,
                     true,
                 );
                 loop {
@@ -1033,6 +1186,9 @@ mod tests {
                 Some(_) => Footprint::Write(self.flag),
             }
         }
+        fn may_respond_next(&self) -> bool {
+            self.observed.is_some()
+        }
     }
     impl SimObject<TasSpec, TasSwitch> for BrokenTas {
         fn invoke(
@@ -1068,7 +1224,11 @@ mod tests {
 
     fn all_mode_configs() -> Vec<ExploreConfig> {
         let mut configs = Vec::new();
-        for reduction in [Reduction::Off, Reduction::SleepSets] {
+        for reduction in [
+            Reduction::Off,
+            Reduction::SleepSets,
+            Reduction::SleepSetsLinPreserving,
+        ] {
             for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
                 configs.push(ExploreConfig {
                     reduction,
@@ -1545,6 +1705,237 @@ mod tests {
             for _ in 0..5 {
                 assert_eq!(find(), first, "config={config:?}");
             }
+        }
+    }
+
+    #[test]
+    fn lin_preserving_reduction_sits_between_plain_sleep_sets_and_off() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let count = |reduction| {
+            let report = explore_schedules_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &ExploreConfig {
+                    reduction,
+                    resume: ResumeMode::PrefixResume,
+                    ..Default::default()
+                },
+                lin_check,
+            );
+            assert!(matches!(
+                report.outcome,
+                Ok(ExploreOutcome::Exhausted { .. })
+            ));
+            report.stats.schedules
+        };
+        let off = count(Reduction::Off);
+        let plain = count(Reduction::SleepSets);
+        let lin = count(Reduction::SleepSetsLinPreserving);
+        assert!(
+            plain <= lin,
+            "barriers can only add schedules: {plain} {lin}"
+        );
+        assert!(lin < off, "barriers must still prune: {lin} {off}");
+    }
+
+    /// A register implementation with an order-dependent bug: the reader
+    /// always claims to have read 5, touching only an unrelated register, so
+    /// every *outcome* is schedule-independent but the history is
+    /// linearizable only when the read does not complete before the write is
+    /// invoked. Plain sleep sets treat the two processes as fully
+    /// independent and explore a single interleaving (which passes);
+    /// [`Reduction::SleepSetsLinPreserving`] keeps the response↔invocation
+    /// orderings apart and must find the violation.
+    #[test]
+    fn order_only_violation_is_missed_by_plain_sleep_sets_and_caught_by_lin_preserving() {
+        use scl_spec::{RegisterOp, RegisterSpec};
+
+        struct ConstReadReg {
+            a: RegId,
+            b: RegId,
+        }
+        #[derive(Clone, Copy)]
+        struct WriteOp {
+            a: RegId,
+            proc: scl_spec::ProcessId,
+        }
+        impl OpExecution<RegisterSpec, ()> for WriteOp {
+            fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<RegisterSpec, ()> {
+                mem.write(self.proc, self.a, Value::int(5));
+                StepOutcome::Done(OpOutcome::Commit(5))
+            }
+            fn fork(&self) -> Option<Box<dyn OpExecution<RegisterSpec, ()>>> {
+                Some(Box::new(*self))
+            }
+            fn next_footprint(&self) -> Footprint {
+                Footprint::Write(self.a)
+            }
+        }
+        #[derive(Clone, Copy)]
+        struct ConstReadOp {
+            b: RegId,
+            proc: scl_spec::ProcessId,
+        }
+        impl OpExecution<RegisterSpec, ()> for ConstReadOp {
+            fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<RegisterSpec, ()> {
+                let _ = mem.read(self.proc, self.b);
+                // The bug: report 5 regardless of what the write did.
+                StepOutcome::Done(OpOutcome::Commit(5))
+            }
+            fn fork(&self) -> Option<Box<dyn OpExecution<RegisterSpec, ()>>> {
+                Some(Box::new(*self))
+            }
+            fn next_footprint(&self) -> Footprint {
+                Footprint::Read(self.b)
+            }
+        }
+        impl SimObject<RegisterSpec, ()> for ConstReadReg {
+            fn invoke(
+                &mut self,
+                _mem: &mut SharedMemory,
+                req: Request<RegisterSpec>,
+                _switch: Option<()>,
+            ) -> Box<dyn OpExecution<RegisterSpec, ()>> {
+                match req.op {
+                    RegisterOp::Write(_) => Box::new(WriteOp {
+                        a: self.a,
+                        proc: req.proc,
+                    }),
+                    RegisterOp::Read => Box::new(ConstReadOp {
+                        b: self.b,
+                        proc: req.proc,
+                    }),
+                }
+            }
+            fn snapshot(&self) -> Option<ObjectSnapshot> {
+                Some(ObjectSnapshot::stateless())
+            }
+        }
+
+        let wl: Workload<RegisterSpec, ()> = Workload {
+            ops: vec![
+                vec![(RegisterOp::Write(5), None)],
+                vec![(RegisterOp::Read, None)],
+            ],
+        };
+        let run = |reduction| {
+            explore_schedules(
+                |mem| ConstReadReg {
+                    a: mem.alloc("a", Value::int(0)),
+                    b: mem.alloc("b", Value::int(0)),
+                },
+                &wl,
+                &ExploreConfig {
+                    reduction,
+                    ..Default::default()
+                },
+                |res, _mem| {
+                    if check_linearizable(&scl_spec::RegisterSpec, &res.trace.commit_projection())
+                        .is_linearizable()
+                    {
+                        Ok(())
+                    } else {
+                        Err("not linearizable".into())
+                    }
+                },
+            )
+        };
+        // Full enumeration sees the violating order (read commits before the
+        // write is invoked).
+        assert!(run(Reduction::Off).is_err());
+        // Plain sleep sets prune it away: every outcome is order-independent,
+        // so the whole sibling subtree is (correctly, per its contract)
+        // considered covered.
+        assert!(run(Reduction::SleepSets).is_ok());
+        // The invoke/commit barriers keep the distinction alive.
+        assert!(run(Reduction::SleepSetsLinPreserving).is_err());
+    }
+
+    /// A monitor that mirrors the trace event stream through the mark/rewind
+    /// protocol; at every leaf its view must equal the trace the session
+    /// recorded, proving the monitor is fed each schedule's events exactly
+    /// once despite checkpoints, rewinds and replay fallbacks.
+    #[test]
+    fn monitored_exploration_feeds_the_monitor_each_schedule_exactly_once() {
+        use crate::executor::TickEmission;
+
+        #[derive(Default)]
+        struct MirrorMonitor {
+            events: Vec<(bool, scl_spec::RequestId)>, // (is_invocation, id)
+            marks: Vec<(u64, usize)>,
+            next_token: u64,
+        }
+        impl ScheduleMonitor<TasSpec, TasSwitch> for MirrorMonitor {
+            fn begin(&mut self) {
+                self.events.clear();
+                self.marks.clear();
+            }
+            fn observe(&mut self, session: &ExecSession<TasSpec, TasSwitch>) {
+                match session.last_emission() {
+                    TickEmission::Invoked { op_index } => self
+                        .events
+                        .push((true, session.result().ops[op_index].req.id)),
+                    TickEmission::Committed { op_index } | TickEmission::Aborted { op_index } => {
+                        self.events
+                            .push((false, session.result().ops[op_index].req.id))
+                    }
+                    TickEmission::None => {}
+                }
+            }
+            fn mark(&mut self) -> u64 {
+                let token = self.next_token;
+                self.next_token += 1;
+                self.marks.push((token, self.events.len()));
+                token
+            }
+            fn rewind_to(&mut self, mark: u64) {
+                while let Some(&(token, _)) = self.marks.last() {
+                    if token > mark {
+                        self.marks.pop();
+                    } else {
+                        break;
+                    }
+                }
+                let &(token, len) = self.marks.last().expect("mark exists");
+                assert_eq!(token, mark, "rewound to an unknown mark");
+                self.events.truncate(len);
+            }
+        }
+
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        for config in all_mode_configs() {
+            let mut monitor = MirrorMonitor::default();
+            let mut schedules = 0u64;
+            let report = explore_schedules_monitored_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &config,
+                &mut monitor,
+                |res, _mem, m: &mut MirrorMonitor| {
+                    schedules += 1;
+                    let expected: Vec<(bool, scl_spec::RequestId)> = res
+                        .trace
+                        .events()
+                        .iter()
+                        .map(|e| (e.is_invocation(), e.req_id()))
+                        .collect();
+                    if m.events == expected {
+                        Ok(())
+                    } else {
+                        Err(format!("monitor saw {:?}, trace {:?}", m.events, expected))
+                    }
+                },
+            );
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "config {config:?}: {:?}",
+                report.outcome
+            );
+            assert!(schedules > 0);
         }
     }
 

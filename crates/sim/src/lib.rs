@@ -50,12 +50,13 @@ pub use adversary::{
 };
 pub use executor::{
     Decision, DecisionLog, ExecSession, ExecutionResult, Executor, OnAbort, OpRecord,
-    SessionSnapshot, SurveyStatus, TraceMode, Workload,
+    SessionSnapshot, SurveyStatus, TickEmission, TraceMode, Workload,
 };
 pub use explore::{
-    explore_schedules, explore_schedules_parallel, explore_schedules_parallel_report,
-    explore_schedules_report, ExploreConfig, ExploreOutcome, ExploreReport, ExploreStats,
-    ExploreViolation, Reduction, ResumeMode,
+    explore_schedules, explore_schedules_monitored_report, explore_schedules_parallel,
+    explore_schedules_parallel_report, explore_schedules_report, ExploreConfig, ExploreOutcome,
+    ExploreReport, ExploreStats, ExploreViolation, NoMonitor, Reduction, ResumeMode,
+    ScheduleMonitor,
 };
 pub use machine::{
     ImmediateOutcome, ObjectSnapshot, OpExecution, OpOutcome, SimObject, StepOutcome,

@@ -105,6 +105,22 @@ pub trait OpExecution<S: SequentialSpec, V> {
     fn next_footprint(&self) -> Footprint {
         Footprint::Unknown
     }
+
+    /// Whether the *next* [`Self::step`] call could finish the operation
+    /// (return [`StepOutcome::Done`]) — i.e. whether the next scheduling of
+    /// this operation may emit a commit or abort event.
+    ///
+    /// Used by the linearizability-preserving sleep-set reduction
+    /// (`Reduction::SleepSetsLinPreserving` in `scl-sim`): reordering a
+    /// response past another process's invocation changes the real-time
+    /// precedence of the invoke/commit projection, so such pairs must be
+    /// treated as dependent. Like [`Self::next_footprint`] this must be a
+    /// function of local state only, and it must *over*-approximate: answer
+    /// `true` whenever completion is possible. The default (`true`) is
+    /// always sound and merely costs reduction.
+    fn may_respond_next(&self) -> bool {
+        true
+    }
 }
 
 /// An object implementation whose operations are driven step-by-step by the
@@ -188,6 +204,11 @@ impl<S: SequentialSpec + 'static, V: Clone + 'static> OpExecution<S, V> for Imme
 
     fn next_footprint(&self) -> Footprint {
         Footprint::Pure
+    }
+
+    fn may_respond_next(&self) -> bool {
+        // The first step responds; the (unreachable) later steps do not.
+        self.outcome.is_some()
     }
 }
 

@@ -1,0 +1,622 @@
+//! An incremental (online) Wing–Gong linearizability checker.
+//!
+//! [`crate::check_linearizable`] re-runs a memoised depth-first search over
+//! the *whole* history every time it is called. That is the right shape for
+//! checking one recorded trace, but the schedule explorer in `scl-sim`
+//! enumerates thousands of executions that share long prefixes: re-checking
+//! each complete execution from scratch repeats almost all of the work.
+//!
+//! [`IncrementalLinChecker`] is the same search turned inside out, in the
+//! style of Wing & Gong's original online formulation (and of Lowe's
+//! "just-in-time linearization"): the checker consumes invocation and commit
+//! events one at a time and maintains the *frontier* — the set of
+//! `(linearized-set, object-state)` configurations that are consistent with
+//! the events seen so far:
+//!
+//! * an **invocation** adds a pending operation (the frontier is unchanged —
+//!   the operation may take effect at any later point);
+//! * a **commit** of operation `X` with response `r` replaces the frontier:
+//!   from every configuration, the checker linearizes any sequence of
+//!   currently-pending operations ending with `X` (whose response must then
+//!   equal `r`), deduplicating configurations along the way. An empty new
+//!   frontier means no linearization order exists — the history is not
+//!   linearizable, and stays so for every extension.
+//!
+//! The real-time order falls out for free: an operation can only be
+//! linearized after its invocation has been consumed and must be linearized
+//! no later than its commit, which is exactly the "response before
+//! invocation" precedence of linearizability. Operations that never commit
+//! (crashed or aborted speculative instances) are never forced into the
+//! witness: they may be linearized on demand to explain someone else's
+//! response — taking effect with an arbitrary response — or silently dropped,
+//! as usual for linearizability.
+//!
+//! Because the frontier after a prefix of events is a pure function of that
+//! prefix, the checker supports [`IncrementalLinChecker::mark`] /
+//! [`IncrementalLinChecker::rewind_to`]: the explorer snapshots the frontier
+//! at every branch point (alongside its memory/session/object checkpoints)
+//! and re-checks only the suffix when backtracking — the memoised Wing–Gong
+//! states keyed at branch points that make per-schedule linearizability
+//! verdicts affordable over a whole schedule space.
+
+use crate::history::Request;
+use crate::ids::RequestId;
+use crate::seqspec::SequentialSpec;
+use std::collections::{HashMap, HashSet};
+
+/// Work accounting of an [`IncrementalLinChecker`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncCheckStats {
+    /// Frontier configurations expanded (the incremental analogue of the
+    /// from-scratch checker's search states).
+    pub states: u64,
+    /// Commit events processed.
+    pub commits: u64,
+    /// Invocation events processed.
+    pub invokes: u64,
+}
+
+impl IncCheckStats {
+    fn clear(&mut self) {
+        *self = IncCheckStats::default();
+    }
+}
+
+/// The verdict of the checker for the events consumed so far.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IncVerdict {
+    /// Every commit consumed so far admits a linearization order.
+    Linearizable,
+    /// Some commit admits no linearization order; the offending request is
+    /// reported. Once reached, every extension of the history stays
+    /// non-linearizable.
+    NotLinearizable(RequestId),
+    /// More than 128 concurrently tracked operations (the same bound as
+    /// [`crate::check_linearizable`]).
+    TooLarge,
+}
+
+impl IncVerdict {
+    /// `true` iff the verdict is [`IncVerdict::Linearizable`].
+    pub fn is_linearizable(&self) -> bool {
+        matches!(self, IncVerdict::Linearizable)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct IncOp<S: SequentialSpec> {
+    id: RequestId,
+    op: S::Op,
+    /// `Some` once the commit event for this operation has been consumed.
+    committed: bool,
+}
+
+/// Undo log entries for [`IncrementalLinChecker::rewind_to`].
+#[derive(Debug, Clone, Copy)]
+enum LogEntry {
+    /// `ops[slot]` was appended by an invocation.
+    Invoked(usize),
+    /// `ops[slot].committed` was set by a commit.
+    Committed(usize),
+}
+
+/// One frontier configuration: the set of linearized operations (as a bit
+/// mask over `ops` slots), the object state they produce, and the responses
+/// assigned to operations that were linearized *while still pending* (sorted
+/// by slot). When such an operation later commits, only configurations whose
+/// assigned response matches the observed one survive; operations that never
+/// commit may keep any assignment (or none — they can also be dropped).
+// Not derived: derive would bound `S` itself, but only the associated types
+// need the traits (they carry them via `SequentialSpec`).
+struct Config<S: SequentialSpec> {
+    mask: u128,
+    state: S::State,
+    assigned: Vec<(usize, S::Resp)>,
+}
+
+impl<S: SequentialSpec> std::fmt::Debug for Config<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Config")
+            .field("mask", &self.mask)
+            .field("state", &self.state)
+            .field("assigned", &self.assigned)
+            .finish()
+    }
+}
+
+impl<S: SequentialSpec> Clone for Config<S> {
+    fn clone(&self) -> Self {
+        Config {
+            mask: self.mask,
+            state: self.state.clone(),
+            assigned: self.assigned.clone(),
+        }
+    }
+}
+
+impl<S: SequentialSpec> PartialEq for Config<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.mask == other.mask && self.state == other.state && self.assigned == other.assigned
+    }
+}
+
+impl<S: SequentialSpec> Eq for Config<S> {}
+
+impl<S: SequentialSpec> std::hash::Hash for Config<S> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.mask.hash(state);
+        self.state.hash(state);
+        self.assigned.hash(state);
+    }
+}
+
+impl<S: SequentialSpec> Config<S> {
+    fn with_assignment(&self, slot: usize, resp: S::Resp) -> Vec<(usize, S::Resp)> {
+        let mut assigned = self.assigned.clone();
+        let pos = assigned.partition_point(|(s, _)| *s < slot);
+        assigned.insert(pos, (slot, resp));
+        assigned
+    }
+}
+
+/// A saved checker position: the frontier (and failure state) at a mark.
+struct MarkEntry<S: SequentialSpec> {
+    token: u64,
+    log_len: usize,
+    frontier: Vec<Config<S>>,
+    failure: Option<RequestId>,
+    too_large: bool,
+}
+
+/// See the [module documentation](self).
+pub struct IncrementalLinChecker<S: SequentialSpec> {
+    spec: S,
+    ops: Vec<IncOp<S>>,
+    index: HashMap<RequestId, usize>,
+    /// Current frontier of configurations consistent with the events so far.
+    frontier: Vec<Config<S>>,
+    /// Scratch for the next frontier (reused across commits).
+    next_frontier: Vec<Config<S>>,
+    /// Deduplication of configurations during one commit update.
+    visited: HashSet<Config<S>>,
+    /// DFS worklist scratch.
+    stack: Vec<Config<S>>,
+    log: Vec<LogEntry>,
+    marks: Vec<MarkEntry<S>>,
+    next_token: u64,
+    failure: Option<RequestId>,
+    too_large: bool,
+    stats: IncCheckStats,
+}
+
+impl<S: SequentialSpec> IncrementalLinChecker<S> {
+    /// A fresh checker for `spec`, positioned at the empty history.
+    pub fn new(spec: S) -> Self {
+        let mut checker = IncrementalLinChecker {
+            spec,
+            ops: Vec::new(),
+            index: HashMap::new(),
+            frontier: Vec::new(),
+            next_frontier: Vec::new(),
+            visited: HashSet::new(),
+            stack: Vec::new(),
+            log: Vec::new(),
+            marks: Vec::new(),
+            next_token: 0,
+            failure: None,
+            too_large: false,
+            stats: IncCheckStats::default(),
+        };
+        checker.begin();
+        checker
+    }
+
+    /// Rewinds the checker to the empty history, keeping allocations (one
+    /// checker is reused across a whole exploration). Statistics are *not*
+    /// reset — they account for the exploration, not one execution.
+    pub fn begin(&mut self) {
+        self.ops.clear();
+        self.index.clear();
+        self.frontier.clear();
+        self.frontier.push(Config {
+            mask: 0,
+            state: self.spec.initial_state(),
+            assigned: Vec::new(),
+        });
+        self.log.clear();
+        self.marks.clear();
+        self.failure = None;
+        self.too_large = false;
+    }
+
+    /// Work accounting since construction (or [`Self::reset_stats`]).
+    pub fn stats(&self) -> IncCheckStats {
+        self.stats
+    }
+
+    /// Zeroes the work accounting.
+    pub fn reset_stats(&mut self) {
+        self.stats.clear();
+    }
+
+    /// Number of operations (pending + committed) currently tracked.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Consumes an invocation event.
+    pub fn invoke(&mut self, req: &Request<S>) {
+        self.stats.invokes += 1;
+        if self.too_large || self.index.contains_key(&req.id) {
+            return;
+        }
+        if self.ops.len() >= 128 {
+            self.too_large = true;
+            return;
+        }
+        let slot = self.ops.len();
+        self.index.insert(req.id, slot);
+        self.ops.push(IncOp {
+            id: req.id,
+            op: req.op.clone(),
+            committed: false,
+        });
+        self.log.push(LogEntry::Invoked(slot));
+    }
+
+    /// Consumes a commit event: operation `id` responded with `resp`.
+    /// Commits of unknown or already-committed requests are ignored.
+    pub fn commit(&mut self, id: RequestId, resp: &S::Resp) {
+        self.stats.commits += 1;
+        if self.too_large {
+            return;
+        }
+        let Some(&slot) = self.index.get(&id) else {
+            return;
+        };
+        if self.ops[slot].committed {
+            return;
+        }
+        self.ops[slot].committed = true;
+        self.log.push(LogEntry::Committed(slot));
+        if self.failure.is_some() {
+            // Already failed: the frontier is empty and stays empty; the
+            // completion is logged above so rewinds stay consistent.
+            return;
+        }
+
+        // Just-in-time linearization: from every frontier configuration,
+        // either validate an earlier on-demand linearization of `slot`
+        // (assigned response must match the observed one) or linearize a
+        // sequence of pending operations ending with `slot`. `visited`
+        // deduplicates configurations across the whole update.
+        self.visited.clear();
+        self.next_frontier.clear();
+        self.stack.clear();
+        for cfg in self.frontier.drain(..) {
+            if self.visited.insert(cfg.clone()) {
+                self.stack.push(cfg);
+            }
+        }
+        let target_bit = 1u128 << slot;
+        while let Some(cfg) = self.stack.pop() {
+            self.stats.states += 1;
+            if cfg.mask & target_bit != 0 {
+                // The operation was linearized while pending; the commit only
+                // validates its assigned response.
+                if let Some(pos) = cfg.assigned.iter().position(|(s, _)| *s == slot) {
+                    if cfg.assigned[pos].1 == *resp {
+                        let mut survivor = cfg.clone();
+                        survivor.assigned.remove(pos);
+                        if self.visited.insert(survivor.clone()) {
+                            self.next_frontier.push(survivor);
+                        }
+                    }
+                }
+                continue;
+            }
+            // Linearize the committed operation now...
+            let (next_state, r) = self.spec.apply(&cfg.state, &self.ops[slot].op);
+            if r == *resp {
+                let next = Config {
+                    mask: cfg.mask | target_bit,
+                    state: next_state,
+                    assigned: cfg.assigned.clone(),
+                };
+                if self.visited.insert(next.clone()) {
+                    self.next_frontier.push(next);
+                }
+            }
+            // ...or linearize some other pending operation first, recording
+            // the response it takes effect with for later validation.
+            for (i, op) in self.ops.iter().enumerate() {
+                let bit = 1u128 << i;
+                if i == slot || cfg.mask & bit != 0 || op.committed {
+                    continue;
+                }
+                let (next_state, assigned_resp) = self.spec.apply(&cfg.state, &op.op);
+                let next = Config {
+                    mask: cfg.mask | bit,
+                    state: next_state,
+                    assigned: cfg.with_assignment(i, assigned_resp),
+                };
+                if self.visited.insert(next.clone()) {
+                    self.stack.push(next);
+                }
+            }
+        }
+        std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+        if self.frontier.is_empty() {
+            self.failure = Some(id);
+        }
+    }
+
+    /// The verdict for the events consumed so far.
+    pub fn verdict(&self) -> IncVerdict {
+        if self.too_large {
+            IncVerdict::TooLarge
+        } else {
+            match self.failure {
+                Some(id) => IncVerdict::NotLinearizable(id),
+                None => IncVerdict::Linearizable,
+            }
+        }
+    }
+
+    /// Saves the current checker position and returns a token for
+    /// [`Self::rewind_to`]. Tokens form a stack: rewinding to a token
+    /// discards every later one.
+    pub fn mark(&mut self) -> u64 {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.marks.push(MarkEntry {
+            token,
+            log_len: self.log.len(),
+            frontier: self.frontier.clone(),
+            failure: self.failure,
+            too_large: self.too_large,
+        });
+        token
+    }
+
+    /// Rewinds the checker to the position captured by `mark`. The mark
+    /// stays valid for further rewinds; marks taken after it are discarded.
+    ///
+    /// Panics if `token` was never returned by [`Self::mark`] on this
+    /// checker since the last [`Self::begin`], or was already discarded.
+    pub fn rewind_to(&mut self, token: u64) {
+        while let Some(top) = self.marks.last() {
+            if top.token > token {
+                self.marks.pop();
+            } else {
+                break;
+            }
+        }
+        let entry = self
+            .marks
+            .last()
+            .filter(|m| m.token == token)
+            .expect("rewind_to: unknown or discarded checker mark");
+        while self.log.len() > entry.log_len {
+            match self.log.pop().expect("len checked above") {
+                LogEntry::Invoked(slot) => {
+                    debug_assert_eq!(slot, self.ops.len() - 1, "invokes append");
+                    let op = self.ops.pop().expect("slot exists");
+                    self.index.remove(&op.id);
+                }
+                LogEntry::Committed(slot) => {
+                    self.ops[slot].committed = false;
+                }
+            }
+        }
+        self.frontier.clear();
+        self.frontier.extend(entry.frontier.iter().cloned());
+        self.failure = entry.failure;
+        self.too_large = entry.too_large;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linearizability::{check_linearizable, ConcurrentHistory};
+    use crate::objects::{RegisterOp, RegisterSpec, TasOp, TasResp, TasSpec};
+
+    fn tas_req(id: u64, p: usize) -> Request<TasSpec> {
+        Request::new(id, p, TasOp::TestAndSet)
+    }
+
+    /// Drives both checkers over the same event sequence and asserts they
+    /// agree. Events: `(Some(resp), id)` = commit, `(None, id)` = invoke.
+    fn oracle_tas(events: &[(u64, usize, Option<TasResp>)]) -> bool {
+        let mut inc = IncrementalLinChecker::new(TasSpec);
+        let mut hist = ConcurrentHistory::new();
+        for (at, &(id, p, ref resp)) in events.iter().enumerate() {
+            match resp {
+                None => {
+                    let req = tas_req(id, p);
+                    hist.record_invoke(at, req.clone());
+                    inc.invoke(&req);
+                }
+                Some(r) => {
+                    hist.record_response(at, RequestId(id), *r);
+                    inc.commit(RequestId(id), r);
+                }
+            }
+        }
+        let from_scratch = check_linearizable(&TasSpec, &hist).is_linearizable();
+        assert_eq!(
+            inc.verdict().is_linearizable(),
+            from_scratch,
+            "incremental and from-scratch checkers disagree on {events:?}"
+        );
+        from_scratch
+    }
+
+    #[test]
+    fn agrees_with_from_scratch_on_tas_histories() {
+        use TasResp::{Loser, Winner};
+        // Sequential winner then loser: linearizable.
+        assert!(oracle_tas(&[
+            (1, 0, None),
+            (1, 0, Some(Winner)),
+            (2, 1, None),
+            (2, 1, Some(Loser)),
+        ]));
+        // Two winners: not linearizable.
+        assert!(!oracle_tas(&[
+            (1, 0, None),
+            (2, 1, None),
+            (1, 0, Some(Winner)),
+            (2, 1, Some(Winner)),
+        ]));
+        // Sequential loser first: not linearizable.
+        assert!(!oracle_tas(&[
+            (1, 0, None),
+            (1, 0, Some(Loser)),
+            (2, 1, None),
+            (2, 1, Some(Winner)),
+        ]));
+        // Overlapping, loser responds first: linearizable.
+        assert!(oracle_tas(&[
+            (1, 0, None),
+            (2, 1, None),
+            (2, 1, Some(Loser)),
+            (1, 0, Some(Winner)),
+        ]));
+    }
+
+    #[test]
+    fn pending_op_can_take_effect() {
+        // A pending (crashed) TAS can explain a later Loser: the checker must
+        // linearize the pending op on demand.
+        use TasResp::Loser;
+        assert!(oracle_tas(&[
+            (1, 0, None), // never commits
+            (2, 1, None),
+            (2, 1, Some(Loser)),
+        ]));
+    }
+
+    #[test]
+    fn pending_op_can_be_dropped() {
+        // A pending TAS must NOT be forced to take effect: the later Winner
+        // only linearizes if the pending op is dropped (or ordered after).
+        use TasResp::Winner;
+        assert!(oracle_tas(&[
+            (1, 0, None), // never commits
+            (2, 1, None),
+            (2, 1, Some(Winner)),
+        ]));
+    }
+
+    #[test]
+    fn failure_is_sticky_and_reports_the_offending_request() {
+        use TasResp::Winner;
+        let mut inc = IncrementalLinChecker::new(TasSpec);
+        inc.invoke(&tas_req(1, 0));
+        inc.commit(RequestId(1), &Winner);
+        inc.invoke(&tas_req(2, 1));
+        inc.commit(RequestId(2), &Winner);
+        assert_eq!(inc.verdict(), IncVerdict::NotLinearizable(RequestId(2)));
+        // Further consistent events do not clear the failure.
+        inc.invoke(&tas_req(3, 2));
+        inc.commit(RequestId(3), &TasResp::Loser);
+        assert_eq!(inc.verdict(), IncVerdict::NotLinearizable(RequestId(2)));
+    }
+
+    #[test]
+    fn mark_and_rewind_restore_the_frontier_and_failure_state() {
+        use TasResp::{Loser, Winner};
+        let mut inc = IncrementalLinChecker::new(TasSpec);
+        inc.invoke(&tas_req(1, 0));
+        let m = inc.mark();
+        // Failing suffix.
+        inc.commit(RequestId(1), &Loser);
+        assert!(!inc.verdict().is_linearizable());
+        // Rewind, take a passing suffix instead.
+        inc.rewind_to(m);
+        assert!(inc.verdict().is_linearizable());
+        inc.commit(RequestId(1), &Winner);
+        inc.invoke(&tas_req(2, 1));
+        inc.commit(RequestId(2), &Loser);
+        assert!(inc.verdict().is_linearizable());
+        // The mark survives multiple rewinds.
+        inc.rewind_to(m);
+        assert_eq!(inc.op_count(), 1);
+        inc.commit(RequestId(1), &Winner);
+        assert!(inc.verdict().is_linearizable());
+    }
+
+    #[test]
+    fn rewind_discards_deeper_marks() {
+        use TasResp::Winner;
+        let mut inc = IncrementalLinChecker::new(TasSpec);
+        inc.invoke(&tas_req(1, 0));
+        let shallow = inc.mark();
+        inc.commit(RequestId(1), &Winner);
+        let _deep = inc.mark();
+        inc.invoke(&tas_req(2, 1));
+        inc.rewind_to(shallow);
+        assert_eq!(inc.op_count(), 1);
+        // The deep mark is gone; marking again works.
+        let again = inc.mark();
+        inc.invoke(&tas_req(2, 1));
+        inc.rewind_to(again);
+        assert_eq!(inc.op_count(), 1);
+    }
+
+    #[test]
+    fn begin_resets_for_reuse() {
+        use TasResp::Winner;
+        let mut inc = IncrementalLinChecker::new(TasSpec);
+        inc.invoke(&tas_req(1, 0));
+        inc.commit(RequestId(1), &TasResp::Loser);
+        assert!(!inc.verdict().is_linearizable());
+        inc.begin();
+        assert!(inc.verdict().is_linearizable());
+        inc.invoke(&tas_req(1, 0));
+        inc.commit(RequestId(1), &Winner);
+        assert!(inc.verdict().is_linearizable());
+        assert!(inc.stats().states > 0);
+    }
+
+    #[test]
+    fn register_stale_read_is_caught() {
+        let spec = RegisterSpec;
+        let mut inc = IncrementalLinChecker::new(spec);
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        inc.invoke(&w);
+        inc.commit(RequestId(1), &5);
+        inc.invoke(&r);
+        inc.commit(RequestId(2), &0);
+        assert_eq!(inc.verdict(), IncVerdict::NotLinearizable(RequestId(2)));
+    }
+
+    #[test]
+    fn register_concurrent_read_may_see_old_or_new() {
+        for observed in [0u64, 5u64] {
+            let mut inc = IncrementalLinChecker::new(RegisterSpec);
+            let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+            let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+            inc.invoke(&w);
+            inc.invoke(&r);
+            inc.commit(RequestId(2), &observed);
+            inc.commit(RequestId(1), &5);
+            assert!(
+                inc.verdict().is_linearizable(),
+                "concurrent read observing {observed}"
+            );
+        }
+    }
+
+    #[test]
+    fn too_large_histories_are_reported_not_mischecked() {
+        let mut inc = IncrementalLinChecker::new(TasSpec);
+        for i in 0..200u64 {
+            inc.invoke(&tas_req(i + 1, (i % 64) as usize));
+        }
+        assert_eq!(inc.verdict(), IncVerdict::TooLarge);
+    }
+}

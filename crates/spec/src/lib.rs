@@ -26,6 +26,10 @@
 //!   trace is safely composable).
 //! * [`linearizability`] — a Wing–Gong style linearizability checker used by
 //!   Theorem 3 style arguments and by the test-suites of the other crates.
+//! * [`incremental`] — the same checker as an *online* algorithm consuming
+//!   invoke/commit events one at a time, with snapshot/rewind positions so
+//!   the schedule explorer (`scl-sim` / `scl-check`) re-checks only the
+//!   suffix when backtracking.
 //!
 //! Everything in this crate is purely sequential, deterministic data-structure
 //! code: it has no dependency on threads or atomics and is therefore usable
@@ -40,6 +44,7 @@ pub mod constraint;
 pub mod equivalence;
 pub mod history;
 pub mod ids;
+pub mod incremental;
 pub mod interpretation;
 pub mod linearizability;
 pub mod objects;
@@ -51,10 +56,14 @@ pub use constraint::{ConstraintFunction, PrefixConstraint, SwitchToken, TasConst
 pub use equivalence::{equivalent, equivalent_by_state};
 pub use history::{History, Request};
 pub use ids::{ProcessId, RequestId, RequestIdGen};
+pub use incremental::{IncCheckStats, IncVerdict, IncrementalLinChecker};
 pub use interpretation::{
     find_valid_interpretation, CheckOutcome, InterpretationError, ValidInterpretation,
 };
-pub use linearizability::{check_linearizable, CompletedOp, ConcurrentHistory, LinCheckResult};
+pub use linearizability::{
+    check_linearizable, check_linearizable_with_stats, CompletedOp, ConcurrentHistory, HistoryMark,
+    LinCheckResult, LinCheckStats, PendingOp,
+};
 pub use objects::{
     ConsensusOp, ConsensusSpec, CounterOp, CounterSpec, FetchIncOp, FetchIncSpec, QueueOp,
     QueueSpec, RegisterOp, RegisterSpec, TasOp, TasResp, TasSpec, TasSwitch,

@@ -41,21 +41,50 @@ pub struct PendingOp<S: SequentialSpec> {
     pub invoke_at: usize,
 }
 
+/// One tracked operation of a [`ConcurrentHistory`].
+#[derive(Debug, Clone)]
+struct TrackedOp<S: SequentialSpec> {
+    req: Request<S>,
+    invoke_at: usize,
+    completion: Option<(usize, S::Resp)>,
+}
+
+/// A point-in-time position of a [`ConcurrentHistory`], produced by
+/// [`ConcurrentHistory::mark`] and consumed by
+/// [`ConcurrentHistory::truncate_to`]. Marks are high-water levels of the
+/// append-only internal logs, so truncation is `O(events recorded after the
+/// mark)` and reuses every allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryMark {
+    ops_len: usize,
+    completions_len: usize,
+}
+
 /// A concurrent history: completed and pending operations with real-time
 /// invocation/response indices.
+///
+/// The history is an *undoable recorder*: invocations append to a flat
+/// operation table and responses append to a completion log, so
+/// [`Self::mark`] / [`Self::truncate_to`] can rewind the history to an
+/// earlier point (the schedule explorer's prefix-resume checkpoints) and
+/// [`Self::clear`] can reuse one history across many executions without
+/// reallocating. This is the shared recording helper used by the simulator
+/// bridge in `scl-check` and by the real-atomics linearizability tests in
+/// `scl-runtime`.
 #[derive(Debug, Clone)]
 pub struct ConcurrentHistory<S: SequentialSpec> {
-    invokes: HashMap<RequestId, (Request<S>, usize)>,
-    completed: Vec<CompletedOp<S>>,
-    responded: HashSet<RequestId>,
+    ops: Vec<TrackedOp<S>>,
+    index: HashMap<RequestId, usize>,
+    /// Indices into `ops`, in completion order (the undo log for responses).
+    completions: Vec<usize>,
 }
 
 impl<S: SequentialSpec> Default for ConcurrentHistory<S> {
     fn default() -> Self {
         ConcurrentHistory {
-            invokes: HashMap::new(),
-            completed: Vec::new(),
-            responded: HashSet::new(),
+            ops: Vec::new(),
+            index: HashMap::new(),
+            completions: Vec::new(),
         }
     }
 }
@@ -66,40 +95,77 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
         Self::default()
     }
 
-    /// Records an invocation at real-time index `at`.
+    /// Records an invocation at real-time index `at`. Request ids must be
+    /// unique within a recording; re-invoking an id that is already present
+    /// is ignored (an in-place overwrite could not be undone by
+    /// [`Self::truncate_to`], so first invocation wins).
     pub fn record_invoke(&mut self, at: usize, req: Request<S>) {
-        self.invokes.insert(req.id, (req, at));
+        if self.index.contains_key(&req.id) {
+            return;
+        }
+        self.index.insert(req.id, self.ops.len());
+        self.ops.push(TrackedOp {
+            req,
+            invoke_at: at,
+            completion: None,
+        });
     }
 
     /// Records a response at real-time index `at` for a previously recorded
-    /// invocation. Responses without a matching invocation are ignored.
+    /// invocation. Responses without a matching invocation, and second
+    /// responses to the same request, are ignored.
     pub fn record_response(&mut self, at: usize, id: RequestId, resp: S::Resp) {
-        if let Some((req, invoke_at)) = self.invokes.get(&id).cloned() {
-            if self.responded.insert(id) {
-                self.completed.push(CompletedOp {
-                    req,
-                    invoke_at,
-                    respond_at: at,
-                    resp,
-                });
+        if let Some(&slot) = self.index.get(&id) {
+            if self.ops[slot].completion.is_none() {
+                self.ops[slot].completion = Some((at, resp));
+                self.completions.push(slot);
             }
         }
     }
 
-    /// The completed operations.
-    pub fn completed(&self) -> &[CompletedOp<S>] {
-        &self.completed
+    /// Records a complete (invoked *and* responded) operation in one call —
+    /// the recording helper for harnesses that observe whole operations with
+    /// explicit timestamps, such as the real-atomics tests in `scl-runtime`
+    /// (which stamp invocations and responses with a shared ticket clock).
+    pub fn record_completed_op(
+        &mut self,
+        req: Request<S>,
+        invoke_at: usize,
+        respond_at: usize,
+        resp: S::Resp,
+    ) {
+        let id = req.id;
+        self.record_invoke(invoke_at, req);
+        self.record_response(respond_at, id, resp);
     }
 
-    /// The pending operations (invoked, never responded).
+    /// The completed operations, in completion order.
+    pub fn completed(&self) -> Vec<CompletedOp<S>> {
+        self.completions
+            .iter()
+            .map(|&slot| {
+                let op = &self.ops[slot];
+                let (respond_at, resp) = op.completion.clone().expect("logged completion");
+                CompletedOp {
+                    req: op.req.clone(),
+                    invoke_at: op.invoke_at,
+                    respond_at,
+                    resp,
+                }
+            })
+            .collect()
+    }
+
+    /// The pending operations (invoked, never responded), in invocation
+    /// order.
     pub fn pending(&self) -> Vec<PendingOp<S>> {
         let mut pending: Vec<PendingOp<S>> = self
-            .invokes
-            .values()
-            .filter(|(req, _)| !self.responded.contains(&req.id))
-            .map(|(req, at)| PendingOp {
-                req: req.clone(),
-                invoke_at: *at,
+            .ops
+            .iter()
+            .filter(|op| op.completion.is_none())
+            .map(|op| PendingOp {
+                req: op.req.clone(),
+                invoke_at: op.invoke_at,
             })
             .collect();
         pending.sort_by_key(|p| p.invoke_at);
@@ -108,12 +174,54 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
 
     /// Total number of operations (completed + pending).
     pub fn len(&self) -> usize {
-        self.invokes.len()
+        self.ops.len()
     }
 
     /// Whether the history has no operations at all.
     pub fn is_empty(&self) -> bool {
-        self.invokes.is_empty()
+        self.ops.is_empty()
+    }
+
+    /// Number of recorded events (invocations plus responses). Also a dense
+    /// real-time index for recorders that stamp events with
+    /// `history.event_count()` as they observe them.
+    pub fn event_count(&self) -> usize {
+        self.ops.len() + self.completions.len()
+    }
+
+    /// Removes every operation while keeping the allocations, so one history
+    /// buffer can be reused across many executions.
+    pub fn clear(&mut self) {
+        self.ops.clear();
+        self.index.clear();
+        self.completions.clear();
+    }
+
+    /// The current position, for a later [`Self::truncate_to`].
+    pub fn mark(&self) -> HistoryMark {
+        HistoryMark {
+            ops_len: self.ops.len(),
+            completions_len: self.completions.len(),
+        }
+    }
+
+    /// Rewinds the history to an earlier [`Self::mark`] of the same
+    /// recording: invocations recorded after the mark are removed, responses
+    /// recorded after the mark are reopened. The mark stays valid for
+    /// further truncations.
+    pub fn truncate_to(&mut self, mark: HistoryMark) {
+        while self.completions.len() > mark.completions_len {
+            let slot = self.completions.pop().expect("len checked above");
+            self.ops[slot].completion = None;
+        }
+        while self.ops.len() > mark.ops_len {
+            let op = self.ops.pop().expect("len checked above");
+            debug_assert!(
+                op.completion.is_none(),
+                "completion log rewound above removed its entries first"
+            );
+            self.index.remove(&op.req.id);
+        }
     }
 }
 
@@ -145,6 +253,17 @@ struct OpEntry<S: SequentialSpec> {
     completion: Option<(usize, S::Resp)>,
 }
 
+/// Work accounting of one [`check_linearizable_with_stats`] call: how many
+/// checker states (nodes of the memoised Wing–Gong search) were expanded.
+/// Used by `bench_check` to quantify what the incremental checker saves over
+/// re-running this search from scratch for every explored schedule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinCheckStats {
+    /// Search nodes visited (including memoisation hits, which still cost a
+    /// hash probe).
+    pub states: u64,
+}
+
 /// Checks whether a concurrent history is linearizable with respect to a
 /// sequential specification.
 ///
@@ -156,13 +275,23 @@ pub fn check_linearizable<S: SequentialSpec>(
     spec: &S,
     history: &ConcurrentHistory<S>,
 ) -> LinCheckResult {
+    check_linearizable_with_stats(spec, history).0
+}
+
+/// Like [`check_linearizable`], additionally reporting how many checker
+/// states the search expanded.
+pub fn check_linearizable_with_stats<S: SequentialSpec>(
+    spec: &S,
+    history: &ConcurrentHistory<S>,
+) -> (LinCheckResult, LinCheckStats) {
+    let mut stats = LinCheckStats::default();
     let mut ops: Vec<OpEntry<S>> = history
-        .completed
-        .iter()
+        .completed()
+        .into_iter()
         .map(|c| OpEntry {
-            req: c.req.clone(),
+            req: c.req,
             invoke_at: c.invoke_at,
-            completion: Some((c.respond_at, c.resp.clone())),
+            completion: Some((c.respond_at, c.resp)),
         })
         .collect();
     for p in history.pending() {
@@ -173,7 +302,7 @@ pub fn check_linearizable<S: SequentialSpec>(
         });
     }
     if ops.len() > 128 {
-        return LinCheckResult::TooLarge;
+        return (LinCheckResult::TooLarge, stats);
     }
     let full_mask: u128 = if ops.len() == 128 {
         u128::MAX
@@ -189,6 +318,7 @@ pub fn check_linearizable<S: SequentialSpec>(
     let mut seen: HashSet<(u128, S::State)> = HashSet::new();
     let mut witness: Vec<RequestId> = Vec::new();
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs<S: SequentialSpec>(
         spec: &S,
         ops: &[OpEntry<S>],
@@ -197,7 +327,9 @@ pub fn check_linearizable<S: SequentialSpec>(
         state: &S::State,
         seen: &mut HashSet<(u128, S::State)>,
         witness: &mut Vec<RequestId>,
+        stats: &mut LinCheckStats,
     ) -> bool {
+        stats.states += 1;
         // Success: all *completed* operations are linearized. Remaining
         // pending operations are simply dropped.
         if done & completed_mask == completed_mask {
@@ -238,6 +370,7 @@ pub fn check_linearizable<S: SequentialSpec>(
                 &next_state,
                 seen,
                 witness,
+                stats,
             ) {
                 return true;
             }
@@ -247,7 +380,7 @@ pub fn check_linearizable<S: SequentialSpec>(
     }
 
     let init = spec.initial_state();
-    if dfs(
+    let result = if dfs(
         spec,
         &ops,
         0,
@@ -255,12 +388,14 @@ pub fn check_linearizable<S: SequentialSpec>(
         &init,
         &mut seen,
         &mut witness,
+        &mut stats,
     ) {
         LinCheckResult::Linearizable(witness)
     } else {
         let _ = full_mask;
         LinCheckResult::NotLinearizable
-    }
+    };
+    (result, stats)
 }
 
 #[cfg(test)]
@@ -413,5 +548,77 @@ mod tests {
         assert_eq!(pend.len(), 2);
         assert_eq!(pend[0].req.id, RequestId(1));
         assert_eq!(pend[0].req.proc, ProcessId(0));
+    }
+
+    #[test]
+    fn record_completed_op_matches_separate_calls() {
+        let mut a = ConcurrentHistory::<TasSpec>::new();
+        a.record_invoke(0, tas_req(1, 0));
+        a.record_response(3, RequestId(1), TasResp::Winner);
+        let mut b = ConcurrentHistory::<TasSpec>::new();
+        b.record_completed_op(tas_req(1, 0), 0, 3, TasResp::Winner);
+        assert_eq!(a.completed(), b.completed());
+        assert_eq!(a.event_count(), b.event_count());
+        assert_eq!(
+            check_linearizable(&TasSpec, &a),
+            check_linearizable(&TasSpec, &b)
+        );
+    }
+
+    #[test]
+    fn truncate_to_rewinds_invocations_and_reopens_responses() {
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0));
+        let mark = h.mark();
+        // Suffix: r1 responds, r2 invoked and responds.
+        h.record_response(1, RequestId(1), TasResp::Winner);
+        h.record_invoke(2, tas_req(2, 1));
+        h.record_response(3, RequestId(2), TasResp::Winner);
+        assert_eq!(
+            check_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
+
+        h.truncate_to(mark);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.completed().len(), 0);
+        assert_eq!(h.pending().len(), 1);
+        assert_eq!(h.event_count(), 1);
+
+        // A different suffix replays cleanly over the truncated prefix.
+        h.record_response(1, RequestId(1), TasResp::Winner);
+        h.record_invoke(2, tas_req(2, 1));
+        h.record_response(3, RequestId(2), TasResp::Loser);
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+
+        // The mark stays valid for further truncations.
+        h.truncate_to(mark);
+        assert_eq!(h.len(), 1);
+        assert!(h.completed().is_empty());
+    }
+
+    #[test]
+    fn clear_reuses_the_history_buffer() {
+        let mut h = ConcurrentHistory::<TasSpec>::new();
+        h.record_completed_op(tas_req(1, 0), 0, 1, TasResp::Winner);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.event_count(), 0);
+        h.record_completed_op(tas_req(1, 0), 0, 1, TasResp::Winner);
+        h.record_completed_op(tas_req(2, 1), 2, 3, TasResp::Loser);
+        assert!(check_linearizable(&TasSpec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn stats_count_search_states() {
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_completed_op(tas_req(1, 0), 0, 1, TasResp::Winner);
+        h.record_completed_op(tas_req(2, 1), 2, 3, TasResp::Loser);
+        let (result, stats) = check_linearizable_with_stats(&spec, &h);
+        assert!(result.is_linearizable());
+        // Root + one node per linearized op at minimum.
+        assert!(stats.states >= 3);
     }
 }

@@ -18,6 +18,9 @@
 //! * [`runtime`] (`scl-runtime`) — real `std::sync::atomic` implementations
 //!   of the test-and-set algorithms, plus a biased lock, for use from OS
 //!   threads and wall-clock benchmarks.
+//! * [`check`] (`scl-check`) — scenario-driven linearizability model
+//!   checking: a registry of named workloads over every object, an
+//!   incremental explorer↔checker bridge, and the `scl-check` CLI.
 //!
 //! ## Quickstart
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use scl_check as check;
 pub use scl_core as core;
 pub use scl_runtime as runtime;
 pub use scl_sim as sim;
