@@ -16,17 +16,23 @@
 //!   `SleepSetsLinPreserving` on n=2 (exhaustive) and of the two sleep-set
 //!   modes on the full n=3 space: what the invoke/commit barriers cost in
 //!   lost pruning, and that they still keep the n=3 space tractable.
+//! * **scenario_suite** — the whole `scl-check` registry through the
+//!   unified engine, sequentially (`workers = 1`) and with the parallel
+//!   monitor-carrying driver (`workers = 2`): the PR 4 sequential-vs-
+//!   parallel numbers, self-describing via `host.available_parallelism`
+//!   (a single-core container cannot show a parallel win).
 //!
-//! Writes `BENCH_PR3.json` at the workspace root; `--smoke` caps the
-//! enumerations and writes `BENCH_PR3.smoke.json` (the CI guard). The full
-//! run asserts the PR 3 acceptance bar: incremental checking expands
-//! measurably fewer checker states than from-scratch per-schedule checking
-//! on the `swap_tas_n3_3ops` workload (9-commit histories). On the
-//! exhaustive 1-op n=2 workload the two are at parity — 2-commit histories
-//! put the from-scratch search at its 3-state floor, which is itself a
-//! recorded result.
+//! Writes `BENCH_PR4.json` at the workspace root; `--smoke` caps the
+//! enumerations and writes `artifacts/BENCH_PR4.smoke.json` (the CI guard;
+//! `artifacts/` is gitignored). The full run asserts the PR 3/PR 4
+//! acceptance bars: incremental checking expands measurably fewer checker
+//! states than from-scratch per-schedule checking on the `swap_tas_n3_3ops`
+//! workload (9-commit histories) **and**, now that `Config`s are interned
+//! `Copy` values, beats it on wall clock too. On the exhaustive 1-op n=2
+//! workload the two are at parity — 2-commit histories put the from-scratch
+//! search at its 3-state floor, which is itself a recorded result.
 
-use scl_check::{CheckerMode, LinMonitor};
+use scl_check::{CheckConfig, CheckerMode, LinMonitor};
 use scl_core::new_speculative_tas;
 use scl_sim::{
     explore_schedules_monitored_report, explore_schedules_report, ExploreConfig, ExploreOutcome,
@@ -188,6 +194,56 @@ where
     best.expect("at least one repetition")
 }
 
+/// One scenario-suite cell: the whole registry under `workers` engine
+/// threads. Aggregates are summed over the scenarios; `all_as_expected`
+/// guards against the suite silently rotting inside a bench.
+struct SuiteMeasurement {
+    workers: usize,
+    schedules: u64,
+    executed_steps: u64,
+    checker_states: u64,
+    all_as_expected: bool,
+    secs: f64,
+}
+
+fn measure_suite(workers: usize, smoke: bool) -> SuiteMeasurement {
+    let config = CheckConfig {
+        workers,
+        ..if smoke {
+            CheckConfig::smoke()
+        } else {
+            CheckConfig::default()
+        }
+    };
+    let start = Instant::now();
+    let mut schedules = 0u64;
+    let mut executed_steps = 0u64;
+    let mut checker_states = 0u64;
+    let mut all_as_expected = true;
+    for scenario in scl_check::registry() {
+        let report = scenario.run(&config);
+        schedules += report.explore.schedules;
+        executed_steps += report.explore.executed_steps;
+        checker_states += report.checker_states;
+        all_as_expected &= report.as_expected();
+    }
+    SuiteMeasurement {
+        workers,
+        schedules,
+        executed_steps,
+        checker_states,
+        all_as_expected,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn suite_json(m: &SuiteMeasurement) -> String {
+    format!(
+        "{{\"workers\": {}, \"schedules\": {}, \"executed_steps\": {}, \"checker_states\": {}, \"all_as_expected\": {}, \"secs\": {:.6}}}",
+        m.workers, m.schedules, m.executed_steps, m.checker_states, m.all_as_expected, m.secs,
+    )
+}
+
 /// One reduction-group cell: schedule counts under a reduction (outcome-only
 /// check, so every mode is sound).
 fn measure_reduction(n: usize, max_schedules: u64, reduction: Reduction) -> Measurement {
@@ -282,6 +338,20 @@ fn main() {
         }
     }
 
+    // Sequential first: the derived ratio and the host metadata both index
+    // into this list.
+    const SUITE_WORKER_COUNTS: [usize; 2] = [1, 2];
+    println!("-- scenario suite (every registered scl-check scenario, unified engine) --");
+    let mut suite = Vec::new();
+    for workers in SUITE_WORKER_COUNTS {
+        let m = measure_suite(workers, smoke);
+        println!(
+            "suite/workers={}: schedules={} steps={} checker_states={} as_expected={} secs={:.3}",
+            m.workers, m.schedules, m.executed_steps, m.checker_states, m.all_as_expected, m.secs
+        );
+        suite.push(m);
+    }
+
     let by_name = |wl_name: &str, name: &str| {
         recording
             .iter()
@@ -302,38 +372,59 @@ fn main() {
         .iter()
         .map(|(wl_name, mode, m)| format!("    \"{wl_name}/{mode}\": {}", json_entry(m)))
         .collect();
+    let suite_entries: Vec<String> = suite
+        .iter()
+        .map(|m| format!("    \"workers_{}\": {}", m.workers, suite_json(m)))
+        .collect();
     let derived = format!(
-        "    \"recording_overhead_vs_no_monitor\": {:.3},\n    \"incremental_vs_from_scratch_checker_states\": {:.3},\n    \"incremental_vs_from_scratch_wall\": {:.3}",
+        "    \"recording_overhead_vs_no_monitor\": {:.3},\n    \"incremental_vs_from_scratch_checker_states\": {:.3},\n    \"incremental_vs_from_scratch_wall\": {:.3},\n    \"suite_parallel_vs_sequential_wall\": {:.3}",
         recording_only.secs / no_monitor.secs.max(1e-12),
         from_scratch.checker_states as f64 / incremental.checker_states.max(1) as f64,
         from_scratch.secs / incremental.secs.max(1e-12),
+        suite[0].secs / suite.last().expect("suite measured").secs.max(1e-12),
     );
+    let worker_counts: Vec<String> = SUITE_WORKER_COUNTS.iter().map(|w| w.to_string()).collect();
     let host =
         format!(
-        "  \"host\": {{\"available_parallelism\": {}, \"build_profile\": \"{}\", \"smoke\": {}}}",
+        "  \"host\": {{\"available_parallelism\": {}, \"suite_worker_counts\": [{}], \"build_profile\": \"{}\", \"smoke\": {}}}",
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(0),
+        worker_counts.join(", "),
         if cfg!(debug_assertions) { "debug" } else { "release" },
         smoke,
     );
     let json = format!(
-        "{{\n  \"description\": \"Per-schedule linearizability checking for PR 3: the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records what the invoke/commit barrier footprints of SleepSetsLinPreserving cost in lost pruning vs plain SleepSets, and that they keep the full n=3 space tractable.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"description\": \"Per-schedule linearizability checking for PR 4: the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records what the invoke/commit barrier footprints of SleepSetsLinPreserving cost in lost pruning vs plain SleepSets, and that they keep the full n=3 space tractable. The scenario_suite group runs every registered scl-check scenario through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
         recording_entries.join(",\n"),
         reduction_entries.join(",\n"),
+        suite_entries.join(",\n"),
         derived,
     );
     let file = if smoke {
-        "../../BENCH_PR3.smoke.json"
+        "../../artifacts/BENCH_PR4.smoke.json"
     } else {
-        "../../BENCH_PR3.json"
+        "../../BENCH_PR4.json"
     };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
-    std::fs::write(&path, &json).expect("write BENCH_PR3.json");
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create artifact directory");
+    }
+    std::fs::write(&path, &json).expect("write BENCH_PR4.json");
     println!("\nwrote {}", path.display());
 
+    // The suite must match its expectations in every engine mode, smoke
+    // included: these are the same scenarios CI gates on.
+    for m in &suite {
+        assert!(
+            m.all_as_expected,
+            "scenario suite failed under workers={}",
+            m.workers
+        );
+    }
+
     if !smoke {
-        // PR 3 acceptance bars (loud failures beat silent rot).
+        // PR 3/PR 4 acceptance bars (loud failures beat silent rot).
         assert!(
             by_name("spec_tas_n2", "incremental").exhausted
                 && by_name("spec_tas_n2", "from_scratch").exhausted,
@@ -345,6 +436,13 @@ fn main() {
              per-schedule checking ({} vs {})",
             incremental.checker_states,
             from_scratch.checker_states
+        );
+        assert!(
+            incremental.secs < from_scratch.secs,
+            "with interned configs the incremental checker must also win on wall clock \
+             on 9-commit histories ({:.3}s vs {:.3}s)",
+            incremental.secs,
+            from_scratch.secs
         );
         let find = |wl_name: &str, mode: &str| {
             reduction

@@ -291,14 +291,18 @@ fn main() {
         derived.join(",\n")
     );
     // Anchor at the workspace root regardless of the invocation directory.
-    // Smoke runs write a sibling file so they never clobber the committed
-    // full-run numbers.
+    // Smoke runs write into the gitignored `artifacts/` directory so they
+    // never clobber the committed full-run numbers (and never end up staged
+    // by accident).
     let file = if smoke {
-        "../../BENCH_PR2.smoke.json"
+        "../../artifacts/BENCH_PR2.smoke.json"
     } else {
         "../../BENCH_PR2.json"
     };
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir).expect("create artifact directory");
+    }
     std::fs::write(&path, &json).expect("write BENCH_PR2.json");
     println!("\nwrote {}", path.display());
 

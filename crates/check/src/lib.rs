@@ -41,8 +41,8 @@ pub mod scenarios;
 
 pub use bridge::{CheckerMode, LinMonitor};
 pub use scenarios::{
-    find, parse_checker, parse_reduction, parse_resume, reduction_name, registry, resume_name,
-    CheckConfig, Outcome, Scenario, ScenarioReport,
+    find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume, reduction_name,
+    registry, resume_name, CheckConfig, Outcome, Scenario, ScenarioReport,
 };
 
 /// Renders a set of scenario reports (plus the configuration that produced
@@ -87,13 +87,19 @@ pub fn reports_to_json(config: &CheckConfig, reports: &[ScenarioReport]) -> Stri
     format!(
         "{{\n  \"tool\": \"scl-check\",\n  \"config\": {{\"reduction\": \"{}\", \"resume\": \
          \"{}\", \"checker\": \"{}\", \"max_schedules\": {}, \"max_ticks\": {}, \
-         \"metrics_only\": {}}},\n  \"scenarios\": {{\n{}\n  }},\n  \"all_as_expected\": {}\n}}\n",
+         \"metrics_only\": {}, \"workers\": {}}},\n  \"host\": \
+         {{\"available_parallelism\": {}}},\n  \"scenarios\": {{\n{}\n  }},\n  \
+         \"all_as_expected\": {}\n}}\n",
         reduction_name(config.reduction),
         resume_name(config.resume),
         config.checker.name(),
         config.max_schedules,
         config.max_ticks,
         config.metrics_only,
+        config.workers,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(0),
         entries.join(",\n"),
         all_as_expected,
     )

@@ -11,8 +11,8 @@
 //! objects pass, seeded mutants violate).
 
 use scl_check::{
-    find, parse_checker, parse_reduction, parse_resume, registry, reports_to_json, CheckConfig,
-    Outcome, Scenario, ScenarioReport,
+    find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume, registry,
+    reports_to_json, CheckConfig, Outcome, Scenario, ScenarioReport,
 };
 
 fn usage() -> ! {
@@ -31,6 +31,8 @@ fn usage() -> ! {
          \x20  --checker MODE          incremental (default) | from-scratch\n\
          \x20  --max-schedules N       schedule budget (default 200000)\n\
          \x20  --max-ticks N           tick limit per execution (default 10000)\n\
+         \x20  --workers N             engine worker threads: 1 = sequential\n\
+         \x20                          (default), 0 = available parallelism\n\
          \x20  --metrics-only          skip event-trace recording (rejected for\n\
          \x20                          scenarios with trace-consuming checks)\n\
          \x20  --json PATH             also write the JSON report to PATH"
@@ -102,6 +104,10 @@ fn main() {
                 let v = value(&mut i);
                 config.max_ticks = v.parse().unwrap_or_else(|_| usage());
             }
+            "--workers" => {
+                let v = value(&mut i);
+                config.workers = v.parse().unwrap_or_else(|_| usage());
+            }
             "--json" => json_path = Some(value(&mut i)),
             "--help" | "-h" => usage(),
             name if !name.starts_with('-') => names.push(name.to_string()),
@@ -131,6 +137,15 @@ fn main() {
             })
             .collect()
     };
+
+    // Reject --metrics-only against trace-consuming scenarios *now*, at
+    // arg-parse time — not as a ConfigError halfway through the run.
+    if config.metrics_only {
+        if let Some(msg) = metrics_only_conflict(scenarios.iter().copied()) {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
 
     let mut reports: Vec<ScenarioReport> = Vec::new();
     for s in &scenarios {
@@ -162,6 +177,15 @@ fn main() {
 
     let json = reports_to_json(&config, &reports);
     if let Some(path) = &json_path {
+        if let Some(dir) = std::path::Path::new(path)
+            .parent()
+            .filter(|d| !d.as_os_str().is_empty())
+        {
+            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                eprintln!("cannot create {}: {e}", dir.display());
+                std::process::exit(2);
+            });
+        }
         std::fs::write(path, &json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(2);

@@ -17,9 +17,9 @@ use scl_core::{
     CasConsensus, Composed, ConsensusObject, ConsensusSwitch, ResettableTas, SplitConsensus,
 };
 use scl_sim::{
-    explore_schedules_monitored_report, ExecutionResult, ExploreConfig, ExploreOutcome,
-    ExploreReport, ExploreStats, OpOutcome, Reduction, ResumeMode, SharedMemory, SimObject,
-    Workload,
+    explore_schedules_monitored_report, explore_schedules_parallel_monitored_report,
+    ExecutionResult, ExploreConfig, ExploreOutcome, ExploreReport, ExploreStats, OpOutcome,
+    Reduction, ResumeMode, SharedMemory, SimObject, Workload,
 };
 use scl_spec::{
     ConsensusOp, ConsensusSpec, History, ProcessId, QueueOp, QueueSpec, RegisterOp, RegisterSpec,
@@ -47,6 +47,13 @@ pub struct CheckConfig {
     /// never read the trace ([`Scenario::needs_trace`] is `false`); the
     /// history bridge itself works fine without traces.
     pub metrics_only: bool,
+    /// Engine worker threads: `1` (the default) drives the exploration
+    /// sequentially; any other value uses the parallel engine — one DFS
+    /// worker (with its own [`LinMonitor`]) per thread, `0` meaning "use the
+    /// available parallelism". Verdict-signature sets are identical either
+    /// way (the parallel merge is deterministic); see the parallel oracle
+    /// tests.
+    pub workers: usize,
 }
 
 impl Default for CheckConfig {
@@ -58,6 +65,7 @@ impl Default for CheckConfig {
             max_schedules: 200_000,
             max_ticks: 10_000,
             metrics_only: false,
+            workers: 1,
         }
     }
 }
@@ -77,7 +85,7 @@ impl CheckConfig {
             max_schedules: self.max_schedules,
             max_ticks: self.max_ticks,
             metrics_only: self.metrics_only,
-            threads: 0,
+            threads: self.workers,
             reduction: self.reduction,
             resume: self.resume,
         }
@@ -207,41 +215,66 @@ impl Scenario {
     }
 }
 
-/// Runs a workload through the explorer with the linearizability bridge
-/// attached; `extra` adds scenario-specific per-schedule checks on top of
-/// the (optional) linearizability verdict.
+/// Runs a workload through the unified exploration engine with the
+/// linearizability bridge attached; `extra` adds scenario-specific
+/// per-schedule checks on top of the (optional) linearizability verdict.
+///
+/// [`CheckConfig::workers`] selects the driver: `1` runs the sequential
+/// engine with one borrowed [`LinMonitor`]; anything else runs the parallel
+/// engine, building one monitor per DFS worker through a factory and summing
+/// their checker-state counts. Both drivers execute the same engine code and
+/// the same check closure, so verdicts (and the deterministic
+/// first-in-DFS-order violation) are identical.
 fn explore_with_lin_opt<S, V, O, FSetup, FExtra, FGate>(
     config: &CheckConfig,
     spec: S,
     setup: FSetup,
     workload: &Workload<S, V>,
-    mut extra: FExtra,
-    mut lin_applies: FGate,
+    extra: FExtra,
+    lin_applies: FGate,
 ) -> RunnerOutput
 where
-    S: SequentialSpec,
-    V: Clone + Eq + Hash + Debug,
+    S: SequentialSpec + Send + Sync,
+    S::State: Send,
+    S::Op: Send + Sync,
+    S::Resp: Send,
+    V: Clone + Eq + Hash + Debug + Sync,
     O: SimObject<S, V>,
-    FSetup: FnMut(&mut SharedMemory) -> O,
-    FExtra: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
-    FGate: FnMut(&ExecutionResult<S, V>) -> bool,
+    FSetup: Fn(&mut SharedMemory) -> O + Sync,
+    FExtra: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
+    FGate: Fn(&ExecutionResult<S, V>) -> bool + Sync,
 {
-    let mut monitor = LinMonitor::new(spec, config.checker);
-    let report = explore_schedules_monitored_report(
-        setup,
-        workload,
-        &config.explore_config(),
-        &mut monitor,
-        |res, mem, m: &mut LinMonitor<S>| {
-            extra(res, mem)?;
-            if lin_applies(res) {
-                m.verdict()
-            } else {
-                Ok(())
-            }
-        },
-    );
-    (report, monitor.checker_states())
+    let check = |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut LinMonitor<S>| {
+        extra(res, mem)?;
+        if lin_applies(res) {
+            m.verdict()
+        } else {
+            Ok(())
+        }
+    };
+    if config.workers == 1 {
+        let mut monitor = LinMonitor::new(spec, config.checker);
+        let report = explore_schedules_monitored_report(
+            setup,
+            workload,
+            &config.explore_config(),
+            &mut monitor,
+            check,
+        );
+        (report, monitor.checker_states())
+    } else {
+        let checker = config.checker;
+        let factory = move || LinMonitor::new(spec.clone(), checker);
+        let (report, monitors) = explore_schedules_parallel_monitored_report(
+            setup,
+            workload,
+            &config.explore_config(),
+            &factory,
+            check,
+        );
+        let states = monitors.iter().map(|m| m.checker_states()).sum();
+        (report, states)
+    }
 }
 
 /// [`explore_with_lin_opt`] with the verdict always applied.
@@ -253,11 +286,14 @@ fn explore_with_lin<S, V, O, FSetup, FExtra>(
     extra: FExtra,
 ) -> RunnerOutput
 where
-    S: SequentialSpec,
-    V: Clone + Eq + Hash + Debug,
+    S: SequentialSpec + Send + Sync,
+    S::State: Send,
+    S::Op: Send + Sync,
+    S::Resp: Send,
+    V: Clone + Eq + Hash + Debug + Sync,
     O: SimObject<S, V>,
-    FSetup: FnMut(&mut SharedMemory) -> O,
-    FExtra: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
+    FSetup: Fn(&mut SharedMemory) -> O + Sync,
+    FExtra: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
 {
     explore_with_lin_opt(config, spec, setup, workload, extra, |_res| true)
 }
@@ -632,6 +668,31 @@ pub fn find(name: &str) -> Option<&'static Scenario> {
     SCENARIOS.iter().find(|s| s.name == name)
 }
 
+/// The arg-parse-time validation for `--metrics-only`: scenarios with
+/// trace-consuming checks cannot run without traces, and rejecting the
+/// combination up front beats surfacing a per-scenario `ConfigError`
+/// mid-run. Returns the error message naming every offending scenario, or
+/// `None` when the selection is compatible.
+pub fn metrics_only_conflict<'a, I>(selected: I) -> Option<String>
+where
+    I: IntoIterator<Item = &'a Scenario>,
+{
+    let offending: Vec<&str> = selected
+        .into_iter()
+        .filter(|s| s.needs_trace)
+        .map(|s| s.name)
+        .collect();
+    if offending.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "--metrics-only is invalid for scenarios with trace-consuming checks: {} \
+             (drop --metrics-only or deselect them)",
+            offending.join(", ")
+        ))
+    }
+}
+
 /// Reduction modes by CLI name.
 pub fn parse_reduction(s: &str) -> Option<Reduction> {
     match s {
@@ -674,5 +735,34 @@ pub fn resume_name(r: ResumeMode) -> &'static str {
     match r {
         ResumeMode::FullReplay => "full_replay",
         ResumeMode::PrefixResume => "prefix_resume",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_only_conflict_names_every_trace_consuming_scenario() {
+        let msg = metrics_only_conflict(registry().iter())
+            .expect("the registry contains trace-consuming scenarios");
+        for s in registry().iter().filter(|s| s.needs_trace) {
+            assert!(msg.contains(s.name), "{} missing from: {msg}", s.name);
+        }
+        assert!(
+            msg.contains("--metrics-only") && msg.contains("trace-consuming"),
+            "unhelpful error: {msg}"
+        );
+        // No false positives: trace-free scenarios are never named.
+        for s in registry().iter().filter(|s| !s.needs_trace) {
+            assert!(!msg.contains(s.name), "{} wrongly named in: {msg}", s.name);
+        }
+    }
+
+    #[test]
+    fn metrics_only_is_compatible_with_trace_free_selections() {
+        let trace_free: Vec<&Scenario> = registry().iter().filter(|s| !s.needs_trace).collect();
+        assert!(!trace_free.is_empty());
+        assert_eq!(metrics_only_conflict(trace_free.into_iter()), None);
     }
 }

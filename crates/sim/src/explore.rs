@@ -316,6 +316,23 @@ pub trait ScheduleMonitor<S: SequentialSpec, V> {
     fn rewind_to(&mut self, mark: u64);
 }
 
+/// A mutable borrow is a monitor itself: the sequential driver runs against
+/// a caller-owned monitor without giving up ownership.
+impl<S: SequentialSpec, V, M: ScheduleMonitor<S, V>> ScheduleMonitor<S, V> for &mut M {
+    fn begin(&mut self) {
+        (**self).begin()
+    }
+    fn observe(&mut self, session: &ExecSession<S, V>) {
+        (**self).observe(session)
+    }
+    fn mark(&mut self) -> u64 {
+        (**self).mark()
+    }
+    fn rewind_to(&mut self, mark: u64) {
+        (**self).rewind_to(mark)
+    }
+}
+
 /// The trivial monitor used by the unmonitored exploration APIs.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoMonitor;
@@ -327,6 +344,55 @@ impl<S: SequentialSpec, V> ScheduleMonitor<S, V> for NoMonitor {
         0
     }
     fn rewind_to(&mut self, _mark: u64) {}
+}
+
+/// Builds one [`ScheduleMonitor`] per engine of an exploration.
+///
+/// The parallel driver owns one DFS engine per worker thread, and each
+/// engine needs its own monitor (monitors are stateful and follow their
+/// engine's checkpoints). Any `Fn() -> M` closure is a factory; the trait
+/// exists so the monitor type is nameable in return positions.
+pub trait MonitorFactory<S: SequentialSpec, V> {
+    /// The monitor type produced.
+    type Monitor: ScheduleMonitor<S, V>;
+
+    /// Builds a fresh monitor, positioned before any execution.
+    fn monitor(&self) -> Self::Monitor;
+}
+
+impl<S, V, M, F> MonitorFactory<S, V> for F
+where
+    S: SequentialSpec,
+    M: ScheduleMonitor<S, V>,
+    F: Fn() -> M,
+{
+    type Monitor = M;
+    fn monitor(&self) -> M {
+        self()
+    }
+}
+
+/// The schedule budget shared by every engine of one exploration (trivially
+/// so for the sequential driver): each complete execution is admitted by one
+/// `fetch_add` ticket, so the admitted total is exactly
+/// `min(tree size, max)` no matter how many workers draw from it.
+struct SharedBudget {
+    max: u64,
+    used: AtomicU64,
+}
+
+impl SharedBudget {
+    fn new(max: u64) -> Self {
+        SharedBudget {
+            max,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws one ticket; `false` once the budget is exhausted.
+    fn admit(&self) -> bool {
+        self.used.fetch_add(1, Ordering::Relaxed) < self.max
+    }
 }
 
 /// The sleep-set mask bit of process `p`. Processes beyond the 64-bit mask
@@ -409,7 +475,7 @@ where
     workload: &'a Workload<S, V>,
     setup: FSetup,
     check: FCheck,
-    monitor: &'a mut M,
+    monitor: M,
     mem: SharedMemory,
     session: ExecSession<S, V>,
     object: Option<O>,
@@ -447,7 +513,7 @@ where
         workload: &'a Workload<S, V>,
         setup: FSetup,
         check: FCheck,
-        monitor: &'a mut M,
+        monitor: M,
         take_snapshots: bool,
     ) -> Self {
         if config.reduction.uses_sleep_sets() {
@@ -726,7 +792,7 @@ where
                     }
                     self.stats.schedules += 1;
                     if let Err(message) =
-                        (self.check)(self.session.result(), &self.mem, &mut *self.monitor)
+                        (self.check)(self.session.result(), &self.mem, &mut self.monitor)
                     {
                         return Err(ExploreViolation {
                             schedule: self.session.result().decisions.chosen().to_vec(),
@@ -746,6 +812,26 @@ where
             }
         }
     }
+
+    /// Consumes the engine, returning its monitor (with whatever aggregate
+    /// state — e.g. checker statistics — it accumulated).
+    fn into_monitor(self) -> M {
+        self.monitor
+    }
+}
+
+/// Converts an engine's subtree result into an exploration report.
+fn subtree_report(result: Result<Subtree, ExploreViolation>, stats: ExploreStats) -> ExploreReport {
+    let outcome = match result {
+        Err(v) => Err(v),
+        Ok(Subtree::Exhausted) => Ok(ExploreOutcome::Exhausted {
+            schedules: stats.schedules,
+        }),
+        Ok(Subtree::Stopped) => Ok(ExploreOutcome::LimitReached {
+            schedules: stats.schedules,
+        }),
+    };
+    ExploreReport { outcome, stats }
 }
 
 /// Explores all schedules of the executions generated by `setup` and
@@ -798,31 +884,21 @@ where
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
 {
-    let mut engine = Engine::new(config, workload, setup, check, monitor, true);
-    let max = config.max_schedules;
-    // The gate compares the count *before* the pending execution, exactly as
-    // the replay explorer checked its budget before each replay.
-    let mut schedules_seen = 0u64;
-    let mut gate = move || {
-        if schedules_seen >= max {
-            return false;
-        }
-        schedules_seen += 1;
-        true
-    };
-    let outcome = match engine.explore_subtree(&[], None, 0, &mut gate, false) {
-        Err(v) => Err(v),
-        Ok(Subtree::Exhausted) => Ok(ExploreOutcome::Exhausted {
-            schedules: engine.stats.schedules,
-        }),
-        Ok(Subtree::Stopped) => Ok(ExploreOutcome::LimitReached {
-            schedules: engine.stats.schedules,
-        }),
-    };
-    ExploreReport {
-        outcome,
-        stats: engine.stats,
-    }
+    let mut check = check;
+    let budget = SharedBudget::new(config.max_schedules);
+    let mut engine = Engine::new(
+        config,
+        workload,
+        setup,
+        // The engine owns its monitor; here that monitor is the caller's
+        // borrow (via the blanket `&mut M` impl), so the check unwraps one
+        // level of indirection.
+        move |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut &mut M| check(res, mem, m),
+        monitor,
+        true,
+    );
+    let result = engine.explore_subtree(&[], None, 0, &mut || budget.admit(), false);
+    subtree_report(result, engine.stats)
 }
 
 /// Explores all schedules of the executions generated by `setup` and
@@ -858,16 +934,24 @@ struct BranchReport {
     violation: Option<ExploreViolation>,
 }
 
-/// Explores all schedules like [`explore_schedules`], but partitions the
-/// depth-first search across OS threads, and reports the combined work.
+/// Explores all schedules like [`explore_schedules_monitored_report`], but
+/// partitions the depth-first search across OS threads, with one
+/// factory-built [`ScheduleMonitor`] per engine. Returns the report together
+/// with every engine's monitor (the root discovery engine's first, then the
+/// workers' in spawn order) so callers can aggregate monitor state — e.g.
+/// checker statistics — across the exploration.
 ///
 /// The root schedule is run once, the alternatives along it become
 /// *branches*, and the branches are handed to `config.threads` workers (each
-/// with its own reusable memory + session + checkpoints). The merge is
-/// deterministic:
+/// with its own reusable memory + session + checkpoints + monitor). A worker
+/// entering a branch replays the ticket's prefix, which restarts its monitor
+/// and re-observes the prefix tick by tick — exactly the prefix-resume
+/// fallback path — so monitors see each explored schedule's events once per
+/// branch point, never torn across engines. The merge is deterministic:
 ///
 /// * branches are ordered exactly as the sequential DFS would visit them,
-///   and the reported violation is the first one in that order — a worker
+///   and the reported violation — including any monitor-derived verdict the
+///   check turns into an error — is the first one in that order; a worker
 ///   abandons its branch early only when a strictly earlier branch has
 ///   already produced a violation;
 /// * the schedule budget is a shared atomic ticket counter: when the tree
@@ -887,47 +971,63 @@ struct BranchReport {
 ///
 /// Because the check runs concurrently it must be `Fn + Sync` (the
 /// sequential API accepts `FnMut`).
-pub fn explore_schedules_parallel_report<S, V, O, FSetup, FCheck>(
+pub fn explore_schedules_parallel_monitored_report<S, V, O, MF, FSetup, FCheck>(
     setup: FSetup,
     workload: &Workload<S, V>,
     config: &ExploreConfig,
+    factory: &MF,
     check: FCheck,
-) -> ExploreReport
+) -> (ExploreReport, Vec<MF::Monitor>)
 where
     S: SequentialSpec,
     S::Op: Sync,
     V: Clone + Eq + Hash + Debug + Sync,
     O: SimObject<S, V>,
+    MF: MonitorFactory<S, V> + Sync,
+    MF::Monitor: Send,
     FSetup: Fn(&mut SharedMemory) -> O + Sync,
-    FCheck: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
+    FCheck:
+        Fn(&ExecutionResult<S, V>, &SharedMemory, &mut MF::Monitor) -> Result<(), String> + Sync,
 {
     let mut stats = ExploreStats::default();
-    if config.max_schedules == 0 {
-        return ExploreReport {
-            outcome: Ok(ExploreOutcome::LimitReached { schedules: 0 }),
-            stats,
-        };
-    }
+    let budget = SharedBudget::new(config.max_schedules);
 
     // Run the root schedule once to discover the first-level branches. The
     // discovery pass never snapshots: its frames are converted into tickets
     // that the workers replay themselves.
-    let mut root_monitor = NoMonitor;
     let mut root_engine = Engine::new(
         config,
         workload,
         |mem: &mut SharedMemory| setup(mem),
-        |res: &ExecutionResult<S, V>, mem: &SharedMemory, _m: &mut NoMonitor| check(res, mem),
-        &mut root_monitor,
+        |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut MF::Monitor| check(res, mem, m),
+        factory.monitor(),
         false,
     );
-    let root_result = root_engine.explore_subtree(&[], None, 0, &mut || true, true);
+    let root_result = root_engine.explore_subtree(&[], None, 0, &mut || budget.admit(), true);
     stats.absorb(&root_engine.stats);
-    if let Err(v) = root_result {
-        return ExploreReport {
-            outcome: Err(v),
-            stats,
-        };
+    match root_result {
+        Err(v) => {
+            return (
+                ExploreReport {
+                    outcome: Err(v),
+                    stats,
+                },
+                vec![root_engine.into_monitor()],
+            );
+        }
+        // Budget exhausted on the very first schedule (max_schedules == 0).
+        Ok(Subtree::Stopped) => {
+            return (
+                ExploreReport {
+                    outcome: Ok(ExploreOutcome::LimitReached {
+                        schedules: stats.schedules,
+                    }),
+                    stats,
+                },
+                vec![root_engine.into_monitor()],
+            );
+        }
+        Ok(Subtree::Exhausted) => {}
     }
 
     // Harvest branch tickets in sequential DFS visit order: deepest decision
@@ -952,17 +1052,18 @@ where
             explored |= bit(alt);
         }
     }
-    drop(root_engine);
+    let root_monitor = root_engine.into_monitor();
     if tickets.is_empty() {
-        return ExploreReport {
-            outcome: Ok(ExploreOutcome::Exhausted { schedules: 1 }),
-            stats,
-        };
+        return (
+            ExploreReport {
+                outcome: Ok(ExploreOutcome::Exhausted {
+                    schedules: stats.schedules,
+                }),
+                stats,
+            },
+            vec![root_monitor],
+        );
     }
-
-    // Shared schedule budget; the root run took the first ticket.
-    let budget = AtomicU64::new(1);
-    let max_schedules = config.max_schedules;
 
     let threads = if config.threads == 0 {
         std::thread::available_parallelism()
@@ -981,70 +1082,76 @@ where
     let tickets = &tickets;
     let root_path = &root_path;
 
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            let budget = &budget;
-            let next_ticket = &next_ticket;
-            let best_violating_branch = &best_violating_branch;
-            let reports = &reports;
-            let setup = &setup;
-            let check = &check;
-            scope.spawn(move || {
-                let mut monitor = NoMonitor;
-                let mut engine = Engine::new(
-                    config,
-                    workload,
-                    |mem: &mut SharedMemory| setup(mem),
-                    |res: &ExecutionResult<S, V>, mem: &SharedMemory, _m: &mut NoMonitor| {
-                        check(res, mem)
-                    },
-                    &mut monitor,
-                    true,
-                );
-                loop {
-                    let bi = next_ticket.fetch_add(1, Ordering::Relaxed);
-                    if bi >= tickets.len() {
-                        return;
-                    }
-                    let ticket = &tickets[bi];
-                    engine.stats = ExploreStats::default();
-                    let mut gate = || {
-                        budget.fetch_add(1, Ordering::Relaxed) < max_schedules
-                            && best_violating_branch.load(Ordering::Relaxed) >= bi
-                    };
-                    let result = engine.explore_subtree(
-                        &root_path[..ticket.prefix_len],
-                        Some(ticket.branch),
-                        ticket.sleep,
-                        &mut gate,
-                        false,
+    let mut monitors = vec![root_monitor];
+    let worker_monitors: Vec<MF::Monitor> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let budget = &budget;
+                let next_ticket = &next_ticket;
+                let best_violating_branch = &best_violating_branch;
+                let reports = &reports;
+                let setup = &setup;
+                let check = &check;
+                scope.spawn(move || {
+                    let mut engine = Engine::new(
+                        config,
+                        workload,
+                        |mem: &mut SharedMemory| setup(mem),
+                        |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut MF::Monitor| {
+                            check(res, mem, m)
+                        },
+                        factory.monitor(),
+                        true,
                     );
-                    let delta = engine.stats;
-                    let report = match result {
-                        Err(violation) => {
-                            best_violating_branch.fetch_min(bi, Ordering::Relaxed);
-                            BranchReport {
+                    loop {
+                        let bi = next_ticket.fetch_add(1, Ordering::Relaxed);
+                        if bi >= tickets.len() {
+                            return engine.into_monitor();
+                        }
+                        let ticket = &tickets[bi];
+                        engine.stats = ExploreStats::default();
+                        let mut gate = || {
+                            budget.admit() && best_violating_branch.load(Ordering::Relaxed) >= bi
+                        };
+                        let result = engine.explore_subtree(
+                            &root_path[..ticket.prefix_len],
+                            Some(ticket.branch),
+                            ticket.sleep,
+                            &mut gate,
+                            false,
+                        );
+                        let delta = engine.stats;
+                        let report = match result {
+                            Err(violation) => {
+                                best_violating_branch.fetch_min(bi, Ordering::Relaxed);
+                                BranchReport {
+                                    stats: delta,
+                                    exhausted: false,
+                                    violation: Some(violation),
+                                }
+                            }
+                            Ok(Subtree::Exhausted) => BranchReport {
+                                stats: delta,
+                                exhausted: true,
+                                violation: None,
+                            },
+                            Ok(Subtree::Stopped) => BranchReport {
                                 stats: delta,
                                 exhausted: false,
-                                violation: Some(violation),
-                            }
-                        }
-                        Ok(Subtree::Exhausted) => BranchReport {
-                            stats: delta,
-                            exhausted: true,
-                            violation: None,
-                        },
-                        Ok(Subtree::Stopped) => BranchReport {
-                            stats: delta,
-                            exhausted: false,
-                            violation: None,
-                        },
-                    };
-                    *reports[bi].lock().unwrap() = Some(report);
-                }
-            });
-        }
+                                violation: None,
+                            },
+                        };
+                        *reports[bi].lock().unwrap() = Some(report);
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("explorer worker panicked"))
+            .collect()
     });
+    monitors.extend(worker_monitors);
 
     // Deterministic merge: first violating branch in DFS order wins. Every
     // ticket is claimed by exactly one worker and always yields a report
@@ -1074,7 +1181,37 @@ where
             schedules: stats.schedules,
         }),
     };
-    ExploreReport { outcome, stats }
+    (ExploreReport { outcome, stats }, monitors)
+}
+
+/// Explores all schedules like [`explore_schedules`], but partitions the
+/// depth-first search across OS threads, and reports the combined work. A
+/// thin monitor-less wrapper over
+/// [`explore_schedules_parallel_monitored_report`], which documents the
+/// partitioning and merge semantics.
+pub fn explore_schedules_parallel_report<S, V, O, FSetup, FCheck>(
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    config: &ExploreConfig,
+    check: FCheck,
+) -> ExploreReport
+where
+    S: SequentialSpec,
+    S::Op: Sync,
+    V: Clone + Eq + Hash + Debug + Sync,
+    O: SimObject<S, V>,
+    FSetup: Fn(&mut SharedMemory) -> O + Sync,
+    FCheck: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
+{
+    let factory = || NoMonitor;
+    let (report, _monitors) = explore_schedules_parallel_monitored_report(
+        setup,
+        workload,
+        config,
+        &factory,
+        |res: &ExecutionResult<S, V>, mem: &SharedMemory, _m: &mut NoMonitor| check(res, mem),
+    );
+    report
 }
 
 /// Explores all schedules like [`explore_schedules`], but partitions the

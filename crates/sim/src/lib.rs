@@ -54,9 +54,9 @@ pub use executor::{
 };
 pub use explore::{
     explore_schedules, explore_schedules_monitored_report, explore_schedules_parallel,
-    explore_schedules_parallel_report, explore_schedules_report, ExploreConfig, ExploreOutcome,
-    ExploreReport, ExploreStats, ExploreViolation, NoMonitor, Reduction, ResumeMode,
-    ScheduleMonitor,
+    explore_schedules_parallel_monitored_report, explore_schedules_parallel_report,
+    explore_schedules_report, ExploreConfig, ExploreOutcome, ExploreReport, ExploreStats,
+    ExploreViolation, MonitorFactory, NoMonitor, Reduction, ResumeMode, ScheduleMonitor,
 };
 pub use machine::{
     ImmediateOutcome, ObjectSnapshot, OpExecution, OpOutcome, SimObject, StepOutcome,

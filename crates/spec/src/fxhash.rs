@@ -1,0 +1,116 @@
+//! A fast, non-cryptographic hasher for the checker hot paths.
+//!
+//! The incremental checker's inner loop is dominated by hash-set operations
+//! on small `Copy` values (interned ids, operation masks): the standard
+//! library's SipHash is DoS-resistant but costs several times a multiply-mix
+//! per word, which matters when every expanded checker state performs three
+//! or four hash lookups. This is the rustc-hash ("Fx") construction — one
+//! rotate, one xor, one multiply per word — which is the established choice
+//! for exactly this in-process, attacker-free workload. Inputs here are
+//! explorer-generated ids, never external data, so HashDoS is not a concern.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-hash multiplier (a truncation of π in fixed point).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// See the [module documentation](self).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_word(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_word(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_word(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_word(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_word(i as u64);
+        self.add_word((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_word(i as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]-backed maps and sets.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed by explorer-generated values.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` of explorer-generated values.
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(value: T) -> u64 {
+        FxBuildHasher::default().hash_one(value)
+    }
+
+    #[test]
+    fn equal_values_hash_equal_and_unequal_values_spread() {
+        assert_eq!(hash_of((3u64, 5u32)), hash_of((3u64, 5u32)));
+        let hashes: std::collections::HashSet<u64> = (0u64..1000).map(hash_of).collect();
+        assert_eq!(hashes.len(), 1000, "fx hashing must not collapse small ids");
+    }
+
+    #[test]
+    fn byte_stream_hashing_covers_the_tail() {
+        // Same prefix, differing only in the sub-word tail.
+        assert_ne!(hash_of([1u8; 9]), {
+            let mut v = [1u8; 9];
+            v[8] = 2;
+            hash_of(v)
+        });
+    }
+}

@@ -38,11 +38,21 @@
 //! and re-checks only the suffix when backtracking — the memoised Wing–Gong
 //! states keyed at branch points that make per-schedule linearizability
 //! verdicts affordable over a whole schedule space.
+//!
+//! # Representation
+//!
+//! Object states, responses and overlong assigned-response lists are
+//! hash-consed into append-only arenas (see `ConfigStore`), so a frontier
+//! configuration is a small `Copy` value (operation mask + state id + an
+//! inline list of assigned-response ids): frontier updates, `visited`
+//! deduplication and mark snapshots move plain words instead of cloning and
+//! re-hashing spec states — the constant factor that used to eat the
+//! incremental checker's state-count win.
 
+use crate::fxhash::{FxHashMap, FxHashSet};
 use crate::history::Request;
 use crate::ids::RequestId;
 use crate::seqspec::SequentialSpec;
-use std::collections::{HashMap, HashSet};
 
 /// Work accounting of an [`IncrementalLinChecker`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -100,70 +110,199 @@ enum LogEntry {
     Committed(usize),
 }
 
+/// A hash-consing arena: each distinct value gets a dense `u32` id, so
+/// value equality becomes id equality and frontier configurations can carry
+/// ids instead of cloned values.
+struct Arena<T: Clone + Eq + std::hash::Hash> {
+    values: Vec<T>,
+    ids: FxHashMap<T, u32>,
+}
+
+impl<T: Clone + Eq + std::hash::Hash> Arena<T> {
+    fn new() -> Self {
+        Arena {
+            values: Vec::new(),
+            ids: FxHashMap::default(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.values.clear();
+        self.ids.clear();
+    }
+
+    fn intern(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.ids.get(&value) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(value.clone());
+        self.ids.insert(value, id);
+        id
+    }
+
+    fn get(&self, id: u32) -> &T {
+        &self.values[id as usize]
+    }
+}
+
+/// An assigned-response entry, packed as `(slot << 32) | resp_id`. Slots
+/// occupy the high bits, so sorting entries sorts by slot (slots are unique
+/// within one list).
+type AssignedEntry = u64;
+
+#[inline]
+fn pack_entry(slot: usize, resp_id: u32) -> AssignedEntry {
+    ((slot as u64) << 32) | resp_id as u64
+}
+
+#[inline]
+fn entry_slot(entry: AssignedEntry) -> usize {
+    (entry >> 32) as usize
+}
+
+#[inline]
+fn entry_resp(entry: AssignedEntry) -> u32 {
+    entry as u32
+}
+
+/// How many assigned-response entries a [`Config`] stores inline. Lists
+/// longer than this (more than `ASSIGNED_INLINE` operations linearized while
+/// still pending — rare) are hash-consed into the spill arena.
+const ASSIGNED_INLINE: usize = 4;
+
+/// The responses assigned to operations linearized *while still pending*,
+/// sorted by slot. Canonical representation: at most [`ASSIGNED_INLINE`]
+/// entries inline (unused slots zeroed), longer lists always spilled (and
+/// hash-consed, so derived equality is value equality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum Assigned {
+    Inline {
+        len: u8,
+        entries: [AssignedEntry; ASSIGNED_INLINE],
+    },
+    Spilled(u32),
+}
+
+impl Assigned {
+    const EMPTY: Assigned = Assigned::Inline {
+        len: 0,
+        entries: [0; ASSIGNED_INLINE],
+    };
+}
+
+/// The value store backing [`Config`]s: hash-consing arenas for object
+/// states, responses and overlong assigned lists, plus the scratch buffer
+/// the assigned-list operations build into. Arenas are append-only between
+/// [`IncrementalLinChecker::begin`]s, so ids stay valid across
+/// [`IncrementalLinChecker::rewind_to`].
+struct ConfigStore<S: SequentialSpec> {
+    states: Arena<S::State>,
+    resps: Arena<S::Resp>,
+    spill: Arena<Vec<AssignedEntry>>,
+    scratch: Vec<AssignedEntry>,
+}
+
+impl<S: SequentialSpec> ConfigStore<S> {
+    fn new() -> Self {
+        ConfigStore {
+            states: Arena::new(),
+            resps: Arena::new(),
+            spill: Arena::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    fn clear(&mut self) {
+        self.states.clear();
+        self.resps.clear();
+        self.spill.clear();
+    }
+
+    /// The response id assigned to `slot`, if any.
+    fn assigned_find(&self, assigned: Assigned, slot: usize) -> Option<u32> {
+        let entries: &[AssignedEntry] = match &assigned {
+            Assigned::Inline { len, entries } => &entries[..*len as usize],
+            Assigned::Spilled(id) => self.spill.get(*id),
+        };
+        entries
+            .iter()
+            .find(|&&e| entry_slot(e) == slot)
+            .map(|&e| entry_resp(e))
+    }
+
+    /// A copy of `assigned` with `(slot, resp_id)` inserted (sorted by slot).
+    fn assigned_insert(&mut self, assigned: Assigned, slot: usize, resp_id: u32) -> Assigned {
+        let entry = pack_entry(slot, resp_id);
+        self.load_scratch(assigned);
+        let pos = self.scratch.partition_point(|&e| e < entry);
+        self.scratch.insert(pos, entry);
+        self.pack_scratch()
+    }
+
+    /// A copy of `assigned` with the entry for `slot` removed.
+    fn assigned_remove(&mut self, assigned: Assigned, slot: usize) -> Assigned {
+        self.load_scratch(assigned);
+        self.scratch.retain(|&e| entry_slot(e) != slot);
+        self.pack_scratch()
+    }
+
+    fn load_scratch(&mut self, assigned: Assigned) {
+        self.scratch.clear();
+        match assigned {
+            Assigned::Inline { len, entries } => {
+                self.scratch.extend_from_slice(&entries[..len as usize])
+            }
+            Assigned::Spilled(id) => self.scratch.extend_from_slice(self.spill.get(id)),
+        }
+    }
+
+    fn pack_scratch(&mut self) -> Assigned {
+        let len = self.scratch.len();
+        if len <= ASSIGNED_INLINE {
+            let mut entries = [0u64; ASSIGNED_INLINE];
+            entries[..len].copy_from_slice(&self.scratch);
+            Assigned::Inline {
+                len: len as u8,
+                entries,
+            }
+        } else {
+            // Hash-consed with a borrowed lookup: repeated spills of the
+            // same list allocate once, and the scratch buffer is kept.
+            if let Some(&id) = self.spill.ids.get(self.scratch.as_slice()) {
+                return Assigned::Spilled(id);
+            }
+            let id = self.spill.values.len() as u32;
+            self.spill.values.push(self.scratch.clone());
+            self.spill.ids.insert(self.scratch.clone(), id);
+            Assigned::Spilled(id)
+        }
+    }
+}
+
 /// One frontier configuration: the set of linearized operations (as a bit
 /// mask over `ops` slots), the object state they produce, and the responses
 /// assigned to operations that were linearized *while still pending* (sorted
 /// by slot). When such an operation later commits, only configurations whose
 /// assigned response matches the observed one survive; operations that never
 /// commit may keep any assignment (or none — they can also be dropped).
-// Not derived: derive would bound `S` itself, but only the associated types
-// need the traits (they carry them via `SequentialSpec`).
-struct Config<S: SequentialSpec> {
+///
+/// States, responses and overlong assigned lists live in the checker's
+/// [`ConfigStore`] and are referred to by hash-consed ids, so a `Config` is
+/// a small `Copy` value: frontier moves, `visited` deduplication and mark
+/// snapshots never clone object states or response values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Config {
     mask: u128,
-    state: S::State,
-    assigned: Vec<(usize, S::Resp)>,
-}
-
-impl<S: SequentialSpec> std::fmt::Debug for Config<S> {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Config")
-            .field("mask", &self.mask)
-            .field("state", &self.state)
-            .field("assigned", &self.assigned)
-            .finish()
-    }
-}
-
-impl<S: SequentialSpec> Clone for Config<S> {
-    fn clone(&self) -> Self {
-        Config {
-            mask: self.mask,
-            state: self.state.clone(),
-            assigned: self.assigned.clone(),
-        }
-    }
-}
-
-impl<S: SequentialSpec> PartialEq for Config<S> {
-    fn eq(&self, other: &Self) -> bool {
-        self.mask == other.mask && self.state == other.state && self.assigned == other.assigned
-    }
-}
-
-impl<S: SequentialSpec> Eq for Config<S> {}
-
-impl<S: SequentialSpec> std::hash::Hash for Config<S> {
-    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        self.mask.hash(state);
-        self.state.hash(state);
-        self.assigned.hash(state);
-    }
-}
-
-impl<S: SequentialSpec> Config<S> {
-    fn with_assignment(&self, slot: usize, resp: S::Resp) -> Vec<(usize, S::Resp)> {
-        let mut assigned = self.assigned.clone();
-        let pos = assigned.partition_point(|(s, _)| *s < slot);
-        assigned.insert(pos, (slot, resp));
-        assigned
-    }
+    state: u32,
+    assigned: Assigned,
 }
 
 /// A saved checker position: the frontier (and failure state) at a mark.
-struct MarkEntry<S: SequentialSpec> {
+struct MarkEntry {
     token: u64,
     log_len: usize,
-    frontier: Vec<Config<S>>,
+    frontier: Vec<Config>,
     failure: Option<RequestId>,
     too_large: bool,
 }
@@ -172,17 +311,19 @@ struct MarkEntry<S: SequentialSpec> {
 pub struct IncrementalLinChecker<S: SequentialSpec> {
     spec: S,
     ops: Vec<IncOp<S>>,
-    index: HashMap<RequestId, usize>,
+    index: FxHashMap<RequestId, usize>,
+    /// Hash-consing store for the values [`Config`] ids refer to.
+    store: ConfigStore<S>,
     /// Current frontier of configurations consistent with the events so far.
-    frontier: Vec<Config<S>>,
+    frontier: Vec<Config>,
     /// Scratch for the next frontier (reused across commits).
-    next_frontier: Vec<Config<S>>,
+    next_frontier: Vec<Config>,
     /// Deduplication of configurations during one commit update.
-    visited: HashSet<Config<S>>,
+    visited: FxHashSet<Config>,
     /// DFS worklist scratch.
-    stack: Vec<Config<S>>,
+    stack: Vec<Config>,
     log: Vec<LogEntry>,
-    marks: Vec<MarkEntry<S>>,
+    marks: Vec<MarkEntry>,
     next_token: u64,
     failure: Option<RequestId>,
     too_large: bool,
@@ -195,10 +336,11 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
         let mut checker = IncrementalLinChecker {
             spec,
             ops: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
+            store: ConfigStore::new(),
             frontier: Vec::new(),
             next_frontier: Vec::new(),
-            visited: HashSet::new(),
+            visited: FxHashSet::default(),
             stack: Vec::new(),
             log: Vec::new(),
             marks: Vec::new(),
@@ -217,11 +359,13 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
     pub fn begin(&mut self) {
         self.ops.clear();
         self.index.clear();
+        self.store.clear();
         self.frontier.clear();
+        let initial = self.store.states.intern(self.spec.initial_state());
         self.frontier.push(Config {
             mask: 0,
-            state: self.spec.initial_state(),
-            assigned: Vec::new(),
+            state: initial,
+            assigned: Assigned::EMPTY,
         });
         self.log.clear();
         self.marks.clear();
@@ -289,41 +433,48 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
         // either validate an earlier on-demand linearization of `slot`
         // (assigned response must match the observed one) or linearize a
         // sequence of pending operations ending with `slot`. `visited`
-        // deduplicates configurations across the whole update.
+        // deduplicates configurations across the whole update; because
+        // states, responses and spilled lists are hash-consed, id equality
+        // is value equality and every `Config` is a `Copy` move.
         self.visited.clear();
         self.next_frontier.clear();
         self.stack.clear();
         for cfg in self.frontier.drain(..) {
-            if self.visited.insert(cfg.clone()) {
+            if self.visited.insert(cfg) {
                 self.stack.push(cfg);
             }
         }
+        // Interning the observed response makes the assigned-response
+        // validation below a u32 compare.
+        let observed = self.store.resps.intern(resp.clone());
         let target_bit = 1u128 << slot;
         while let Some(cfg) = self.stack.pop() {
             self.stats.states += 1;
             if cfg.mask & target_bit != 0 {
                 // The operation was linearized while pending; the commit only
                 // validates its assigned response.
-                if let Some(pos) = cfg.assigned.iter().position(|(s, _)| *s == slot) {
-                    if cfg.assigned[pos].1 == *resp {
-                        let mut survivor = cfg.clone();
-                        survivor.assigned.remove(pos);
-                        if self.visited.insert(survivor.clone()) {
-                            self.next_frontier.push(survivor);
-                        }
+                if self.store.assigned_find(cfg.assigned, slot) == Some(observed) {
+                    let survivor = Config {
+                        assigned: self.store.assigned_remove(cfg.assigned, slot),
+                        ..cfg
+                    };
+                    if self.visited.insert(survivor) {
+                        self.next_frontier.push(survivor);
                     }
                 }
                 continue;
             }
             // Linearize the committed operation now...
-            let (next_state, r) = self.spec.apply(&cfg.state, &self.ops[slot].op);
+            let (next_state, r) = self
+                .spec
+                .apply(self.store.states.get(cfg.state), &self.ops[slot].op);
             if r == *resp {
                 let next = Config {
                     mask: cfg.mask | target_bit,
-                    state: next_state,
-                    assigned: cfg.assigned.clone(),
+                    state: self.store.states.intern(next_state),
+                    assigned: cfg.assigned,
                 };
-                if self.visited.insert(next.clone()) {
+                if self.visited.insert(next) {
                     self.next_frontier.push(next);
                 }
             }
@@ -334,13 +485,15 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
                 if i == slot || cfg.mask & bit != 0 || op.committed {
                     continue;
                 }
-                let (next_state, assigned_resp) = self.spec.apply(&cfg.state, &op.op);
+                let (next_state, assigned_resp) =
+                    self.spec.apply(self.store.states.get(cfg.state), &op.op);
+                let resp_id = self.store.resps.intern(assigned_resp);
                 let next = Config {
                     mask: cfg.mask | bit,
-                    state: next_state,
-                    assigned: cfg.with_assignment(i, assigned_resp),
+                    state: self.store.states.intern(next_state),
+                    assigned: self.store.assigned_insert(cfg.assigned, i, resp_id),
                 };
-                if self.visited.insert(next.clone()) {
+                if self.visited.insert(next) {
                     self.stack.push(next);
                 }
             }
@@ -410,7 +563,9 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
             }
         }
         self.frontier.clear();
-        self.frontier.extend(entry.frontier.iter().cloned());
+        // The store is append-only between `begin`s, so the ids in the
+        // mark's frontier are still valid.
+        self.frontier.extend_from_slice(&entry.frontier);
         self.failure = entry.failure;
         self.too_large = entry.too_large;
     }

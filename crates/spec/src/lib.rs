@@ -42,6 +42,7 @@
 pub mod abstract_spec;
 pub mod constraint;
 pub mod equivalence;
+pub mod fxhash;
 pub mod history;
 pub mod ids;
 pub mod incremental;
@@ -54,6 +55,7 @@ pub mod trace;
 pub use abstract_spec::{AbstractEvent, AbstractTrace, AbstractViolation};
 pub use constraint::{ConstraintFunction, PrefixConstraint, SwitchToken, TasConstraint};
 pub use equivalence::{equivalent, equivalent_by_state};
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use history::{History, Request};
 pub use ids::{ProcessId, RequestId, RequestIdGen};
 pub use incremental::{IncCheckStats, IncVerdict, IncrementalLinChecker};
