@@ -13,9 +13,13 @@
 //!   states memoised at branch points). Checker work is reported as
 //!   *checker states expanded*, the machine-independent cost metric.
 //! * **reduction** — schedule counts of `Off` vs `SleepSets` vs
-//!   `SleepSetsLinPreserving` on n=2 (exhaustive) and of the two sleep-set
-//!   modes on the full n=3 space: what the invoke/commit barriers cost in
-//!   lost pruning, and that they still keep the n=3 space tractable.
+//!   `SleepSetsLinPreserving` vs the race-driven `SourceDpor` /
+//!   `SourceDporLinPreserving` on n=2 (exhaustive) and of the reduced modes
+//!   on the full n=3 space: what the invoke/commit barriers cost in lost
+//!   pruning, that they still keep the n=3 space tractable, and that the
+//!   source-DPOR modes close part of that gap (asserted: never more
+//!   representatives than the eager modes, strictly fewer on the n=2
+//!   lin-preserving space).
 //! * **scenario_suite** — the whole `scl-check` registry through the
 //!   unified engine, sequentially (`workers = 1`) and with the parallel
 //!   monitor-carrying driver (`workers = 2`): the PR 4 sequential-vs-
@@ -32,7 +36,8 @@
 //! workload the two are at parity — 2-commit histories put the from-scratch
 //! search at its 3-state floor, which is itself a recorded result.
 
-use scl_check::{CheckConfig, CheckerMode, LinMonitor};
+use scl_bench::benchjson;
+use scl_check::{reduction_name, CheckConfig, CheckerMode, LinMonitor};
 use scl_core::new_speculative_tas;
 use scl_sim::{
     explore_schedules_monitored_report, explore_schedules_report, ExploreConfig, ExploreOutcome,
@@ -314,22 +319,25 @@ fn main() {
                 Reduction::Off,
                 Reduction::SleepSets,
                 Reduction::SleepSetsLinPreserving,
+                Reduction::SourceDpor,
+                Reduction::SourceDporLinPreserving,
             ][..],
         ),
         (
             "speculative_tas_n3_full",
             3usize,
             n3_cap,
-            &[Reduction::SleepSets, Reduction::SleepSetsLinPreserving][..],
+            &[
+                Reduction::SleepSets,
+                Reduction::SleepSetsLinPreserving,
+                Reduction::SourceDpor,
+                Reduction::SourceDporLinPreserving,
+            ][..],
         ),
     ] {
         for &mode in modes {
             let m = measure_reduction(n, cap, mode);
-            let mode_name = match mode {
-                Reduction::Off => "off",
-                Reduction::SleepSets => "sleep_sets",
-                Reduction::SleepSetsLinPreserving => "sleep_sets_lin_preserving",
-            };
+            let mode_name = reduction_name(mode);
             println!(
                 "{wl_name}/{mode_name}: schedules={} steps={} exhausted={} secs={:.3}",
                 m.schedules, m.executed_steps, m.exhausted, m.secs
@@ -384,34 +392,21 @@ fn main() {
         suite[0].secs / suite.last().expect("suite measured").secs.max(1e-12),
     );
     let worker_counts: Vec<String> = SUITE_WORKER_COUNTS.iter().map(|w| w.to_string()).collect();
-    let host =
-        format!(
-        "  \"host\": {{\"available_parallelism\": {}, \"suite_worker_counts\": [{}], \"build_profile\": \"{}\", \"smoke\": {}}}",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(0),
-        worker_counts.join(", "),
-        if cfg!(debug_assertions) { "debug" } else { "release" },
+    let host = benchjson::host_json(
         smoke,
+        &[(
+            "suite_worker_counts",
+            format!("[{}]", worker_counts.join(", ")),
+        )],
     );
     let json = format!(
-        "{{\n  \"description\": \"Per-schedule linearizability checking for PR 4: the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records what the invoke/commit barrier footprints of SleepSetsLinPreserving cost in lost pruning vs plain SleepSets, and that they keep the full n=3 space tractable. The scenario_suite group runs every registered scl-check scenario through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"description\": \"Per-schedule linearizability checking for PR 4: the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records the schedule counts of all five reduction modes (off, sleep_sets, sleep_sets_lin_preserving, source_dpor, source_dpor_lin_preserving): what the invoke/commit barrier footprints cost in lost pruning, that the race-driven source-DPOR modes never cost representatives over the eager modes (strictly fewer on the n=2 lin-preserving space), and that the lin-preserving modes keep the full n=3 space tractable. The scenario_suite group runs every registered scl-check scenario through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
         recording_entries.join(",\n"),
         reduction_entries.join(",\n"),
         suite_entries.join(",\n"),
         derived,
     );
-    let file = if smoke {
-        "../../artifacts/BENCH_PR4.smoke.json"
-    } else {
-        "../../BENCH_PR4.json"
-    };
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create artifact directory");
-    }
-    std::fs::write(&path, &json).expect("write BENCH_PR4.json");
-    println!("\nwrote {}", path.display());
+    benchjson::write_report("BENCH_PR4", smoke, &json);
 
     // The suite must match its expectations in every engine mode, smoke
     // included: these are the same scenarios CI gates on.
@@ -459,6 +454,26 @@ fn main() {
         assert!(
             n3.exhausted,
             "the lin-preserving reduction must still exhaust the full n=3 space"
+        );
+        // PR 5: the race-driven modes never cost representatives over their
+        // eager counterparts, and the lin-preserving source mode closes the
+        // reduction gap strictly on n=2.
+        for wl in ["speculative_tas_n2", "speculative_tas_n3_full"] {
+            let source = find(wl, "source_dpor");
+            let source_lin = find(wl, "source_dpor_lin_preserving");
+            assert!(
+                source.exhausted && source_lin.exhausted,
+                "{wl}: the source-DPOR modes must exhaust"
+            );
+            assert!(source.schedules <= find(wl, "sleep_sets").schedules, "{wl}");
+            assert!(
+                source_lin.schedules <= find(wl, "sleep_sets_lin_preserving").schedules,
+                "{wl}"
+            );
+        }
+        assert!(
+            find("speculative_tas_n2", "source_dpor_lin_preserving").schedules < lin.schedules,
+            "source DPOR must strictly shrink the n=2 lin-preserving space"
         );
     }
 }

@@ -1,8 +1,9 @@
 //! Explorer throughput: schedules/sec, executed work and reduction factors
 //! on fixed speculative-TAS workloads.
 //!
-//! Seven modes are measured on the same 2–3 process A1/A2 (speculative TAS)
-//! workloads, in one process and one sitting so the numbers are comparable:
+//! Eleven modes are measured on the same 2–3 process A1/A2 (speculative
+//! TAS) workloads, in one process and one sitting so the numbers are
+//! comparable:
 //!
 //! * `baseline` — the pre-PR-1 explorer preserved for comparison: a fresh
 //!   [`SharedMemory`], executor session and full event trace per schedule;
@@ -15,19 +16,32 @@
 //!   checkpoint instead of replaying the prefix (PR 2);
 //! * `sleep_sets` — [`Reduction::SleepSets`]: commuting interleavings are
 //!   explored once (PR 2);
-//! * `combined` — both (the mode that exhausts the *full* n=3 space).
+//! * `combined` — both (the mode that exhausts the *full* n=3 space);
+//! * `sleep_sets_lin` — [`Reduction::SleepSetsLinPreserving`]: the eager
+//!   linearizability-preserving reduction (PR 3);
+//! * `source_dpor` — [`Reduction::SourceDpor`]: race-driven wakeup-set
+//!   seeding instead of eager branching (PR 5);
+//! * `source_dpor_lin` — [`Reduction::SourceDporLinPreserving`]: source
+//!   DPOR with the invoke/commit barriers folded into the race relation;
+//! * `source_combined` — `source_dpor_lin` + prefix-resume (the `scl-check`
+//!   default configuration since PR 5).
 //!
-//! Writes `BENCH_PR2.json` at the workspace root (resolved relative to this
-//! crate, independent of the invocation directory) recording every series
-//! plus derived speedups, the sleep-set reduction factors, and host metadata
-//! (`std::thread::available_parallelism`, build profile) so single-core
-//! parallel numbers cannot be misread. The JSON is hand-rolled (the
-//! workspace builds offline, without serde).
+//! Writes `BENCH_PR5.json` at the workspace root (resolved relative to this
+//! crate, independent of the invocation directory; `BENCH_PR1.json` and
+//! `BENCH_PR2.json` are kept as the PR 1/PR 2 records) recording every
+//! series plus derived speedups and per-mode reduction factors, and the
+//! shared host metadata of [`scl_bench::benchjson`]. The JSON is
+//! hand-rolled (the workspace builds offline, without serde).
 //!
 //! `--smoke` caps every enumeration at a few thousand schedules and runs one
 //! repetition per cell — the CI guard that keeps the bench binary and the
-//! JSON schema from rotting.
+//! JSON schema from rotting. The full run asserts the PR 2 and PR 5
+//! acceptance bars: the reduced explorer exhausts the full n=3 space at a
+//! ≥5× step saving, the source-DPOR representative counts never exceed the
+//! corresponding sleep-set counts, and the lin-preserving source-DPOR count
+//! on the exhaustive n=2 space is strictly below the eager mode's 79.
 
+use scl_bench::benchjson;
 use scl_core::new_speculative_tas;
 use scl_sim::{
     explore_schedules_parallel_report, explore_schedules_report, Executor, ExploreConfig,
@@ -43,6 +57,8 @@ struct Measurement {
     executed_steps: u64,
     replayed_ticks: u64,
     sleep_blocked: u64,
+    races: u64,
+    race_seeds: u64,
     exhausted: bool,
     secs: f64,
 }
@@ -63,6 +79,8 @@ impl Measurement {
             executed_steps: stats.executed_steps,
             replayed_ticks: stats.replayed_ticks,
             sleep_blocked: stats.sleep_blocked,
+            races: stats.races,
+            race_seeds: stats.race_seeds,
             exhausted,
             secs,
         }
@@ -114,6 +132,8 @@ fn explore_baseline(
         executed_steps: steps,
         replayed_ticks: 0,
         sleep_blocked: 0,
+        races: 0,
+        race_seeds: 0,
         exhausted,
         secs: start.elapsed().as_secs_f64(),
     }
@@ -132,6 +152,13 @@ fn mode_config(mode: &str, max_schedules: u64) -> ExploreConfig {
         "sleep_sets" => config.reduction = Reduction::SleepSets,
         "combined" => {
             config.reduction = Reduction::SleepSets;
+            config.resume = ResumeMode::PrefixResume;
+        }
+        "sleep_sets_lin" => config.reduction = Reduction::SleepSetsLinPreserving,
+        "source_dpor" => config.reduction = Reduction::SourceDpor,
+        "source_dpor_lin" => config.reduction = Reduction::SourceDporLinPreserving,
+        "source_combined" => {
+            config.reduction = Reduction::SourceDporLinPreserving;
             config.resume = ResumeMode::PrefixResume;
         }
         other => panic!("unknown mode {other}"),
@@ -174,12 +201,14 @@ fn measure(mode: &str, n: usize, max_schedules: u64, reps: usize) -> Measurement
     }
     let m = best.expect("at least one repetition");
     println!(
-        "{mode:>14} n={n}: schedules={} ticks={} steps={} replayed={} blocked={} exhausted={} secs={:.3} sched/s={:.0}",
+        "{mode:>16} n={n}: schedules={} ticks={} steps={} replayed={} blocked={} races={} seeds={} exhausted={} secs={:.3} sched/s={:.0}",
         m.schedules,
         m.executed_ticks,
         m.executed_steps,
         m.replayed_ticks,
         m.sleep_blocked,
+        m.races,
+        m.race_seeds,
         m.exhausted,
         m.secs,
         m.sched_per_sec(),
@@ -189,12 +218,14 @@ fn measure(mode: &str, n: usize, max_schedules: u64, reps: usize) -> Measurement
 
 fn json_entry(m: &Measurement) -> String {
     format!(
-        "{{\"schedules\": {}, \"executed_ticks\": {}, \"executed_steps\": {}, \"replayed_ticks\": {}, \"sleep_blocked\": {}, \"exhausted\": {}, \"secs\": {:.6}, \"schedules_per_sec\": {:.0}, \"executed_steps_per_sec\": {:.0}}}",
+        "{{\"schedules\": {}, \"executed_ticks\": {}, \"executed_steps\": {}, \"replayed_ticks\": {}, \"sleep_blocked\": {}, \"races\": {}, \"race_seeds\": {}, \"exhausted\": {}, \"secs\": {:.6}, \"schedules_per_sec\": {:.0}, \"executed_steps_per_sec\": {:.0}}}",
         m.schedules,
         m.executed_ticks,
         m.executed_steps,
         m.replayed_ticks,
         m.sleep_blocked,
+        m.races,
+        m.race_seeds,
         m.exhausted,
         m.secs,
         m.sched_per_sec(),
@@ -207,7 +238,7 @@ fn main() {
     let reps = if smoke { 1 } else { 3 };
     // (workload name, processes, schedule cap, modes). `u64::MAX` means
     // exhaustive. The full n=3 space (>50M schedules) is only tractable for
-    // the reduced modes, which is the point of PR 2.
+    // the reduced modes.
     let all: &[&str] = &[
         "baseline",
         "reused",
@@ -216,8 +247,19 @@ fn main() {
         "prefix_resume",
         "sleep_sets",
         "combined",
+        "sleep_sets_lin",
+        "source_dpor",
+        "source_dpor_lin",
+        "source_combined",
     ];
-    let reduced: &[&str] = &["sleep_sets", "combined"];
+    let reduced: &[&str] = &[
+        "sleep_sets",
+        "combined",
+        "sleep_sets_lin",
+        "source_dpor",
+        "source_dpor_lin",
+        "source_combined",
+    ];
     let n2_cap = if smoke { 2_000 } else { 1_000_000 };
     let n3_cap = if smoke { 2_000 } else { 50_000 };
     let full_cap = if smoke { 5_000 } else { u64::MAX };
@@ -229,23 +271,13 @@ fn main() {
 
     let mut sections = Vec::new();
     let mut derived = Vec::new();
-    let mut n2_baseline: Option<Measurement> = None;
-    let mut n2_combined: Option<Measurement> = None;
-    let mut combined_full: Option<Measurement> = None;
+    let mut all_results: Vec<(&str, String, Measurement)> = Vec::new();
     for &(wl_name, n, cap, modes) in workloads {
         println!("-- {wl_name} --");
         let results: Vec<(String, Measurement)> = modes
             .iter()
             .map(|mode| (mode.to_string(), measure(mode, n, cap, reps)))
             .collect();
-        for (mode, m) in &results {
-            match (wl_name, mode.as_str()) {
-                ("speculative_tas_n2", "baseline") => n2_baseline = Some(*m),
-                ("speculative_tas_n2", "combined") => n2_combined = Some(*m),
-                ("speculative_tas_n3_full", "combined") => combined_full = Some(*m),
-                _ => {}
-            }
-        }
         if results[0].0 == "baseline" {
             let baseline = results[0].1;
             for (mode, m) in &results[1..] {
@@ -266,6 +298,17 @@ fn main() {
                 full.schedules as f64 / ss.schedules.max(1) as f64
             ));
         }
+        if let (Some(eager), Some(source)) = (by_mode("sleep_sets_lin"), by_mode("source_dpor_lin"))
+        {
+            derived.push(format!(
+                "    \"{wl_name}/source_dpor_lin_schedule_saving_vs_sleep_sets_lin\": {:.4}",
+                eager.schedules as f64 / source.schedules.max(1) as f64
+            ));
+            derived.push(format!(
+                "    \"{wl_name}/source_dpor_lin_step_saving_vs_sleep_sets_lin\": {:.2}",
+                eager.executed_steps as f64 / source.executed_steps.max(1) as f64
+            ));
+        }
         let entries: Vec<String> = results
             .iter()
             .map(|(mode, m)| format!("    \"{mode}\": {}", json_entry(m)))
@@ -274,48 +317,35 @@ fn main() {
             "  \"{wl_name}\": {{\n{}\n  }}",
             entries.join(",\n")
         ));
+        all_results.extend(results.into_iter().map(|(mode, m)| (wl_name, mode, m)));
     }
 
-    let host = format!(
-        "  \"host\": {{\"available_parallelism\": {}, \"build_profile\": \"{}\", \"debug_assertions\": {}, \"smoke\": {}}}",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(0),
-        if cfg!(debug_assertions) { "debug" } else { "release" },
-        cfg!(debug_assertions),
-        smoke,
-    );
+    let host = benchjson::host_json(smoke, &[]);
     let json = format!(
-        "{{\n  \"description\": \"Explorer work accounting for PR 2: prefix-resume DFS (checkpoint/restore instead of prefix replay) and sleep-set partial-order reduction, alongside the PR 1 modes. Workloads: one TAS op per process on the composed A1*A2 speculative test-and-set. executed_steps counts shared-memory steps actually executed, including backtracking replays, so it is the honest cost metric across modes; schedules under sleep_sets counts the explored representatives of the full space.\",\n  \"units\": {{\"schedules_per_sec\": \"schedules/second\", \"executed_steps_per_sec\": \"shared-memory steps/second\"}},\n{host},\n{},\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"description\": \"Explorer work accounting for PR 5: the race-driven source-DPOR reductions (SourceDpor, SourceDporLinPreserving) alongside every earlier mode. Workloads: one TAS op per process on the composed A1*A2 speculative test-and-set. executed_steps counts shared-memory steps actually executed, including backtracking replays, so it is the honest cost metric across modes; schedules under the reduced modes counts the explored representatives of the full space; races/race_seeds count the reversible races the source-DPOR modes detected and the wakeup entries they seeded from them.\",\n  \"units\": {{\"schedules_per_sec\": \"schedules/second\", \"executed_steps_per_sec\": \"shared-memory steps/second\"}},\n{host},\n{},\n  \"derived\": {{\n{}\n  }}\n}}\n",
         sections.join(",\n"),
         derived.join(",\n")
     );
-    // Anchor at the workspace root regardless of the invocation directory.
-    // Smoke runs write into the gitignored `artifacts/` directory so they
-    // never clobber the committed full-run numbers (and never end up staged
-    // by accident).
-    let file = if smoke {
-        "../../artifacts/BENCH_PR2.smoke.json"
-    } else {
-        "../../BENCH_PR2.json"
-    };
-    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(file);
-    if let Some(dir) = path.parent() {
-        std::fs::create_dir_all(dir).expect("create artifact directory");
-    }
-    std::fs::write(&path, &json).expect("write BENCH_PR2.json");
-    println!("\nwrote {}", path.display());
+    benchjson::write_report("BENCH_PR5", smoke, &json);
 
     if !smoke {
-        // Acceptance guards for PR 2 (loud failures beat silent rot).
-        let full = combined_full.expect("n3_full/combined was measured");
+        // Acceptance guards for PR 2 and PR 5 (loud failures beat silent
+        // rot).
+        let get = |wl: &str, mode: &str| {
+            all_results
+                .iter()
+                .find(|(w, m, _)| *w == wl && m == mode)
+                .map(|(_, _, m)| *m)
+                .expect("measured")
+        };
+        let full = get("speculative_tas_n3_full", "combined");
         assert!(
             full.exhausted,
             "the reduced explorer must exhaust the full n=3 space"
         );
         let (b, c) = (
-            n2_baseline.expect("n2/baseline was measured"),
-            n2_combined.expect("n2/combined was measured"),
+            get("speculative_tas_n2", "baseline"),
+            get("speculative_tas_n2", "combined"),
         );
         let saving = b.executed_steps as f64 / c.executed_steps.max(1) as f64;
         assert!(
@@ -323,5 +353,38 @@ fn main() {
             "the reduced explorer must execute >=5x fewer steps than full replay \
              on the exhaustive n=2 workload (got {saving:.1}x)"
         );
+        // PR 5: race-driven wakeup sets never cost representatives over the
+        // eager sleep-set modes, on any benched workload...
+        for wl in ["speculative_tas_n2", "speculative_tas_n3_full"] {
+            let plain = (get(wl, "source_dpor"), get(wl, "sleep_sets"));
+            let lin = (get(wl, "source_dpor_lin"), get(wl, "sleep_sets_lin"));
+            assert!(plain.0.exhausted && lin.0.exhausted, "{wl}: must exhaust");
+            assert!(
+                plain.0.schedules <= plain.1.schedules,
+                "{wl}: source_dpor explored {} > sleep_sets {}",
+                plain.0.schedules,
+                plain.1.schedules
+            );
+            assert!(
+                lin.0.schedules <= lin.1.schedules,
+                "{wl}: source_dpor_lin explored {} > sleep_sets_lin {}",
+                lin.0.schedules,
+                lin.1.schedules
+            );
+        }
+        // ...and the lin-preserving gap actually closes on the exhaustive
+        // n=2 space: strictly below the eager mode's 79 representatives.
+        let eager_lin = get("speculative_tas_n2", "sleep_sets_lin");
+        let source_lin = get("speculative_tas_n2", "source_dpor_lin");
+        assert!(
+            source_lin.schedules < eager_lin.schedules,
+            "source_dpor_lin must explore strictly fewer n=2 representatives \
+             than sleep_sets_lin ({} vs {})",
+            source_lin.schedules,
+            eager_lin.schedules
+        );
+        // The resume mechanics do not change the enumeration.
+        let source_combined = get("speculative_tas_n2", "source_combined");
+        assert_eq!(source_combined.schedules, source_lin.schedules);
     }
 }

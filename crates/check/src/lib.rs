@@ -41,8 +41,9 @@ pub mod scenarios;
 
 pub use bridge::{CheckerMode, LinMonitor};
 pub use scenarios::{
-    find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume, reduction_name,
-    registry, resume_name, CheckConfig, Outcome, Scenario, ScenarioReport,
+    checker_values, find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume,
+    reduction_name, reduction_values, registry, resume_name, resume_values, CheckConfig, Outcome,
+    Scenario, ScenarioReport,
 };
 
 /// Renders a set of scenario reports (plus the configuration that produced

@@ -11,11 +11,39 @@
 //! objects pass, seeded mutants violate).
 
 use scl_check::{
-    find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume, registry,
-    reports_to_json, CheckConfig, Outcome, Scenario, ScenarioReport,
+    checker_values, find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume,
+    reduction_values, registry, reports_to_json, resume_values, CheckConfig, Outcome, Scenario,
+    ScenarioReport,
 };
 
+/// Renders a flag's accepted values from its registry table, marking the
+/// default — the same tables [`parse_reduction`] & co. resolve against, so
+/// the help text cannot drift from what the parser accepts.
+fn value_list<T: PartialEq>(values: &[(&str, T)], default: &T) -> String {
+    values
+        .iter()
+        .map(|(name, v)| {
+            if v == default {
+                format!("{name} (default)")
+            } else {
+                (*name).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" | ")
+}
+
+fn flag_values() -> (String, String, String) {
+    let defaults = CheckConfig::default();
+    (
+        value_list(reduction_values(), &defaults.reduction),
+        value_list(resume_values(), &defaults.resume),
+        value_list(checker_values(), &defaults.checker),
+    )
+}
+
 fn usage() -> ! {
+    let (reductions, resumes, checkers) = flag_values();
     eprintln!(
         "usage: scl-check [SCENARIO...] [options]\n\
          \n\
@@ -26,9 +54,9 @@ fn usage() -> ! {
          \x20  --list                  print the scenario catalogue and exit\n\
          \n\
          Options:\n\
-         \x20  --reduction MODE        off | sleep-sets | sleep-sets-lin (default)\n\
-         \x20  --resume MODE           full-replay | prefix-resume (default)\n\
-         \x20  --checker MODE          incremental (default) | from-scratch\n\
+         \x20  --reduction MODE        {reductions}\n\
+         \x20  --resume MODE           {resumes}\n\
+         \x20  --checker MODE          {checkers}\n\
          \x20  --max-schedules N       schedule budget (default 200000)\n\
          \x20  --max-ticks N           tick limit per execution (default 10000)\n\
          \x20  --workers N             engine worker threads: 1 = sequential\n\
@@ -59,6 +87,10 @@ fn list() {
             },
         );
     }
+    let (reductions, resumes, checkers) = flag_values();
+    println!("\naccepted --reduction values: {reductions}");
+    println!("accepted --resume values:    {resumes}");
+    println!("accepted --checker values:   {checkers}");
 }
 
 fn main() {

@@ -32,8 +32,11 @@ use std::hash::Hash;
 #[derive(Debug, Clone)]
 pub struct CheckConfig {
     /// Partial-order reduction mode. The default is the
-    /// linearizability-preserving reduction — the only reduced mode whose
-    /// pruning provably cannot change the commit projection.
+    /// linearizability-preserving *source-DPOR* reduction: its pruning
+    /// provably cannot change the commit projection (like the eager
+    /// `sleep-sets-lin` mode) at a strictly smaller representative count —
+    /// race detection on executed transitions replaces the conservative
+    /// may-respond barrier branching.
     pub reduction: Reduction,
     /// Backtracking strategy.
     pub resume: ResumeMode,
@@ -59,7 +62,7 @@ pub struct CheckConfig {
 impl Default for CheckConfig {
     fn default() -> Self {
         CheckConfig {
-            reduction: Reduction::SleepSetsLinPreserving,
+            reduction: Reduction::SourceDporLinPreserving,
             resume: ResumeMode::PrefixResume,
             checker: CheckerMode::Incremental,
             max_schedules: 200_000,
@@ -693,40 +696,68 @@ where
     }
 }
 
+/// The accepted `--reduction` CLI values, in catalogue order. This table is
+/// the single source of truth: [`parse_reduction`] resolves against it and
+/// `scl-check --list` prints it, so the help text and the registry cannot
+/// drift.
+pub fn reduction_values() -> &'static [(&'static str, Reduction)] {
+    &[
+        ("off", Reduction::Off),
+        ("sleep-sets", Reduction::SleepSets),
+        ("sleep-sets-lin", Reduction::SleepSetsLinPreserving),
+        ("source-dpor", Reduction::SourceDpor),
+        ("source-dpor-lin", Reduction::SourceDporLinPreserving),
+    ]
+}
+
+/// The accepted `--resume` CLI values (see [`reduction_values`]).
+pub fn resume_values() -> &'static [(&'static str, ResumeMode)] {
+    &[
+        ("full-replay", ResumeMode::FullReplay),
+        ("prefix-resume", ResumeMode::PrefixResume),
+    ]
+}
+
+/// The accepted `--checker` CLI values (see [`reduction_values`]).
+pub fn checker_values() -> &'static [(&'static str, CheckerMode)] {
+    &[
+        ("incremental", CheckerMode::Incremental),
+        ("from-scratch", CheckerMode::FromScratch),
+    ]
+}
+
 /// Reduction modes by CLI name.
 pub fn parse_reduction(s: &str) -> Option<Reduction> {
-    match s {
-        "off" => Some(Reduction::Off),
-        "sleep-sets" => Some(Reduction::SleepSets),
-        "sleep-sets-lin" => Some(Reduction::SleepSetsLinPreserving),
-        _ => None,
-    }
+    reduction_values()
+        .iter()
+        .find(|(name, _)| *name == s)
+        .map(|(_, r)| *r)
 }
 
 /// Resume modes by CLI name.
 pub fn parse_resume(s: &str) -> Option<ResumeMode> {
-    match s {
-        "full-replay" => Some(ResumeMode::FullReplay),
-        "prefix-resume" => Some(ResumeMode::PrefixResume),
-        _ => None,
-    }
+    resume_values()
+        .iter()
+        .find(|(name, _)| *name == s)
+        .map(|(_, r)| *r)
 }
 
 /// Checker modes by CLI name.
 pub fn parse_checker(s: &str) -> Option<CheckerMode> {
-    match s {
-        "incremental" => Some(CheckerMode::Incremental),
-        "from-scratch" => Some(CheckerMode::FromScratch),
-        _ => None,
-    }
+    checker_values()
+        .iter()
+        .find(|(name, _)| *name == s)
+        .map(|(_, c)| *c)
 }
 
-/// The CLI/report name of a reduction.
+/// The report name of a reduction.
 pub fn reduction_name(r: Reduction) -> &'static str {
     match r {
         Reduction::Off => "off",
         Reduction::SleepSets => "sleep_sets",
         Reduction::SleepSetsLinPreserving => "sleep_sets_lin_preserving",
+        Reduction::SourceDpor => "source_dpor",
+        Reduction::SourceDporLinPreserving => "source_dpor_lin_preserving",
     }
 }
 
@@ -757,6 +788,28 @@ mod tests {
         for s in registry().iter().filter(|s| !s.needs_trace) {
             assert!(!msg.contains(s.name), "{} wrongly named in: {msg}", s.name);
         }
+    }
+
+    #[test]
+    fn cli_value_tables_round_trip_through_the_parsers() {
+        // The tables are the single source of truth for the CLI: every
+        // listed name must parse to its mode, and every mode must have a
+        // report name (reduction_name is a total match, so adding an enum
+        // variant without a table entry fails to compile or fails here).
+        assert_eq!(reduction_values().len(), 5);
+        for (name, r) in reduction_values() {
+            assert_eq!(parse_reduction(name), Some(*r));
+            assert!(!reduction_name(*r).is_empty());
+        }
+        for (name, r) in resume_values() {
+            assert_eq!(parse_resume(name), Some(*r));
+        }
+        for (name, c) in checker_values() {
+            assert_eq!(parse_checker(name), Some(*c));
+        }
+        assert_eq!(parse_reduction("bogus"), None);
+        assert_eq!(parse_resume("bogus"), None);
+        assert_eq!(parse_checker("bogus"), None);
     }
 
     #[test]

@@ -58,18 +58,32 @@ where
 }
 
 #[test]
-fn lin_preserving_reduction_has_the_full_verdict_set_on_n2_speculative_tas() {
+fn lin_preserving_reductions_have_the_full_verdict_set_on_n2_speculative_tas() {
     let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
     let (full, full_scheds) = signature_set(new_speculative_tas, &wl, Reduction::Off);
-    let (reduced, reduced_scheds) =
+    let (eager, eager_scheds) =
         signature_set(new_speculative_tas, &wl, Reduction::SleepSetsLinPreserving);
+    let (source, source_scheds) =
+        signature_set(new_speculative_tas, &wl, Reduction::SourceDporLinPreserving);
     assert_eq!(
-        full, reduced,
-        "the reduced exploration must reach exactly the outcome+verdict signatures of the full one"
+        full, eager,
+        "the eager reduction must reach exactly the outcome+verdict signatures of the full one"
+    );
+    assert_eq!(
+        full, source,
+        "the source-DPOR reduction must reach exactly the outcome+verdict signatures of the \
+         full one"
     );
     assert!(
-        reduced_scheds < full_scheds,
-        "the reduction must actually prune: {reduced_scheds} vs {full_scheds}"
+        eager_scheds < full_scheds,
+        "the reduction must actually prune: {eager_scheds} vs {full_scheds}"
+    );
+    // The race-driven wakeup sets close part of the lin-preserving gap:
+    // strictly fewer representatives, same verdict-signature coverage.
+    assert!(
+        source_scheds < eager_scheds,
+        "source DPOR must explore strictly fewer representatives: {source_scheds} vs \
+         {eager_scheds}"
     );
     // Every signature of the correct object is linearizable.
     assert!(full.iter().all(|s| s.ends_with("lin=true")));
@@ -87,8 +101,10 @@ fn lin_preserving_reduction_keeps_the_mutants_violating_signatures() {
         )
     };
     let (full, _) = signature_set(mk, &wl, Reduction::Off);
-    let (reduced, _) = signature_set(mk, &wl, Reduction::SleepSetsLinPreserving);
-    assert_eq!(full, reduced);
+    let (eager, _) = signature_set(mk, &wl, Reduction::SleepSetsLinPreserving);
+    let (source, _) = signature_set(mk, &wl, Reduction::SourceDporLinPreserving);
+    assert_eq!(full, eager);
+    assert_eq!(full, source);
     assert!(
         full.iter().any(|s| s.ends_with("lin=false")),
         "the mutant must produce non-linearizable signatures"
@@ -101,7 +117,11 @@ fn incremental_checker_agrees_with_from_scratch_on_every_explored_schedule() {
     // fallbacks included) and compare its verdict with a from-scratch
     // Wing–Gong run on the trace's commit projection at every single leaf.
     let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
-    for reduction in [Reduction::Off, Reduction::SleepSetsLinPreserving] {
+    for reduction in [
+        Reduction::Off,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDporLinPreserving,
+    ] {
         for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
             let mut monitor = LinMonitor::new(TasSpec, CheckerMode::Incremental);
             let mut schedules = 0u64;
@@ -146,6 +166,8 @@ fn dropped_raw_fence_mutant_is_detected_in_every_mode() {
         Reduction::Off,
         Reduction::SleepSets,
         Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDpor,
+        Reduction::SourceDporLinPreserving,
     ] {
         for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
             for checker in [CheckerMode::Incremental, CheckerMode::FromScratch] {
@@ -178,7 +200,11 @@ fn n3_realtime_inversion_is_detected_by_the_lin_preserving_reduction() {
     // still under the linearizability-preserving reduction (a plain
     // final-state check cannot see it; that is the whole point of the mode).
     let scenario = find("spec_tas_n3_realtime").expect("registered");
-    for reduction in [Reduction::Off, Reduction::SleepSetsLinPreserving] {
+    for reduction in [
+        Reduction::Off,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDporLinPreserving,
+    ] {
         let config = CheckConfig {
             reduction,
             max_schedules: 5_000_000,

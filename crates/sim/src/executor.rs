@@ -341,6 +341,7 @@ pub struct ExecSession<S: SequentialSpec, V> {
     enabled: Vec<ProcessId>,
     in_progress: Vec<ProcessId>,
     last_emission: TickEmission,
+    last_footprint: Footprint,
     result: ExecutionResult<S, V>,
 }
 
@@ -359,6 +360,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
             enabled: Vec::new(),
             in_progress: Vec::new(),
             last_emission: TickEmission::None,
+            last_footprint: Footprint::Pure,
             result: ExecutionResult::default(),
         }
     }
@@ -418,6 +420,18 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         self.last_emission
     }
 
+    /// The shared-memory access the most recent [`Executor::tick`] actually
+    /// performed: [`Footprint::Pure`] for invocations and silent local
+    /// steps, the accessed register otherwise, [`Footprint::Unknown`] if the
+    /// step violated the one-step contract. Together with
+    /// [`Self::last_emission`] this labels the executed transition exactly
+    /// (the source-DPOR race detection in [`crate::explore`] consumes both
+    /// as a [`crate::memory::StepLabel`]). Reset by [`Executor::begin`] and
+    /// [`Executor::resume_from`].
+    pub fn last_step_footprint(&self) -> Footprint {
+        self.last_footprint
+    }
+
     /// Checkpoints the session mid-run. Returns `None` when some in-flight
     /// operation does not support [`OpExecution::fork`] — callers then fall
     /// back to replaying the prefix.
@@ -454,6 +468,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         self.enabled.clear();
         self.in_progress.clear();
         self.last_emission = TickEmission::None;
+        self.last_footprint = Footprint::Pure;
         self.result.trace.clear();
         self.result.metrics.ops.clear();
         self.result.ops.clear();
@@ -648,6 +663,7 @@ impl Executor {
         let tick = session.result.decisions.len() as u64;
         session.result.decisions.push(&session.enabled, chosen);
         session.last_emission = TickEmission::None;
+        session.last_footprint = Footprint::Pure;
         let p = chosen;
         let pi = p.index();
 
@@ -719,6 +735,13 @@ impl Executor {
                 let outcome = exec.step(mem);
                 let after = mem.counters(p);
                 let dsteps = after.steps - before.steps;
+                session.last_footprint = match dsteps {
+                    0 => Footprint::Pure,
+                    1 => mem.last_footprint(),
+                    // An operation taking several steps per tick violates
+                    // the one-step contract; label conservatively.
+                    _ => Footprint::Unknown,
+                };
                 metrics.ops[midx].steps += dsteps;
                 metrics.ops[midx].fences += after.fences - before.fences;
                 metrics.ops[midx].rmws += after.rmws - before.rmws;
@@ -792,6 +815,7 @@ impl Executor {
         session.open.clear();
         session.open.extend_from_slice(&snap.open);
         session.last_emission = TickEmission::None;
+        session.last_footprint = Footprint::Pure;
         let result = &mut session.result;
         result.trace.truncate(snap.trace_len);
         result.ops.truncate(snap.ops_len);

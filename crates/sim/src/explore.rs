@@ -36,7 +36,12 @@
 //! With [`Reduction::SleepSets`] the explorer additionally prunes schedules
 //! that are guaranteed to lead to already-covered states, using the
 //! sleep-set partial-order reduction driven by per-step access footprints
-//! ([`Footprint`]). See [`Reduction`] for the exact soundness contract.
+//! ([`crate::memory::Footprint`]). The [`Reduction::SourceDpor`] modes go
+//! further: instead of branching eagerly on every enabled sibling, they
+//! detect the reversible races of each executed schedule (happens-before
+//! tracking in [`crate::hb`]) and seed backtrack/wakeup entries only where
+//! a race reversal is realisable. See [`Reduction`] for the per-mode
+//! soundness contracts.
 //!
 //! # Throughput
 //!
@@ -50,8 +55,9 @@
 //! per-worker and sleep sets travel with each branch ticket.
 
 use crate::executor::{ExecSession, ExecutionResult, Executor, SurveyStatus, TraceMode, Workload};
+use crate::hb::HbTracker;
 use crate::machine::{ObjectSnapshot, SimObject};
-use crate::memory::{Footprint, MemSnapshot, SharedMemory};
+use crate::memory::{MemSnapshot, SharedMemory, StepLabel};
 use scl_spec::{ProcessId, SequentialSpec};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -110,20 +116,69 @@ pub enum Reduction {
     /// Contention metrics and register identities allocated mid-execution
     /// are still *not* preserved (as under [`Reduction::SleepSets`]).
     SleepSetsLinPreserving,
+    /// Source DPOR (Abdulla et al., POPL 2014): instead of branching
+    /// eagerly on every enabled sibling, the explorer tracks
+    /// happens-before over the *executed* transition stream
+    /// ([`crate::hb::HbTracker`] over per-tick [`crate::memory::StepLabel`]s),
+    /// detects the reversible races of each explored schedule, and seeds a
+    /// backtrack/wakeup entry only at prefixes where a race reversal is
+    /// realisable (a weak initial of the non-dependent suffix). Sleep sets
+    /// keep running on top with the same wake rule, so explored complete
+    /// schedules are never equivalent; the race-driven seeding then makes
+    /// the branch set a *source set* rather than "every enabled process".
+    ///
+    /// # Soundness contract
+    ///
+    /// Identical to [`Reduction::SleepSets`] (every reachable final state /
+    /// outcome set is still reached; trace order, contention metrics and
+    /// mid-run register identities are not preserved), at a representative
+    /// count that is never larger — race detection works on exact executed
+    /// labels, where the eager explorer must branch first and prune later.
+    SourceDpor,
+    /// [`Reduction::SourceDpor`] with the invoke/commit barrier footprints
+    /// of [`Reduction::SleepSetsLinPreserving`] folded into the race
+    /// relation: a transition that emitted a response event races with
+    /// other processes' invocation transitions (and vice versa), so every
+    /// pruned schedule keeps an explored representative with the same
+    /// outcomes *and* the same invoke/commit precedence — per-schedule
+    /// linearizability verdicts lose nothing (same contract as
+    /// [`Reduction::SleepSetsLinPreserving`], oracle-tested in `scl-check`).
+    ///
+    /// This is where the race-driven seeding pays most: the sleep-set wake
+    /// rule must treat a step that *may* respond
+    /// ([`crate::OpExecution::may_respond_next`], an over-approximation) as
+    /// a barrier, while race detection sees whether the executed step
+    /// actually responded — so the reduced space is strictly smaller than
+    /// the eager lin-preserving mode's wherever the may-analysis is
+    /// imprecise.
+    SourceDporLinPreserving,
 }
 
 impl Reduction {
-    /// Whether this mode runs the sleep-set machinery.
+    /// Whether this mode runs the sleep-set machinery (every reduced mode
+    /// does: the source-DPOR modes layer race-driven branching *under* the
+    /// same sleep sets).
     pub fn uses_sleep_sets(self) -> bool {
+        self != Reduction::Off
+    }
+
+    /// Whether this mode adds the invoke/commit barrier footprints (to the
+    /// sleep-set wake rule, and — in the source-DPOR mode — to the race
+    /// relation).
+    pub fn preserves_lin(self) -> bool {
         matches!(
             self,
-            Reduction::SleepSets | Reduction::SleepSetsLinPreserving
+            Reduction::SleepSetsLinPreserving | Reduction::SourceDporLinPreserving
         )
     }
 
-    /// Whether this mode adds the invoke/commit barrier footprints.
-    pub fn preserves_lin(self) -> bool {
-        self == Reduction::SleepSetsLinPreserving
+    /// Whether this mode seeds backtrack points from detected races instead
+    /// of branching eagerly on every enabled sibling.
+    pub fn is_source_dpor(self) -> bool {
+        matches!(
+            self,
+            Reduction::SourceDpor | Reduction::SourceDporLinPreserving
+        )
     }
 }
 
@@ -262,6 +317,12 @@ pub struct ExploreStats {
     /// Branch points where checkpointing was unsupported and the explorer
     /// fell back to replay.
     pub snapshot_fallbacks: u64,
+    /// Reversible races detected on executed transitions (source-DPOR
+    /// modes only).
+    pub races: u64,
+    /// Backtrack/wakeup entries actually seeded from those races (the rest
+    /// were already explored, pending, or covered by a sleep set).
+    pub race_seeds: u64,
 }
 
 impl ExploreStats {
@@ -273,6 +334,8 @@ impl ExploreStats {
         self.sleep_blocked += other.sleep_blocked;
         self.snapshots += other.snapshots;
         self.snapshot_fallbacks += other.snapshot_fallbacks;
+        self.races += other.races;
+        self.race_seeds += other.race_seeds;
     }
 }
 
@@ -433,16 +496,31 @@ struct Checkpoint<S: SequentialSpec, V> {
 }
 
 /// One branch point of the DFS: the decision depth, the untried siblings
-/// (ascending; popped from the back so the visit order matches the replay
-/// explorer of PR 1), and the sleep-set bookkeeping.
+/// (under the eager sleep-set modes every non-sleeping alternative,
+/// ascending, popped from the back so the visit order matches the replay
+/// explorer of PR 1; under source DPOR initially empty, filled lazily by
+/// race seeding), and the sleep-set bookkeeping.
 struct Frame<S: SequentialSpec, V> {
     depth: usize,
     alts: Vec<ProcessId>,
     /// Choices whose subtrees are explored or in progress at this node.
     explored: u64,
+    /// `explored` plus every choice currently queued in `alts` — the
+    /// "already in the backtrack set" filter of source-DPOR seeding.
+    seeded: u64,
     /// Sleep set in force when this node was first reached.
     sleep: u64,
     snap: Option<Checkpoint<S, V>>,
+}
+
+/// A race reversal whose branch node lies *outside* the engine's subtree
+/// (at or above a parallel worker's forced prefix): the node depth on the
+/// shared root path, and the weak-initials mask of candidate processes.
+/// The parallel driver turns these into new branch tickets between waves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EscapedSeed {
+    depth: usize,
+    initials: u64,
 }
 
 enum Leaf {
@@ -496,6 +574,18 @@ where
     /// while that object instance is still the live one.
     object_gen: u64,
     enabled_buf: Vec<ProcessId>,
+    /// Happens-before tracking over the current schedule prefix (source-
+    /// DPOR modes; empty otherwise). Truncated in lockstep with `path`.
+    hb: HbTracker,
+    /// Scratch buffer for [`HbTracker::races_of_last`].
+    race_buf: Vec<usize>,
+    /// Race reversals targeting nodes at or above this engine's subtree
+    /// entry (see [`EscapedSeed`]); always empty for whole-tree engines.
+    escaped: Vec<EscapedSeed>,
+    /// First depth that belongs to this engine's own subtree: race targets
+    /// below it have a frame on this engine's stack (or are sleep-covered),
+    /// race targets at or above it escape to the parallel coordinator.
+    subtree_start: usize,
     stats: ExploreStats,
 }
 
@@ -539,6 +629,18 @@ where
             spare_mem: Vec::new(),
             object_gen: 0,
             enabled_buf: Vec::new(),
+            // Unused (and never pushed to) outside the source-DPOR modes.
+            hb: HbTracker::new(
+                if config.reduction.is_source_dpor() {
+                    workload.processes()
+                } else {
+                    0
+                },
+                config.reduction.preserves_lin(),
+            ),
+            race_buf: Vec::new(),
+            escaped: Vec::new(),
+            subtree_start: 0,
             stats: ExploreStats::default(),
         }
     }
@@ -549,14 +651,21 @@ where
 
     /// Rebuilds the execution state for the first `depth` decisions of
     /// `self.path` by replaying them from tick 0. The monitor is restarted
-    /// and re-observes the replayed prefix.
+    /// and re-observes the replayed prefix; under the source-DPOR modes the
+    /// happens-before stream is rebuilt alongside (without re-running race
+    /// detection — the replayed events' races were already processed when
+    /// those transitions first executed).
     fn replay_prefix(&mut self, depth: usize) {
+        let source_dpor = self.config.reduction.is_source_dpor();
         self.path.truncate(depth);
         self.mem.reset();
         self.object = Some((self.setup)(&mut self.mem));
         self.object_gen += 1;
         self.executor.begin(&mut self.session, self.workload);
         self.monitor.begin();
+        if source_dpor {
+            self.hb.clear();
+        }
         let steps_before = self.mem.global_steps();
         for i in 0..depth {
             let status = self.executor.survey(&mut self.session, self.workload);
@@ -569,10 +678,29 @@ where
                 self.path[i],
             );
             self.monitor.observe(&self.session);
+            if source_dpor {
+                self.hb.push(self.step_label(self.path[i]));
+            }
         }
         self.stats.executed_ticks += depth as u64;
         self.stats.replayed_ticks += depth as u64;
         self.stats.executed_steps += self.mem.global_steps() - steps_before;
+    }
+
+    /// The exact label of the transition the session just executed.
+    fn step_label(&self, chosen: ProcessId) -> StepLabel {
+        use crate::executor::TickEmission;
+        let (invoked, responded) = match self.session.last_emission() {
+            TickEmission::Invoked { .. } => (true, false),
+            TickEmission::Committed { .. } | TickEmission::Aborted { .. } => (false, true),
+            TickEmission::None => (false, false),
+        };
+        StepLabel {
+            proc: chosen,
+            footprint: self.session.last_step_footprint(),
+            invoked,
+            responded,
+        }
     }
 
     /// Executes one scheduling decision and applies the sleep-set wake rule:
@@ -592,40 +720,77 @@ where
         );
         self.monitor.observe(&self.session);
         self.stats.executed_ticks += 1;
-        let delta = self.mem.global_steps() - steps_before;
-        self.stats.executed_steps += delta;
+        self.stats.executed_steps += self.mem.global_steps() - steps_before;
         if self.cur_sleep != 0 {
-            let fp = match delta {
-                0 => Footprint::Pure,
-                1 => self.mem.last_footprint(),
-                // An object that takes several steps per tick violates the
-                // one-step contract; treat conservatively.
-                _ => Footprint::Unknown,
-            };
-            let (executed_invoked, executed_responded) = if self.config.reduction.preserves_lin() {
-                match self.session.last_emission() {
-                    crate::executor::TickEmission::Invoked { .. } => (true, false),
-                    crate::executor::TickEmission::Committed { .. }
-                    | crate::executor::TickEmission::Aborted { .. } => (false, true),
-                    crate::executor::TickEmission::None => (false, false),
-                }
-            } else {
-                (false, false)
-            };
+            let fp = self.session.last_step_footprint();
+            let label = self.step_label(chosen);
+            let lin = self.config.reduction.preserves_lin();
             let mut rest = self.cur_sleep;
             while rest != 0 {
                 let i = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
                 let q = ProcessId(i);
                 let wake = self.session.next_footprint(q).dependent(fp)
-                    || (executed_responded && self.session.next_is_invocation(q))
-                    || (executed_invoked && self.session.next_may_respond(q));
+                    || (lin && label.responded && self.session.next_is_invocation(q))
+                    || (lin && label.invoked && self.session.next_may_respond(q));
                 if wake {
                     self.cur_sleep &= !bit(q);
                 }
             }
         }
         self.path.push(chosen);
+        if self.config.reduction.is_source_dpor() {
+            self.observe_races(chosen);
+        }
+    }
+
+    /// Source-DPOR race processing for the transition just pushed onto
+    /// `self.path`: record its happens-before clock, detect the reversible
+    /// races it closes, and seed one weak initial into the backtrack set of
+    /// each race's branch node — unless an initial is already explored,
+    /// pending, or asleep there (then the reversal is covered). Races whose
+    /// branch node lies at or above this engine's subtree entry are
+    /// collected as [`EscapedSeed`]s for the parallel coordinator.
+    fn observe_races(&mut self, chosen: ProcessId) {
+        self.hb.push(self.step_label(chosen));
+        let mut races = std::mem::take(&mut self.race_buf);
+        races.clear();
+        self.hb.races_of_last(&mut races);
+        for &i in &races {
+            self.stats.races += 1;
+            let initials = self.hb.race_initials(i);
+            debug_assert!(initials != 0, "a race reversal always has an initial");
+            // The frame stack mirrors the current path's branch nodes, so
+            // the node before event `i` is found by its depth (frames are
+            // strictly depth-sorted).
+            match self.frames.binary_search_by(|f| f.depth.cmp(&i)) {
+                Ok(fi) => {
+                    let frame = &mut self.frames[fi];
+                    if initials & (frame.seeded | frame.sleep) == 0 {
+                        let q = ProcessId(initials.trailing_zeros() as usize);
+                        frame.alts.push(q);
+                        frame.seeded |= bit(q);
+                        self.stats.race_seeds += 1;
+                    }
+                }
+                Err(_) if i < self.subtree_start => {
+                    // The node belongs to the forced prefix of a parallel
+                    // branch ticket; hand the seed to the coordinator.
+                    let seed = EscapedSeed { depth: i, initials };
+                    if !self.escaped.contains(&seed) {
+                        self.escaped.push(seed);
+                    }
+                }
+                Err(_) => {
+                    // Inside the subtree a branch node has no frame only
+                    // when every other enabled process was asleep when it
+                    // was visited — and the initials of a race through it
+                    // are among those sleepers, so the reversal is already
+                    // covered by the subtree that put them to sleep.
+                }
+            }
+        }
+        self.race_buf = races;
     }
 
     /// Takes a checkpoint of the current execution state, if supported.
@@ -681,20 +846,32 @@ where
             else {
                 return Leaf::SleepBlocked;
             };
-            // Untried siblings, ascending (popped from the back, so siblings
-            // are visited in descending order — the PR 1 DFS order).
-            let alts: Vec<ProcessId> = self
+            // A branch node exists wherever some sibling is awake. The
+            // eager sleep-set modes queue every awake sibling up front
+            // (ascending; popped from the back, so siblings are visited in
+            // descending order — the PR 1 DFS order); the source-DPOR modes
+            // start the backtrack set empty and let race detection fill it.
+            let has_awake_sibling = self
                 .enabled_buf
                 .iter()
-                .copied()
-                .filter(|p| *p != chosen && sleep & bit(*p) == 0)
-                .collect();
-            if !alts.is_empty() {
+                .any(|p| *p != chosen && sleep & bit(*p) == 0);
+            if has_awake_sibling {
+                let alts: Vec<ProcessId> = if self.config.reduction.is_source_dpor() {
+                    Vec::new()
+                } else {
+                    self.enabled_buf
+                        .iter()
+                        .copied()
+                        .filter(|p| *p != chosen && sleep & bit(*p) == 0)
+                        .collect()
+                };
+                let seeded = alts.iter().fold(bit(chosen), |m, p| m | bit(*p));
                 let snap = self.checkpoint();
                 self.frames.push(Frame {
                     depth: self.session.depth(),
                     alts,
                     explored: bit(chosen),
+                    seeded,
                     sleep,
                     snap,
                 });
@@ -740,6 +917,7 @@ where
                         .restore(&cp.object);
                     self.monitor.rewind_to(cp.monitor_mark);
                     self.path.truncate(depth);
+                    self.hb.truncate(depth);
                     true
                 }
                 _ => false,
@@ -772,6 +950,8 @@ where
         root_only: bool,
     ) -> Result<Subtree, ExploreViolation> {
         self.frames.clear();
+        self.escaped.clear();
+        self.subtree_start = forced.len() + usize::from(branch.is_some());
         self.path.clear();
         self.path.extend_from_slice(forced);
         self.replay_prefix(forced.len());
@@ -898,6 +1078,10 @@ where
         true,
     );
     let result = engine.explore_subtree(&[], None, 0, &mut || budget.admit(), false);
+    debug_assert!(
+        engine.escaped.is_empty(),
+        "a whole-tree engine has a frame for every race target"
+    );
     subtree_report(result, engine.stats)
 }
 
@@ -919,12 +1103,23 @@ where
     explore_schedules_report(setup, workload, config, check).outcome
 }
 
-/// A unit of parallel work: replay `prefix`, take `branch` with sleep set
-/// `sleep`, explore the subtree.
+/// A unit of parallel work: replay the first `prefix_len` decisions of the
+/// root path, take `branch` with sleep set `sleep`, explore the subtree.
 struct Ticket {
     prefix_len: usize,
     branch: ProcessId,
     sleep: u64,
+}
+
+/// Coordinator-side state of one branch node on the root path (source-DPOR
+/// parallel runs): escaped race seeds are filtered against `explored` and
+/// `sleep` exactly like the sequential engine filters against a frame, and
+/// accepted seeds become new tickets with the matching sibling-entry sleep
+/// set.
+struct RootNode {
+    depth: usize,
+    sleep: u64,
+    explored: u64,
 }
 
 /// What one parallel worker found in its branch of the schedule tree.
@@ -968,6 +1163,26 @@ struct BranchReport {
 /// Under [`Reduction::SleepSets`] each branch ticket carries the sleep set
 /// in force at its branch point, so the union of the workers' subtrees is
 /// exactly the sequential reduced tree.
+///
+/// Under the [`Reduction::SourceDpor`] modes the harvested tickets are the
+/// wakeup entries race detection seeded along the root schedule, and the
+/// exploration proceeds in **waves**: a race whose branch node lies inside
+/// a worker's forced prefix escapes to the coordinator, which filters the
+/// seed against the node's explored/sleep state and mints a new ticket for
+/// the next wave, until no seed survives. Every wave is a pure function of
+/// the ticket list, so the explored tree and the reported violation are
+/// deterministic — but the tree is a (deterministic) sibling-ordering
+/// refinement of the sequential one, so under these two modes the parallel
+/// engine guarantees identical *equivalence-class coverage* (final states,
+/// outcomes — and invoke/commit precedence under
+/// [`Reduction::SourceDporLinPreserving`]) rather than an identical
+/// representative list, and its deterministic violation may be a different
+/// — equally real — representative than the sequential engine's. The
+/// refined tree can also be larger: every wave's extra schedules detect
+/// extra races, which mint extra tickets (observed: identical counts on
+/// the n=2 spaces and the plain n=3 space, ~2.2× on the full n=3
+/// lin-preserving space). Prefer the sequential engine for representative
+/// counting; the parallel engine buys wall-clock on multi-core hosts.
 ///
 /// Because the check runs concurrently it must be `Fn + Sync` (the
 /// sequential API accepts `FnMut`).
@@ -1032,10 +1247,15 @@ where
 
     // Harvest branch tickets in sequential DFS visit order: deepest decision
     // first, siblings in descending order, with sleep sets accumulating over
-    // earlier-visited siblings.
+    // earlier-visited siblings. Under the source-DPOR modes the harvested
+    // alts are the wakeup entries race detection seeded along the root
+    // schedule, and per-node coordinator state is kept so seeds escaping
+    // from worker subtrees can join them in later waves.
     let root_path: Vec<ProcessId> = root_engine.path.clone();
     let sleep_sets = config.reduction.uses_sleep_sets();
+    let source_dpor = config.reduction.is_source_dpor();
     let mut tickets: Vec<Ticket> = Vec::new();
+    let mut root_nodes: Vec<RootNode> = Vec::new();
     for frame in root_engine.frames.iter().rev() {
         let mut explored = frame.explored;
         for &alt in frame.alts.iter().rev() {
@@ -1051,7 +1271,14 @@ where
             });
             explored |= bit(alt);
         }
+        root_nodes.push(RootNode {
+            depth: frame.depth,
+            sleep: frame.sleep,
+            explored,
+        });
     }
+    // Ascending depth, for the escaped-seed binary search.
+    root_nodes.reverse();
     let root_monitor = root_engine.into_monitor();
     if tickets.is_empty() {
         return (
@@ -1065,105 +1292,163 @@ where
         );
     }
 
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        config.threads
-    }
-    .min(tickets.len())
-    .max(1);
+    let threads_for = |wave_len: usize| {
+        if config.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.threads
+        }
+        .min(wave_len)
+        .max(1)
+    };
 
-    let next_ticket = AtomicUsize::new(0);
+    // Tickets are processed in waves: the harvested root branches first,
+    // then — in the source-DPOR modes — the tickets minted from the race
+    // seeds that escaped the previous wave's subtrees, until no new seed
+    // survives the per-node explored/sleep filter. Eager modes never escape
+    // a seed, so they run exactly one wave.
     let best_violating_branch = AtomicUsize::new(usize::MAX);
-    let reports: Vec<Mutex<Option<BranchReport>>> =
-        tickets.iter().map(|_| Mutex::new(None)).collect();
-    let tickets = &tickets;
-    let root_path = &root_path;
-
     let mut monitors = vec![root_monitor];
-    let worker_monitors: Vec<MF::Monitor> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                let budget = &budget;
-                let next_ticket = &next_ticket;
-                let best_violating_branch = &best_violating_branch;
-                let reports = &reports;
-                let setup = &setup;
-                let check = &check;
-                scope.spawn(move || {
-                    let mut engine = Engine::new(
-                        config,
-                        workload,
-                        |mem: &mut SharedMemory| setup(mem),
-                        |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut MF::Monitor| {
-                            check(res, mem, m)
-                        },
-                        factory.monitor(),
-                        true,
-                    );
-                    loop {
-                        let bi = next_ticket.fetch_add(1, Ordering::Relaxed);
-                        if bi >= tickets.len() {
-                            return engine.into_monitor();
-                        }
-                        let ticket = &tickets[bi];
-                        engine.stats = ExploreStats::default();
-                        let mut gate = || {
-                            budget.admit() && best_violating_branch.load(Ordering::Relaxed) >= bi
-                        };
-                        let result = engine.explore_subtree(
-                            &root_path[..ticket.prefix_len],
-                            Some(ticket.branch),
-                            ticket.sleep,
-                            &mut gate,
-                            false,
+    let mut branch_reports: Vec<BranchReport> = Vec::new();
+    let mut escapes: Vec<EscapedSeed> = Vec::new();
+    let mut wave_start = 0usize;
+    while wave_start < tickets.len() {
+        let wave_end = tickets.len();
+        let wave_tickets = &tickets[wave_start..wave_end];
+        let cells: Vec<Mutex<Option<BranchReport>>> =
+            wave_tickets.iter().map(|_| Mutex::new(None)).collect();
+        let next_ticket = AtomicUsize::new(0);
+        let root_path_ref = &root_path;
+        let wave_results: Vec<(MF::Monitor, Vec<EscapedSeed>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads_for(wave_tickets.len()))
+                .map(|_| {
+                    let budget = &budget;
+                    let next_ticket = &next_ticket;
+                    let best_violating_branch = &best_violating_branch;
+                    let cells = &cells;
+                    let setup = &setup;
+                    let check = &check;
+                    scope.spawn(move || {
+                        let mut engine = Engine::new(
+                            config,
+                            workload,
+                            |mem: &mut SharedMemory| setup(mem),
+                            |res: &ExecutionResult<S, V>,
+                             mem: &SharedMemory,
+                             m: &mut MF::Monitor| {
+                                check(res, mem, m)
+                            },
+                            factory.monitor(),
+                            true,
                         );
-                        let delta = engine.stats;
-                        let report = match result {
-                            Err(violation) => {
-                                best_violating_branch.fetch_min(bi, Ordering::Relaxed);
-                                BranchReport {
+                        let mut worker_escapes: Vec<EscapedSeed> = Vec::new();
+                        loop {
+                            let wi = next_ticket.fetch_add(1, Ordering::Relaxed);
+                            if wi >= wave_tickets.len() {
+                                return (engine.into_monitor(), worker_escapes);
+                            }
+                            // Global issue-order index; the violation merge
+                            // is keyed on it.
+                            let bi = wave_start + wi;
+                            let ticket = &wave_tickets[wi];
+                            engine.stats = ExploreStats::default();
+                            let mut gate = || {
+                                budget.admit()
+                                    && best_violating_branch.load(Ordering::Relaxed) >= bi
+                            };
+                            let result = engine.explore_subtree(
+                                &root_path_ref[..ticket.prefix_len],
+                                Some(ticket.branch),
+                                ticket.sleep,
+                                &mut gate,
+                                false,
+                            );
+                            worker_escapes.append(&mut engine.escaped);
+                            let delta = engine.stats;
+                            let report = match result {
+                                Err(violation) => {
+                                    best_violating_branch.fetch_min(bi, Ordering::Relaxed);
+                                    BranchReport {
+                                        stats: delta,
+                                        exhausted: false,
+                                        violation: Some(violation),
+                                    }
+                                }
+                                Ok(Subtree::Exhausted) => BranchReport {
+                                    stats: delta,
+                                    exhausted: true,
+                                    violation: None,
+                                },
+                                Ok(Subtree::Stopped) => BranchReport {
                                     stats: delta,
                                     exhausted: false,
-                                    violation: Some(violation),
-                                }
-                            }
-                            Ok(Subtree::Exhausted) => BranchReport {
-                                stats: delta,
-                                exhausted: true,
-                                violation: None,
-                            },
-                            Ok(Subtree::Stopped) => BranchReport {
-                                stats: delta,
-                                exhausted: false,
-                                violation: None,
-                            },
-                        };
-                        *reports[bi].lock().unwrap() = Some(report);
-                    }
+                                    violation: None,
+                                },
+                            };
+                            *cells[wi].lock().unwrap() = Some(report);
+                        }
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("explorer worker panicked"))
-            .collect()
-    });
-    monitors.extend(worker_monitors);
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("explorer worker panicked"))
+                .collect()
+        });
+        for (monitor, worker_escapes) in wave_results {
+            monitors.push(monitor);
+            escapes.extend(worker_escapes);
+        }
+        branch_reports.extend(cells.into_iter().map(|cell| {
+            cell.into_inner()
+                .unwrap()
+                .expect("every ticket is claimed exactly once and reports")
+        }));
+        // A violation aborts the exploration exactly like the sequential
+        // DFS; seeds from the violating wave belong to subtrees that will
+        // never run.
+        if best_violating_branch.load(Ordering::Relaxed) != usize::MAX {
+            break;
+        }
+        if source_dpor && !escapes.is_empty() {
+            // Deterministic coordination: the merged escape set does not
+            // depend on thread timing (each subtree's escapes are a pure
+            // function of its ticket), and seeds are filtered in sorted
+            // order against per-node state, mirroring the sequential
+            // engine's seeded/sleep filter.
+            escapes.sort();
+            escapes.dedup();
+            for seed in escapes.drain(..) {
+                let Ok(ni) = root_nodes.binary_search_by(|n| n.depth.cmp(&seed.depth)) else {
+                    debug_assert!(false, "escaped seed targets a non-branch root node");
+                    continue;
+                };
+                let node = &mut root_nodes[ni];
+                if seed.initials & (node.explored | node.sleep) != 0 {
+                    continue;
+                }
+                let q = ProcessId(seed.initials.trailing_zeros() as usize);
+                tickets.push(Ticket {
+                    prefix_len: node.depth,
+                    branch: q,
+                    sleep: sibling_entry_sleep(node.sleep, node.explored, q),
+                });
+                node.explored |= bit(q);
+            }
+        }
+        wave_start = wave_end;
+    }
 
-    // Deterministic merge: first violating branch in DFS order wins. Every
-    // ticket is claimed by exactly one worker and always yields a report
-    // (abandoned branches report `violation: None, exhausted: false`).
+    // Deterministic merge: first violating branch in ticket issue order
+    // wins (for the eager modes that order is exactly the sequential DFS
+    // visit order; the source-DPOR waves are a deterministic refinement of
+    // it). Every ticket of every executed wave yields a report (abandoned
+    // branches report `violation: None, exhausted: false`).
     let mut exhausted = true;
     let mut first_violation = None;
-    for cell in &reports {
-        let r = cell
-            .lock()
-            .unwrap()
-            .take()
-            .expect("every ticket is claimed exactly once and reports");
+    for r in branch_reports {
         stats.absorb(&r.stats);
         if first_violation.is_none() {
             if let Some(v) = r.violation {
@@ -1239,7 +1524,7 @@ where
 mod tests {
     use super::*;
     use crate::machine::{OpExecution, OpOutcome, StepOutcome};
-    use crate::memory::RegId;
+    use crate::memory::{Footprint, RegId};
     use crate::value::Value;
     use scl_spec::{check_linearizable, Request, TasOp, TasResp, TasSpec, TasSwitch};
 
@@ -1365,6 +1650,8 @@ mod tests {
             Reduction::Off,
             Reduction::SleepSets,
             Reduction::SleepSetsLinPreserving,
+            Reduction::SourceDpor,
+            Reduction::SourceDporLinPreserving,
         ] {
             for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
                 configs.push(ExploreConfig {
@@ -1781,8 +2068,16 @@ mod tests {
 
     #[test]
     fn parallel_explorer_exhausts_the_same_schedule_count_in_every_mode() {
+        // The source-DPOR modes are excluded here: their wave-parallel
+        // driver explores a deterministic tree that covers the same
+        // equivalence classes as the sequential one but may pick different
+        // representatives (see
+        // `parallel_source_dpor_covers_the_sequential_final_states`).
         let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
-        for base in all_mode_configs() {
+        for base in all_mode_configs()
+            .into_iter()
+            .filter(|c| !c.reduction.is_source_dpor())
+        {
             let sequential = explore_schedules(
                 |mem| SwapTas {
                     flag: mem.alloc("flag", Value::FALSE),
@@ -1875,6 +2170,130 @@ mod tests {
             "barriers can only add schedules: {plain} {lin}"
         );
         assert!(lin < off, "barriers must still prune: {lin} {off}");
+    }
+
+    /// A schedule-order-invariant fingerprint of a finished execution:
+    /// final register file plus per-process outcomes — everything a
+    /// commuting-step reordering preserves.
+    fn fingerprint(res: &ExecutionResult<TasSpec, TasSwitch>, mem: &SharedMemory) -> String {
+        let mut fp = String::new();
+        for i in 0..mem.register_count() {
+            fp.push_str(&format!("{:?};", mem.peek(RegId(i))));
+        }
+        let mut outs: Vec<String> = res
+            .ops
+            .iter()
+            .map(|o| format!("{:?}={:?}", o.req.proc, o.outcome))
+            .collect();
+        outs.sort();
+        fp.push_str(&outs.join("|"));
+        fp
+    }
+
+    #[test]
+    fn source_dpor_explores_no_more_schedules_than_eager_sleep_sets() {
+        // On the all-writes swap TAS the exact race relation equals the
+        // conservative wake relation, so the counts must coincide exactly;
+        // the win is the all-but-eliminated sleep-blocked work.
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        let run = |reduction| {
+            let mut states = std::collections::BTreeSet::new();
+            let report = explore_schedules_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &ExploreConfig {
+                    reduction,
+                    ..Default::default()
+                },
+                |res, mem| {
+                    states.insert(fingerprint(res, mem));
+                    Ok(())
+                },
+            );
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "{reduction:?}: {:?}",
+                report.outcome
+            );
+            (report.stats, states)
+        };
+        let (off, off_states) = run(Reduction::Off);
+        let (sleep, sleep_states) = run(Reduction::SleepSets);
+        let (source, source_states) = run(Reduction::SourceDpor);
+        let (source_lin, source_lin_states) = run(Reduction::SourceDporLinPreserving);
+        // Race-driven branching never adds representatives over eager
+        // branching with the same relation...
+        assert!(source.schedules <= sleep.schedules);
+        assert!(source_lin.schedules < off.schedules);
+        assert!(source.races > 0 && source.race_seeds > 0);
+        // ...wastes (much) less work on sleep-blocked continuations...
+        assert!(source.sleep_blocked <= sleep.sleep_blocked);
+        // ...and still reaches every final state of the full enumeration.
+        assert_eq!(off_states, source_states);
+        assert_eq!(off_states, source_lin_states);
+        assert_eq!(off_states, sleep_states);
+    }
+
+    #[test]
+    fn parallel_source_dpor_covers_the_sequential_final_states() {
+        // The wave-parallel source-DPOR driver explores a deterministic
+        // tree that may differ from the sequential engine's in its choice
+        // of representatives, but must cover exactly the same equivalence
+        // classes — compared here on the class-invariant final-state
+        // fingerprints.
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(3, TasOp::TestAndSet);
+        for reduction in [Reduction::SourceDpor, Reduction::SourceDporLinPreserving] {
+            for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+                let base = ExploreConfig {
+                    reduction,
+                    resume,
+                    ..Default::default()
+                };
+                let mut seq_states = std::collections::BTreeSet::new();
+                let seq = explore_schedules_report(
+                    |mem| SwapTas {
+                        flag: mem.alloc("flag", Value::FALSE),
+                    },
+                    &wl,
+                    &base,
+                    |res, mem| {
+                        seq_states.insert(fingerprint(res, mem));
+                        Ok(())
+                    },
+                );
+                assert!(matches!(seq.outcome, Ok(ExploreOutcome::Exhausted { .. })));
+                for threads in [2usize, 4] {
+                    let config = ExploreConfig {
+                        threads,
+                        ..base.clone()
+                    };
+                    let par_states = Mutex::new(std::collections::BTreeSet::new());
+                    let par = explore_schedules_parallel_report(
+                        |mem: &mut SharedMemory| SwapTas {
+                            flag: mem.alloc("flag", Value::FALSE),
+                        },
+                        &wl,
+                        &config,
+                        |res, mem| {
+                            par_states.lock().unwrap().insert(fingerprint(res, mem));
+                            Ok(())
+                        },
+                    );
+                    assert!(
+                        matches!(par.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                        "threads={threads} {reduction:?}/{resume:?}: {:?}",
+                        par.outcome
+                    );
+                    assert_eq!(
+                        seq_states,
+                        par_states.into_inner().unwrap(),
+                        "threads={threads} {reduction:?}/{resume:?}"
+                    );
+                }
+            }
+        }
     }
 
     /// A register implementation with an order-dependent bug: the reader
@@ -1984,10 +2403,15 @@ mod tests {
         assert!(run(Reduction::Off).is_err());
         // Plain sleep sets prune it away: every outcome is order-independent,
         // so the whole sibling subtree is (correctly, per its contract)
-        // considered covered.
+        // considered covered. Plain source DPOR explores a subset of that
+        // tree and misses it the same way.
         assert!(run(Reduction::SleepSets).is_ok());
-        // The invoke/commit barriers keep the distinction alive.
+        assert!(run(Reduction::SourceDpor).is_ok());
+        // The invoke/commit barriers keep the distinction alive — in the
+        // eager mode through the wake rule, in the source mode through the
+        // response↔invocation race relation.
         assert!(run(Reduction::SleepSetsLinPreserving).is_err());
+        assert!(run(Reduction::SourceDporLinPreserving).is_err());
     }
 
     /// A monitor that mirrors the trace event stream through the mark/rewind

@@ -1,0 +1,345 @@
+//! The happens-before layer of the source-DPOR reduction: vector clocks
+//! over the executed transition stream, reversible-race detection, and the
+//! weak-initials computation that seeds wakeup/backtrack sets.
+//!
+//! The sleep-set reductions in [`crate::explore`] prune *already-covered*
+//! sibling subtrees but still branch eagerly at every decision point. Source
+//! DPOR (Abdulla, Aronis, Jonsson, Sagonas, *Optimal dynamic partial order
+//! reduction*, POPL 2014 — the "source sets" half, without wakeup trees)
+//! instead looks at the trace that was actually executed, detects the
+//! *reversible races* in it, and seeds a backtrack point only where a race
+//! reversal is realisable. This module supplies the trace-side machinery:
+//!
+//! * every executed transition is recorded as a [`StepLabel`] (process,
+//!   exact footprint, exact invoke/response emissions — see
+//!   [`crate::executor::ExecSession::last_step_footprint`]) and stamped with
+//!   a **vector clock** over the dependence relation (program order plus
+//!   [`StepLabel::dependent`], with the invoke/commit barriers folded in
+//!   for the linearizability-preserving variant);
+//! * a pair `(i, j)` is a **reversible race** when the two transitions
+//!   belong to different processes, are dependent, and `i` happens-before
+//!   `j` *only* through their direct dependence — no intermediate event
+//!   `k` with `i → k → j`. In this simulator every enabled process stays
+//!   enabled until it moves (scheduling is the only source of blocking), so
+//!   every such race is reversible;
+//! * for a race `(i, j)` the candidate backtrack processes at the prefix
+//!   before `i` are the **weak initials** of `v = notdep(i)·j` — the
+//!   subsequence of events after `i` that do *not* happen-after `i`,
+//!   followed by `j` itself: a process is an initial iff its first event in
+//!   `v` has no happens-before predecessor inside `v`.
+//!
+//! The tracker mirrors the explorer's current schedule prefix: events are
+//! [pushed](HbTracker::push) as transitions execute and
+//! [truncated](HbTracker::truncate) when the explorer backtracks, so the
+//! wakeup state travels with prefix-resume checkpoints exactly like sleep
+//! sets do. Storage is flat (one `Vec` of labels, one stride-`n` `Vec` of
+//! clock entries) and reused across the whole exploration.
+
+use crate::memory::StepLabel;
+use scl_spec::ProcessId;
+
+/// The bit of process `p` in an initials/backtrack mask (processes are
+/// bounded to 64 by the reduced explorer modes).
+#[inline]
+fn bit(p: ProcessId) -> u64 {
+    debug_assert!(p.index() < 64);
+    1u64 << p.index()
+}
+
+/// Happens-before tracking over one executed schedule prefix. See the
+/// [module documentation](self).
+#[derive(Debug, Clone)]
+pub struct HbTracker {
+    procs: usize,
+    /// Whether the invoke/commit barrier footprints are part of the
+    /// dependence relation ([`StepLabel::dependent`]'s `lin_barriers`).
+    lin_barriers: bool,
+    labels: Vec<StepLabel>,
+    /// Flat per-event vector clocks, stride `procs`:
+    /// `clocks[e * procs + p]` is the number of events of process `p` that
+    /// happen-before (or are) event `e`. An event's own entry is its
+    /// 1-based per-process index.
+    clocks: Vec<u32>,
+}
+
+impl HbTracker {
+    /// A fresh tracker for `procs` processes.
+    pub fn new(procs: usize, lin_barriers: bool) -> Self {
+        assert!(
+            procs <= 64,
+            "the race-driven reduction supports at most 64 processes"
+        );
+        HbTracker {
+            procs,
+            lin_barriers,
+            labels: Vec::new(),
+            clocks: Vec::new(),
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether no event is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Drops every recorded event, keeping allocations.
+    pub fn clear(&mut self) {
+        self.labels.clear();
+        self.clocks.clear();
+    }
+
+    /// Truncates to the first `len` events (the explorer backtracked).
+    pub fn truncate(&mut self, len: usize) {
+        if len < self.labels.len() {
+            self.labels.truncate(len);
+            self.clocks.truncate(len * self.procs);
+        }
+    }
+
+    /// The label of event `i`.
+    pub fn label(&self, i: usize) -> StepLabel {
+        self.labels[i]
+    }
+
+    /// Event `i`'s clock entry for process `p`.
+    pub fn clock(&self, i: usize, p: ProcessId) -> u32 {
+        self.clocks[i * self.procs + p.index()]
+    }
+
+    /// Records one executed transition, computing its vector clock as the
+    /// join of every dependent predecessor's clock (program order included)
+    /// plus its own per-process tick.
+    pub fn push(&mut self, label: StepLabel) {
+        debug_assert!(label.proc.index() < self.procs);
+        let j = self.labels.len();
+        let base = j * self.procs;
+        self.clocks.resize(base + self.procs, 0);
+        for i in 0..j {
+            if self.labels[i].dependent(label, self.lin_barriers) {
+                let (head, tail) = self.clocks.split_at_mut(base);
+                let src = &head[i * self.procs..(i + 1) * self.procs];
+                for (dst, &s) in tail.iter_mut().zip(src) {
+                    *dst = (*dst).max(s);
+                }
+            }
+        }
+        self.clocks[base + label.proc.index()] += 1;
+        self.labels.push(label);
+    }
+
+    /// Whether event `i` happens-before event `j` (reflexive; `i <= j`).
+    pub fn happens_before(&self, i: usize, j: usize) -> bool {
+        debug_assert!(i <= j);
+        let p = self.labels[i].proc;
+        self.clock(j, p) >= self.clock(i, p)
+    }
+
+    /// Appends to `out` (ascending) the indices `i` such that `(i, last)` is
+    /// a reversible race: different processes, dependent, and no
+    /// intermediate event `k` with `i → k → last`.
+    pub fn races_of_last(&self, out: &mut Vec<usize>) {
+        let Some(j) = self.labels.len().checked_sub(1) else {
+            return;
+        };
+        let lj = self.labels[j];
+        for i in 0..j {
+            let li = self.labels[i];
+            if li.proc == lj.proc || !li.dependent(lj, self.lin_barriers) {
+                continue;
+            }
+            let transitive =
+                (i + 1..j).any(|k| self.happens_before(i, k) && self.happens_before(k, j));
+            if !transitive {
+                out.push(i);
+            }
+        }
+    }
+
+    /// The weak initials of `v = notdep(i)·last` for a race `(i, last)`
+    /// reported by [`Self::races_of_last`], as a process bit mask: the
+    /// events after `i` that do not happen-after `i`, followed by the last
+    /// event; a process is an initial iff its first event in `v` has no
+    /// happens-before predecessor inside `v`. Exploring any one initial
+    /// from the prefix before `i` realises the race reversal.
+    pub fn race_initials(&self, i: usize) -> u64 {
+        let j = self.labels.len() - 1;
+        let in_v = |k: usize| k == j || !self.happens_before(i, k);
+        let mut initials = 0u64;
+        let mut preceded = 0u64;
+        for m in i + 1..=j {
+            if !in_v(m) {
+                continue;
+            }
+            let pm = self.labels[m].proc;
+            if preceded & bit(pm) != 0 {
+                continue;
+            }
+            let has_pred = (i + 1..m).any(|l| in_v(l) && self.happens_before(l, m));
+            if has_pred {
+                // Neither this event nor any later event of the same
+                // process can be moved to the front of `v`.
+                preceded |= bit(pm);
+            } else if initials & bit(pm) == 0 {
+                initials |= bit(pm);
+                // Only the first event of a process can qualify it.
+                preceded |= bit(pm);
+            }
+        }
+        initials
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memory::{Footprint, RegId};
+
+    fn p(i: usize) -> ProcessId {
+        ProcessId(i)
+    }
+
+    fn step(proc: usize, fp: Footprint) -> StepLabel {
+        StepLabel {
+            proc: p(proc),
+            footprint: fp,
+            invoked: false,
+            responded: false,
+        }
+    }
+
+    #[test]
+    fn unknown_footprints_are_ordered_with_everything() {
+        let mut hb = HbTracker::new(3, false);
+        hb.push(step(0, Footprint::Unknown));
+        hb.push(step(1, Footprint::Pure));
+        hb.push(step(2, Footprint::Read(RegId(0))));
+        // Unknown is dependent with Pure and with any access, so event 0
+        // happens-before both later events...
+        assert!(hb.happens_before(0, 1));
+        assert!(hb.happens_before(0, 2));
+        // ...and every subsequent Unknown event observes the full history.
+        hb.push(step(0, Footprint::Unknown));
+        assert!(hb.happens_before(1, 3));
+        assert!(hb.happens_before(2, 3));
+        assert_eq!(hb.clock(3, p(0)), 2);
+        assert_eq!(hb.clock(3, p(1)), 1);
+        assert_eq!(hb.clock(3, p(2)), 1);
+    }
+
+    #[test]
+    fn per_process_counters_stay_concurrent_on_disjoint_registers() {
+        let (a, b) = (RegId(0), RegId(1));
+        let mut hb = HbTracker::new(2, false);
+        hb.push(step(0, Footprint::Write(a)));
+        hb.push(step(0, Footprint::Write(a)));
+        hb.push(step(1, Footprint::Write(b)));
+        // p1's event is concurrent with both of p0's: its clock never saw
+        // p0's counter, and no happens-before edge exists in either
+        // direction.
+        assert_eq!(hb.clock(2, p(0)), 0);
+        assert_eq!(hb.clock(2, p(1)), 1);
+        assert!(!hb.happens_before(0, 2));
+        assert!(!hb.happens_before(1, 2));
+        // Program order within p0 is tracked.
+        assert!(hb.happens_before(0, 1));
+        assert_eq!(hb.clock(1, p(0)), 2);
+        // And no races: the steps commute.
+        let mut races = Vec::new();
+        hb.races_of_last(&mut races);
+        assert!(races.is_empty());
+    }
+
+    #[test]
+    fn three_conflicting_writes_race_only_adjacently() {
+        // p0: W(a); p1: W(a); p2: W(a). The (0, 2) pair is ordered through
+        // event 1, so the reversible races are exactly (0, 1) and (1, 2).
+        let a = RegId(0);
+        let mut hb = HbTracker::new(3, false);
+        let mut races = Vec::new();
+        hb.push(step(0, Footprint::Write(a)));
+        hb.push(step(1, Footprint::Write(a)));
+        hb.races_of_last(&mut races);
+        assert_eq!(races, vec![0]);
+        races.clear();
+        hb.push(step(2, Footprint::Write(a)));
+        hb.races_of_last(&mut races);
+        assert_eq!(
+            races,
+            vec![1],
+            "the (0, 2) race must be transitive, not reversible"
+        );
+    }
+
+    #[test]
+    fn race_initials_are_the_movable_first_events() {
+        // p0: W(a); p1: W(b); p2: R(a). Race (0, 2); v = [W(b), R(a)].
+        // Both p1's and p2's first events are front-movable.
+        let (a, b) = (RegId(0), RegId(1));
+        let mut hb = HbTracker::new(3, false);
+        hb.push(step(0, Footprint::Write(a)));
+        hb.push(step(1, Footprint::Write(b)));
+        hb.push(step(2, Footprint::Read(a)));
+        let mut races = Vec::new();
+        hb.races_of_last(&mut races);
+        assert_eq!(races, vec![0]);
+        assert_eq!(hb.race_initials(0), 0b110);
+
+        // p0: W(a); p1: W(b); p2: R(b); p2: R(a). Race (0, 3);
+        // v = [W(b), R(b), R(a)] and p2's first event in v (the R(b))
+        // happens-after p1's W(b), so only p1 is an initial.
+        let mut hb = HbTracker::new(3, false);
+        hb.push(step(0, Footprint::Write(a)));
+        hb.push(step(1, Footprint::Write(b)));
+        hb.push(step(2, Footprint::Read(b)));
+        hb.push(step(2, Footprint::Read(a)));
+        let mut races = Vec::new();
+        hb.races_of_last(&mut races);
+        assert_eq!(races, vec![0]);
+        assert_eq!(hb.race_initials(0), 0b010);
+    }
+
+    #[test]
+    fn invoke_commit_barriers_race_only_with_lin_barriers() {
+        let mk = |lin| {
+            let mut hb = HbTracker::new(2, lin);
+            hb.push(StepLabel {
+                proc: p(0),
+                footprint: Footprint::Pure,
+                invoked: false,
+                responded: true,
+            });
+            hb.push(StepLabel {
+                proc: p(1),
+                footprint: Footprint::Pure,
+                invoked: true,
+                responded: false,
+            });
+            let mut races = Vec::new();
+            hb.races_of_last(&mut races);
+            races
+        };
+        assert!(mk(false).is_empty(), "plain mode: pure steps never race");
+        assert_eq!(mk(true), vec![0], "lin mode: response vs invocation races");
+    }
+
+    #[test]
+    fn truncate_rewinds_the_event_stream() {
+        let a = RegId(0);
+        let mut hb = HbTracker::new(2, false);
+        hb.push(step(0, Footprint::Write(a)));
+        hb.push(step(1, Footprint::Write(a)));
+        hb.truncate(1);
+        assert_eq!(hb.len(), 1);
+        // Re-pushing after a truncation recomputes the clock fresh.
+        hb.push(step(1, Footprint::Read(a)));
+        assert_eq!(hb.clock(1, p(1)), 1);
+        assert!(hb.happens_before(0, 1));
+        hb.clear();
+        assert!(hb.is_empty());
+    }
+}

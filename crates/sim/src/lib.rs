@@ -26,8 +26,10 @@
 //! * [`explore`] — bounded exhaustive exploration of all schedules of small
 //!   executions: an incremental depth-first search with optional
 //!   prefix-resume backtracking (snapshot/restore of memory, session and
-//!   object instead of prefix replay) and sleep-set partial-order reduction
-//!   driven by per-step access footprints. Used by the test-suites to verify
+//!   object instead of prefix replay) and partial-order reduction — classic
+//!   sleep sets driven by per-step access footprints, or source DPOR with
+//!   race-driven wakeup sets over the happens-before layer in [`hb`]. Used
+//!   by the test-suites to verify
 //!   linearizability and safe composability over *every* interleaving of
 //!   small configurations, and by `bench_explorer` to exhaust the full n=3
 //!   speculative-TAS space.
@@ -38,6 +40,7 @@
 pub mod adversary;
 pub mod executor;
 pub mod explore;
+pub mod hb;
 pub mod machine;
 pub mod memory;
 pub mod metrics;
@@ -58,10 +61,11 @@ pub use explore::{
     explore_schedules_report, ExploreConfig, ExploreOutcome, ExploreReport, ExploreStats,
     ExploreViolation, MonitorFactory, NoMonitor, Reduction, ResumeMode, ScheduleMonitor,
 };
+pub use hb::HbTracker;
 pub use machine::{
     ImmediateOutcome, ObjectSnapshot, OpExecution, OpOutcome, SimObject, StepOutcome,
 };
-pub use memory::{Footprint, MemSnapshot, PrimitiveClass, RegId, SharedMemory};
+pub use memory::{Footprint, MemSnapshot, PrimitiveClass, RegId, SharedMemory, StepLabel};
 pub use metrics::{ContentionKind, ExecutionMetrics, OpMetrics};
 pub use rng::SplitMix64;
 pub use value::Value;

@@ -84,6 +84,49 @@ impl Footprint {
     }
 }
 
+/// The full label of one *executed* scheduling transition: which process
+/// moved, what shared-memory access it performed, and which trace events it
+/// emitted. This is the per-step record the source-DPOR race detection in
+/// [`crate::explore`] consumes (via the happens-before layer in
+/// [`crate::hb`]): unlike the *predicted* [`Footprint`] of a pending step,
+/// a label describes what a transition actually did, so the race relation
+/// built from labels is exact where the sleep-set wake rule has to
+/// over-approximate (e.g. a step that *may* respond but did not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepLabel {
+    /// The process that took the transition.
+    pub proc: ProcessId,
+    /// The shared-memory access the transition performed
+    /// ([`Footprint::Pure`] for invocations and silent local steps).
+    pub footprint: Footprint,
+    /// Whether the transition emitted an invocation (invoke/init) event.
+    pub invoked: bool,
+    /// Whether the transition emitted a response (commit/abort) event.
+    pub responded: bool,
+}
+
+impl StepLabel {
+    /// Whether two executed transitions are dependent (may fail to commute).
+    ///
+    /// Transitions of the same process are always dependent (program order).
+    /// Across processes the base relation is shared-memory dependence of the
+    /// footprints ([`Footprint::dependent`]); with `lin_barriers` the
+    /// invoke/commit *barrier footprints* of the linearizability-preserving
+    /// reductions are folded in: a transition that emitted a response event
+    /// is additionally dependent with every other process's
+    /// invocation-emitting transition (and vice versa), because swapping
+    /// such a pair changes the real-time precedence of the commit
+    /// projection.
+    pub fn dependent(self, other: StepLabel, lin_barriers: bool) -> bool {
+        if self.proc == other.proc {
+            return true;
+        }
+        self.footprint.dependent(other.footprint)
+            || (lin_barriers
+                && ((self.invoked && other.responded) || (self.responded && other.invoked)))
+    }
+}
+
 /// Classification of shared-memory primitives by their consensus number.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum PrimitiveClass {

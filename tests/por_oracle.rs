@@ -28,7 +28,7 @@ fn mode(reduction: Reduction, resume: ResumeMode) -> ExploreConfig {
 
 fn all_modes() -> Vec<ExploreConfig> {
     let mut v = Vec::new();
-    for reduction in [Reduction::Off, Reduction::SleepSets] {
+    for reduction in [Reduction::Off, Reduction::SleepSets, Reduction::SourceDpor] {
         for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
             v.push(mode(reduction, resume));
         }
@@ -68,11 +68,12 @@ fn final_states(config: &ExploreConfig, n: usize) -> (ExploreOutcome, BTreeSet<S
     (outcome, states)
 }
 
-/// On n=2 (64472 schedules) sleep-set exploration reaches exactly the same
-/// set of final states as full enumeration — the oracle the acceptance
-/// criteria require.
+/// On n=2 (64472 schedules) every reduced mode — the eager sleep-set modes
+/// and the race-driven source-DPOR modes — reaches exactly the same set of
+/// final states as full enumeration: the oracle the acceptance criteria
+/// require.
 #[test]
-fn sleep_sets_reach_exactly_the_full_final_state_set_on_n2() {
+fn reduced_modes_reach_exactly_the_full_final_state_set_on_n2() {
     let (full_outcome, full_states) =
         final_states(&mode(Reduction::Off, ResumeMode::FullReplay), 2);
     assert_eq!(
@@ -83,20 +84,59 @@ fn sleep_sets_reach_exactly_the_full_final_state_set_on_n2() {
         "the unreduced enumeration must match the pinned PR 1 count"
     );
 
-    for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
-        let (reduced_outcome, reduced_states) =
-            final_states(&mode(Reduction::SleepSets, resume), 2);
-        assert!(matches!(reduced_outcome, ExploreOutcome::Exhausted { .. }));
-        assert!(
-            reduced_outcome.schedules() < full_outcome.schedules() / 100,
-            "sleep sets should prune the bulk of the {N2_FULL_SCHEDULES} schedules, explored {}",
-            reduced_outcome.schedules()
-        );
-        assert_eq!(
-            full_states, reduced_states,
-            "sleep-set exploration ({resume:?}) lost or invented final states"
-        );
+    for reduction in [
+        Reduction::SleepSets,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDpor,
+        Reduction::SourceDporLinPreserving,
+    ] {
+        for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+            let (reduced_outcome, reduced_states) = final_states(&mode(reduction, resume), 2);
+            assert!(matches!(reduced_outcome, ExploreOutcome::Exhausted { .. }));
+            assert!(
+                reduced_outcome.schedules() < full_outcome.schedules() / 100,
+                "{reduction:?} should prune the bulk of the {N2_FULL_SCHEDULES} schedules, \
+                 explored {}",
+                reduced_outcome.schedules()
+            );
+            assert_eq!(
+                full_states, reduced_states,
+                "{reduction:?} ({resume:?}) lost or invented final states"
+            );
+        }
     }
+}
+
+/// The race-driven modes never explore more representatives than their
+/// eager counterparts — and exactly match them where the executed-label
+/// race relation coincides with the conservative wake relation (the plain
+/// footprint modes), while strictly shrinking the lin-preserving space
+/// (the may-respond barrier is an over-approximation that race detection
+/// does not pay).
+#[test]
+fn source_dpor_counts_close_the_reduction_gap_on_n2() {
+    let count = |reduction| {
+        final_states(&mode(reduction, ResumeMode::PrefixResume), 2)
+            .0
+            .schedules()
+    };
+    let (sleep, sleep_lin) = (
+        count(Reduction::SleepSets),
+        count(Reduction::SleepSetsLinPreserving),
+    );
+    let (source, source_lin) = (
+        count(Reduction::SourceDpor),
+        count(Reduction::SourceDporLinPreserving),
+    );
+    assert_eq!(
+        source, sleep,
+        "plain relations coincide, so must the counts"
+    );
+    assert!(
+        source_lin < sleep_lin,
+        "the lin-preserving source-DPOR space must be strictly smaller ({source_lin} vs {sleep_lin})"
+    );
+    assert!(sleep <= source_lin, "barriers can only add representatives");
 }
 
 /// Prefix-resume changes the backtracking mechanics, not the enumeration:
@@ -127,7 +167,8 @@ fn prefix_resume_enumerates_exactly_the_full_replay_tree_on_n2() {
 
 /// The reduced modes agree with each other on n=3 as well (the unreduced
 /// n=3 space is too large for a debug-build test; its equivalence on n=2 and
-/// the n=3 agreement across mechanics cover both axes).
+/// the n=3 agreement across mechanics and branching strategies cover both
+/// axes).
 #[test]
 fn reduced_modes_agree_on_n3() {
     let (a_outcome, a_states) =
@@ -137,6 +178,17 @@ fn reduced_modes_agree_on_n3() {
     assert!(matches!(a_outcome, ExploreOutcome::Exhausted { .. }));
     assert_eq!(a_outcome, b_outcome);
     assert_eq!(a_states, b_states);
+    // The race-driven branching reaches the same final states (with the
+    // same representative count — the plain race relation is exact) in both
+    // resume mechanics.
+    let (c_outcome, c_states) =
+        final_states(&mode(Reduction::SourceDpor, ResumeMode::FullReplay), 3);
+    let (d_outcome, d_states) =
+        final_states(&mode(Reduction::SourceDpor, ResumeMode::PrefixResume), 3);
+    assert_eq!(c_outcome, d_outcome);
+    assert_eq!(a_states, c_states);
+    assert_eq!(c_states, d_states);
+    assert!(c_outcome.schedules() <= a_outcome.schedules());
 }
 
 /// The seeded bug: dropping A1's final RAW-fenced read of `aborted` lets a
@@ -169,9 +221,9 @@ fn single_winner_check(
 }
 
 #[test]
-fn seeded_raw_fence_bug_is_caught_under_off_and_sleep_sets() {
+fn seeded_raw_fence_bug_is_caught_under_every_reduction() {
     let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
-    let mut violations: Vec<ExploreViolation> = Vec::new();
+    let mut violations: Vec<(ExploreConfig, ExploreViolation)> = Vec::new();
     for config in all_modes() {
         let violation = explore_schedules(new_buggy_tas, &wl, &config, single_winner_check)
             .expect_err("the dropped-RAW-fence mutant must produce two winners");
@@ -179,13 +231,19 @@ fn seeded_raw_fence_bug_is_caught_under_off_and_sleep_sets() {
             violation.message.contains("2 winners"),
             "config {config:?}: unexpected violation {violation}"
         );
-        violations.push(violation);
+        violations.push((config, violation));
     }
     // Both resume mechanics report the identical counterexample within each
     // reduction mode (the reduction itself may pick a different — equally
-    // real — representative schedule).
-    assert_eq!(violations[0], violations[1], "Off: replay vs resume");
-    assert_eq!(violations[2], violations[3], "SleepSets: replay vs resume");
+    // real — representative schedule). `all_modes` yields replay/resume
+    // pairs per reduction.
+    for pair in violations.chunks(2) {
+        let [(ca, va), (cb, vb)] = pair else {
+            panic!("all_modes yields replay/resume pairs");
+        };
+        assert_eq!(ca.reduction, cb.reduction);
+        assert_eq!(va, vb, "{:?}: replay vs resume", ca.reduction);
+    }
 }
 
 /// The unmutated algorithm passes the same check in every mode — the seeded
