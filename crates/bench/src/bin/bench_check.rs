@@ -20,21 +20,30 @@
 //!   source-DPOR modes close part of that gap (asserted: never more
 //!   representatives than the eager modes, strictly fewer on the n=2
 //!   lin-preserving space).
-//! * **scenario_suite** — the whole `scl-check` registry through the
-//!   unified engine, sequentially (`workers = 1`) and with the parallel
-//!   monitor-carrying driver (`workers = 2`): the PR 4 sequential-vs-
-//!   parallel numbers, self-describing via `host.available_parallelism`
-//!   (a single-core container cannot show a parallel win).
+//! * **scenario_suite** — the whole `scl-check` registry (crash scenarios
+//!   included since PR 6) through the unified engine, sequentially
+//!   (`workers = 1`) and with the parallel monitor-carrying driver
+//!   (`workers = 2`): the PR 4 sequential-vs-parallel numbers,
+//!   self-describing via `host.available_parallelism` (a single-core
+//!   container cannot show a parallel win).
+//! * **crash_exploration** — the PR 6 group: the n=2 speculative-TAS space
+//!   under a 1-crash budget (`max_crashes = 1`, everyone eligible) in all
+//!   five reduction modes. Crash points multiply the schedule space; the
+//!   asserted bars are that every mode still exhausts it, that the
+//!   race-driven modes never cost representatives over the eager ones, and
+//!   that the crashy space is strictly larger than the crash-free one
+//!   (i.e. crash branching is actually happening).
 //!
-//! Writes `BENCH_PR4.json` at the workspace root; `--smoke` caps the
-//! enumerations and writes `artifacts/BENCH_PR4.smoke.json` (the CI guard;
-//! `artifacts/` is gitignored). The full run asserts the PR 3/PR 4
-//! acceptance bars: incremental checking expands measurably fewer checker
-//! states than from-scratch per-schedule checking on the `swap_tas_n3_3ops`
-//! workload (9-commit histories) **and**, now that `Config`s are interned
-//! `Copy` values, beats it on wall clock too. On the exhaustive 1-op n=2
-//! workload the two are at parity — 2-commit histories put the from-scratch
-//! search at its 3-state floor, which is itself a recorded result.
+//! Writes `BENCH_PR6.json` at the workspace root (`BENCH_PR4.json` is kept
+//! as the PR 4 record); `--smoke` caps the enumerations and writes
+//! `artifacts/BENCH_PR6.smoke.json` (the CI guard; `artifacts/` is
+//! gitignored). The full run asserts the PR 3/PR 4 acceptance bars:
+//! incremental checking expands measurably fewer checker states than
+//! from-scratch per-schedule checking on the `swap_tas_n3_3ops` workload
+//! (9-commit histories) **and**, now that `Config`s are interned `Copy`
+//! values, beats it on wall clock too. On the exhaustive 1-op n=2 workload
+//! the two are at parity — 2-commit histories put the from-scratch search
+//! at its 3-state floor, which is itself a recorded result.
 
 use scl_bench::benchjson;
 use scl_check::{reduction_name, CheckConfig, CheckerMode, LinMonitor};
@@ -250,11 +259,19 @@ fn suite_json(m: &SuiteMeasurement) -> String {
 }
 
 /// One reduction-group cell: schedule counts under a reduction (outcome-only
-/// check, so every mode is sound).
-fn measure_reduction(n: usize, max_schedules: u64, reduction: Reduction) -> Measurement {
+/// check, so every mode is sound). `max_crashes > 0` turns on crash
+/// branching for the crash_exploration group.
+fn measure_reduction_with_crashes(
+    n: usize,
+    max_schedules: u64,
+    reduction: Reduction,
+    max_crashes: usize,
+) -> Measurement {
     let workload = wl(n, 1);
     let config = ExploreConfig {
         reduction,
+        max_crashes,
+        crash_eligible: !0,
         ..base_config(max_schedules)
     };
     let start = Instant::now();
@@ -267,6 +284,10 @@ fn measure_reduction(n: usize, max_schedules: u64, reduction: Reduction) -> Meas
         exhausted,
         secs: start.elapsed().as_secs_f64(),
     }
+}
+
+fn measure_reduction(n: usize, max_schedules: u64, reduction: Reduction) -> Measurement {
+    measure_reduction_with_crashes(n, max_schedules, reduction, 0)
 }
 
 fn main() {
@@ -346,6 +367,25 @@ fn main() {
         }
     }
 
+    println!("-- crash exploration (n=2, 1-crash budget, outcome-only check) --");
+    let crash_modes = [
+        Reduction::Off,
+        Reduction::SleepSets,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDpor,
+        Reduction::SourceDporLinPreserving,
+    ];
+    let mut crash = Vec::new();
+    for &mode in &crash_modes {
+        let m = measure_reduction_with_crashes(2, n2_cap, mode, 1);
+        let mode_name = reduction_name(mode);
+        println!(
+            "speculative_tas_n2_crash1/{mode_name}: schedules={} steps={} exhausted={} secs={:.3}",
+            m.schedules, m.executed_steps, m.exhausted, m.secs
+        );
+        crash.push((mode_name, m));
+    }
+
     // Sequential first: the derived ratio and the host metadata both index
     // into this list.
     const SUITE_WORKER_COUNTS: [usize; 2] = [1, 2];
@@ -384,6 +424,15 @@ fn main() {
         .iter()
         .map(|m| format!("    \"workers_{}\": {}", m.workers, suite_json(m)))
         .collect();
+    let crash_entries: Vec<String> = crash
+        .iter()
+        .map(|(mode, m)| {
+            format!(
+                "    \"speculative_tas_n2_crash1/{mode}\": {}",
+                json_entry(m)
+            )
+        })
+        .collect();
     let derived = format!(
         "    \"recording_overhead_vs_no_monitor\": {:.3},\n    \"incremental_vs_from_scratch_checker_states\": {:.3},\n    \"incremental_vs_from_scratch_wall\": {:.3},\n    \"suite_parallel_vs_sequential_wall\": {:.3}",
         recording_only.secs / no_monitor.secs.max(1e-12),
@@ -400,13 +449,14 @@ fn main() {
         )],
     );
     let json = format!(
-        "{{\n  \"description\": \"Per-schedule linearizability checking for PR 4: the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records the schedule counts of all five reduction modes (off, sleep_sets, sleep_sets_lin_preserving, source_dpor, source_dpor_lin_preserving): what the invoke/commit barrier footprints cost in lost pruning, that the race-driven source-DPOR modes never cost representatives over the eager modes (strictly fewer on the n=2 lin-preserving space), and that the lin-preserving modes keep the full n=3 space tractable. The scenario_suite group runs every registered scl-check scenario through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"description\": \"Per-schedule linearizability checking (PR 4 groups + the PR 6 crash_exploration group): the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records the schedule counts of all five reduction modes (off, sleep_sets, sleep_sets_lin_preserving, source_dpor, source_dpor_lin_preserving). The scenario_suite group runs every registered scl-check scenario (crash scenarios included) through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism. The crash_exploration group enumerates the n=2 speculative-TAS space under a 1-crash budget (crash-stop failures as scheduled transitions) in all five modes; asserted on full runs: every mode exhausts, the race-driven modes never cost representatives over the eager ones, and the crashy space is strictly larger than the crash-free one.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"crash_exploration\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
         recording_entries.join(",\n"),
         reduction_entries.join(",\n"),
         suite_entries.join(",\n"),
+        crash_entries.join(",\n"),
         derived,
     );
-    benchjson::write_report("BENCH_PR4", smoke, &json);
+    benchjson::write_report("BENCH_PR6", smoke, &json);
 
     // The suite must match its expectations in every engine mode, smoke
     // included: these are the same scenarios CI gates on.
@@ -474,6 +524,36 @@ fn main() {
         assert!(
             find("speculative_tas_n2", "source_dpor_lin_preserving").schedules < lin.schedules,
             "source DPOR must strictly shrink the n=2 lin-preserving space"
+        );
+        // PR 6: crash branching must actually enlarge the space, every mode
+        // must still exhaust it, and the race-driven modes must stay at or
+        // below their eager counterparts with crash steps in the race
+        // relation.
+        let crash_find = |mode: &str| {
+            crash
+                .iter()
+                .find(|(m, _)| *m == mode)
+                .map(|(_, m)| *m)
+                .expect("measured")
+        };
+        for &mode in &crash_modes {
+            let m = crash_find(reduction_name(mode));
+            assert!(
+                m.exhausted,
+                "{}: the 1-crash n=2 space must be exhausted",
+                reduction_name(mode)
+            );
+        }
+        assert!(
+            crash_find("off").schedules > off.schedules,
+            "crash branching must enlarge the unreduced space ({} vs {})",
+            crash_find("off").schedules,
+            off.schedules
+        );
+        assert!(crash_find("source_dpor").schedules <= crash_find("sleep_sets").schedules);
+        assert!(
+            crash_find("source_dpor_lin_preserving").schedules
+                <= crash_find("sleep_sets_lin_preserving").schedules
         );
     }
 }

@@ -21,8 +21,8 @@
 
 use scl_sim::{ExecSession, OpOutcome, ScheduleMonitor, TickEmission};
 use scl_spec::{
-    check_linearizable_with_stats, ConcurrentHistory, HistoryMark, IncVerdict,
-    IncrementalLinChecker, LinCheckResult, SequentialSpec,
+    check_linearizable_with_stats, check_strict_linearizable_with_stats, ConcurrentHistory,
+    HistoryMark, IncVerdict, IncrementalLinChecker, LinCheckResult, SequentialSpec,
 };
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -50,10 +50,37 @@ impl CheckerMode {
     }
 }
 
+/// How crashed-pending operations enter the completion closure — the axis
+/// that separates plain linearizability from *strict* linearizability on the
+/// same crashy histories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CrashedPending {
+    /// The classic (open) closure: a pending operation of a crashed process
+    /// may take effect at any later point, or be dropped — crashes are
+    /// invisible to the checker.
+    #[default]
+    Open,
+    /// Strict linearizability: a crashed-pending operation may only take
+    /// effect *before* its crash point (or be dropped) — it must precede
+    /// every operation invoked after the crash.
+    Strict,
+}
+
+impl CrashedPending {
+    /// The CLI/report name of the mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashedPending::Open => "open",
+            CrashedPending::Strict => "strict",
+        }
+    }
+}
+
 /// See the [module documentation](self).
 pub struct LinMonitor<S: SequentialSpec> {
     spec: S,
     mode: CheckerMode,
+    crashed_pending: CrashedPending,
     hist: ConcurrentHistory<S>,
     inc: IncrementalLinChecker<S>,
     /// Stack of (token, history mark, incremental-checker token).
@@ -64,12 +91,14 @@ pub struct LinMonitor<S: SequentialSpec> {
 }
 
 impl<S: SequentialSpec> LinMonitor<S> {
-    /// A fresh monitor checking against `spec`.
+    /// A fresh monitor checking against `spec`, with the open crashed-pending
+    /// closure (crashes invisible — plain linearizability).
     pub fn new(spec: S, mode: CheckerMode) -> Self {
         LinMonitor {
             inc: IncrementalLinChecker::new(spec.clone()),
             spec,
             mode,
+            crashed_pending: CrashedPending::Open,
             hist: ConcurrentHistory::new(),
             marks: Vec::new(),
             next_token: 0,
@@ -77,9 +106,20 @@ impl<S: SequentialSpec> LinMonitor<S> {
         }
     }
 
+    /// Selects how crashed-pending operations are closed (builder style).
+    pub fn with_crashed_pending(mut self, crashed_pending: CrashedPending) -> Self {
+        self.crashed_pending = crashed_pending;
+        self
+    }
+
     /// The checker mode.
     pub fn mode(&self) -> CheckerMode {
         self.mode
+    }
+
+    /// The crashed-pending closure mode.
+    pub fn crashed_pending(&self) -> CrashedPending {
+        self.crashed_pending
     }
 
     /// The history of the execution currently being observed.
@@ -111,13 +151,25 @@ impl<S: SequentialSpec> LinMonitor<S> {
                 }
             },
             CheckerMode::FromScratch => {
-                let (result, stats) = check_linearizable_with_stats(&self.spec, &self.hist);
+                let (result, stats) = match self.crashed_pending {
+                    CrashedPending::Open => check_linearizable_with_stats(&self.spec, &self.hist),
+                    CrashedPending::Strict => {
+                        check_strict_linearizable_with_stats(&self.spec, &self.hist)
+                    }
+                };
                 self.scratch_states += stats.states;
                 match result {
                     LinCheckResult::Linearizable(_) => Ok(()),
-                    LinCheckResult::NotLinearizable => {
-                        Err("commit projection is not linearizable".to_string())
-                    }
+                    LinCheckResult::NotLinearizable => match self.crashed_pending {
+                        CrashedPending::Open => {
+                            Err("commit projection is not linearizable".to_string())
+                        }
+                        CrashedPending::Strict => Err(
+                            "commit projection is not strictly linearizable (crashed-pending: \
+                             strict)"
+                                .to_string(),
+                        ),
+                    },
                     LinCheckResult::TooLarge => {
                         Err("history exceeds the 128-operation checker bound".to_string())
                     }
@@ -161,6 +213,22 @@ where
                     self.inc.commit(record.req.id, resp);
                 }
                 self.hist.record_response(at, record.req.id, resp.clone());
+            }
+            TickEmission::Crashed { op_index } => {
+                // Under the open closure a crashed-pending op is just a
+                // pending op (may take effect any time, or be dropped), so
+                // the crash records nothing. Under the strict closure the
+                // crash point caps where the op may take effect.
+                if self.crashed_pending == CrashedPending::Strict {
+                    if let Some(op_index) = op_index {
+                        let id = session.result().ops[op_index].req.id;
+                        let at = self.hist.event_count();
+                        if self.mode == CheckerMode::Incremental {
+                            self.inc.crash(id);
+                        }
+                        self.hist.record_crash(at, id);
+                    }
+                }
             }
             // Aborts are not part of the commit projection (the operation
             // simply stays pending), and silent steps record nothing.

@@ -39,17 +39,33 @@
 pub mod bridge;
 pub mod scenarios;
 
-pub use bridge::{CheckerMode, LinMonitor};
+pub use bridge::{CheckerMode, CrashedPending, LinMonitor};
 pub use scenarios::{
-    checker_values, find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume,
-    reduction_name, reduction_values, registry, resume_name, resume_values, CheckConfig, Outcome,
-    Scenario, ScenarioReport,
+    checker_values, crashed_pending_values, find, metrics_only_conflict, nearest, parse_checker,
+    parse_crashed_pending, parse_reduction, parse_resume, reduction_name, reduction_values,
+    registry, resume_name, resume_values, unknown_value_message, CheckConfig, Outcome, Scenario,
+    ScenarioReport,
 };
 
 /// Renders a set of scenario reports (plus the configuration that produced
 /// them) as a JSON document. Hand-rolled: the workspace builds offline,
 /// without serde.
 pub fn reports_to_json(config: &CheckConfig, reports: &[ScenarioReport]) -> String {
+    reports_to_json_partial(config, reports, &[], true)
+}
+
+/// [`reports_to_json`] for runs that may have been cut short by
+/// `--time-budget-ms`: `skipped` names the scenarios that never started and
+/// `exhausted` says whether the whole selection ran (`false` = partial
+/// results). The document is well-formed either way — budget exhaustion
+/// degrades to a smaller report, never to truncated output — and
+/// `all_as_expected` covers the scenarios that actually ran.
+pub fn reports_to_json_partial(
+    config: &CheckConfig,
+    reports: &[ScenarioReport],
+    skipped: &[&str],
+    exhausted: bool,
+) -> String {
     let mut entries = Vec::new();
     for r in reports {
         let (schedules, violation) = match &r.outcome {
@@ -68,6 +84,10 @@ pub fn reports_to_json(config: &CheckConfig, reports: &[ScenarioReport]) -> Stri
                 )
             }
             Outcome::ConfigError(msg) => (0, format!("{{\"config_error\": {}}}", json_string(msg))),
+            Outcome::HarnessFailure { message } => (
+                r.explore.schedules,
+                format!("{{\"harness_failure\": {}}}", json_string(message)),
+            ),
         };
         entries.push(format!(
             "    \"{}\": {{\"outcome\": \"{}\", \"schedules\": {}, \"executed_steps\": {}, \
@@ -84,16 +104,22 @@ pub fn reports_to_json(config: &CheckConfig, reports: &[ScenarioReport]) -> Stri
             violation,
         ));
     }
+    for name in skipped {
+        entries.push(format!(
+            "    \"{name}\": {{\"outcome\": \"skipped\", \"reason\": \"time budget exhausted\"}}"
+        ));
+    }
     let all_as_expected = reports.iter().all(|r| r.as_expected());
     format!(
         "{{\n  \"tool\": \"scl-check\",\n  \"config\": {{\"reduction\": \"{}\", \"resume\": \
-         \"{}\", \"checker\": \"{}\", \"max_schedules\": {}, \"max_ticks\": {}, \
-         \"metrics_only\": {}, \"workers\": {}}},\n  \"host\": \
-         {{\"available_parallelism\": {}}},\n  \"scenarios\": {{\n{}\n  }},\n  \
-         \"all_as_expected\": {}\n}}\n",
+         \"{}\", \"checker\": \"{}\", \"crashed_pending\": \"{}\", \"max_schedules\": {}, \
+         \"max_ticks\": {}, \"metrics_only\": {}, \"workers\": {}}},\n  \"host\": \
+         {{\"available_parallelism\": {}}},\n  \"exhausted\": {},\n  \"scenarios\": \
+         {{\n{}\n  }},\n  \"all_as_expected\": {}\n}}\n",
         reduction_name(config.reduction),
         resume_name(config.resume),
         config.checker.name(),
+        config.crashed_pending.name(),
         config.max_schedules,
         config.max_ticks,
         config.metrics_only,
@@ -101,6 +127,7 @@ pub fn reports_to_json(config: &CheckConfig, reports: &[ScenarioReport]) -> Stri
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(0),
+        exhausted,
         entries.join(",\n"),
         all_as_expected,
     )

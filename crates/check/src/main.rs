@@ -11,10 +11,21 @@
 //! objects pass, seeded mutants violate).
 
 use scl_check::{
-    checker_values, find, metrics_only_conflict, parse_checker, parse_reduction, parse_resume,
-    reduction_values, registry, reports_to_json, resume_values, CheckConfig, Outcome, Scenario,
+    checker_values, crashed_pending_values, find, metrics_only_conflict, parse_checker,
+    parse_crashed_pending, parse_reduction, parse_resume, reduction_values, registry,
+    reports_to_json_partial, resume_values, unknown_value_message, CheckConfig, Outcome, Scenario,
     ScenarioReport,
 };
+
+/// Prints the "unknown value, did you mean …" diagnostic and exits with the
+/// usage-error code.
+fn die_unknown<'a, I>(kind: &str, input: &str, candidates: I) -> !
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    eprintln!("{}", unknown_value_message(kind, input, candidates));
+    std::process::exit(2);
+}
 
 /// Renders a flag's accepted values from its registry table, marking the
 /// default — the same tables [`parse_reduction`] & co. resolve against, so
@@ -33,17 +44,18 @@ fn value_list<T: PartialEq>(values: &[(&str, T)], default: &T) -> String {
         .join(" | ")
 }
 
-fn flag_values() -> (String, String, String) {
+fn flag_values() -> (String, String, String, String) {
     let defaults = CheckConfig::default();
     (
         value_list(reduction_values(), &defaults.reduction),
         value_list(resume_values(), &defaults.resume),
         value_list(checker_values(), &defaults.checker),
+        value_list(crashed_pending_values(), &defaults.crashed_pending),
     )
 }
 
 fn usage() -> ! {
-    let (reductions, resumes, checkers) = flag_values();
+    let (reductions, resumes, checkers, crashed) = flag_values();
     eprintln!(
         "usage: scl-check [SCENARIO...] [options]\n\
          \n\
@@ -57,10 +69,16 @@ fn usage() -> ! {
          \x20  --reduction MODE        {reductions}\n\
          \x20  --resume MODE           {resumes}\n\
          \x20  --checker MODE          {checkers}\n\
+         \x20  --crashed-pending MODE  {crashed}\n\
+         \x20                          (strict = strict linearizability for\n\
+         \x20                          crash-exploring scenarios)\n\
          \x20  --max-schedules N       schedule budget (default 200000)\n\
          \x20  --max-ticks N           tick limit per execution (default 10000)\n\
          \x20  --workers N             engine worker threads: 1 = sequential\n\
          \x20                          (default), 0 = available parallelism\n\
+         \x20  --time-budget-ms N      stop starting scenarios once N ms have\n\
+         \x20                          elapsed; the JSON report stays well-formed\n\
+         \x20                          and marks the remainder \"skipped\"\n\
          \x20  --metrics-only          skip event-trace recording (rejected for\n\
          \x20                          scenarios with trace-consuming checks)\n\
          \x20  --json PATH             also write the JSON report to PATH"
@@ -87,10 +105,11 @@ fn list() {
             },
         );
     }
-    let (reductions, resumes, checkers) = flag_values();
+    let (reductions, resumes, checkers, crashed) = flag_values();
     println!("\naccepted --reduction values: {reductions}");
     println!("accepted --resume values:    {resumes}");
     println!("accepted --checker values:   {checkers}");
+    println!("accepted --crashed-pending values: {crashed}");
 }
 
 fn main() {
@@ -100,6 +119,7 @@ fn main() {
     let mut all = false;
     let mut smoke = false;
     let mut json_path: Option<String> = None;
+    let mut time_budget_ms: Option<u64> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -118,15 +138,47 @@ fn main() {
             "--metrics-only" => config.metrics_only = true,
             "--reduction" => {
                 let v = value(&mut i);
-                config.reduction = parse_reduction(&v).unwrap_or_else(|| usage());
+                config.reduction = parse_reduction(&v).unwrap_or_else(|| {
+                    die_unknown(
+                        "--reduction value",
+                        &v,
+                        reduction_values().iter().map(|(n, _)| *n),
+                    )
+                });
             }
             "--resume" => {
                 let v = value(&mut i);
-                config.resume = parse_resume(&v).unwrap_or_else(|| usage());
+                config.resume = parse_resume(&v).unwrap_or_else(|| {
+                    die_unknown(
+                        "--resume value",
+                        &v,
+                        resume_values().iter().map(|(n, _)| *n),
+                    )
+                });
             }
             "--checker" => {
                 let v = value(&mut i);
-                config.checker = parse_checker(&v).unwrap_or_else(|| usage());
+                config.checker = parse_checker(&v).unwrap_or_else(|| {
+                    die_unknown(
+                        "--checker value",
+                        &v,
+                        checker_values().iter().map(|(n, _)| *n),
+                    )
+                });
+            }
+            "--crashed-pending" => {
+                let v = value(&mut i);
+                config.crashed_pending = parse_crashed_pending(&v).unwrap_or_else(|| {
+                    die_unknown(
+                        "--crashed-pending value",
+                        &v,
+                        crashed_pending_values().iter().map(|(n, _)| *n),
+                    )
+                });
+            }
+            "--time-budget-ms" => {
+                let v = value(&mut i);
+                time_budget_ms = Some(v.parse().unwrap_or_else(|_| usage()));
             }
             "--max-schedules" => {
                 let v = value(&mut i);
@@ -163,8 +215,7 @@ fn main() {
             .iter()
             .map(|n| {
                 find(n).unwrap_or_else(|| {
-                    eprintln!("unknown scenario `{n}` (see scl-check --list)");
-                    std::process::exit(2);
+                    die_unknown("scenario", n, registry().iter().map(|s| s.name))
                 })
             })
             .collect()
@@ -179,13 +230,32 @@ fn main() {
         }
     }
 
+    // The time budget is checked between scenarios: a scenario that started
+    // runs to completion (its report is whole), and the ones that never
+    // started are listed as skipped in a still-well-formed JSON document —
+    // graceful degradation, not a mid-write death.
+    let deadline =
+        time_budget_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    let mut skipped: Vec<&str> = Vec::new();
     let mut reports: Vec<ScenarioReport> = Vec::new();
-    for s in &scenarios {
+    for (idx, s) in scenarios.iter().enumerate() {
+        if let Some(d) = deadline {
+            if std::time::Instant::now() >= d {
+                skipped = scenarios[idx..].iter().map(|s| s.name).collect();
+                eprintln!(
+                    "time budget exhausted; skipping {} scenario(s): {}",
+                    skipped.len(),
+                    skipped.join(", ")
+                );
+                break;
+            }
+        }
         let start = std::time::Instant::now();
         let report = s.run(&config);
         let secs = start.elapsed().as_secs_f64();
         let status = match (&report.outcome, report.as_expected()) {
             (Outcome::ConfigError(msg), _) => format!("CONFIG ERROR: {msg}"),
+            (Outcome::HarnessFailure { message }, _) => format!("HARNESS FAILURE: {message}"),
             (Outcome::Violation { schedule, message }, true) => {
                 format!("violation as expected ({message}; schedule {schedule:?})")
             }
@@ -207,7 +277,7 @@ fn main() {
         reports.push(report);
     }
 
-    let json = reports_to_json(&config, &reports);
+    let json = reports_to_json_partial(&config, &reports, &skipped, skipped.is_empty());
     if let Some(path) = &json_path {
         if let Some(dir) = std::path::Path::new(path)
             .parent()

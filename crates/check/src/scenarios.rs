@@ -11,15 +11,16 @@
 //! and the check asks it for a per-schedule linearizability verdict plus any
 //! scenario-specific outcome predicates.
 
-use crate::bridge::{CheckerMode, LinMonitor};
+use crate::bridge::{CheckerMode, CrashedPending, LinMonitor};
 use scl_core::{
     new_composable_universal, new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas,
     CasConsensus, Composed, ConsensusObject, ConsensusSwitch, ResettableTas, SplitConsensus,
+    WriteBehindRegister,
 };
 use scl_sim::{
     explore_schedules_monitored_report, explore_schedules_parallel_monitored_report,
-    ExecutionResult, ExploreConfig, ExploreOutcome, ExploreReport, ExploreStats, OpOutcome,
-    Reduction, ResumeMode, SharedMemory, SimObject, Workload,
+    ExecutionResult, ExploreConfig, ExploreError, ExploreOutcome, ExploreReport, ExploreStats,
+    OpOutcome, Reduction, ResumeMode, SharedMemory, SimObject, Workload,
 };
 use scl_spec::{
     ConsensusOp, ConsensusSpec, History, ProcessId, QueueOp, QueueSpec, RegisterOp, RegisterSpec,
@@ -57,6 +58,18 @@ pub struct CheckConfig {
     /// way (the parallel merge is deterministic); see the parallel oracle
     /// tests.
     pub workers: usize,
+    /// How crashed-pending operations enter the completion closure
+    /// (`--crashed-pending`): [`CrashedPending::Open`] is plain
+    /// linearizability, [`CrashedPending::Strict`] is strict
+    /// linearizability. Only observable for scenarios that explore crashes.
+    pub crashed_pending: CrashedPending,
+    /// Crash budget per explored schedule (0 = fault-free exploration).
+    /// Crash scenarios set this themselves; it is not a CLI flag because an
+    /// arbitrary crash budget invalidates outcome checks (e.g. "exactly one
+    /// winner") that fault-free scenarios rely on.
+    pub max_crashes: usize,
+    /// Which processes may crash (bitmask over process indices).
+    pub crash_eligible: u64,
 }
 
 impl Default for CheckConfig {
@@ -69,6 +82,9 @@ impl Default for CheckConfig {
             max_ticks: 10_000,
             metrics_only: false,
             workers: 1,
+            crashed_pending: CrashedPending::Open,
+            max_crashes: 0,
+            crash_eligible: !0,
         }
     }
 }
@@ -91,6 +107,8 @@ impl CheckConfig {
             threads: self.workers,
             reduction: self.reduction,
             resume: self.resume,
+            max_crashes: self.max_crashes,
+            crash_eligible: self.crash_eligible,
         }
     }
 }
@@ -117,6 +135,13 @@ pub enum Outcome {
     },
     /// The configuration is invalid for this scenario.
     ConfigError(String),
+    /// The harness itself failed (a worker panicked): not a verdict about
+    /// the object at all, and never "as expected" — even for scenarios that
+    /// expect a violation.
+    HarnessFailure {
+        /// The diagnostic (worker index and schedule prefix).
+        message: String,
+    },
 }
 
 impl Outcome {
@@ -127,6 +152,7 @@ impl Outcome {
             Outcome::LimitReached { .. } => "limit_reached",
             Outcome::Violation { .. } => "violation",
             Outcome::ConfigError(_) => "config_error",
+            Outcome::HarnessFailure { .. } => "harness_failure",
         }
     }
 }
@@ -155,7 +181,7 @@ impl ScenarioReport {
         match (&self.outcome, self.expect_violation) {
             (Outcome::Violation { .. }, expected) => expected,
             (Outcome::Exhausted { .. } | Outcome::LimitReached { .. }, expected) => !expected,
-            (Outcome::ConfigError(_), _) => false,
+            (Outcome::ConfigError(_) | Outcome::HarnessFailure { .. }, _) => false,
         }
     }
 }
@@ -203,9 +229,12 @@ impl Scenario {
         let outcome = match report.outcome {
             Ok(ExploreOutcome::Exhausted { schedules }) => Outcome::Exhausted { schedules },
             Ok(ExploreOutcome::LimitReached { schedules }) => Outcome::LimitReached { schedules },
-            Err(v) => Outcome::Violation {
+            Err(ExploreError::Check(v)) => Outcome::Violation {
                 schedule: v.schedule,
                 message: v.message,
+            },
+            Err(e @ ExploreError::WorkerPanic { .. }) => Outcome::HarnessFailure {
+                message: e.to_string(),
             },
         };
         ScenarioReport {
@@ -256,7 +285,8 @@ where
         }
     };
     if config.workers == 1 {
-        let mut monitor = LinMonitor::new(spec, config.checker);
+        let mut monitor =
+            LinMonitor::new(spec, config.checker).with_crashed_pending(config.crashed_pending);
         let report = explore_schedules_monitored_report(
             setup,
             workload,
@@ -267,7 +297,9 @@ where
         (report, monitor.checker_states())
     } else {
         let checker = config.checker;
-        let factory = move || LinMonitor::new(spec.clone(), checker);
+        let crashed_pending = config.crashed_pending;
+        let factory =
+            move || LinMonitor::new(spec.clone(), checker).with_crashed_pending(crashed_pending);
         let (report, monitors) = explore_schedules_parallel_monitored_report(
             setup,
             workload,
@@ -547,6 +579,151 @@ fn run_consensus_cas_n2(config: &CheckConfig) -> RunnerOutput {
     )
 }
 
+/// The crash-tolerant composed-TAS check: survivors complete, the
+/// composition never aborts, and at most one test-and-set wins. ("Exactly
+/// one" is wrong under crashes — the would-be winner may crash with its
+/// operation pending, leaving every survivor a loser.)
+fn tas_crash_safe<V>(res: &ExecutionResult<TasSpec, V>, _mem: &SharedMemory) -> Result<(), String> {
+    if !res.completed {
+        return Err("execution hit the tick limit".into());
+    }
+    if res.metrics.aborted_count() > 0 {
+        return Err("the composition aborted".into());
+    }
+    let w = winners(res);
+    if w > 1 {
+        return Err(format!("{w} winners (expected at most 1)"));
+    }
+    Ok(())
+}
+
+fn run_crash_spec_tas_n2(config: &CheckConfig) -> RunnerOutput {
+    // The fault-free `spec_tas_n2` space plus every 1-crash extension. The
+    // scenario honours `--crashed-pending`: for a single-round TAS the
+    // crashed operation either linearizes first (as the winner) or is
+    // dropped, both of which the strict closure permits, so `open` and
+    // `strict` both pass — the axis separates on `crash_write_behind_*`.
+    let config = CheckConfig {
+        max_crashes: 1,
+        crash_eligible: !0,
+        ..config.clone()
+    };
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+    explore_with_lin(&config, TasSpec, new_speculative_tas, &wl, tas_crash_safe)
+}
+
+fn write_behind_workload() -> Workload<RegisterSpec, ()> {
+    // p0 writes 5; p1 reads twice. The interesting suffix: p0 crashes
+    // between its two cells and p1's first read returns the stale 0 while
+    // *flushing* 5 — the second read then returns 5, an order no strict
+    // linearization admits.
+    Workload::from_ops(vec![
+        vec![RegisterOp::Write(5)],
+        vec![RegisterOp::Read, RegisterOp::Read],
+    ])
+}
+
+fn run_crash_write_behind(config: &CheckConfig, crashed_pending: CrashedPending) -> RunnerOutput {
+    let config = CheckConfig {
+        max_crashes: 1,
+        crash_eligible: 0b01, // only the writer crashes
+        crashed_pending,
+        ..config.clone()
+    };
+    explore_with_lin(
+        &config,
+        RegisterSpec,
+        WriteBehindRegister::new,
+        &write_behind_workload(),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            Ok(())
+        },
+    )
+}
+
+fn run_crash_write_behind_open_n2(config: &CheckConfig) -> RunnerOutput {
+    run_crash_write_behind(config, CrashedPending::Open)
+}
+
+fn run_crash_write_behind_strict_n2(config: &CheckConfig) -> RunnerOutput {
+    run_crash_write_behind(config, CrashedPending::Strict)
+}
+
+fn run_crash_resettable_tas_wedge_n2(config: &CheckConfig) -> RunnerOutput {
+    // The wedged-resettable-TAS class: Algorithm 2 hands the *winner* the
+    // exclusive right to reset the round. If the winner crashes before its
+    // reset commits, the object is wedged — every surviving test-and-set
+    // loses forever. Survivors still *complete* (each round is wait-free),
+    // so this is invisible to safety checks and to termination: it must be
+    // reported by a progress monitor, not found as a hang. Linearizability
+    // is gated off (a crashed losing p0 makes reset ill-formed for the
+    // plain TasSpec, as in `resettable_tas_n2`).
+    let config = CheckConfig {
+        max_crashes: 1,
+        crash_eligible: 0b01, // only p0 (the resetter) crashes
+        ..config.clone()
+    };
+    let wl: Workload<TasSpec, TasSwitch> = Workload::from_ops(vec![
+        vec![TasOp::TestAndSet, TasOp::Reset],
+        vec![TasOp::TestAndSet],
+    ]);
+    explore_with_lin_opt(
+        &config,
+        TasSpec,
+        |mem| ResettableTas::new(mem, 2),
+        &wl,
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            let p0_won = res.ops.iter().any(|o| {
+                o.req.proc == ProcessId(0)
+                    && matches!(o.outcome, Some(OpOutcome::Commit(TasResp::Winner)))
+            });
+            let p0_reset_done = res.ops.iter().any(|o| {
+                o.req.proc == ProcessId(0)
+                    && matches!(o.outcome, Some(OpOutcome::Commit(TasResp::ResetDone)))
+            });
+            if res.is_crashed(ProcessId(0)) && p0_won && !p0_reset_done {
+                return Err(
+                    "non-blocking progress violated: the round winner crashed before its reset \
+                     committed; every surviving test-and-set loses forever"
+                        .into(),
+                );
+            }
+            Ok(())
+        },
+        |_res| false,
+    )
+}
+
+fn run_crash_a1_dropped_raw_fence_n2(config: &CheckConfig) -> RunnerOutput {
+    // The seeded fault-free bug under a crash budget: the 0-crash schedules
+    // are a subspace of the crash-aware exploration, so the two-winner
+    // mutant must still be reported — crash branching may not mask bugs.
+    let config = CheckConfig {
+        max_crashes: 1,
+        crash_eligible: !0,
+        ..config.clone()
+    };
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+    explore_with_lin(
+        &config,
+        TasSpec,
+        |mem| {
+            Composed::new(
+                A1Tas::with_variant(mem, A1Variant::DroppedRawFence),
+                A2Tas::new(mem),
+            )
+        },
+        &wl,
+        tas_crash_safe,
+    )
+}
+
 /// Every registered scenario.
 static SCENARIOS: &[Scenario] = &[
     Scenario {
@@ -659,6 +836,61 @@ static SCENARIOS: &[Scenario] = &[
         needs_trace: false,
         runner: run_consensus_cas_n2,
     },
+    Scenario {
+        name: "crash_spec_tas_n2",
+        object: "speculative TAS (A1 ∘ A2) under crashes",
+        processes: 2,
+        description:
+            "one test-and-set per process plus every 1-crash extension (--crashed-pending \
+                      applies; open and strict agree here)",
+        checks: &["linearizable", "at_most_one_winner", "wait_free"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_crash_spec_tas_n2,
+    },
+    Scenario {
+        name: "crash_write_behind_open_n2",
+        object: "write-behind register — seeded crash mutant",
+        processes: 2,
+        description: "writer may crash between its two cells; plain (open) linearizability holds",
+        checks: &["linearizable", "completes"],
+        expect_violation: false,
+        needs_trace: false,
+        runner: run_crash_write_behind_open_n2,
+    },
+    Scenario {
+        name: "crash_write_behind_strict_n2",
+        object: "write-behind register — seeded crash mutant",
+        processes: 2,
+        description: "the same histories under the strict closure: the crashed write takes effect \
+                      between two post-crash reads",
+        checks: &["strictly_linearizable", "completes"],
+        expect_violation: true,
+        needs_trace: false,
+        runner: run_crash_write_behind_strict_n2,
+    },
+    Scenario {
+        name: "crash_resettable_tas_wedge_n2",
+        object: "resettable TAS (Algorithm 2) under crashes",
+        processes: 2,
+        description: "the winner crashes before its reset commits: survivors lose forever — a \
+                      progress violation, reported rather than hung",
+        checks: &["completes", "non_blocking_progress"],
+        expect_violation: true,
+        needs_trace: false,
+        runner: run_crash_resettable_tas_wedge_n2,
+    },
+    Scenario {
+        name: "crash_a1_dropped_raw_fence_n2",
+        object: "A1(DroppedRawFence) ∘ A2 — seeded bug under crashes",
+        processes: 2,
+        description: "the two-winner mutant with a 1-crash budget: crash branching must not mask \
+                      the fault-free bug",
+        checks: &["linearizable", "at_most_one_winner", "wait_free"],
+        expect_violation: true,
+        needs_trace: false,
+        runner: run_crash_a1_dropped_raw_fence_n2,
+    },
 ];
 
 /// The scenario registry, in catalogue order.
@@ -726,6 +958,14 @@ pub fn checker_values() -> &'static [(&'static str, CheckerMode)] {
     ]
 }
 
+/// The accepted `--crashed-pending` CLI values (see [`reduction_values`]).
+pub fn crashed_pending_values() -> &'static [(&'static str, CrashedPending)] {
+    &[
+        ("open", CrashedPending::Open),
+        ("strict", CrashedPending::Strict),
+    ]
+}
+
 /// Reduction modes by CLI name.
 pub fn parse_reduction(s: &str) -> Option<Reduction> {
     reduction_values()
@@ -748,6 +988,60 @@ pub fn parse_checker(s: &str) -> Option<CheckerMode> {
         .iter()
         .find(|(name, _)| *name == s)
         .map(|(_, c)| *c)
+}
+
+/// Crashed-pending closure modes by CLI name.
+pub fn parse_crashed_pending(s: &str) -> Option<CrashedPending> {
+    crashed_pending_values()
+        .iter()
+        .find(|(name, _)| *name == s)
+        .map(|(_, c)| *c)
+}
+
+/// Levenshtein distance — powers the "did you mean" suggestions for unknown
+/// CLI values.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The candidate closest to `input`, if close enough to plausibly be a typo
+/// (edit distance at most half the longer length). Ties break
+/// lexicographically so the suggestion is deterministic.
+pub fn nearest<'a, I>(input: &str, candidates: I) -> Option<&'a str>
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    candidates
+        .into_iter()
+        .map(|c| (edit_distance(input, c), c))
+        .min()
+        .filter(|&(d, c)| d <= input.len().max(c.len()) / 2)
+        .map(|(_, c)| c)
+}
+
+/// The exit-code-2 diagnostic for an unknown CLI value: names the value,
+/// suggests the nearest candidate when one is plausible, and otherwise
+/// points at the authoritative listing.
+pub fn unknown_value_message<'a, I>(kind: &str, input: &str, candidates: I) -> String
+where
+    I: IntoIterator<Item = &'a str>,
+{
+    match nearest(input, candidates) {
+        Some(c) => format!("unknown {kind} `{input}`; did you mean `{c}`?"),
+        None => format!("unknown {kind} `{input}` (see scl-check --list)"),
+    }
 }
 
 /// The report name of a reduction.
@@ -807,9 +1101,45 @@ mod tests {
         for (name, c) in checker_values() {
             assert_eq!(parse_checker(name), Some(*c));
         }
+        for (name, c) in crashed_pending_values() {
+            assert_eq!(parse_crashed_pending(name), Some(*c));
+            assert_eq!(c.name(), *name);
+        }
         assert_eq!(parse_reduction("bogus"), None);
         assert_eq!(parse_resume("bogus"), None);
         assert_eq!(parse_checker("bogus"), None);
+        assert_eq!(parse_crashed_pending("bogus"), None);
+    }
+
+    #[test]
+    fn unknown_value_messages_suggest_plausible_typos() {
+        // A transposition inside a scenario name resolves to that name.
+        let names = || registry().iter().map(|s| s.name);
+        assert_eq!(
+            unknown_value_message("scenario", "spec_tas_n3_raeltime", names()),
+            "unknown scenario `spec_tas_n3_raeltime`; did you mean `spec_tas_n3_realtime`?"
+        );
+        // A flag-value typo resolves against the value table, preferring the
+        // closer of the two dpor modes.
+        assert_eq!(
+            unknown_value_message(
+                "--reduction value",
+                "sorce-dpor",
+                reduction_values().iter().map(|(n, _)| *n),
+            ),
+            "unknown --reduction value `sorce-dpor`; did you mean `source-dpor`?"
+        );
+        // Garbage gets no suggestion — just the pointer to --list.
+        assert_eq!(
+            unknown_value_message("scenario", "qqqqqqqq", names()),
+            "unknown scenario `qqqqqqqq` (see scl-check --list)"
+        );
+        // Exact candidates are never "unknown"; distance 0 would still
+        // suggest sanely if reached.
+        assert_eq!(
+            nearest("open", crashed_pending_values().iter().map(|(n, _)| *n)),
+            Some("open")
+        );
     }
 
     #[test]

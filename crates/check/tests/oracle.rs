@@ -2,7 +2,7 @@
 //! incremental checker: everything is validated against unreduced full
 //! enumeration and the from-scratch Wing–Gong checker.
 
-use scl_check::{find, CheckConfig, CheckerMode, LinMonitor, Outcome};
+use scl_check::{find, CheckConfig, CheckerMode, CrashedPending, LinMonitor, Outcome};
 use scl_core::{new_speculative_tas, A1Tas, A1Variant, A2Tas, Composed};
 use scl_sim::{
     explore_schedules_monitored_report, explore_schedules_report, ExecutionResult, ExploreConfig,
@@ -252,6 +252,201 @@ fn every_registered_scenario_matches_its_expectation_under_smoke_bounds() {
             "scenario {}: {:?}",
             scenario.name,
             report.outcome
+        );
+    }
+}
+
+/// Crash-aware signature set: every op's outcome, *which* processes
+/// crashed, and the bridge's per-schedule verdict under `crashed_pending`
+/// (so the strict closure is part of the signature, not just plain
+/// linearizability of the commit projection).
+fn crash_signature_set<O, F>(
+    setup: F,
+    wl: &Wl,
+    reduction: Reduction,
+    resume: ResumeMode,
+    crashed_pending: CrashedPending,
+) -> (BTreeSet<String>, u64)
+where
+    O: scl_sim::SimObject<TasSpec, TasSwitch>,
+    F: FnMut(&mut SharedMemory) -> O,
+{
+    let mut set = BTreeSet::new();
+    let mut monitor =
+        LinMonitor::new(TasSpec, CheckerMode::Incremental).with_crashed_pending(crashed_pending);
+    let report = explore_schedules_monitored_report(
+        setup,
+        wl,
+        &ExploreConfig {
+            max_schedules: 1_000_000,
+            max_crashes: 1,
+            reduction,
+            resume,
+            ..Default::default()
+        },
+        &mut monitor,
+        |res, _mem, m: &mut LinMonitor<TasSpec>| {
+            let mut ops: Vec<String> = res
+                .ops
+                .iter()
+                .map(|o| format!("{}={:?}", o.req.id, o.outcome))
+                .collect();
+            ops.sort();
+            set.insert(format!(
+                "{}|crashed={:b}|lin={}",
+                ops.join(","),
+                res.crashed,
+                m.verdict().is_ok()
+            ));
+            Ok(())
+        },
+    );
+    let schedules = match report.outcome {
+        Ok(ExploreOutcome::Exhausted { schedules }) => schedules,
+        other => panic!("exploration must exhaust, got {other:?}"),
+    };
+    (set, schedules)
+}
+
+#[test]
+fn crash_aware_reductions_have_the_full_verdict_set_on_n2_speculative_tas() {
+    // The tentpole soundness oracle: with a 1-crash budget on the n=2
+    // speculative-TAS space, every lin-preserving reduction × resume mode ×
+    // crashed-pending closure reaches exactly the outcome+crash+verdict
+    // signatures of unreduced full enumeration.
+    let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
+    for crashed_pending in [CrashedPending::Open, CrashedPending::Strict] {
+        let (full, full_scheds) = crash_signature_set(
+            new_speculative_tas,
+            &wl,
+            Reduction::Off,
+            ResumeMode::PrefixResume,
+            crashed_pending,
+        );
+        assert!(
+            full.iter().any(|s| !s.contains("|crashed=0|")),
+            "crash branches must actually be explored"
+        );
+        // One crashed test-and-set either linearizes first (the winner the
+        // survivor lost to) or is dropped — both allowed even strictly.
+        assert!(
+            full.iter().all(|s| s.ends_with("lin=true")),
+            "{crashed_pending:?}: speculative TAS must stay linearizable under one crash"
+        );
+        for reduction in [
+            Reduction::SleepSetsLinPreserving,
+            Reduction::SourceDporLinPreserving,
+        ] {
+            for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+                let (set, scheds) = crash_signature_set(
+                    new_speculative_tas,
+                    &wl,
+                    reduction,
+                    resume,
+                    crashed_pending,
+                );
+                assert_eq!(full, set, "{crashed_pending:?}/{reduction:?}/{resume:?}");
+                if reduction == Reduction::SourceDporLinPreserving {
+                    assert!(
+                        scheds < full_scheds,
+                        "crash-aware source DPOR must still prune: {scheds} vs {full_scheds}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn crash_aware_reductions_keep_the_mutants_violating_signatures() {
+    // Same oracle on the seeded DroppedRawFence mutant: the two-winner
+    // signatures must survive both the reduction and the crash branching.
+    let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
+    let mk = |mem: &mut SharedMemory| {
+        Composed::new(
+            A1Tas::with_variant(mem, A1Variant::DroppedRawFence),
+            A2Tas::new(mem),
+        )
+    };
+    for crashed_pending in [CrashedPending::Open, CrashedPending::Strict] {
+        let (full, _) = crash_signature_set(
+            mk,
+            &wl,
+            Reduction::Off,
+            ResumeMode::PrefixResume,
+            crashed_pending,
+        );
+        assert!(
+            full.iter().any(|s| s.ends_with("lin=false")),
+            "the mutant must keep non-linearizable signatures under crashes"
+        );
+        for reduction in [
+            Reduction::SleepSetsLinPreserving,
+            Reduction::SourceDporLinPreserving,
+        ] {
+            for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+                let (set, _) = crash_signature_set(mk, &wl, reduction, resume, crashed_pending);
+                assert_eq!(
+                    full, set,
+                    "mutant {crashed_pending:?}/{reduction:?}/{resume:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wedged_resettable_tas_is_reported_within_budget_in_every_lin_preserving_mode() {
+    // The progress-violation scenario must be *found* (as a violation, not a
+    // hang or a budget exhaustion) under every reduction × resume mode.
+    let scenario = find("crash_resettable_tas_wedge_n2").expect("registered");
+    for reduction in [
+        Reduction::Off,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDporLinPreserving,
+    ] {
+        for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+            let config = CheckConfig {
+                reduction,
+                resume,
+                ..Default::default()
+            };
+            let report = scenario.run(&config);
+            assert!(
+                matches!(
+                    report.outcome,
+                    Outcome::Violation { ref message, .. } if message.contains("progress")
+                ),
+                "{reduction:?}/{resume:?}: {:?}",
+                report.outcome
+            );
+            assert!(report.as_expected());
+        }
+    }
+}
+
+#[test]
+fn strict_and_open_closures_separate_on_the_write_behind_register() {
+    // The crashed-pending axis is observable: identical histories, opposite
+    // verdicts, under both checker modes.
+    let open = find("crash_write_behind_open_n2").expect("registered");
+    let strict = find("crash_write_behind_strict_n2").expect("registered");
+    for checker in [CheckerMode::Incremental, CheckerMode::FromScratch] {
+        let config = CheckConfig {
+            checker,
+            ..Default::default()
+        };
+        let open_report = open.run(&config);
+        assert!(
+            matches!(open_report.outcome, Outcome::Exhausted { .. }),
+            "{checker:?}: {:?}",
+            open_report.outcome
+        );
+        let strict_report = strict.run(&config);
+        assert!(
+            matches!(strict_report.outcome, Outcome::Violation { .. }),
+            "{checker:?}: {:?}",
+            strict_report.outcome
         );
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod compose;
 pub mod consensus;
+pub mod register;
 pub mod tas;
 pub mod universal;
 
@@ -40,6 +41,7 @@ pub use consensus::{
     AbortableBakery, AbortableConsensus, CasConsensus, ConsensusExec, ConsensusObject,
     ConsensusOutcome, ConsensusSwitch, SplitConsensus, Splitter, SplitterResult,
 };
+pub use register::WriteBehindRegister;
 pub use tas::{
     new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas, ResettableTas, SoloFastTas,
     SpeculativeTas,

@@ -1,0 +1,177 @@
+//! A write-behind register — the seeded *crash* mutant.
+//!
+//! The repository's other seeded bug (`A1Variant::DroppedRawFence`) violates
+//! plain linearizability; this object is deliberately constructed to be
+//! linearizable in every crash-free execution **and** under the open
+//! crashed-pending closure, while violating *strict* linearizability once
+//! its writer can crash — it separates the two `--checker crashed-pending`
+//! modes of `scl-check` on the same histories.
+//!
+//! The register keeps two cells:
+//!
+//! * `buf` — the write-ahead cell, written first;
+//! * `main` — the primary cell, written second (the write commits here).
+//!
+//! A read loads `main`, then `buf`. If they agree it returns `main`. If they
+//! disagree (a write is in flight, or the writer crashed between its two
+//! steps) the reader *helps* by flushing `buf` into `main` — but returns the
+//! **stale** pre-flush `main` value it already read. Crash-free this is
+//! harmless: the in-flight write is still pending, so the stale read
+//! linearizes before it. If the writer *crashed* between the two cells,
+//! however, a post-crash read pair observes `old` then `new` — explainable
+//! only by the crashed write taking effect *between* two operations invoked
+//! after the crash, which the strict closure forbids.
+
+use scl_sim::{
+    Footprint, ObjectSnapshot, OpExecution, OpOutcome, RegId, SharedMemory, SimObject, StepOutcome,
+    Value,
+};
+use scl_spec::{RegisterOp, RegisterSpec, Request};
+
+/// See the [module documentation](self).
+pub struct WriteBehindRegister {
+    buf: RegId,
+    main: RegId,
+}
+
+impl WriteBehindRegister {
+    /// Allocates the two cells (initial value 0).
+    pub fn new(mem: &mut SharedMemory) -> Self {
+        WriteBehindRegister {
+            buf: mem.alloc("wb.buf", Value::int(0)),
+            main: mem.alloc("wb.main", Value::int(0)),
+        }
+    }
+}
+
+impl SimObject<RegisterSpec, ()> for WriteBehindRegister {
+    fn invoke(
+        &mut self,
+        _mem: &mut SharedMemory,
+        req: Request<RegisterSpec>,
+        _switch: Option<()>,
+    ) -> Box<dyn OpExecution<RegisterSpec, ()>> {
+        match req.op {
+            RegisterOp::Write(v) => Box::new(WbWrite {
+                buf: self.buf,
+                main: self.main,
+                proc: req.proc,
+                v,
+                pc: 0,
+            }),
+            RegisterOp::Read => Box::new(WbRead {
+                buf: self.buf,
+                main: self.main,
+                proc: req.proc,
+                m: 0,
+                b: 0,
+                pc: 0,
+            }),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "write-behind register"
+    }
+
+    fn snapshot(&self) -> Option<ObjectSnapshot> {
+        // All state lives in the two shared registers.
+        Some(ObjectSnapshot::stateless())
+    }
+}
+
+/// `Write(v)`: `buf := v`, then `main := v`, commit `v`.
+#[derive(Clone)]
+struct WbWrite {
+    buf: RegId,
+    main: RegId,
+    proc: scl_spec::ProcessId,
+    v: u64,
+    pc: u8,
+}
+
+impl OpExecution<RegisterSpec, ()> for WbWrite {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<RegisterSpec, ()> {
+        match self.pc {
+            0 => {
+                mem.write(self.proc, self.buf, Value::int(self.v as i64));
+                self.pc = 1;
+                StepOutcome::Continue
+            }
+            _ => {
+                mem.write(self.proc, self.main, Value::int(self.v as i64));
+                StepOutcome::Done(OpOutcome::Commit(self.v))
+            }
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<RegisterSpec, ()>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match self.pc {
+            0 => Footprint::Write(self.buf),
+            _ => Footprint::Write(self.main),
+        }
+    }
+
+    fn may_respond_next(&self) -> bool {
+        self.pc != 0
+    }
+}
+
+/// `Read`: load `main`, load `buf`; equal → commit `main`; else flush
+/// `main := buf` and commit the stale pre-flush `main`.
+#[derive(Clone)]
+struct WbRead {
+    buf: RegId,
+    main: RegId,
+    proc: scl_spec::ProcessId,
+    /// The `main` value loaded at pc 0 (the committed response).
+    m: u64,
+    /// The `buf` value loaded at pc 1 (flushed at pc 2 when they disagree).
+    b: u64,
+    pc: u8,
+}
+
+impl OpExecution<RegisterSpec, ()> for WbRead {
+    fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<RegisterSpec, ()> {
+        match self.pc {
+            0 => {
+                self.m = mem.read(self.proc, self.main).as_int() as u64;
+                self.pc = 1;
+                StepOutcome::Continue
+            }
+            1 => {
+                self.b = mem.read(self.proc, self.buf).as_int() as u64;
+                if self.b == self.m {
+                    StepOutcome::Done(OpOutcome::Commit(self.m))
+                } else {
+                    self.pc = 2;
+                    StepOutcome::Continue
+                }
+            }
+            _ => {
+                mem.write(self.proc, self.main, Value::int(self.b as i64));
+                StepOutcome::Done(OpOutcome::Commit(self.m))
+            }
+        }
+    }
+
+    fn fork(&self) -> Option<Box<dyn OpExecution<RegisterSpec, ()>>> {
+        Some(Box::new(self.clone()))
+    }
+
+    fn next_footprint(&self) -> Footprint {
+        match self.pc {
+            0 => Footprint::Read(self.main),
+            1 => Footprint::Read(self.buf),
+            _ => Footprint::Write(self.main),
+        }
+    }
+
+    fn may_respond_next(&self) -> bool {
+        self.pc != 0
+    }
+}

@@ -228,6 +228,14 @@ pub enum TickEmission {
         /// Index of the aborted operation in [`ExecutionResult::ops`].
         op_index: usize,
     },
+    /// The tick crashed a process. Crash-stop: the process never takes
+    /// another step. `op_index` names its in-flight operation (which stays
+    /// pending forever), `None` when the process crashed between operations.
+    Crashed {
+        /// Index of the crashed process's in-flight operation in
+        /// [`ExecutionResult::ops`], if it had one.
+        op_index: Option<usize>,
+    },
 }
 
 /// One operation's record: the request and outcome indices into the trace.
@@ -256,6 +264,9 @@ pub struct ExecutionResult<S: SequentialSpec, V> {
     pub completed: bool,
     /// Number of ticks consumed.
     pub ticks: u64,
+    /// Bitmask of processes that crashed during the execution (bit `p` set
+    /// when [`Executor::tick`] executed a crash of process `p`).
+    pub crashed: u64,
 }
 
 impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Default for ExecutionResult<S, V> {
@@ -267,7 +278,20 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Default for ExecutionResul
             decisions: DecisionLog::default(),
             completed: false,
             ticks: 0,
+            crashed: 0,
         }
+    }
+}
+
+impl<S: SequentialSpec, V> ExecutionResult<S, V> {
+    /// Whether process `p` crashed during the execution.
+    pub fn is_crashed(&self, p: ProcessId) -> bool {
+        p.index() < 64 && self.crashed & (1u64 << p.index()) != 0
+    }
+
+    /// Number of processes that crashed during the execution.
+    pub fn crash_count(&self) -> u32 {
+        self.crashed.count_ones()
     }
 }
 
@@ -281,6 +305,9 @@ enum ProcState<S: SequentialSpec, V> {
         op_cursor: usize,
     },
     Done,
+    /// The process crashed (crash-stop): it is never enabled again and its
+    /// in-flight operation, if any, stays pending forever.
+    Crashed,
 }
 
 impl<S: SequentialSpec, V> ProcState<S, V> {
@@ -299,6 +326,7 @@ impl<S: SequentialSpec, V> ProcState<S, V> {
                 op_cursor: *op_cursor,
             },
             ProcState::Done => ProcState::Done,
+            ProcState::Crashed => ProcState::Crashed,
         })
     }
 }
@@ -322,6 +350,7 @@ pub struct SessionSnapshot<S: SequentialSpec, V> {
     trace_len: usize,
     ops_len: usize,
     decisions_len: usize,
+    crashed: u64,
 }
 
 impl<S: SequentialSpec, V> SessionSnapshot<S, V> {
@@ -451,6 +480,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
             trace_len: self.result.trace.len(),
             ops_len: self.result.ops.len(),
             decisions_len: self.result.decisions.len(),
+            crashed: self.result.crashed,
         })
     }
 
@@ -475,6 +505,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         self.result.decisions.clear();
         self.result.completed = false;
         self.result.ticks = 0;
+        self.result.crashed = 0;
     }
 }
 
@@ -643,6 +674,13 @@ impl Executor {
     /// it is idle, or lets its in-flight operation take at most one
     /// shared-memory step. `chosen` must be a member of the enabled set
     /// computed by the immediately preceding [`Self::survey`].
+    ///
+    /// A `chosen` with index `workload.processes() + p` is a **crash step**
+    /// of process `p` (the schedule explorer's pseudo-process encoding): `p`
+    /// must be enabled, and after the tick it is [`ProcState::Crashed`] —
+    /// never enabled again, its in-flight operation (if any) pending forever.
+    /// Crash steps take no shared-memory step and emit
+    /// [`TickEmission::Crashed`].
     pub fn tick<S, V, O>(
         &self,
         session: &mut ExecSession<S, V>,
@@ -655,8 +693,13 @@ impl Executor {
         V: Clone + Eq + Hash + Debug,
         O: SimObject<S, V> + ?Sized,
     {
+        let n = workload.processes();
         debug_assert!(
-            session.enabled.contains(&chosen),
+            if chosen.index() < n {
+                session.enabled.contains(&chosen)
+            } else {
+                chosen.index() < 2 * n && session.enabled.contains(&ProcessId(chosen.index() - n))
+            },
             "tick({chosen:?}) without a preceding survey enabling it"
         );
         let full_trace = self.trace_mode == TraceMode::Full;
@@ -664,6 +707,25 @@ impl Executor {
         session.result.decisions.push(&session.enabled, chosen);
         session.last_emission = TickEmission::None;
         session.last_footprint = Footprint::Pure;
+        if chosen.index() >= n {
+            // Crash step: the crashed process drops out of the enabled set
+            // forever; its in-flight operation stays open in the history
+            // sense (no response is ever recorded) but stops participating
+            // in metrics charging.
+            let ri = chosen.index() - n;
+            let op_index = match &session.states[ri] {
+                ProcState::Running { metrics_idx, .. } => {
+                    let midx = *metrics_idx;
+                    session.open.retain(|&oi| oi != midx);
+                    Some(midx)
+                }
+                _ => None,
+            };
+            session.states[ri] = ProcState::Crashed;
+            session.result.crashed |= 1u64 << ri;
+            session.last_emission = TickEmission::Crashed { op_index };
+            return;
+        }
         let p = chosen;
         let pi = p.index();
 
@@ -790,7 +852,7 @@ impl Executor {
                     };
                 }
             }
-            ProcState::Done => {}
+            ProcState::Done | ProcState::Crashed => {}
         }
     }
 
@@ -829,6 +891,7 @@ impl Executor {
         result.decisions.truncate(snap.decisions_len);
         result.completed = false;
         result.ticks = snap.decisions_len as u64;
+        result.crashed = snap.crashed;
     }
 }
 
@@ -1048,6 +1111,69 @@ mod tests {
             .filter(|o| matches!(o.outcome, Some(OpOutcome::Commit(TasResp::Winner))))
             .count();
         assert_eq!(winners, 1);
+    }
+
+    #[test]
+    fn crash_step_freezes_the_process_and_keeps_its_op_pending() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let executor = Executor::new();
+        let mut session: ExecSession<TasSpec, TasSwitch> = ExecSession::new();
+        executor.begin(&mut session, &wl);
+        // p0 invokes, then crashes mid-op (pseudo-process id n + 0 = 2).
+        assert_eq!(executor.survey(&mut session, &wl), SurveyStatus::Choose);
+        executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(0));
+        assert_eq!(executor.survey(&mut session, &wl), SurveyStatus::Choose);
+        executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(2));
+        assert_eq!(
+            session.last_emission(),
+            TickEmission::Crashed { op_index: Some(0) }
+        );
+        // p0 is never enabled again; p1 runs to completion and wins (p0
+        // crashed before its swap took effect).
+        while executor.survey(&mut session, &wl) == SurveyStatus::Choose {
+            assert_eq!(session.enabled(), &[ProcessId(1)]);
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(1));
+        }
+        let res = session.result();
+        assert!(res.completed);
+        assert!(res.is_crashed(ProcessId(0)));
+        assert!(!res.is_crashed(ProcessId(1)));
+        assert_eq!(res.crash_count(), 1);
+        assert_eq!(res.ops[0].outcome, None);
+        assert!(matches!(
+            res.ops[1].outcome,
+            Some(OpOutcome::Commit(TasResp::Winner))
+        ));
+    }
+
+    #[test]
+    fn crash_of_an_idle_process_drops_its_remaining_workload() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let executor = Executor::new();
+        let mut session: ExecSession<TasSpec, TasSwitch> = ExecSession::new();
+        executor.begin(&mut session, &wl);
+        assert_eq!(executor.survey(&mut session, &wl), SurveyStatus::Choose);
+        // Crash p1 before it ever invokes: no operation record exists.
+        executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(3));
+        assert_eq!(
+            session.last_emission(),
+            TickEmission::Crashed { op_index: None }
+        );
+        while executor.survey(&mut session, &wl) == SurveyStatus::Choose {
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(0));
+        }
+        let res = session.result();
+        assert!(res.completed);
+        assert!(res.is_crashed(ProcessId(1)));
+        assert_eq!(res.ops.len(), 1);
+        assert!(matches!(
+            res.ops[0].outcome,
+            Some(OpOutcome::Commit(TasResp::Winner))
+        ));
     }
 
     #[test]

@@ -214,6 +214,19 @@ pub struct ExploreConfig {
     pub reduction: Reduction,
     /// Backtracking strategy.
     pub resume: ResumeMode,
+    /// Maximum number of crash-stop failures injected per execution. `0`
+    /// (the default) disables crash exploration entirely. With a positive
+    /// budget the DFS additionally branches, at every decision point with
+    /// budget left, on crashing each enabled crash-eligible process — a
+    /// crash is scheduled as the pseudo-process `n + p` (see
+    /// [`Executor::tick`]): the process drops out of the enabled set
+    /// forever and its in-flight operation stays pending. Under a sleep-set
+    /// reduction this doubles the mask space, so at most 32 processes are
+    /// supported when crashes are enabled.
+    pub max_crashes: usize,
+    /// Processes eligible to crash, as a bitmask over process indices
+    /// (`!0` = every process). Only consulted when `max_crashes > 0`.
+    pub crash_eligible: u64,
 }
 
 impl Default for ExploreConfig {
@@ -225,6 +238,8 @@ impl Default for ExploreConfig {
             threads: 0,
             reduction: Reduction::Off,
             resume: ResumeMode::FullReplay,
+            max_crashes: 0,
+            crash_eligible: !0,
         }
     }
 }
@@ -296,6 +311,60 @@ impl std::fmt::Display for ExploreViolation {
     }
 }
 
+/// An exploration-level error: either a check violation, or — in the
+/// parallel driver — a worker thread that panicked while exploring a
+/// branch. Worker panics are caught per branch ticket (`catch_unwind`), so
+/// a panicking check or monitor produces a deterministic structured report
+/// and a clean error return instead of a poisoned or hung exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The user check rejected an execution.
+    Check(ExploreViolation),
+    /// A parallel worker panicked while exploring the branch that starts
+    /// with `schedule_prefix`. The merge is deterministic in branch issue
+    /// order (like violations); `worker` identifies the thread for
+    /// diagnostics only and may vary between runs.
+    WorkerPanic {
+        /// Spawn index of the panicking worker thread.
+        worker: usize,
+        /// The forced schedule prefix (root-path prefix plus the branch
+        /// decision) of the ticket whose exploration panicked.
+        schedule_prefix: Vec<ProcessId>,
+    },
+}
+
+impl ExploreError {
+    /// The check violation, for errors produced by the check (`None` for
+    /// worker panics).
+    pub fn as_check(&self) -> Option<&ExploreViolation> {
+        match self {
+            ExploreError::Check(v) => Some(v),
+            ExploreError::WorkerPanic { .. } => None,
+        }
+    }
+}
+
+impl From<ExploreViolation> for ExploreError {
+    fn from(v: ExploreViolation) -> Self {
+        ExploreError::Check(v)
+    }
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Check(v) => std::fmt::Display::fmt(v, f),
+            ExploreError::WorkerPanic {
+                worker,
+                schedule_prefix,
+            } => write!(
+                f,
+                "worker {worker} panicked exploring schedule prefix {schedule_prefix:?}"
+            ),
+        }
+    }
+}
+
 /// Work accounting for one exploration, used to quantify what prefix-resume
 /// and the partial-order reduction actually save.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -323,6 +392,9 @@ pub struct ExploreStats {
     /// Backtrack/wakeup entries actually seeded from those races (the rest
     /// were already explored, pending, or covered by a sleep set).
     pub race_seeds: u64,
+    /// Crash transitions executed (including prefix replays); always 0 when
+    /// [`ExploreConfig::max_crashes`] is 0.
+    pub crash_steps: u64,
 }
 
 impl ExploreStats {
@@ -336,14 +408,16 @@ impl ExploreStats {
         self.snapshot_fallbacks += other.snapshot_fallbacks;
         self.races += other.races;
         self.race_seeds += other.race_seeds;
+        self.crash_steps += other.crash_steps;
     }
 }
 
 /// An exploration result together with its work accounting.
 #[derive(Debug, Clone)]
 pub struct ExploreReport {
-    /// The outcome (or first violation, in DFS order).
-    pub outcome: Result<ExploreOutcome, ExploreViolation>,
+    /// The outcome (or first error — check violation or worker panic — in
+    /// DFS/branch order).
+    pub outcome: Result<ExploreOutcome, ExploreError>,
     /// Work performed to produce it.
     pub stats: ExploreStats,
 }
@@ -611,6 +685,14 @@ where
                 workload.processes() <= 64,
                 "sleep-set reduction supports at most 64 processes"
             );
+            if config.max_crashes > 0 {
+                // Crash transitions occupy the upper half of the sleep
+                // masks (pseudo-process `n + p`).
+                assert!(
+                    2 * workload.processes() <= 64,
+                    "crash exploration under a sleep-set reduction supports at most 32 processes"
+                );
+            }
         }
         Engine {
             executor: config.executor(),
@@ -693,10 +775,24 @@ where
         let (invoked, responded) = match self.session.last_emission() {
             TickEmission::Invoked { .. } => (true, false),
             TickEmission::Committed { .. } | TickEmission::Aborted { .. } => (false, true),
+            // A crash emits no trace event, but the strict crashed-pending
+            // verdict is sensitive to its order against other processes'
+            // invocations, so the lin-preserving modes must treat it like a
+            // response barrier.
+            TickEmission::Crashed { .. } => (false, true),
             TickEmission::None => (false, false),
         };
+        // Crash transitions are scheduled as the pseudo-process `n + p`;
+        // their label belongs to the *real* process `p`, which makes a
+        // crash dependent with every step of the same process for free.
+        let n = self.workload.processes();
+        let proc = if chosen.index() >= n {
+            ProcessId(chosen.index() - n)
+        } else {
+            chosen
+        };
         StepLabel {
-            proc: chosen,
+            proc,
             footprint: self.session.last_step_footprint(),
             invoked,
             responded,
@@ -721,6 +817,10 @@ where
         self.monitor.observe(&self.session);
         self.stats.executed_ticks += 1;
         self.stats.executed_steps += self.mem.global_steps() - steps_before;
+        let n = self.workload.processes();
+        if chosen.index() >= n {
+            self.stats.crash_steps += 1;
+        }
         if self.cur_sleep != 0 {
             let fp = self.session.last_step_footprint();
             let label = self.step_label(chosen);
@@ -729,12 +829,27 @@ where
             while rest != 0 {
                 let i = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
-                let q = ProcessId(i);
-                let wake = self.session.next_footprint(q).dependent(fp)
-                    || (lin && label.responded && self.session.next_is_invocation(q))
-                    || (lin && label.invoked && self.session.next_may_respond(q));
+                let wake = if i >= n {
+                    // A sleeping *crash* transition of process `i - n`: a
+                    // crash is dependent with every step of its own
+                    // process, and — under the lin-preserving modes — with
+                    // other processes' invocations (the strict
+                    // crashed-pending verdict orders crashes against
+                    // invocations; see [`StepLabel`] above).
+                    i - n == label.proc.index() || (lin && label.invoked)
+                } else {
+                    let q = ProcessId(i);
+                    // `label.proc` is the decoded real process, so an
+                    // executed crash of `q` wakes the sleeping real `q`
+                    // through the first disjunct (its footprint is Pure and
+                    // would never wake anyone).
+                    (chosen.index() >= n && label.proc == q)
+                        || self.session.next_footprint(q).dependent(fp)
+                        || (lin && label.responded && self.session.next_is_invocation(q))
+                        || (lin && label.invoked && self.session.next_may_respond(q))
+                };
                 if wake {
-                    self.cur_sleep &= !bit(q);
+                    self.cur_sleep &= !(1u64 << i);
                 }
             }
         }
@@ -828,8 +943,11 @@ where
 
     /// Drives the current execution forward to its next leaf, creating a
     /// branch frame at every decision point with more than one non-sleeping
-    /// choice.
+    /// choice. With a crash budget ([`ExploreConfig::max_crashes`]) the
+    /// choices at a decision point additionally include crashing each
+    /// enabled crash-eligible process (the pseudo-process `n + p`).
     fn drive(&mut self) -> Leaf {
+        let n = self.workload.processes();
         loop {
             match self.executor.survey(&mut self.session, self.workload) {
                 SurveyStatus::Complete | SurveyStatus::Cutoff => return Leaf::Complete,
@@ -838,25 +956,57 @@ where
             self.enabled_buf.clear();
             self.enabled_buf.extend_from_slice(self.session.enabled());
             let sleep = self.cur_sleep;
-            let Some(chosen) = self
+            let crashes_left = self.config.max_crashes != 0
+                && self.path.iter().filter(|p| p.index() >= n).count() < self.config.max_crashes;
+            let crash_eligible = self.config.crash_eligible;
+            // Crash alternatives awake at this node. A crash of `p` is a
+            // valid alternative even while the *real* `p` is asleep: the
+            // sibling subtree that put `p` to sleep covers only the
+            // continuations in which `p`'s next step happens, not those in
+            // which `p` crashes instead.
+            let mut crash_alts: Vec<ProcessId> = Vec::new();
+            if crashes_left {
+                for p in &self.enabled_buf {
+                    if crash_eligible & bit(*p) != 0 {
+                        let c = ProcessId(n + p.index());
+                        if sleep & bit(c) == 0 {
+                            crash_alts.push(c);
+                        }
+                    }
+                }
+            }
+            let chosen = match self
                 .enabled_buf
                 .iter()
                 .copied()
                 .find(|p| sleep & bit(*p) == 0)
-            else {
-                return Leaf::SleepBlocked;
+            {
+                Some(p) => p,
+                // Every enabled process is asleep; a still-awake crash
+                // transition keeps the node alive (see above — its
+                // continuations are not covered by the sleeping siblings).
+                None => match crash_alts.pop() {
+                    Some(c) => c,
+                    None => return Leaf::SleepBlocked,
+                },
             };
-            // A branch node exists wherever some sibling is awake. The
-            // eager sleep-set modes queue every awake sibling up front
-            // (ascending; popped from the back, so siblings are visited in
-            // descending order — the PR 1 DFS order); the source-DPOR modes
-            // start the backtrack set empty and let race detection fill it.
-            let has_awake_sibling = self
-                .enabled_buf
-                .iter()
-                .any(|p| *p != chosen && sleep & bit(*p) == 0);
+            // A branch node exists wherever some sibling transition is
+            // awake. The eager sleep-set modes queue every awake sibling up
+            // front (ascending; popped from the back, so siblings are
+            // visited in descending order — the PR 1 DFS order); the
+            // source-DPOR modes start the backtrack set empty and let race
+            // detection fill it. Crash alternatives are queued eagerly in
+            // *every* mode: a crash label never participates in a
+            // shared-memory race (Pure footprint), so race seeding would
+            // never discover them.
+            crash_alts.retain(|c| *c != chosen);
+            let has_awake_sibling = !crash_alts.is_empty()
+                || self
+                    .enabled_buf
+                    .iter()
+                    .any(|p| *p != chosen && sleep & bit(*p) == 0);
             if has_awake_sibling {
-                let alts: Vec<ProcessId> = if self.config.reduction.is_source_dpor() {
+                let mut alts: Vec<ProcessId> = if self.config.reduction.is_source_dpor() {
                     Vec::new()
                 } else {
                     self.enabled_buf
@@ -865,6 +1015,7 @@ where
                         .filter(|p| *p != chosen && sleep & bit(*p) == 0)
                         .collect()
                 };
+                alts.extend(crash_alts);
                 let seeded = alts.iter().fold(bit(chosen), |m, p| m | bit(*p));
                 let snap = self.checkpoint();
                 self.frames.push(Frame {
@@ -1003,7 +1154,7 @@ where
 /// Converts an engine's subtree result into an exploration report.
 fn subtree_report(result: Result<Subtree, ExploreViolation>, stats: ExploreStats) -> ExploreReport {
     let outcome = match result {
-        Err(v) => Err(v),
+        Err(v) => Err(ExploreError::Check(v)),
         Ok(Subtree::Exhausted) => Ok(ExploreOutcome::Exhausted {
             schedules: stats.schedules,
         }),
@@ -1100,7 +1251,14 @@ where
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String>,
 {
-    explore_schedules_report(setup, workload, config, check).outcome
+    explore_schedules_report(setup, workload, config, check)
+        .outcome
+        .map_err(|e| match e {
+            ExploreError::Check(v) => v,
+            ExploreError::WorkerPanic { .. } => {
+                unreachable!("sequential exploration has no worker threads")
+            }
+        })
 }
 
 /// A unit of parallel work: replay the first `prefix_len` decisions of the
@@ -1126,7 +1284,7 @@ struct RootNode {
 struct BranchReport {
     stats: ExploreStats,
     exhausted: bool,
-    violation: Option<ExploreViolation>,
+    violation: Option<ExploreError>,
 }
 
 /// Explores all schedules like [`explore_schedules_monitored_report`], but
@@ -1224,7 +1382,7 @@ where
         Err(v) => {
             return (
                 ExploreReport {
-                    outcome: Err(v),
+                    outcome: Err(ExploreError::Check(v)),
                     stats,
                 },
                 vec![root_engine.into_monitor()],
@@ -1323,7 +1481,7 @@ where
         let root_path_ref = &root_path;
         let wave_results: Vec<(MF::Monitor, Vec<EscapedSeed>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads_for(wave_tickets.len()))
-                .map(|_| {
+                .map(|widx| {
                     let budget = &budget;
                     let next_ticket = &next_ticket;
                     let best_violating_branch = &best_violating_branch;
@@ -1358,13 +1516,40 @@ where
                                 budget.admit()
                                     && best_violating_branch.load(Ordering::Relaxed) >= bi
                             };
-                            let result = engine.explore_subtree(
-                                &root_path_ref[..ticket.prefix_len],
-                                Some(ticket.branch),
-                                ticket.sleep,
-                                &mut gate,
-                                false,
-                            );
+                            // A panicking check or monitor is confined to
+                            // its branch ticket: the branch reports a
+                            // structured `WorkerPanic` (merged exactly like
+                            // a violation) and this worker retires — its
+                            // engine state is unspecified after the unwind.
+                            // Remaining tickets are claimed by the other
+                            // workers or reported as abandoned.
+                            let caught =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    engine.explore_subtree(
+                                        &root_path_ref[..ticket.prefix_len],
+                                        Some(ticket.branch),
+                                        ticket.sleep,
+                                        &mut gate,
+                                        false,
+                                    )
+                                }));
+                            let result = match caught {
+                                Ok(result) => result,
+                                Err(_panic) => {
+                                    best_violating_branch.fetch_min(bi, Ordering::Relaxed);
+                                    let mut prefix = root_path_ref[..ticket.prefix_len].to_vec();
+                                    prefix.push(ticket.branch);
+                                    *cells[wi].lock().unwrap() = Some(BranchReport {
+                                        stats: engine.stats,
+                                        exhausted: false,
+                                        violation: Some(ExploreError::WorkerPanic {
+                                            worker: widx,
+                                            schedule_prefix: prefix,
+                                        }),
+                                    });
+                                    return (engine.into_monitor(), worker_escapes);
+                                }
+                            };
                             worker_escapes.append(&mut engine.escaped);
                             let delta = engine.stats;
                             let report = match result {
@@ -1373,7 +1558,7 @@ where
                                     BranchReport {
                                         stats: delta,
                                         exhausted: false,
-                                        violation: Some(violation),
+                                        violation: Some(ExploreError::Check(violation)),
                                     }
                                 }
                                 Ok(Subtree::Exhausted) => BranchReport {
@@ -1394,7 +1579,10 @@ where
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("explorer worker panicked"))
+                .map(|h| {
+                    h.join()
+                        .expect("explorer worker panicked outside a branch ticket")
+                })
                 .collect()
         });
         for (monitor, worker_escapes) in wave_results {
@@ -1402,9 +1590,14 @@ where
             escapes.extend(worker_escapes);
         }
         branch_reports.extend(cells.into_iter().map(|cell| {
-            cell.into_inner()
-                .unwrap()
-                .expect("every ticket is claimed exactly once and reports")
+            // A ticket's cell can be empty only when every worker that
+            // could have claimed it retired after a panic; the branch is
+            // then abandoned (the merged outcome is the panic error).
+            cell.into_inner().unwrap().unwrap_or(BranchReport {
+                stats: ExploreStats::default(),
+                exhausted: false,
+                violation: None,
+            })
         }));
         // A violation aborts the exploration exactly like the sequential
         // DFS; seeds from the violating wave belong to subtrees that will
@@ -1508,7 +1701,7 @@ pub fn explore_schedules_parallel<S, V, O, FSetup, FCheck>(
     workload: &Workload<S, V>,
     config: &ExploreConfig,
     check: FCheck,
-) -> Result<ExploreOutcome, ExploreViolation>
+) -> Result<ExploreOutcome, ExploreError>
 where
     S: SequentialSpec,
     S::Op: Sync,
@@ -2442,7 +2635,7 @@ mod tests {
                         self.events
                             .push((false, session.result().ops[op_index].req.id))
                     }
-                    TickEmission::None => {}
+                    TickEmission::None | TickEmission::Crashed { .. } => {}
                 }
             }
             fn mark(&mut self) -> u64 {
@@ -2497,6 +2690,226 @@ mod tests {
                 report.outcome
             );
             assert!(schedules > 0);
+        }
+    }
+
+    #[test]
+    fn crash_exploration_respects_the_budget_and_branches() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let base = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig::default(),
+            lin_check,
+        );
+        assert_eq!(base.stats.crash_steps, 0);
+        let mut prev = base.stats.schedules;
+        for max_crashes in [1usize, 2] {
+            let mut max_seen = 0u32;
+            let report = explore_schedules_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &ExploreConfig {
+                    max_crashes,
+                    ..Default::default()
+                },
+                |res, mem| {
+                    max_seen = max_seen.max(res.crash_count());
+                    // Crashed ops stay pending (no outcome), so the commit
+                    // projection must still linearize.
+                    lin_check(res, mem)
+                },
+            );
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "max_crashes={max_crashes}: {:?}",
+                report.outcome
+            );
+            assert_eq!(max_seen as usize, max_crashes, "budget must be reachable");
+            assert!(report.stats.crash_steps > 0);
+            assert!(
+                report.stats.schedules > prev,
+                "crash branching must grow the tree: {} vs {prev}",
+                report.stats.schedules
+            );
+            prev = report.stats.schedules;
+        }
+    }
+
+    #[test]
+    fn crash_eligible_mask_limits_who_crashes() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let mut crashed_union = 0u64;
+        let report = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                max_crashes: 1,
+                crash_eligible: 0b01,
+                ..Default::default()
+            },
+            |res, _mem| {
+                crashed_union |= res.crashed;
+                Ok(())
+            },
+        );
+        assert!(matches!(
+            report.outcome,
+            Ok(ExploreOutcome::Exhausted { .. })
+        ));
+        assert_eq!(crashed_union, 0b01, "only process 0 may crash");
+    }
+
+    /// A fingerprint that additionally pins *which* processes crashed, so
+    /// mode-coverage comparisons are crash-aware.
+    fn crash_fingerprint(res: &ExecutionResult<TasSpec, TasSwitch>, mem: &SharedMemory) -> String {
+        format!("{};crashed={:b}", fingerprint(res, mem), res.crashed)
+    }
+
+    #[test]
+    fn crash_exploration_covers_identical_final_states_in_every_mode() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let run = |config: &ExploreConfig| {
+            let mut states = std::collections::BTreeSet::new();
+            let report = explore_schedules_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                config,
+                |res, mem| {
+                    states.insert(crash_fingerprint(res, mem));
+                    Ok(())
+                },
+            );
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "{config:?}: {:?}",
+                report.outcome
+            );
+            states
+        };
+        let reference = run(&ExploreConfig {
+            max_crashes: 1,
+            ..Default::default()
+        });
+        // Crashes actually reach states the crash-free space cannot: some
+        // fingerprint has a non-empty crash set.
+        assert!(reference.iter().any(|fp| !fp.ends_with("crashed=0")));
+        for base in all_mode_configs() {
+            let config = ExploreConfig {
+                max_crashes: 1,
+                ..base
+            };
+            assert_eq!(run(&config), reference, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn crash_prefix_resume_is_equivalent_to_full_replay() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let mk = |resume| {
+            explore_schedules_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &ExploreConfig {
+                    max_crashes: 1,
+                    resume,
+                    ..Default::default()
+                },
+                lin_check,
+            )
+        };
+        let replay = mk(ResumeMode::FullReplay);
+        let resume = mk(ResumeMode::PrefixResume);
+        assert_eq!(replay.outcome, resume.outcome);
+        assert_eq!(replay.stats.schedules, resume.stats.schedules);
+        assert_eq!(replay.stats.crash_steps, resume.stats.crash_steps);
+        // Checkpoints taken after crash steps restore bit-identically, so
+        // no fallback replay is ever needed on this fully snapshottable
+        // object.
+        assert!(resume.stats.snapshots > 0);
+        assert_eq!(resume.stats.snapshot_fallbacks, 0);
+        assert!(resume.stats.executed_ticks < replay.stats.executed_ticks);
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_reported_deterministically() {
+        /// Panics on any schedule whose first decision is process 1 — the
+        /// root discovery pass (which starts with process 0) survives, and
+        /// a worker ticket hits the panic.
+        #[derive(Default)]
+        struct PanicMonitor;
+        impl ScheduleMonitor<TasSpec, TasSwitch> for PanicMonitor {
+            fn begin(&mut self) {}
+            fn observe(&mut self, session: &ExecSession<TasSpec, TasSwitch>) {
+                if session.result().decisions.chosen().first() == Some(&ProcessId(1)) {
+                    panic!("injected monitor panic");
+                }
+            }
+            fn mark(&mut self) -> u64 {
+                0
+            }
+            fn rewind_to(&mut self, _mark: u64) {}
+        }
+
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let run = || {
+            let factory = PanicMonitor::default;
+            let (report, monitors) = explore_schedules_parallel_monitored_report(
+                |mem: &mut SharedMemory| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &ExploreConfig {
+                    threads: 2,
+                    ..Default::default()
+                },
+                &factory,
+                |_res, _mem, _m: &mut PanicMonitor| Ok(()),
+            );
+            assert!(!monitors.is_empty(), "monitors survive a worker panic");
+            report
+        };
+        let first = run();
+        let err = first.outcome.clone().expect_err("the monitor panics");
+        match &err {
+            ExploreError::WorkerPanic {
+                schedule_prefix, ..
+            } => {
+                assert_eq!(
+                    schedule_prefix,
+                    &vec![ProcessId(1)],
+                    "the earliest panicking branch in issue order wins"
+                );
+            }
+            other => panic!("expected WorkerPanic, got {other:?}"),
+        }
+        assert!(err.as_check().is_none());
+        assert!(err.to_string().contains("panicked"));
+        // The merge is deterministic in branch order: repeated runs report
+        // the same schedule prefix (the worker index is diagnostic only).
+        for _ in 0..3 {
+            let again = run().outcome.expect_err("the monitor panics");
+            match (&err, &again) {
+                (
+                    ExploreError::WorkerPanic {
+                        schedule_prefix: a, ..
+                    },
+                    ExploreError::WorkerPanic {
+                        schedule_prefix: b, ..
+                    },
+                ) => assert_eq!(a, b),
+                other => panic!("expected two WorkerPanics, got {other:?}"),
+            }
         }
     }
 

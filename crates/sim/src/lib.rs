@@ -58,8 +58,9 @@ pub use executor::{
 pub use explore::{
     explore_schedules, explore_schedules_monitored_report, explore_schedules_parallel,
     explore_schedules_parallel_monitored_report, explore_schedules_parallel_report,
-    explore_schedules_report, ExploreConfig, ExploreOutcome, ExploreReport, ExploreStats,
-    ExploreViolation, MonitorFactory, NoMonitor, Reduction, ResumeMode, ScheduleMonitor,
+    explore_schedules_report, ExploreConfig, ExploreError, ExploreOutcome, ExploreReport,
+    ExploreStats, ExploreViolation, MonitorFactory, NoMonitor, Reduction, ResumeMode,
+    ScheduleMonitor,
 };
 pub use hb::HbTracker;
 pub use machine::{

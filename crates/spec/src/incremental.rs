@@ -99,6 +99,12 @@ struct IncOp<S: SequentialSpec> {
     op: S::Op,
     /// `Some` once the commit event for this operation has been consumed.
     committed: bool,
+    /// `Some(seq)` once a crash event for this operation has been consumed,
+    /// where `seq` is the number of invocations consumed before the crash:
+    /// slots `>= seq` belong to operations invoked *after* the crash. Under
+    /// the strict completion closure the operation may only be linearized
+    /// while no such later-invoked operation is linearized yet.
+    crashed_seq: Option<usize>,
 }
 
 /// Undo log entries for [`IncrementalLinChecker::rewind_to`].
@@ -108,6 +114,8 @@ enum LogEntry {
     Invoked(usize),
     /// `ops[slot].committed` was set by a commit.
     Committed(usize),
+    /// `ops[slot].crashed_seq` was set by a crash.
+    Crashed(usize),
 }
 
 /// A hash-consing arena: each distinct value gets a dense `u32` id, so
@@ -404,8 +412,31 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
             id: req.id,
             op: req.op.clone(),
             committed: false,
+            crashed_seq: None,
         });
         self.log.push(LogEntry::Invoked(slot));
+    }
+
+    /// Consumes a crash event: the process running operation `id` crashed
+    /// with the operation still pending. Under the *strict* completion
+    /// closure this checker implements for crashes, the operation may only
+    /// take effect before its crash point — once any operation invoked after
+    /// the crash is linearized, the crashed operation can no longer be
+    /// linearized on demand (it can still be dropped). Callers wanting the
+    /// plain (open) closure simply never report crashes. Crashes of unknown,
+    /// committed or already-crashed requests are ignored.
+    pub fn crash(&mut self, id: RequestId) {
+        if self.too_large {
+            return;
+        }
+        let Some(&slot) = self.index.get(&id) else {
+            return;
+        };
+        if self.ops[slot].committed || self.ops[slot].crashed_seq.is_some() {
+            return;
+        }
+        self.ops[slot].crashed_seq = Some(self.ops.len());
+        self.log.push(LogEntry::Crashed(slot));
     }
 
     /// Consumes a commit event: operation `id` responded with `resp`.
@@ -485,6 +516,14 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
                 if i == slot || cfg.mask & bit != 0 || op.committed {
                     continue;
                 }
+                if let Some(seq) = op.crashed_seq {
+                    // Strict closure: the crashed op may only take effect
+                    // before its crash point, so it is blocked once any
+                    // operation invoked after the crash is linearized.
+                    if seq < 128 && cfg.mask & (!0u128 << seq) != 0 {
+                        continue;
+                    }
+                }
                 let (next_state, assigned_resp) =
                     self.spec.apply(self.store.states.get(cfg.state), &op.op);
                 let resp_id = self.store.resps.intern(assigned_resp);
@@ -559,6 +598,9 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
                 }
                 LogEntry::Committed(slot) => {
                     self.ops[slot].committed = false;
+                }
+                LogEntry::Crashed(slot) => {
+                    self.ops[slot].crashed_seq = None;
                 }
             }
         }
@@ -773,5 +815,77 @@ mod tests {
             inc.invoke(&tas_req(i + 1, (i % 64) as usize));
         }
         assert_eq!(inc.verdict(), IncVerdict::TooLarge);
+    }
+
+    /// The write-behind-register shape (see the strict tests in
+    /// `linearizability.rs`): W(5) crashes, two later reads return 0 then 5.
+    fn crashed_write_then_reads(r1_sees: u64, r2_sees: u64) -> IncrementalLinChecker<RegisterSpec> {
+        let mut inc = IncrementalLinChecker::new(RegisterSpec);
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        inc.invoke(&w);
+        inc.crash(RequestId(1));
+        let r1: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r1);
+        inc.commit(RequestId(2), &r1_sees);
+        let r2: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r2);
+        inc.commit(RequestId(3), &r2_sees);
+        inc
+    }
+
+    #[test]
+    fn crash_blocks_the_op_after_later_invocations() {
+        // 0 then 5 needs W *between* the post-crash reads: strictly invalid.
+        assert!(!crashed_write_then_reads(0, 5).verdict().is_linearizable());
+        // W before everything (5, 5) or dropped (0, 0): strictly fine.
+        assert!(crashed_write_then_reads(5, 5).verdict().is_linearizable());
+        assert!(crashed_write_then_reads(0, 0).verdict().is_linearizable());
+    }
+
+    #[test]
+    fn uncrashed_checker_still_accepts_the_open_closure() {
+        // The same events WITHOUT the crash call: the pending W may take
+        // effect between the reads, so 0-then-5 is (plain) linearizable.
+        // Open mode in the bridge = never telling the checker about crashes.
+        let mut inc = IncrementalLinChecker::new(RegisterSpec);
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        inc.invoke(&w);
+        let r1: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r1);
+        inc.commit(RequestId(2), &0);
+        let r2: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r2);
+        inc.commit(RequestId(3), &5);
+        assert!(inc.verdict().is_linearizable());
+    }
+
+    #[test]
+    fn crash_is_undone_by_rewind() {
+        let mut inc = IncrementalLinChecker::new(RegisterSpec);
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        inc.invoke(&w);
+        let m = inc.mark();
+
+        // Crashy suffix: strictly invalid.
+        inc.crash(RequestId(1));
+        let r1: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r1);
+        inc.commit(RequestId(2), &0);
+        let r2: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r2);
+        inc.commit(RequestId(3), &5);
+        assert!(!inc.verdict().is_linearizable());
+
+        // Rewinding reopens the op: the same suffix without the crash is
+        // linearizable again (W is merely pending).
+        inc.rewind_to(m);
+        assert!(inc.verdict().is_linearizable());
+        let r1: Request<RegisterSpec> = Request::new(4u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r1);
+        inc.commit(RequestId(4), &0);
+        let r2: Request<RegisterSpec> = Request::new(5u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r2);
+        inc.commit(RequestId(5), &5);
+        assert!(inc.verdict().is_linearizable());
     }
 }

@@ -63,7 +63,8 @@ pub use interpretation::{
     find_valid_interpretation, CheckOutcome, InterpretationError, ValidInterpretation,
 };
 pub use linearizability::{
-    check_linearizable, check_linearizable_with_stats, CompletedOp, ConcurrentHistory, HistoryMark,
+    check_linearizable, check_linearizable_with_stats, check_strict_linearizable,
+    check_strict_linearizable_with_stats, CompletedOp, ConcurrentHistory, HistoryMark,
     LinCheckResult, LinCheckStats, PendingOp,
 };
 pub use objects::{

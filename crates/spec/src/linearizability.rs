@@ -39,6 +39,11 @@ pub struct PendingOp<S: SequentialSpec> {
     pub req: Request<S>,
     /// Real-time index of the invocation event.
     pub invoke_at: usize,
+    /// Real-time index of the crash that orphaned this operation, if its
+    /// process crashed while the operation was in flight. Ignored by plain
+    /// linearizability; [`check_strict_linearizable`] only lets the
+    /// operation take effect before this point.
+    pub crashed_at: Option<usize>,
 }
 
 /// One tracked operation of a [`ConcurrentHistory`].
@@ -47,6 +52,7 @@ struct TrackedOp<S: SequentialSpec> {
     req: Request<S>,
     invoke_at: usize,
     completion: Option<(usize, S::Resp)>,
+    crashed_at: Option<usize>,
 }
 
 /// A point-in-time position of a [`ConcurrentHistory`], produced by
@@ -58,6 +64,7 @@ struct TrackedOp<S: SequentialSpec> {
 pub struct HistoryMark {
     ops_len: usize,
     completions_len: usize,
+    crashes_len: usize,
 }
 
 /// A concurrent history: completed and pending operations with real-time
@@ -77,6 +84,8 @@ pub struct ConcurrentHistory<S: SequentialSpec> {
     index: HashMap<RequestId, usize>,
     /// Indices into `ops`, in completion order (the undo log for responses).
     completions: Vec<usize>,
+    /// Indices into `ops`, in crash order (the undo log for crashes).
+    crashes: Vec<usize>,
 }
 
 impl<S: SequentialSpec> Default for ConcurrentHistory<S> {
@@ -85,6 +94,7 @@ impl<S: SequentialSpec> Default for ConcurrentHistory<S> {
             ops: Vec::new(),
             index: HashMap::new(),
             completions: Vec::new(),
+            crashes: Vec::new(),
         }
     }
 }
@@ -108,6 +118,7 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
             req,
             invoke_at: at,
             completion: None,
+            crashed_at: None,
         });
     }
 
@@ -121,6 +132,26 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
                 self.completions.push(slot);
             }
         }
+    }
+
+    /// Records that the process of the (pending) operation `id` crashed at
+    /// real-time index `at`: the operation is orphaned — it will never
+    /// respond, and under *strict* linearizability it may only take effect
+    /// before `at`. Crashes of unknown, completed or already-crashed
+    /// requests are ignored.
+    pub fn record_crash(&mut self, at: usize, id: RequestId) {
+        if let Some(&slot) = self.index.get(&id) {
+            let op = &mut self.ops[slot];
+            if op.completion.is_none() && op.crashed_at.is_none() {
+                op.crashed_at = Some(at);
+                self.crashes.push(slot);
+            }
+        }
+    }
+
+    /// Number of crashed-pending operations currently recorded.
+    pub fn crashed_count(&self) -> usize {
+        self.crashes.len()
     }
 
     /// Records a complete (invoked *and* responded) operation in one call —
@@ -166,6 +197,7 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
             .map(|op| PendingOp {
                 req: op.req.clone(),
                 invoke_at: op.invoke_at,
+                crashed_at: op.crashed_at,
             })
             .collect();
         pending.sort_by_key(|p| p.invoke_at);
@@ -195,6 +227,7 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
         self.ops.clear();
         self.index.clear();
         self.completions.clear();
+        self.crashes.clear();
     }
 
     /// The current position, for a later [`Self::truncate_to`].
@@ -202,6 +235,7 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
         HistoryMark {
             ops_len: self.ops.len(),
             completions_len: self.completions.len(),
+            crashes_len: self.crashes.len(),
         }
     }
 
@@ -214,11 +248,15 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
             let slot = self.completions.pop().expect("len checked above");
             self.ops[slot].completion = None;
         }
+        while self.crashes.len() > mark.crashes_len {
+            let slot = self.crashes.pop().expect("len checked above");
+            self.ops[slot].crashed_at = None;
+        }
         while self.ops.len() > mark.ops_len {
             let op = self.ops.pop().expect("len checked above");
             debug_assert!(
-                op.completion.is_none(),
-                "completion log rewound above removed its entries first"
+                op.completion.is_none() && op.crashed_at.is_none(),
+                "completion/crash logs rewound above removed their entries first"
             );
             self.index.remove(&op.req.id);
         }
@@ -251,6 +289,9 @@ struct OpEntry<S: SequentialSpec> {
     invoke_at: usize,
     /// `Some((respond_at, resp))` for completed ops, `None` for pending ops.
     completion: Option<(usize, S::Resp)>,
+    /// Real-time index of the crash that orphaned a pending op, if any.
+    /// Consulted only by the strict checker.
+    crashed_at: Option<usize>,
 }
 
 /// Work accounting of one [`check_linearizable_with_stats`] call: how many
@@ -284,6 +325,36 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
     spec: &S,
     history: &ConcurrentHistory<S>,
 ) -> (LinCheckResult, LinCheckStats) {
+    check_linearizable_impl(spec, history, false)
+}
+
+/// Checks whether a concurrent history is *strictly* linearizable: like
+/// [`check_linearizable`], except that a pending operation whose process
+/// crashed (see [`ConcurrentHistory::record_crash`]) may only take effect
+/// before its crash point — it must linearize before every operation invoked
+/// after the crash, or be dropped. Histories without recorded crashes get
+/// the plain verdict.
+pub fn check_strict_linearizable<S: SequentialSpec>(
+    spec: &S,
+    history: &ConcurrentHistory<S>,
+) -> LinCheckResult {
+    check_strict_linearizable_with_stats(spec, history).0
+}
+
+/// Like [`check_strict_linearizable`], additionally reporting how many
+/// checker states the search expanded.
+pub fn check_strict_linearizable_with_stats<S: SequentialSpec>(
+    spec: &S,
+    history: &ConcurrentHistory<S>,
+) -> (LinCheckResult, LinCheckStats) {
+    check_linearizable_impl(spec, history, true)
+}
+
+fn check_linearizable_impl<S: SequentialSpec>(
+    spec: &S,
+    history: &ConcurrentHistory<S>,
+    strict: bool,
+) -> (LinCheckResult, LinCheckStats) {
     let mut stats = LinCheckStats::default();
     let mut ops: Vec<OpEntry<S>> = history
         .completed()
@@ -292,6 +363,7 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
             req: c.req,
             invoke_at: c.invoke_at,
             completion: Some((c.respond_at, c.resp)),
+            crashed_at: None,
         })
         .collect();
     for p in history.pending() {
@@ -299,6 +371,7 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
             req: p.req,
             invoke_at: p.invoke_at,
             completion: None,
+            crashed_at: if strict { p.crashed_at } else { None },
         });
     }
     if ops.len() > 128 {
@@ -317,6 +390,7 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
 
     let mut seen: HashSet<(u128, S::State)> = HashSet::new();
     let mut witness: Vec<RequestId> = Vec::new();
+    let any_crashed = ops.iter().any(|o| o.crashed_at.is_some());
 
     #[allow(clippy::too_many_arguments)]
     fn dfs<S: SequentialSpec>(
@@ -324,6 +398,7 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
         ops: &[OpEntry<S>],
         done: u128,
         completed_mask: u128,
+        any_crashed: bool,
         state: &S::State,
         seen: &mut HashSet<(u128, S::State)>,
         witness: &mut Vec<RequestId>,
@@ -347,6 +422,19 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
             .map(|(_, o)| o.completion.as_ref().unwrap().0)
             .min()
             .unwrap_or(usize::MAX);
+        // The latest invocation among already-linearized ops: a crashed
+        // pending op whose crash precedes it can no longer take effect (its
+        // effective response is its crash point, so it must precede every op
+        // invoked after the crash).
+        let max_done_inv = if any_crashed {
+            ops.iter()
+                .enumerate()
+                .filter(|(i, _)| done & (1u128 << i) != 0)
+                .map(|(_, o)| o.invoke_at)
+                .max()
+        } else {
+            None
+        };
         for (i, op) in ops.iter().enumerate() {
             let bit = 1u128 << i;
             if done & bit != 0 {
@@ -354,6 +442,11 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
             }
             if op.invoke_at > min_resp {
                 continue;
+            }
+            if let (Some(c), Some(m)) = (op.crashed_at, max_done_inv) {
+                if m >= c {
+                    continue;
+                }
             }
             let (next_state, resp) = spec.apply(state, &op.req.op);
             if let Some((_, observed)) = &op.completion {
@@ -367,6 +460,7 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
                 ops,
                 done | bit,
                 completed_mask,
+                any_crashed,
                 &next_state,
                 seen,
                 witness,
@@ -385,6 +479,7 @@ pub fn check_linearizable_with_stats<S: SequentialSpec>(
         &ops,
         0,
         completed_mask,
+        any_crashed,
         &init,
         &mut seen,
         &mut witness,
@@ -620,5 +715,102 @@ mod tests {
         assert!(result.is_linearizable());
         // Root + one node per linearized op at minimum.
         assert!(stats.states >= 3);
+    }
+
+    /// The write-behind-register shape: W(5) crashes, then two reads both
+    /// invoked after the crash return 0 then 5 — the crashed write would
+    /// have to take effect *between* them.
+    fn crashed_write_then_stale_fresh_reads() -> ConcurrentHistory<RegisterSpec> {
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        h.record_crash(1, RequestId(1));
+        let r1: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(1, r1);
+        h.record_response(2, RequestId(2), 0);
+        let r2: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
+        h.record_invoke(3, r2);
+        h.record_response(4, RequestId(3), 5);
+        h
+    }
+
+    #[test]
+    fn strict_rejects_crashed_op_taking_effect_after_a_later_invocation() {
+        let spec = RegisterSpec;
+        let h = crashed_write_then_stale_fresh_reads();
+        // Open closure: [R1(0), W(5), R2(5)] linearizes.
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+        // Strict closure: W may only take effect before its crash point.
+        assert_eq!(
+            check_strict_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
+    }
+
+    #[test]
+    fn strict_still_allows_crashed_op_before_or_dropped() {
+        let spec = RegisterSpec;
+        // Crashed W takes effect first: both later reads see 5.
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        h.record_crash(1, RequestId(1));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(1, r);
+        h.record_response(2, RequestId(2), 5);
+        assert!(check_strict_linearizable(&spec, &h).is_linearizable());
+
+        // Crashed W dropped: the later read sees the initial 0.
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        h.record_crash(1, RequestId(1));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(1, r);
+        h.record_response(2, RequestId(2), 0);
+        assert!(check_strict_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn strict_equals_open_on_crash_free_histories() {
+        let spec = TasSpec;
+        let mut h = ConcurrentHistory::new();
+        h.record_invoke(0, tas_req(1, 0)); // stays pending, never crashed
+        h.record_invoke(1, tas_req(2, 1));
+        h.record_response(2, RequestId(2), TasResp::Loser);
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+        assert!(check_strict_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn truncate_to_reopens_crashes() {
+        let spec = RegisterSpec;
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        let mark = h.mark();
+
+        // Crashy suffix: strictly not linearizable.
+        h.record_crash(1, RequestId(1));
+        let r1: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(1, r1);
+        h.record_response(2, RequestId(2), 0);
+        let r2: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
+        h.record_invoke(3, r2);
+        h.record_response(4, RequestId(3), 5);
+        assert_eq!(h.crashed_count(), 1);
+        assert_eq!(
+            check_strict_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
+
+        // Rewinding past the crash reopens the op: a crash-free suffix over
+        // the same prefix is strictly linearizable again.
+        h.truncate_to(mark);
+        assert_eq!(h.crashed_count(), 0);
+        let r: Request<RegisterSpec> = Request::new(4u64, 1usize, RegisterOp::Read);
+        h.record_invoke(1, r);
+        h.record_response(2, RequestId(4), 5);
+        assert!(check_strict_linearizable(&spec, &h).is_linearizable());
     }
 }

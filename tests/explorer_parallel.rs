@@ -6,8 +6,8 @@
 use scl::core::{new_speculative_tas, A1Tas};
 use scl::sim::{
     explore_schedules, explore_schedules_parallel, ExecSession, Executor, ExploreConfig,
-    OpExecution, OpOutcome, RegId, ScriptedAdversary, SharedMemory, SimObject, SplitMix64,
-    StepOutcome, Value, Workload,
+    ExploreError, OpExecution, OpOutcome, RegId, ScriptedAdversary, SharedMemory, SimObject,
+    SplitMix64, StepOutcome, Value, Workload,
 };
 use scl::spec::{check_linearizable, ProcessId, Request, TasOp, TasResp, TasSpec, TasSwitch};
 
@@ -106,7 +106,11 @@ fn parallel_explorer_finds_the_sequential_counterexample() {
             single_winner_check,
         )
         .expect_err("broken TAS must violate under parallel exploration too");
-        assert_eq!(parallel, sequential, "threads={threads}");
+        assert_eq!(
+            parallel,
+            ExploreError::Check(sequential.clone()),
+            "threads={threads}"
+        );
     }
 }
 

@@ -11,30 +11,51 @@
 use scl::core::{
     new_composable_universal, new_solo_fast_tas, new_speculative_tas, new_three_level_universal,
     A1Tas, A2Tas, CasConsensus, ConsensusObject, ResettableTas, SplitConsensus,
-    UniversalConstruction,
+    UniversalConstruction, WriteBehindRegister,
 };
 use scl::sim::{
     ExecSession, Executor, MemSnapshot, SharedMemory, SimObject, SplitMix64, SurveyStatus, Workload,
 };
 use scl::spec::{
-    ConsensusOp, ConsensusSpec, CounterOp, CounterSpec, History, ProcessId, SequentialSpec, TasOp,
-    TasSpec, TasSwitch,
+    ConsensusOp, ConsensusSpec, CounterOp, CounterSpec, History, ProcessId, RegisterOp,
+    RegisterSpec, SequentialSpec, TasOp, TasSpec, TasSwitch,
 };
 use std::fmt::Debug;
 use std::hash::Hash;
 
 /// Replicates `ScriptedAdversary`'s choice rule for the step-wise API.
+/// Scripted ids in `n..2n` are crash pseudo-steps (crash of process
+/// `id - n`), honoured while the target is still enabled and the crash
+/// budget lasts — the same encoding the executor and explorer use.
 struct Script<'a> {
     script: &'a [ProcessId],
     pos: usize,
+    processes: usize,
+    crash_budget: usize,
 }
 
 impl<'a> Script<'a> {
+    fn new(script: &'a [ProcessId], processes: usize, crash_budget: usize) -> Self {
+        Script {
+            script,
+            pos: 0,
+            processes,
+            crash_budget,
+        }
+    }
+
     fn choose(&mut self, enabled: &[ProcessId]) -> ProcessId {
         if self.pos < self.script.len() {
             let p = self.script[self.pos];
             self.pos += 1;
             if enabled.contains(&p) {
+                return p;
+            }
+            if p.index() >= self.processes
+                && self.crash_budget > 0
+                && enabled.contains(&ProcessId(p.index() - self.processes))
+            {
+                self.crash_budget -= 1;
                 return p;
             }
         }
@@ -57,13 +78,14 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     O: SimObject<S, V>,
 {
     let executor = Executor::new();
+    let n = workload.processes();
 
     // Uninterrupted reference run.
     let mut ref_mem = SharedMemory::new();
     let mut ref_obj = build(&mut ref_mem);
     let mut ref_session: ExecSession<S, V> = ExecSession::new();
     executor.begin(&mut ref_session, workload);
-    let mut ref_script = Script { script, pos: 0 };
+    let mut ref_script = Script::new(script, n, usize::MAX);
     while executor.survey(&mut ref_session, workload) == SurveyStatus::Choose {
         let chosen = ref_script.choose(ref_session.enabled());
         executor.tick(
@@ -80,7 +102,7 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     let mut obj = build(&mut mem);
     let mut session: ExecSession<S, V> = ExecSession::new();
     executor.begin(&mut session, workload);
-    let mut run_script = Script { script, pos: 0 };
+    let mut run_script = Script::new(script, n, usize::MAX);
     let mut mem_snap = MemSnapshot::new();
     let mut saved = None;
     loop {
@@ -96,7 +118,17 @@ fn assert_roundtrip_bit_identical<S, V, O>(
             saved = Some((session_snap, object_snap, run_script.pos));
 
             // Detour: run the execution some other way to scramble every
-            // piece of state the restore must rewind.
+            // piece of state the restore must rewind — including a crash
+            // (the restore must reinstate the pre-detour crash mask and
+            // re-enable the process the detour killed).
+            let victim = *session.enabled().last().expect("enabled is non-empty");
+            executor.tick(
+                &mut session,
+                &mut mem,
+                &mut obj,
+                workload,
+                ProcessId(n + victim.index()),
+            );
             for _ in 0..8 {
                 if executor.survey(&mut session, workload) != SurveyStatus::Choose {
                     break;
@@ -131,6 +163,7 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     assert_eq!(r.decisions, c.decisions, "decision log diverged");
     assert_eq!(r.ticks, c.ticks);
     assert_eq!(r.completed, c.completed);
+    assert_eq!(r.crashed, c.crashed, "crash mask diverged");
     assert_eq!(ref_mem.global_steps(), mem.global_steps());
     assert_eq!(ref_mem.register_count(), mem.register_count());
     assert_eq!(ref_mem.audit(), mem.audit());
@@ -160,10 +193,19 @@ fn scripts(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
         .collect()
 }
 
+/// Crash-free scripts plus crashy ones: ids drawn from `0..2n`, where the
+/// upper half are crash pseudo-steps — checkpoints taken after a crash must
+/// restore the crash mask, the frozen process and its pending op exactly.
+fn scripts_with_crashes(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
+    let mut all = scripts(n, len, seeds);
+    all.extend(scripts(2 * n, len, seeds));
+    all
+}
+
 fn check_tas_object<O: SimObject<TasSpec, TasSwitch>>(build: impl Fn(&mut SharedMemory) -> O) {
     let n = 3;
     let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
-    for script in scripts(n, 48, &[2012, 7, 99]) {
+    for script in scripts_with_crashes(n, 48, &[2012, 7, 99]) {
         for checkpoint_at in [1, 4, 9] {
             assert_roundtrip_bit_identical(&build, &wl, &script, checkpoint_at);
         }
@@ -199,7 +241,7 @@ fn resettable_tas_roundtrip() {
         vec![TasOp::TestAndSet, TasOp::Reset, TasOp::TestAndSet],
         vec![TasOp::TestAndSet, TasOp::TestAndSet],
     ]);
-    for script in scripts(n, 64, &[3, 41, 2024]) {
+    for script in scripts_with_crashes(n, 64, &[3, 41, 2024]) {
         for checkpoint_at in [2, 7, 13] {
             assert_roundtrip_bit_identical(
                 |mem| ResettableTas::new(mem, n),
@@ -216,7 +258,7 @@ fn universal_construction_roundtrip() {
     let n = 2;
     let wl: Workload<CounterSpec, History<CounterSpec>> =
         Workload::uniform(n, CounterOp::Increment, 2);
-    for script in scripts(n, 96, &[11, 500]) {
+    for script in scripts_with_crashes(n, 96, &[11, 500]) {
         for checkpoint_at in [3, 10, 21] {
             assert_roundtrip_bit_identical(
                 |mem| UniversalConstruction::<CounterSpec, CasConsensus>::new(mem, n, CounterSpec),
@@ -241,7 +283,7 @@ fn composable_universal_roundtrip() {
     let n = 2;
     let wl: Workload<CounterSpec, History<CounterSpec>> =
         Workload::uniform(n, CounterOp::Increment, 2);
-    for script in scripts(n, 96, &[13, 77]) {
+    for script in scripts_with_crashes(n, 96, &[13, 77]) {
         for checkpoint_at in [4, 15] {
             assert_roundtrip_bit_identical(
                 |mem| new_composable_universal(mem, n, CounterSpec),
@@ -255,6 +297,22 @@ fn composable_universal_roundtrip() {
                 &script,
                 checkpoint_at,
             );
+        }
+    }
+}
+
+#[test]
+fn write_behind_register_roundtrip() {
+    // The seeded crash mutant: its interesting behaviour *is* the crash
+    // window between the two cells, so the crashy scripts carry the load.
+    let n = 2;
+    let wl: Workload<RegisterSpec, ()> = Workload::from_ops(vec![
+        vec![RegisterOp::Write(5)],
+        vec![RegisterOp::Read, RegisterOp::Read],
+    ]);
+    for script in scripts_with_crashes(n, 32, &[1, 9, 321]) {
+        for checkpoint_at in [1, 3, 6] {
+            assert_roundtrip_bit_identical(WriteBehindRegister::new, &wl, &script, checkpoint_at);
         }
     }
 }
@@ -274,7 +332,7 @@ fn consensus_object_roundtrip() {
             })
             .collect(),
     };
-    for script in scripts(n, 64, &[5, 23]) {
+    for script in scripts_with_crashes(n, 64, &[5, 23]) {
         for checkpoint_at in [2, 6, 12] {
             assert_roundtrip_bit_identical(
                 |mem| ConsensusObject::<SplitConsensus>::new(mem, n),
