@@ -33,10 +33,18 @@
 //!   race-driven modes never cost representatives over the eager ones, and
 //!   that the crashy space is strictly larger than the crash-free one
 //!   (i.e. crash branching is actually happening).
+//! * **network_exploration** — the PR 7 group: a one-writer ABD register
+//!   emulation (2 replicas, majority quorum, retry budget 1) whose message
+//!   deliveries and drops are scheduled transitions, enumerated under a
+//!   1-crash + 1-drop fault budget in all five reduction modes, plus the
+//!   crash-only baseline. Asserted bars on full runs: every mode exhausts
+//!   the lossy space, the lossy space is strictly larger than the
+//!   crash-only one (drop branching is actually happening), and the
+//!   race-driven modes never cost representatives over the eager ones.
 //!
-//! Writes `BENCH_PR6.json` at the workspace root (`BENCH_PR4.json` is kept
-//! as the PR 4 record); `--smoke` caps the enumerations and writes
-//! `artifacts/BENCH_PR6.smoke.json` (the CI guard; `artifacts/` is
+//! Writes `BENCH_PR7.json` at the workspace root (`BENCH_PR6.json` is kept
+//! as the PR 6 record); `--smoke` caps the enumerations and writes
+//! `artifacts/BENCH_PR7.smoke.json` (the CI guard; `artifacts/` is
 //! gitignored). The full run asserts the PR 3/PR 4 acceptance bars:
 //! incremental checking expands measurably fewer checker states than
 //! from-scratch per-schedule checking on the `swap_tas_n3_3ops` workload
@@ -47,13 +55,13 @@
 
 use scl_bench::benchjson;
 use scl_check::{reduction_name, CheckConfig, CheckerMode, LinMonitor};
-use scl_core::new_speculative_tas;
+use scl_core::{new_speculative_tas, AbdRegister};
 use scl_sim::{
     explore_schedules_monitored_report, explore_schedules_report, ExploreConfig, ExploreOutcome,
     Footprint, ObjectSnapshot, OpExecution, OpOutcome, Reduction, RegId, ResumeMode, SharedMemory,
     SimObject, StepOutcome, Value, Workload,
 };
-use scl_spec::{Request, TasOp, TasResp, TasSpec, TasSwitch};
+use scl_spec::{RegisterOp, RegisterSpec, Request, TasOp, TasResp, TasSpec, TasSwitch};
 use std::time::Instant;
 
 /// A one-step swap-based TAS: trivially linearizable under every schedule,
@@ -290,6 +298,44 @@ fn measure_reduction(n: usize, max_schedules: u64, reduction: Reduction) -> Meas
     measure_reduction_with_crashes(n, max_schedules, reduction, 0)
 }
 
+/// One network-group cell: the one-writer ABD emulation (2 replicas,
+/// majority quorum, retry budget 1, cap 12 — 5 worst-case sends and their
+/// deterministic reply slots stay disjoint) under a crash/drop fault budget.
+fn measure_network(
+    max_schedules: u64,
+    reduction: Reduction,
+    max_crashes: usize,
+    max_drops: usize,
+) -> Measurement {
+    let workload: Workload<RegisterSpec, ()> = Workload::from_ops(vec![vec![RegisterOp::Write(5)]]);
+    let config = ExploreConfig {
+        reduction,
+        max_crashes,
+        crash_eligible: !0,
+        max_drops,
+        max_schedules,
+        max_ticks: 10_000,
+        metrics_only: true,
+        resume: ResumeMode::PrefixResume,
+        ..Default::default()
+    };
+    let start = Instant::now();
+    let report = explore_schedules_report(
+        |mem: &mut SharedMemory| AbdRegister::new(mem, 1, 2, 12, 1),
+        &workload,
+        &config,
+        |_r, _m| Ok(()),
+    );
+    let exhausted = matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. }));
+    Measurement {
+        schedules: report.stats.schedules,
+        executed_steps: report.stats.executed_steps,
+        checker_states: 0,
+        exhausted,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let reps = if smoke { 1 } else { 3 };
@@ -386,6 +432,35 @@ fn main() {
         crash.push((mode_name, m));
     }
 
+    println!("-- network exploration (1-writer ABD, 1-crash + 1-drop budget) --");
+    let network_modes = [
+        Reduction::Off,
+        Reduction::SleepSets,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDpor,
+        Reduction::SourceDporLinPreserving,
+    ];
+    let mut network = Vec::new();
+    // Crash-only baseline (unreduced): the bar "drop branching enlarges the
+    // space" needs it.
+    let crash_only_baseline = measure_network(n2_cap, Reduction::Off, 1, 0);
+    println!(
+        "abd_write_crash1_drop0/off: schedules={} steps={} exhausted={} secs={:.3}",
+        crash_only_baseline.schedules,
+        crash_only_baseline.executed_steps,
+        crash_only_baseline.exhausted,
+        crash_only_baseline.secs
+    );
+    for &mode in &network_modes {
+        let m = measure_network(n2_cap, mode, 1, 1);
+        let mode_name = reduction_name(mode);
+        println!(
+            "abd_write_crash1_drop1/{mode_name}: schedules={} steps={} exhausted={} secs={:.3}",
+            m.schedules, m.executed_steps, m.exhausted, m.secs
+        );
+        network.push((mode_name, m));
+    }
+
     // Sequential first: the derived ratio and the host metadata both index
     // into this list.
     const SUITE_WORKER_COUNTS: [usize; 2] = [1, 2];
@@ -433,6 +508,15 @@ fn main() {
             )
         })
         .collect();
+    let mut network_entries: Vec<String> = vec![format!(
+        "    \"abd_write_crash1_drop0/off\": {}",
+        json_entry(&crash_only_baseline)
+    )];
+    network_entries.extend(
+        network
+            .iter()
+            .map(|(mode, m)| format!("    \"abd_write_crash1_drop1/{mode}\": {}", json_entry(m))),
+    );
     let derived = format!(
         "    \"recording_overhead_vs_no_monitor\": {:.3},\n    \"incremental_vs_from_scratch_checker_states\": {:.3},\n    \"incremental_vs_from_scratch_wall\": {:.3},\n    \"suite_parallel_vs_sequential_wall\": {:.3}",
         recording_only.secs / no_monitor.secs.max(1e-12),
@@ -449,14 +533,15 @@ fn main() {
         )],
     );
     let json = format!(
-        "{{\n  \"description\": \"Per-schedule linearizability checking (PR 4 groups + the PR 6 crash_exploration group): the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records the schedule counts of all five reduction modes (off, sleep_sets, sleep_sets_lin_preserving, source_dpor, source_dpor_lin_preserving). The scenario_suite group runs every registered scl-check scenario (crash scenarios included) through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism. The crash_exploration group enumerates the n=2 speculative-TAS space under a 1-crash budget (crash-stop failures as scheduled transitions) in all five modes; asserted on full runs: every mode exhausts, the race-driven modes never cost representatives over the eager ones, and the crashy space is strictly larger than the crash-free one.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"crash_exploration\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"description\": \"Per-schedule linearizability checking (PR 4 groups + the PR 6 crash_exploration group): the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records the schedule counts of all five reduction modes (off, sleep_sets, sleep_sets_lin_preserving, source_dpor, source_dpor_lin_preserving). The scenario_suite group runs every registered scl-check scenario (crash scenarios included) through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism. The crash_exploration group enumerates the n=2 speculative-TAS space under a 1-crash budget (crash-stop failures as scheduled transitions) in all five modes; asserted on full runs: every mode exhausts, the race-driven modes never cost representatives over the eager ones, and the crashy space is strictly larger than the crash-free one. The network_exploration group (PR 7) enumerates a one-writer ABD register emulation (2 replicas, majority quorum, retry budget 1) whose message deliveries and drops are scheduled transitions, under a 1-crash + 1-drop fault budget in all five modes plus the unreduced crash-only baseline; asserted on full runs: every mode exhausts the lossy space, drop branching strictly enlarges it over crash-only, and the race-driven modes never cost representatives over the eager ones.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"crash_exploration\": {{\n{}\n  }},\n  \"network_exploration\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
         recording_entries.join(",\n"),
         reduction_entries.join(",\n"),
         suite_entries.join(",\n"),
         crash_entries.join(",\n"),
+        network_entries.join(",\n"),
         derived,
     );
-    benchjson::write_report("BENCH_PR6", smoke, &json);
+    benchjson::write_report("BENCH_PR7", smoke, &json);
 
     // The suite must match its expectations in every engine mode, smoke
     // included: these are the same scenarios CI gates on.
@@ -554,6 +639,40 @@ fn main() {
         assert!(
             crash_find("source_dpor_lin_preserving").schedules
                 <= crash_find("sleep_sets_lin_preserving").schedules
+        );
+        // PR 7: drop branching must actually enlarge the network space,
+        // every mode must still exhaust it, and the race-driven modes must
+        // stay at or below their eager counterparts with delivery/drop
+        // transitions in the race relation.
+        let network_find = |mode: &str| {
+            network
+                .iter()
+                .find(|(m, _)| *m == mode)
+                .map(|(_, m)| *m)
+                .expect("measured")
+        };
+        for &mode in &network_modes {
+            let m = network_find(reduction_name(mode));
+            assert!(
+                m.exhausted,
+                "{}: the 1-crash + 1-drop ABD space must be exhausted",
+                reduction_name(mode)
+            );
+        }
+        assert!(
+            crash_only_baseline.exhausted,
+            "the crash-only ABD baseline must be exhausted"
+        );
+        assert!(
+            network_find("off").schedules > crash_only_baseline.schedules,
+            "drop branching must enlarge the unreduced network space ({} vs {})",
+            network_find("off").schedules,
+            crash_only_baseline.schedules
+        );
+        assert!(network_find("source_dpor").schedules <= network_find("sleep_sets").schedules);
+        assert!(
+            network_find("source_dpor_lin_preserving").schedules
+                <= network_find("sleep_sets_lin_preserving").schedules
         );
     }
 }

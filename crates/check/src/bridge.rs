@@ -231,8 +231,14 @@ where
                 }
             }
             // Aborts are not part of the commit projection (the operation
-            // simply stays pending), and silent steps record nothing.
-            TickEmission::Aborted { .. } | TickEmission::None => {}
+            // simply stays pending), silent steps record nothing, and
+            // network deliveries/drops move no operation event — their
+            // history effect surfaces later through the owner's own
+            // commit/abort step.
+            TickEmission::Aborted { .. }
+            | TickEmission::None
+            | TickEmission::Delivered { .. }
+            | TickEmission::Dropped { .. } => {}
         }
     }
 

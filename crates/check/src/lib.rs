@@ -92,7 +92,7 @@ pub fn reports_to_json_partial(
         entries.push(format!(
             "    \"{}\": {{\"outcome\": \"{}\", \"schedules\": {}, \"executed_steps\": {}, \
              \"executed_ticks\": {}, \"checker_states\": {}, \"expect_violation\": {}, \
-             \"as_expected\": {}, \"violation\": {}}}",
+             \"underpowered\": {}, \"as_expected\": {}, \"violation\": {}}}",
             r.name,
             r.outcome.tag(),
             schedules,
@@ -100,6 +100,7 @@ pub fn reports_to_json_partial(
             r.explore.executed_ticks,
             r.checker_states,
             r.expect_violation,
+            r.underpowered,
             r.as_expected(),
             violation,
         ));
@@ -113,8 +114,8 @@ pub fn reports_to_json_partial(
     format!(
         "{{\n  \"tool\": \"scl-check\",\n  \"config\": {{\"reduction\": \"{}\", \"resume\": \
          \"{}\", \"checker\": \"{}\", \"crashed_pending\": \"{}\", \"max_schedules\": {}, \
-         \"max_ticks\": {}, \"metrics_only\": {}, \"workers\": {}}},\n  \"host\": \
-         {{\"available_parallelism\": {}}},\n  \"exhausted\": {},\n  \"scenarios\": \
+         \"max_ticks\": {}, \"max_drops\": {}, \"metrics_only\": {}, \"workers\": {}}},\n  \
+         \"host\": {{\"available_parallelism\": {}}},\n  \"exhausted\": {},\n  \"scenarios\": \
          {{\n{}\n  }},\n  \"all_as_expected\": {}\n}}\n",
         reduction_name(config.reduction),
         resume_name(config.resume),
@@ -122,6 +123,7 @@ pub fn reports_to_json_partial(
         config.crashed_pending.name(),
         config.max_schedules,
         config.max_ticks,
+        config.max_drops,
         config.metrics_only,
         config.workers,
         std::thread::available_parallelism()

@@ -74,6 +74,9 @@ fn usage() -> ! {
          \x20                          crash-exploring scenarios)\n\
          \x20  --max-schedules N       schedule budget (default 200000)\n\
          \x20  --max-ticks N           tick limit per execution (default 10000)\n\
+         \x20  --max-drops N           message-drop budget per schedule (default 0;\n\
+         \x20                          only network scenarios have messages to drop,\n\
+         \x20                          and lossy scenarios enforce their own minimum)\n\
          \x20  --workers N             engine worker threads: 1 = sequential\n\
          \x20                          (default), 0 = available parallelism\n\
          \x20  --time-budget-ms N      stop starting scenarios once N ms have\n\
@@ -188,6 +191,10 @@ fn main() {
                 let v = value(&mut i);
                 config.max_ticks = v.parse().unwrap_or_else(|_| usage());
             }
+            "--max-drops" => {
+                let v = value(&mut i);
+                config.max_drops = v.parse().unwrap_or_else(|_| usage());
+            }
             "--workers" => {
                 let v = value(&mut i);
                 config.workers = v.parse().unwrap_or_else(|_| usage());
@@ -230,12 +237,15 @@ fn main() {
         }
     }
 
-    // The time budget is checked between scenarios: a scenario that started
-    // runs to completion (its report is whole), and the ones that never
-    // started are listed as skipped in a still-well-formed JSON document —
-    // graceful degradation, not a mid-write death.
+    // The time budget cuts at two granularities. Between scenarios: the
+    // ones that never started are listed as skipped in a still-well-formed
+    // JSON document. *Within* a scenario: the deadline is threaded into the
+    // explorer's budget gate, so a scenario caught mid-exploration degrades
+    // to a partial `limit_reached` report instead of blowing the whole
+    // budget — graceful degradation, not a mid-write death.
     let deadline =
         time_budget_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    config.deadline = deadline;
     let mut skipped: Vec<&str> = Vec::new();
     let mut reports: Vec<ScenarioReport> = Vec::new();
     for (idx, s) in scenarios.iter().enumerate() {

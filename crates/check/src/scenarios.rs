@@ -14,13 +14,13 @@
 use crate::bridge::{CheckerMode, CrashedPending, LinMonitor};
 use scl_core::{
     new_composable_universal, new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas,
-    CasConsensus, Composed, ConsensusObject, ConsensusSwitch, ResettableTas, SplitConsensus,
-    WriteBehindRegister,
+    AbdRegister, CasConsensus, Composed, ConsensusObject, ConsensusSwitch, ResettableTas,
+    SplitConsensus, WriteBehindRegister,
 };
 use scl_sim::{
     explore_schedules_monitored_report, explore_schedules_parallel_monitored_report,
     ExecutionResult, ExploreConfig, ExploreError, ExploreOutcome, ExploreReport, ExploreStats,
-    OpOutcome, Reduction, ResumeMode, SharedMemory, SimObject, Workload,
+    ExploreViolation, OpOutcome, Reduction, ResumeMode, SharedMemory, SimObject, Workload,
 };
 use scl_spec::{
     ConsensusOp, ConsensusSpec, History, ProcessId, QueueOp, QueueSpec, RegisterOp, RegisterSpec,
@@ -70,6 +70,21 @@ pub struct CheckConfig {
     pub max_crashes: usize,
     /// Which processes may crash (bitmask over process indices).
     pub crash_eligible: u64,
+    /// Message-drop budget per explored schedule (`--max-drops`; 0 = no
+    /// message loss). Only observable for scenarios whose object uses the
+    /// simulated network — shared-memory scenarios have no messages to
+    /// drop, so the flag is safe to set globally.
+    pub max_drops: usize,
+    /// Network endpoints severed for the whole run (bit `i` = client `i`,
+    /// bit `clients + j` = server `j`). Partition scenarios set this
+    /// themselves; it is not a CLI flag because a mask is only meaningful
+    /// against a specific scenario's topology.
+    pub partition: u64,
+    /// Wall-clock deadline threaded into the explorer's budget gate
+    /// (`--time-budget-ms`): when it passes mid-exploration the scenario
+    /// degrades to a partial `LimitReached` result instead of blowing the
+    /// whole run's budget.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for CheckConfig {
@@ -85,6 +100,9 @@ impl Default for CheckConfig {
             crashed_pending: CrashedPending::Open,
             max_crashes: 0,
             crash_eligible: !0,
+            max_drops: 0,
+            partition: 0,
+            deadline: None,
         }
     }
 }
@@ -109,6 +127,9 @@ impl CheckConfig {
             resume: self.resume,
             max_crashes: self.max_crashes,
             crash_eligible: self.crash_eligible,
+            max_drops: self.max_drops,
+            partition: self.partition,
+            deadline: self.deadline,
         }
     }
 }
@@ -171,6 +192,10 @@ pub struct ScenarioReport {
     pub checker_states: u64,
     /// Whether the scenario expected a violation.
     pub expect_violation: bool,
+    /// Whether the run's schedule budget was below the scenario's
+    /// [`Scenario::needs_schedules`] floor — a limit-reached outcome is then
+    /// *inconclusive* rather than a missed expectation.
+    pub underpowered: bool,
 }
 
 impl ScenarioReport {
@@ -180,6 +205,9 @@ impl ScenarioReport {
     pub fn as_expected(&self) -> bool {
         match (&self.outcome, self.expect_violation) {
             (Outcome::Violation { .. }, expected) => expected,
+            // An underpowered budget that ran out without deciding is
+            // inconclusive, not wrong: the scenario declared it needs more.
+            (Outcome::LimitReached { .. }, true) => self.underpowered,
             (Outcome::Exhausted { .. } | Outcome::LimitReached { .. }, expected) => !expected,
             (Outcome::ConfigError(_) | Outcome::HarnessFailure { .. }, _) => false,
         }
@@ -202,6 +230,12 @@ pub struct Scenario {
     pub checks: &'static [&'static str],
     /// Whether the scenario is *expected* to violate (seeded bugs).
     pub expect_violation: bool,
+    /// Schedule budget needed to *decide* the expectation under the least
+    /// favourable reduction (`0` = any budget decides). A run whose
+    /// `max_schedules` is below this floor and that hits its limit is
+    /// *underpowered* — inconclusive rather than wrong — so smoke-sized
+    /// sweeps over the whole registry stay meaningful for deep scenarios.
+    pub needs_schedules: u64,
     /// Whether some check reads the event trace (and therefore cannot run
     /// under `metrics_only`).
     pub needs_trace: bool,
@@ -223,6 +257,7 @@ impl Scenario {
                 explore: ExploreStats::default(),
                 checker_states: 0,
                 expect_violation: self.expect_violation,
+                underpowered: false,
             };
         }
         let (report, checker_states) = (self.runner)(config);
@@ -234,7 +269,10 @@ impl Scenario {
                 message: v.message,
             },
             Err(e @ ExploreError::WorkerPanic { .. }) => Outcome::HarnessFailure {
-                message: e.to_string(),
+                // Name the scenario: a panic surfaces far from the run loop
+                // (CI logs, JSON reports), where "worker 3 panicked" alone
+                // is undebuggable.
+                message: format!("scenario `{}`: {e}", self.name),
             },
         };
         ScenarioReport {
@@ -243,6 +281,7 @@ impl Scenario {
             explore: report.stats,
             checker_states,
             expect_violation: self.expect_violation,
+            underpowered: config.max_schedules < self.needs_schedules,
         }
     }
 }
@@ -724,6 +763,190 @@ fn run_crash_a1_dropped_raw_fence_n2(config: &CheckConfig) -> RunnerOutput {
     )
 }
 
+/// The ABD workload shared by every network scenario: a writer and a
+/// reader racing over the emulated register.
+fn abd_workload() -> Workload<RegisterSpec, ()> {
+    Workload::from_ops(vec![vec![RegisterOp::Write(5)], vec![RegisterOp::Read]])
+}
+
+/// Whether some operation aborted (the designed retry-exhaustion outcome).
+/// An aborted quorum write may have updated a *minority* of replicas — a
+/// partial effect the sequential register spec cannot model — so the
+/// network scenarios gate the linearizability verdict to abort-free
+/// schedules (crashed-pending writes are different: the closure decides
+/// whether they took effect).
+fn abd_aborted<V>(res: &ExecutionResult<RegisterSpec, V>) -> bool {
+    res.ops
+        .iter()
+        .any(|o| matches!(o.outcome, Some(OpOutcome::Abort(_))))
+}
+
+fn run_abd_lossy_n2(config: &CheckConfig) -> RunnerOutput {
+    // The quorum-theorem workhorse: 2 clients × 2 replicas (quorum 2) with
+    // a 1-crash + 1-drop budget. Retry 2 outlasts a single drop, so every
+    // surviving operation still commits and the emulation stays
+    // linearizable — ABD under minority faults. `--max-drops` can raise the
+    // loss budget; past the retry budget operations degrade to designed
+    // aborts, which the lin gate excludes (see [`abd_aborted`]).
+    let config = CheckConfig {
+        max_drops: config.max_drops.max(1),
+        max_crashes: 1,
+        crash_eligible: !0,
+        ..config.clone()
+    };
+    explore_with_lin_opt(
+        &config,
+        RegisterSpec,
+        |mem| AbdRegister::new(mem, 2, 2, 24, 2),
+        &abd_workload(),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            Ok(())
+        },
+        |res| !abd_aborted(res),
+    )
+}
+
+fn run_abd_partition_minority_n2(config: &CheckConfig) -> RunnerOutput {
+    // 3 replicas, quorum 2, replica 2 severed for the whole run: sends to
+    // it vanish, yet every operation reaches a live majority and commits —
+    // the partition-tolerance half of the quorum theorem.
+    let config = CheckConfig {
+        // Endpoint bit 2 + 2 = server 2 (after the two clients).
+        partition: 1 << 4,
+        ..config.clone()
+    };
+    explore_with_lin_opt(
+        &config,
+        RegisterSpec,
+        |mem| AbdRegister::new(mem, 2, 3, 24, 2),
+        &abd_workload(),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            if abd_aborted(res) {
+                return Err("an operation aborted despite a live majority".into());
+            }
+            Ok(())
+        },
+        |res| !abd_aborted(res),
+    )
+}
+
+fn run_abd_partition_majority_wedge_n2(config: &CheckConfig) -> RunnerOutput {
+    // 2 replicas, quorum 2, replica 1 severed: no quorum is reachable, so
+    // every operation wedges open — each client collects one reply and
+    // blocks forever. The execution still *completes* (nothing is enabled;
+    // this is not a tick-limit hang): the wedge is a designed progress
+    // violation, reported through the op records. Linearizability is gated
+    // off — no operation ever commits, so there is nothing to check.
+    let config = CheckConfig {
+        // Endpoint bit 2 + 1 = server 1.
+        partition: 1 << 3,
+        ..config.clone()
+    };
+    explore_with_lin_opt(
+        &config,
+        RegisterSpec,
+        |mem| AbdRegister::new(mem, 2, 2, 12, 2),
+        &abd_workload(),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            if res.ops.iter().any(|o| o.outcome.is_none()) {
+                return Err(
+                    "quorum progress violated: a majority partition wedges every quorum phase — \
+                     operations stay open forever (designed violation, not a hang)"
+                        .into(),
+                );
+            }
+            Ok(())
+        },
+        |_res| false,
+    )
+}
+
+fn run_abd_quorum_mutant(config: &CheckConfig) -> RunnerOutput {
+    // The seeded off-by-one mutant: quorum = servers/2 = 1 of 2, so two
+    // quorums can be disjoint and the intersection argument of the quorum
+    // theorem collapses. One client writes *then* reads — sequential, so
+    // real-time order is beyond doubt — and the violating schedules commit
+    // the write through replica 0 while the read's query reaches only the
+    // never-updated replica 1: the read returns the initial value after its
+    // own committed write, with *zero* crashes, drops and partitions. Every
+    // lin-preserving mode must find it. Capacity 24, not the exact-fit 16:
+    // the workload needs 8 sends, and a global `--max-drops` budget makes
+    // retries resend into the slots above them.
+    explore_with_lin(
+        config,
+        RegisterSpec,
+        |mem| AbdRegister::new_quorum_mutant(mem, 1, 2, 24, 2),
+        &Workload::from_ops(vec![vec![RegisterOp::Write(5), RegisterOp::Read]]),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            Ok(())
+        },
+    )
+}
+
+fn run_abd_retry_exhaustion_abort_n2(config: &CheckConfig) -> RunnerOutput {
+    // Retry budget 0 under a 1-drop budget: the first loss notification
+    // exhausts the budget and the operation must degrade to a *designed
+    // abort* — never a silent hang, never a bogus commit. Committed
+    // operations in abort-free schedules stay linearizable, and the runner
+    // verifies aborts actually occur when the space is exhausted.
+    let config = CheckConfig {
+        max_drops: config.max_drops.max(1),
+        ..config.clone()
+    };
+    let abort_schedules = std::sync::atomic::AtomicU64::new(0);
+    let (report, states) = explore_with_lin_opt(
+        &config,
+        RegisterSpec,
+        |mem| AbdRegister::new(mem, 2, 2, 16, 0),
+        &abd_workload(),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            if res.ops.iter().any(|o| o.outcome.is_none()) {
+                return Err("an operation neither committed nor aborted".into());
+            }
+            if abd_aborted(res) {
+                abort_schedules.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            }
+            Ok(())
+        },
+        |res| !abd_aborted(res),
+    );
+    let aborts = abort_schedules.load(std::sync::atomic::Ordering::Relaxed);
+    if aborts == 0 && matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })) {
+        // The whole space ran and no drop ever forced an abort: the
+        // retry-exhaustion path is dead code — fail the scenario rather
+        // than report a vacuous pass.
+        let stats = report.stats;
+        return (
+            ExploreReport {
+                outcome: Err(ExploreError::Check(ExploreViolation {
+                    schedule: Vec::new(),
+                    message: "retry exhaustion never occurred: no explored schedule degraded an \
+                              operation to the designed abort"
+                        .into(),
+                })),
+                stats,
+            },
+            states,
+        );
+    }
+    (report, states)
+}
+
 /// Every registered scenario.
 static SCENARIOS: &[Scenario] = &[
     Scenario {
@@ -733,6 +956,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "one test-and-set per process, every interleaving",
         checks: &["linearizable", "single_winner", "wait_free"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_spec_tas_n2,
     },
@@ -743,6 +967,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "one test-and-set per process; outcome guarantees over every interleaving",
         checks: &["single_winner", "wait_free"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_spec_tas_n3,
     },
@@ -753,6 +978,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "pins the discovered n=3 real-time inversion of the commit projection",
         checks: &["linearizable", "single_winner", "wait_free"],
         expect_violation: true,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_spec_tas_n3_realtime,
     },
@@ -763,6 +989,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "one test-and-set per process, every interleaving",
         checks: &["linearizable", "single_winner", "wait_free"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_solo_fast_tas_n2,
     },
@@ -773,6 +1000,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "one test-and-set per process; Invariants 1–2 over the trace",
         checks: &["linearizable", "at_most_one_winner", "invariant_2"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: true,
         runner: run_a1_n2,
     },
@@ -783,6 +1011,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "the mutant that skips the RAW-fenced aborted check: two winners",
         checks: &["linearizable", "single_winner", "wait_free"],
         expect_violation: true,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_a1_dropped_raw_fence_n2,
     },
@@ -793,6 +1022,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "p0: TAS, reset, TAS; p1: TAS — round transitions under every interleaving",
         checks: &["linearizable", "completes"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_resettable_tas_n2,
     },
@@ -803,6 +1033,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "p0 enqueues, p1 dequeues through the §4 construction",
         checks: &["linearizable", "wait_free"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_universal_queue_n2,
     },
@@ -813,6 +1044,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "p0 writes 5, p1 reads through the §4 construction",
         checks: &["linearizable", "completes"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_universal_register_n2,
     },
@@ -823,6 +1055,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "two proposals; agreement+validity of committed decisions",
         checks: &["linearizable"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_consensus_split_n2,
     },
@@ -833,6 +1066,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "two proposals; wait-free agreement",
         checks: &["linearizable", "wait_free"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_consensus_cas_n2,
     },
@@ -845,6 +1079,7 @@ static SCENARIOS: &[Scenario] = &[
                       applies; open and strict agree here)",
         checks: &["linearizable", "at_most_one_winner", "wait_free"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_crash_spec_tas_n2,
     },
@@ -855,6 +1090,7 @@ static SCENARIOS: &[Scenario] = &[
         description: "writer may crash between its two cells; plain (open) linearizability holds",
         checks: &["linearizable", "completes"],
         expect_violation: false,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_crash_write_behind_open_n2,
     },
@@ -866,6 +1102,7 @@ static SCENARIOS: &[Scenario] = &[
                       between two post-crash reads",
         checks: &["strictly_linearizable", "completes"],
         expect_violation: true,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_crash_write_behind_strict_n2,
     },
@@ -877,6 +1114,7 @@ static SCENARIOS: &[Scenario] = &[
                       progress violation, reported rather than hung",
         checks: &["completes", "non_blocking_progress"],
         expect_violation: true,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_crash_resettable_tas_wedge_n2,
     },
@@ -888,8 +1126,72 @@ static SCENARIOS: &[Scenario] = &[
                       the fault-free bug",
         checks: &["linearizable", "at_most_one_winner", "wait_free"],
         expect_violation: true,
+        needs_schedules: 0,
         needs_trace: false,
         runner: run_crash_a1_dropped_raw_fence_n2,
+    },
+    Scenario {
+        name: "abd_lossy_n2",
+        object: "ABD register (2 replicas, quorum 2)",
+        processes: 2,
+        description: "writer ∥ reader under a 1-crash + 1-drop budget: retries outlast the loss, \
+                      every committed schedule stays linearizable",
+        checks: &["linearizable", "completes"],
+        expect_violation: false,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_abd_lossy_n2,
+    },
+    Scenario {
+        name: "abd_partition_minority_n2",
+        object: "ABD register (3 replicas, quorum 2) — minority severed",
+        processes: 2,
+        description: "replica 2 partitioned away for the whole run: a live majority still commits \
+                      every operation",
+        checks: &["linearizable", "completes", "no_aborts"],
+        expect_violation: false,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_abd_partition_minority_n2,
+    },
+    Scenario {
+        name: "abd_partition_majority_wedge_n2",
+        object: "ABD register (2 replicas, quorum 2) — majority unreachable",
+        processes: 2,
+        description: "replica 1 partitioned away: every quorum phase wedges open — a designed \
+                      progress violation, reported rather than hung",
+        checks: &["completes", "quorum_progress"],
+        expect_violation: true,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_abd_partition_majority_wedge_n2,
+    },
+    Scenario {
+        name: "abd_quorum_mutant",
+        object: "ABD register — seeded quorum off-by-one mutant",
+        processes: 1,
+        description: "quorum = majority − 1: disjoint quorums let a sequential write-then-read \
+                      miss its own committed write with zero faults",
+        checks: &["linearizable", "completes"],
+        expect_violation: true,
+        // The stale read hides deep in the message-interleaving space: the
+        // lin-preserving reductions reach it in ~20k schedules, unreduced
+        // DFS needs ~3.1M — smoke-sized budgets are underpowered by design.
+        needs_schedules: 4_000_000,
+        needs_trace: false,
+        runner: run_abd_quorum_mutant,
+    },
+    Scenario {
+        name: "abd_retry_exhaustion_abort_n2",
+        object: "ABD register (retry budget 0)",
+        processes: 2,
+        description: "a single drop exhausts the retry budget: the operation degrades to a \
+                      designed abort, never a hang or a bogus commit",
+        checks: &["linearizable", "completes", "designed_abort"],
+        expect_violation: false,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_abd_retry_exhaustion_abort_n2,
     },
 ];
 

@@ -20,6 +20,11 @@
 //!   Abstract over abortable consensus), the Herlihy-style wait-free
 //!   baseline (the same construction instantiated with wait-free consensus),
 //!   and the consensus reduction of Proposition 2.
+//! * [`network`] — a multi-writer ABD register emulation over the simulated
+//!   message-passing network of `scl-sim`: quorum read/write phases with a
+//!   bounded retry budget (dropped messages are re-sent until the budget
+//!   degrades the operation to a designed abort), plus the seeded
+//!   quorum-off-by-one mutant.
 //!
 //! Every algorithm is a [`scl_sim::SimObject`]: operations advance one
 //! shared-memory step at a time under an adversarial scheduler, so the
@@ -32,6 +37,7 @@
 
 pub mod compose;
 pub mod consensus;
+pub mod network;
 pub mod register;
 pub mod tas;
 pub mod universal;
@@ -41,6 +47,7 @@ pub use consensus::{
     AbortableBakery, AbortableConsensus, CasConsensus, ConsensusExec, ConsensusObject,
     ConsensusOutcome, ConsensusSwitch, SplitConsensus, Splitter, SplitterResult,
 };
+pub use network::AbdRegister;
 pub use register::WriteBehindRegister;
 pub use tas::{
     new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas, ResettableTas, SoloFastTas,

@@ -236,6 +236,23 @@ pub enum TickEmission {
         /// [`ExecutionResult::ops`], if it had one.
         op_index: Option<usize>,
     },
+    /// The tick delivered the in-flight network message in `slot` (a
+    /// scheduled network transition, not a process step — no operation
+    /// invoked or responded).
+    Delivered {
+        /// The in-flight buffer slot that was delivered.
+        slot: usize,
+        /// The client process whose operation the message belongs to.
+        owner: ProcessId,
+    },
+    /// The tick dropped the in-flight network message in `slot` (an
+    /// injected message-loss fault; the owner received a loss notification).
+    Dropped {
+        /// The in-flight buffer slot that was dropped.
+        slot: usize,
+        /// The client process whose operation the message belongs to.
+        owner: ProcessId,
+    },
 }
 
 /// One operation's record: the request and outcome indices into the trace.
@@ -604,7 +621,7 @@ impl Executor {
         O: SimObject<S, V> + ?Sized,
     {
         self.begin(session, workload);
-        while self.survey(session, workload) == SurveyStatus::Choose {
+        while self.survey(session, mem, workload) == SurveyStatus::Choose {
             let view = SchedView {
                 enabled: &session.enabled,
                 in_progress: &session.in_progress,
@@ -633,9 +650,20 @@ impl Executor {
     /// [`ExecSession::enabled`]). When the execution is over — every
     /// operation responded, or the tick limit was hit — finalises
     /// `session.result` and reports it.
+    ///
+    /// Two network refinements when `mem` has a network configured:
+    /// operations reporting [`OpExecution::blocked`] are excluded from the
+    /// enabled set (they cannot make progress until a delivery fills their
+    /// inbox), and every occupied in-flight slot `s` contributes a
+    /// *delivery pseudo-process* `ProcessId(2n + s)` — scheduling it
+    /// delivers that message. If every live process is blocked and nothing
+    /// is in flight, the enabled set is empty and the run completes with
+    /// the blocked operations still open: a *wedged* execution, visible to
+    /// checkers as a progress violation rather than a hang.
     pub fn survey<S, V>(
         &self,
         session: &mut ExecSession<S, V>,
+        mem: &SharedMemory,
         workload: &Workload<S, V>,
     ) -> SurveyStatus
     where
@@ -644,16 +672,35 @@ impl Executor {
     {
         session.enabled.clear();
         session.in_progress.clear();
+        let mut live = false;
         for (i, st) in session.states.iter().enumerate() {
             match st {
                 ProcState::Idle { next_op } if *next_op < workload.ops[i].len() => {
+                    live = true;
                     session.enabled.push(ProcessId(i));
                 }
-                ProcState::Running { .. } => {
-                    session.enabled.push(ProcessId(i));
+                ProcState::Running { exec, .. } => {
+                    live = true;
+                    if !exec.blocked(mem) {
+                        session.enabled.push(ProcessId(i));
+                    }
                     session.in_progress.push(ProcessId(i));
                 }
                 _ => {}
+            }
+        }
+        // Delivery transitions: only while some process is still live —
+        // once every client is done or crashed, residual deliveries cannot
+        // affect the observable history, so draining them would only
+        // multiply equivalent schedules.
+        let cap = mem.net_cap();
+        if cap > 0 && live {
+            let n = workload.processes();
+            let occupied = mem.net_occupied();
+            for s in 0..cap {
+                if occupied & (1u64 << s) != 0 {
+                    session.enabled.push(ProcessId(2 * n + s));
+                }
             }
         }
         let tick = session.result.decisions.len() as u64;
@@ -681,6 +728,12 @@ impl Executor {
     /// never enabled again, its in-flight operation (if any) pending forever.
     /// Crash steps take no shared-memory step and emit
     /// [`TickEmission::Crashed`].
+    ///
+    /// When the memory has a network configured (capacity `cap`), indices
+    /// `2n + s` **deliver** and `2n + cap + s` **drop** the in-flight
+    /// message in slot `s` — scheduled network transitions that charge no
+    /// process counters and emit [`TickEmission::Delivered`] /
+    /// [`TickEmission::Dropped`].
     pub fn tick<S, V, O>(
         &self,
         session: &mut ExecSession<S, V>,
@@ -694,19 +747,47 @@ impl Executor {
         O: SimObject<S, V> + ?Sized,
     {
         let n = workload.processes();
+        let cap = mem.net_cap();
         debug_assert!(
             if chosen.index() < n {
                 session.enabled.contains(&chosen)
+            } else if chosen.index() < 2 * n {
+                session.enabled.contains(&ProcessId(chosen.index() - n))
+            } else if chosen.index() < 2 * n + cap {
+                session.enabled.contains(&chosen)
             } else {
-                chosen.index() < 2 * n && session.enabled.contains(&ProcessId(chosen.index() - n))
+                chosen.index() < 2 * n + 2 * cap
+                    && mem.net_occupied() & (1u64 << (chosen.index() - 2 * n - cap)) != 0
             },
-            "tick({chosen:?}) without a preceding survey enabling it"
+            "tick({chosen:?}) without a preceding survey enabling it \
+             (enabled {:?}, path {:?})",
+            session.enabled,
+            session.result.decisions.chosen()
         );
         let full_trace = self.trace_mode == TraceMode::Full;
         let tick = session.result.decisions.len() as u64;
         session.result.decisions.push(&session.enabled, chosen);
         session.last_emission = TickEmission::None;
         session.last_footprint = Footprint::Pure;
+        if chosen.index() >= 2 * n && cap > 0 {
+            // Network transition: deliver or drop the message in one
+            // in-flight slot. Not a process step — no counters are charged;
+            // the footprint comes from the network layer (inbox / replica /
+            // slot-buffer registers) so the partial-order reduction sees
+            // honest conflicts.
+            let idx = chosen.index() - 2 * n;
+            let (emission, footprint) = if idx < cap {
+                let (owner, fp) = mem.net_deliver(idx);
+                (TickEmission::Delivered { slot: idx, owner }, fp)
+            } else {
+                let slot = idx - cap;
+                let (owner, fp) = mem.net_drop(slot);
+                (TickEmission::Dropped { slot, owner }, fp)
+            };
+            session.last_emission = emission;
+            session.last_footprint = footprint;
+            return;
+        }
         if chosen.index() >= n {
             // Crash step: the crashed process drops out of the enabled set
             // forever; its in-flight operation stays open in the history
@@ -1122,9 +1203,15 @@ mod tests {
         let mut session: ExecSession<TasSpec, TasSwitch> = ExecSession::new();
         executor.begin(&mut session, &wl);
         // p0 invokes, then crashes mid-op (pseudo-process id n + 0 = 2).
-        assert_eq!(executor.survey(&mut session, &wl), SurveyStatus::Choose);
+        assert_eq!(
+            executor.survey(&mut session, &mem, &wl),
+            SurveyStatus::Choose
+        );
         executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(0));
-        assert_eq!(executor.survey(&mut session, &wl), SurveyStatus::Choose);
+        assert_eq!(
+            executor.survey(&mut session, &mem, &wl),
+            SurveyStatus::Choose
+        );
         executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(2));
         assert_eq!(
             session.last_emission(),
@@ -1132,7 +1219,7 @@ mod tests {
         );
         // p0 is never enabled again; p1 runs to completion and wins (p0
         // crashed before its swap took effect).
-        while executor.survey(&mut session, &wl) == SurveyStatus::Choose {
+        while executor.survey(&mut session, &mem, &wl) == SurveyStatus::Choose {
             assert_eq!(session.enabled(), &[ProcessId(1)]);
             executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(1));
         }
@@ -1156,14 +1243,17 @@ mod tests {
         let executor = Executor::new();
         let mut session: ExecSession<TasSpec, TasSwitch> = ExecSession::new();
         executor.begin(&mut session, &wl);
-        assert_eq!(executor.survey(&mut session, &wl), SurveyStatus::Choose);
+        assert_eq!(
+            executor.survey(&mut session, &mem, &wl),
+            SurveyStatus::Choose
+        );
         // Crash p1 before it ever invokes: no operation record exists.
         executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(3));
         assert_eq!(
             session.last_emission(),
             TickEmission::Crashed { op_index: None }
         );
-        while executor.survey(&mut session, &wl) == SurveyStatus::Choose {
+        while executor.survey(&mut session, &mem, &wl) == SurveyStatus::Choose {
             executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(0));
         }
         let res = session.result();

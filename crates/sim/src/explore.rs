@@ -227,6 +227,28 @@ pub struct ExploreConfig {
     /// Processes eligible to crash, as a bitmask over process indices
     /// (`!0` = every process). Only consulted when `max_crashes > 0`.
     pub crash_eligible: u64,
+    /// Maximum number of message-drop faults injected per execution. `0`
+    /// (the default) never drops. With a positive budget — and a network
+    /// configured via [`SharedMemory::net_init`] — the DFS additionally
+    /// branches, at every decision point with budget left, on dropping each
+    /// in-flight message: a drop is scheduled as the pseudo-process
+    /// `2n + cap + s` (see [`Executor::tick`]), removing slot `s` from
+    /// flight and handing its owner a loss notification.
+    pub max_drops: usize,
+    /// Network endpoints severed for the whole exploration (bit `i` =
+    /// client `i`, bit `clients + j` = server `j`; `0` = no partition).
+    /// Applied via [`SharedMemory::net_sever`] right after every `setup`
+    /// call, so each replayed execution sees the same partition. Messages
+    /// to or from severed endpoints vanish silently at send time — they
+    /// consume neither an in-flight slot nor the drop budget.
+    pub partition: u64,
+    /// A wall-clock deadline checked (alongside the schedule budget) once
+    /// per complete execution: when it passes, the exploration stops with
+    /// [`ExploreOutcome::LimitReached`] instead of running to exhaustion.
+    /// `None` (the default) never stops early. This is the hook
+    /// `scl-check`'s `--time-budget-ms` threads through so one huge
+    /// scenario degrades gracefully mid-exploration.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ExploreConfig {
@@ -240,6 +262,9 @@ impl Default for ExploreConfig {
             resume: ResumeMode::FullReplay,
             max_crashes: 0,
             crash_eligible: !0,
+            max_drops: 0,
+            partition: 0,
+            deadline: None,
         }
     }
 }
@@ -395,6 +420,12 @@ pub struct ExploreStats {
     /// Crash transitions executed (including prefix replays); always 0 when
     /// [`ExploreConfig::max_crashes`] is 0.
     pub crash_steps: u64,
+    /// Message-delivery transitions executed (including prefix replays);
+    /// always 0 without a configured network.
+    pub delivery_steps: u64,
+    /// Message-drop transitions executed (including prefix replays); always
+    /// 0 when [`ExploreConfig::max_drops`] is 0.
+    pub drop_steps: u64,
 }
 
 impl ExploreStats {
@@ -409,6 +440,8 @@ impl ExploreStats {
         self.races += other.races;
         self.race_seeds += other.race_seeds;
         self.crash_steps += other.crash_steps;
+        self.delivery_steps += other.delivery_steps;
+        self.drop_steps += other.drop_steps;
     }
 }
 
@@ -555,6 +588,15 @@ fn sibling_entry_sleep(frame_sleep: u64, explored: u64, alt: ProcessId) -> u64 {
     (frame_sleep | explored) & !bit(alt)
 }
 
+/// Whether the exploration's wall-clock deadline (if any) has not passed.
+/// Consulted alongside the schedule budget, once per complete execution.
+#[inline]
+fn deadline_ok(config: &ExploreConfig) -> bool {
+    config
+        .deadline
+        .is_none_or(|d| std::time::Instant::now() < d)
+}
+
 /// A checkpoint of a whole execution at a branch point.
 struct Checkpoint<S: SequentialSpec, V> {
     mem: MemSnapshot,
@@ -584,6 +626,13 @@ struct Frame<S: SequentialSpec, V> {
     seeded: u64,
     /// Sleep set in force when this node was first reached.
     sleep: u64,
+    /// Mask of transitions enabled at this node. Race seeding may only
+    /// insert initials drawn from this mask: with blocking operations (the
+    /// network layer's `blocked` hook) a race initial can name a process
+    /// that was *not* enabled at the branch node — its first suffix event
+    /// is a delivery/crash/drop, and those alternatives are already queued
+    /// eagerly at every node in every mode, so the reversal is covered.
+    enabled_mask: u64,
     snap: Option<Checkpoint<S, V>>,
 }
 
@@ -743,6 +792,11 @@ where
         self.mem.reset();
         self.object = Some((self.setup)(&mut self.mem));
         self.object_gen += 1;
+        // The network (if any) was just rebuilt by `setup`; apply the
+        // configured partition so every replayed execution sees it.
+        if self.config.partition != 0 {
+            self.mem.net_sever(self.config.partition);
+        }
         self.executor.begin(&mut self.session, self.workload);
         self.monitor.begin();
         if source_dpor {
@@ -750,7 +804,9 @@ where
         }
         let steps_before = self.mem.global_steps();
         for i in 0..depth {
-            let status = self.executor.survey(&mut self.session, self.workload);
+            let status = self
+                .executor
+                .survey(&mut self.session, &self.mem, self.workload);
             debug_assert_eq!(status, SurveyStatus::Choose, "prefix replay diverged");
             self.executor.tick(
                 &mut self.session,
@@ -780,16 +836,23 @@ where
             // invocations, so the lin-preserving modes must treat it like a
             // response barrier.
             TickEmission::Crashed { .. } => (false, true),
+            // Network transitions move no operation event; their ordering
+            // effect is carried entirely by their footprint (inbox/replica
+            // writes, or Unknown for reply-enqueuing deliveries).
+            TickEmission::Delivered { .. } | TickEmission::Dropped { .. } => (false, false),
             TickEmission::None => (false, false),
         };
         // Crash transitions are scheduled as the pseudo-process `n + p`;
         // their label belongs to the *real* process `p`, which makes a
         // crash dependent with every step of the same process for free.
+        // Network transitions (`2n + …`) are labelled with the *owner* of
+        // the delivered/dropped message — the client whose operation the
+        // message belongs to.
         let n = self.workload.processes();
-        let proc = if chosen.index() >= n {
-            ProcessId(chosen.index() - n)
-        } else {
-            chosen
+        let proc = match self.session.last_emission() {
+            TickEmission::Delivered { owner, .. } | TickEmission::Dropped { owner, .. } => owner,
+            _ if chosen.index() >= n => ProcessId(chosen.index() - n),
+            _ => chosen,
         };
         StepLabel {
             proc,
@@ -818,7 +881,14 @@ where
         self.stats.executed_ticks += 1;
         self.stats.executed_steps += self.mem.global_steps() - steps_before;
         let n = self.workload.processes();
-        if chosen.index() >= n {
+        let cap = self.mem.net_cap();
+        if cap > 0 && chosen.index() >= 2 * n {
+            if chosen.index() < 2 * n + cap {
+                self.stats.delivery_steps += 1;
+            } else {
+                self.stats.drop_steps += 1;
+            }
+        } else if chosen.index() >= n {
             self.stats.crash_steps += 1;
         }
         if self.cur_sleep != 0 {
@@ -829,7 +899,22 @@ where
             while rest != 0 {
                 let i = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
-                let wake = if i >= n {
+                let wake = if cap > 0 && i >= 2 * n {
+                    // A sleeping *network* transition: wake on dependence
+                    // between its predicted write set and the executed
+                    // step's footprint. The predictions over-approximate
+                    // (see [`SharedMemory::net_deliver_footprint`]), so a
+                    // sleeping delivery/drop can only over-wake, never stay
+                    // wrongly asleep. A consumed slot predicts `Unknown`,
+                    // which wakes unconditionally — the transition is
+                    // disabled by then, so the wake is cost-free.
+                    let predicted = if i < 2 * n + cap {
+                        self.mem.net_deliver_footprint(i - 2 * n)
+                    } else {
+                        self.mem.net_drop_footprint(i - 2 * n - cap)
+                    };
+                    predicted.dependent(fp)
+                } else if i >= n {
                     // A sleeping *crash* transition of process `i - n`: a
                     // crash is dependent with every step of its own
                     // process, and — under the lin-preserving modes — with
@@ -881,8 +966,13 @@ where
             match self.frames.binary_search_by(|f| f.depth.cmp(&i)) {
                 Ok(fi) => {
                     let frame = &mut self.frames[fi];
-                    if initials & (frame.seeded | frame.sleep) == 0 {
-                        let q = ProcessId(initials.trailing_zeros() as usize);
+                    // Only initials actually enabled at the branch node may
+                    // be seeded: a blocked initial's first suffix event is a
+                    // delivery/crash/drop, and those alternatives are queued
+                    // eagerly at every node (see `Frame::enabled_mask`).
+                    let avail = initials & frame.enabled_mask;
+                    if avail != 0 && initials & (frame.seeded | frame.sleep) == 0 {
+                        let q = ProcessId(avail.trailing_zeros() as usize);
                         frame.alts.push(q);
                         frame.seeded |= bit(q);
                         self.stats.race_seeds += 1;
@@ -945,11 +1035,19 @@ where
     /// branch frame at every decision point with more than one non-sleeping
     /// choice. With a crash budget ([`ExploreConfig::max_crashes`]) the
     /// choices at a decision point additionally include crashing each
-    /// enabled crash-eligible process (the pseudo-process `n + p`).
+    /// enabled crash-eligible process (the pseudo-process `n + p`); with a
+    /// drop budget ([`ExploreConfig::max_drops`]) they include dropping
+    /// each in-flight message (the pseudo-process `2n + cap + s`). The
+    /// enabled set itself already contains every in-flight *delivery*
+    /// (`2n + s`) — deliveries are ordinary transitions, not faults.
     fn drive(&mut self) -> Leaf {
         let n = self.workload.processes();
+        let cap = self.mem.net_cap();
         loop {
-            match self.executor.survey(&mut self.session, self.workload) {
+            match self
+                .executor
+                .survey(&mut self.session, &self.mem, self.workload)
+            {
                 SurveyStatus::Complete | SurveyStatus::Cutoff => return Leaf::Complete,
                 SurveyStatus::Choose => {}
             }
@@ -957,7 +1055,12 @@ where
             self.enabled_buf.extend_from_slice(self.session.enabled());
             let sleep = self.cur_sleep;
             let crashes_left = self.config.max_crashes != 0
-                && self.path.iter().filter(|p| p.index() >= n).count() < self.config.max_crashes;
+                && self
+                    .path
+                    .iter()
+                    .filter(|p| p.index() >= n && p.index() < 2 * n)
+                    .count()
+                    < self.config.max_crashes;
             let crash_eligible = self.config.crash_eligible;
             // Crash alternatives awake at this node. A crash of `p` is a
             // valid alternative even while the *real* `p` is asleep: the
@@ -967,10 +1070,34 @@ where
             let mut crash_alts: Vec<ProcessId> = Vec::new();
             if crashes_left {
                 for p in &self.enabled_buf {
-                    if crash_eligible & bit(*p) != 0 {
+                    if p.index() < n && crash_eligible & bit(*p) != 0 {
                         let c = ProcessId(n + p.index());
                         if sleep & bit(c) == 0 {
                             crash_alts.push(c);
+                        }
+                    }
+                }
+            }
+            // Drop alternatives: one per in-flight delivery in the enabled
+            // set, while the drop budget lasts (drops executed so far are
+            // the path entries at `2n + cap` and beyond). Like deliveries
+            // and crashes, drops participate in sleep sets — their precise
+            // write sets ([`crate::memory::NetWrites`]) make the wake rule
+            // honest for network transitions.
+            let drops_left = self.config.max_drops != 0
+                && self
+                    .path
+                    .iter()
+                    .filter(|p| p.index() >= 2 * n + cap)
+                    .count()
+                    < self.config.max_drops;
+            let mut drop_alts: Vec<ProcessId> = Vec::new();
+            if drops_left {
+                for p in &self.enabled_buf {
+                    if p.index() >= 2 * n {
+                        let d = ProcessId(p.index() + cap);
+                        if sleep & bit(d) == 0 {
+                            drop_alts.push(d);
                         }
                     }
                 }
@@ -982,10 +1109,10 @@ where
                 .find(|p| sleep & bit(*p) == 0)
             {
                 Some(p) => p,
-                // Every enabled process is asleep; a still-awake crash
-                // transition keeps the node alive (see above — its
+                // Every enabled process is asleep; a still-awake crash or
+                // drop transition keeps the node alive (see above — its
                 // continuations are not covered by the sleeping siblings).
-                None => match crash_alts.pop() {
+                None => match crash_alts.pop().or_else(|| drop_alts.pop()) {
                     Some(c) => c,
                     None => return Leaf::SleepBlocked,
                 },
@@ -995,19 +1122,32 @@ where
             // front (ascending; popped from the back, so siblings are
             // visited in descending order — the PR 1 DFS order); the
             // source-DPOR modes start the backtrack set empty and let race
-            // detection fill it. Crash alternatives are queued eagerly in
-            // *every* mode: a crash label never participates in a
-            // shared-memory race (Pure footprint), so race seeding would
-            // never discover them.
+            // detection fill it — except for network deliveries, which are
+            // queued eagerly in *every* mode: race seeding targets the next
+            // step of a real process, while a delivery is a one-shot
+            // transition whose alternative orderings must be branched where
+            // they are enabled. Crash and drop alternatives are likewise
+            // queued eagerly everywhere (a crash label never participates
+            // in a shared-memory race, and a drop is a fault injection race
+            // seeding would never discover). Sleep sets prune on top of the
+            // eager queuing in every mode: an awake sibling is branched, a
+            // sleeping one is already covered by an explored sibling's
+            // subtree.
             crash_alts.retain(|c| *c != chosen);
+            drop_alts.retain(|c| *c != chosen);
             let has_awake_sibling = !crash_alts.is_empty()
+                || !drop_alts.is_empty()
                 || self
                     .enabled_buf
                     .iter()
                     .any(|p| *p != chosen && sleep & bit(*p) == 0);
             if has_awake_sibling {
                 let mut alts: Vec<ProcessId> = if self.config.reduction.is_source_dpor() {
-                    Vec::new()
+                    self.enabled_buf
+                        .iter()
+                        .copied()
+                        .filter(|p| p.index() >= 2 * n && *p != chosen && sleep & bit(*p) == 0)
+                        .collect()
                 } else {
                     self.enabled_buf
                         .iter()
@@ -1016,7 +1156,9 @@ where
                         .collect()
                 };
                 alts.extend(crash_alts);
+                alts.extend(drop_alts);
                 let seeded = alts.iter().fold(bit(chosen), |m, p| m | bit(*p));
+                let enabled_mask = self.enabled_buf.iter().fold(0u64, |m, p| m | bit(*p));
                 let snap = self.checkpoint();
                 self.frames.push(Frame {
                     depth: self.session.depth(),
@@ -1024,6 +1166,7 @@ where
                     explored: bit(chosen),
                     seeded,
                     sleep,
+                    enabled_mask,
                     snap,
                 });
             }
@@ -1079,7 +1222,9 @@ where
             self.cur_sleep = entry_sleep;
             // Re-establish the enabled set at the branch point (the restore
             // or replay left the session's scratch view stale).
-            let status = self.executor.survey(&mut self.session, self.workload);
+            let status = self
+                .executor
+                .survey(&mut self.session, &self.mem, self.workload);
             debug_assert_eq!(status, SurveyStatus::Choose, "branch point disappeared");
             self.exec_tick(alt);
             return true;
@@ -1111,7 +1256,9 @@ where
         self.stats.replayed_ticks -= forced.len() as u64;
         self.cur_sleep = entry_sleep;
         if let Some(b) = branch {
-            let status = self.executor.survey(&mut self.session, self.workload);
+            let status = self
+                .executor
+                .survey(&mut self.session, &self.mem, self.workload);
             debug_assert_eq!(status, SurveyStatus::Choose, "ticket branch point gone");
             self.exec_tick(b);
         }
@@ -1228,7 +1375,13 @@ where
         monitor,
         true,
     );
-    let result = engine.explore_subtree(&[], None, 0, &mut || budget.admit(), false);
+    let result = engine.explore_subtree(
+        &[],
+        None,
+        0,
+        &mut || deadline_ok(config) && budget.admit(),
+        false,
+    );
     debug_assert!(
         engine.escaped.is_empty(),
         "a whole-tree engine has a frame for every race target"
@@ -1278,6 +1431,9 @@ struct RootNode {
     depth: usize,
     sleep: u64,
     explored: u64,
+    /// Transitions enabled at the node — the same race-seeding guard as
+    /// [`Frame::enabled_mask`], applied to escaped seeds.
+    enabled_mask: u64,
 }
 
 /// What one parallel worker found in its branch of the schedule tree.
@@ -1376,7 +1532,13 @@ where
         factory.monitor(),
         false,
     );
-    let root_result = root_engine.explore_subtree(&[], None, 0, &mut || budget.admit(), true);
+    let root_result = root_engine.explore_subtree(
+        &[],
+        None,
+        0,
+        &mut || deadline_ok(config) && budget.admit(),
+        true,
+    );
     stats.absorb(&root_engine.stats);
     match root_result {
         Err(v) => {
@@ -1433,6 +1595,7 @@ where
             depth: frame.depth,
             sleep: frame.sleep,
             explored,
+            enabled_mask: frame.enabled_mask,
         });
     }
     // Ascending depth, for the escaped-seed binary search.
@@ -1513,7 +1676,8 @@ where
                             let ticket = &wave_tickets[wi];
                             engine.stats = ExploreStats::default();
                             let mut gate = || {
-                                budget.admit()
+                                deadline_ok(config)
+                                    && budget.admit()
                                     && best_violating_branch.load(Ordering::Relaxed) >= bi
                             };
                             // A panicking check or monitor is confined to
@@ -1622,7 +1786,15 @@ where
                 if seed.initials & (node.explored | node.sleep) != 0 {
                     continue;
                 }
-                let q = ProcessId(seed.initials.trailing_zeros() as usize);
+                // Same guard as the sequential engine: only initials
+                // enabled at the node may branch (blocked initials are
+                // covered by the eagerly queued delivery/crash/drop
+                // alternatives).
+                let avail = seed.initials & node.enabled_mask;
+                if avail == 0 {
+                    continue;
+                }
+                let q = ProcessId(avail.trailing_zeros() as usize);
                 tickets.push(Ticket {
                     prefix_len: node.depth,
                     branch: q,
@@ -2635,7 +2807,10 @@ mod tests {
                         self.events
                             .push((false, session.result().ops[op_index].req.id))
                     }
-                    TickEmission::None | TickEmission::Crashed { .. } => {}
+                    TickEmission::None
+                    | TickEmission::Crashed { .. }
+                    | TickEmission::Delivered { .. }
+                    | TickEmission::Dropped { .. } => {}
                 }
             }
             fn mark(&mut self) -> u64 {
@@ -2959,5 +3134,344 @@ mod tests {
         .expect("swap TAS has one winner under every schedule");
         // Metrics-only exploration covers the identical schedule tree.
         assert_eq!(outcome.schedules(), full.schedules());
+    }
+
+    /// Network-adversary exploration: scheduled deliveries, drop budgets,
+    /// partitions and the blocked-process wedge, exercised through a minimal
+    /// message-passing register (one passive replica, echo-style protocol).
+    mod network {
+        use super::*;
+        use crate::memory::{Message, NetNode};
+        use scl_spec::{RegisterOp, RegisterSpec};
+
+        const WRITE_REQ: i64 = 0;
+        const READ_REQ: i64 = 1;
+        const RESP: i64 = 2;
+
+        #[allow(clippy::ptr_arg)] // the `net_init` handler type is `fn(_, &mut Vec<i64>, _)`
+        fn echo_server(server: usize, state: &mut Vec<i64>, msg: &Message) -> Option<Message> {
+            let reply_val = match msg.body[0] {
+                WRITE_REQ => {
+                    state[0] = msg.body[3];
+                    msg.body[3]
+                }
+                READ_REQ => state[0],
+                _ => return None,
+            };
+            Some(Message {
+                src: NetNode::Server(server),
+                dst: msg.src,
+                owner: msg.owner,
+                lane: msg.lane,
+                body: [RESP, msg.body[1], 0, reply_val],
+                lost: false,
+            })
+        }
+
+        /// A register stored on one replica: each op sends one request and
+        /// waits for the echo; a loss notification sends it again (drops are
+        /// already bounded by the explorer's budget, so retries terminate).
+        struct EchoStore;
+
+        #[derive(Clone)]
+        struct EchoOp {
+            proc: scl_spec::ProcessId,
+            op: RegisterOp,
+            sent: bool,
+            slot_reg: RegId,
+            inbox_reg: RegId,
+        }
+
+        impl EchoOp {
+            fn request(&self) -> Message {
+                let (kind, val) = match self.op {
+                    RegisterOp::Write(v) => (WRITE_REQ, v as i64),
+                    RegisterOp::Read => (READ_REQ, 0),
+                };
+                Message {
+                    src: NetNode::Client(self.proc.index()),
+                    dst: NetNode::Server(0),
+                    owner: self.proc,
+                    // One outstanding request per op: a single lane is fine.
+                    lane: 0,
+                    body: [kind, self.proc.index() as i64, 0, val],
+                    lost: false,
+                }
+            }
+        }
+
+        impl OpExecution<RegisterSpec, ()> for EchoOp {
+            fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<RegisterSpec, ()> {
+                if !self.sent {
+                    let _ = mem.net_send(self.proc, self.request());
+                    self.sent = true;
+                    return StepOutcome::Continue;
+                }
+                match mem.net_recv(self.proc, 0) {
+                    Some(msg) if msg.lost => {
+                        // Send the request again on the next step.
+                        self.sent = false;
+                        StepOutcome::Continue
+                    }
+                    Some(msg) => StepOutcome::Done(OpOutcome::Commit(match self.op {
+                        RegisterOp::Write(v) => v,
+                        RegisterOp::Read => msg.body[3] as u64,
+                    })),
+                    None => StepOutcome::Continue,
+                }
+            }
+
+            fn fork(&self) -> Option<Box<dyn OpExecution<RegisterSpec, ()>>> {
+                Some(Box::new(self.clone()))
+            }
+
+            fn next_footprint(&self) -> Footprint {
+                if self.sent {
+                    Footprint::Read(self.inbox_reg)
+                } else {
+                    Footprint::Write(self.slot_reg)
+                }
+            }
+
+            fn may_respond_next(&self) -> bool {
+                self.sent
+            }
+
+            fn blocked(&self, mem: &SharedMemory) -> bool {
+                self.sent && !mem.net_pending(self.proc, 0)
+            }
+        }
+
+        impl SimObject<RegisterSpec, ()> for EchoStore {
+            fn invoke(
+                &mut self,
+                mem: &mut SharedMemory,
+                req: Request<RegisterSpec>,
+                _switch: Option<()>,
+            ) -> Box<dyn OpExecution<RegisterSpec, ()>> {
+                Box::new(EchoOp {
+                    proc: req.proc,
+                    op: req.op,
+                    sent: false,
+                    slot_reg: mem.net_slot_reg(),
+                    inbox_reg: mem.net_inbox_reg(req.proc.index(), 0),
+                })
+            }
+
+            fn snapshot(&self) -> Option<ObjectSnapshot> {
+                Some(ObjectSnapshot::stateless())
+            }
+        }
+
+        fn setup(mem: &mut SharedMemory) -> EchoStore {
+            mem.net_init(2, 1, 10, &[0], echo_server);
+            EchoStore
+        }
+
+        fn workload() -> Workload<RegisterSpec, ()> {
+            Workload::from_ops(vec![vec![RegisterOp::Write(5)], vec![RegisterOp::Read]])
+        }
+
+        /// Final-state fingerprint covering the op outcomes, the crash set
+        /// and the full network state (replica, in-flight slots, inboxes).
+        fn net_fingerprint(res: &ExecutionResult<RegisterSpec, ()>, mem: &SharedMemory) -> String {
+            let mut outs: Vec<String> = res
+                .ops
+                .iter()
+                .map(|o| format!("{:?}={:?}", o.req.proc, o.outcome))
+                .collect();
+            outs.sort();
+            format!(
+                "net={:016x};crashed={:b};completed={};{}",
+                mem.net_digest(),
+                res.crashed,
+                res.completed,
+                outs.join("|")
+            )
+        }
+
+        #[test]
+        fn deliveries_are_scheduled_transitions_and_the_space_exhausts() {
+            let wl = workload();
+            let report =
+                explore_schedules_report(setup, &wl, &ExploreConfig::default(), |res, _mem| {
+                    if res.completed {
+                        Ok(())
+                    } else {
+                        Err("wedged without faults".into())
+                    }
+                });
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "{:?}",
+                report.outcome
+            );
+            assert!(report.stats.delivery_steps > 0, "deliveries must branch");
+            assert_eq!(report.stats.drop_steps, 0, "no drop budget configured");
+            assert!(report.stats.schedules > 1);
+        }
+
+        #[test]
+        fn drop_budget_gates_drop_transitions() {
+            let wl = workload();
+            let base =
+                explore_schedules_report(setup, &wl, &ExploreConfig::default(), |_, _| Ok(()));
+            let lossy = explore_schedules_report(
+                setup,
+                &wl,
+                &ExploreConfig {
+                    max_drops: 1,
+                    ..Default::default()
+                },
+                |res, _mem| {
+                    if res.completed {
+                        Ok(())
+                    } else {
+                        Err("a single drop must be survivable by resend".into())
+                    }
+                },
+            );
+            assert!(
+                matches!(lossy.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "{:?}",
+                lossy.outcome
+            );
+            assert!(lossy.stats.drop_steps > 0, "the drop budget must be spent");
+            assert!(
+                lossy.stats.schedules > base.stats.schedules,
+                "drop branching must grow the tree: {} vs {}",
+                lossy.stats.schedules,
+                base.stats.schedules
+            );
+        }
+
+        #[test]
+        fn every_mode_covers_identical_final_states_with_crashes_and_drops() {
+            let wl = workload();
+            let faulty = |base: ExploreConfig| ExploreConfig {
+                max_crashes: 1,
+                max_drops: 1,
+                ..base
+            };
+            let run = |config: &ExploreConfig| {
+                let mut states = std::collections::BTreeSet::new();
+                let report = explore_schedules_report(setup, &wl, config, |res, mem| {
+                    states.insert(net_fingerprint(res, mem));
+                    Ok(())
+                });
+                assert!(
+                    matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                    "{config:?}: {:?}",
+                    report.outcome
+                );
+                states
+            };
+            let reference = run(&faulty(ExploreConfig::default()));
+            assert!(
+                reference.iter().any(|fp| fp.contains("None")),
+                "some fault pattern must leave an op open"
+            );
+            for base in all_mode_configs() {
+                let config = faulty(base);
+                assert_eq!(run(&config), reference, "config {config:?}");
+            }
+        }
+
+        #[test]
+        fn a_severed_replica_wedges_every_schedule_as_open_ops_not_a_hang() {
+            let wl = workload();
+            let mut wedged = 0u64;
+            let report = explore_schedules_report(
+                setup,
+                &wl,
+                &ExploreConfig {
+                    // Endpoint bit 2 = server 0 (after the two clients).
+                    partition: 0b100,
+                    ..Default::default()
+                },
+                |res, _mem| {
+                    // A wedge still *completes* (the survey finds nothing
+                    // enabled and nothing in flight) — the signature of the
+                    // partition is that every op is left open, not a hang.
+                    if res.ops.iter().any(|o| o.outcome.is_some()) {
+                        return Err("no op can commit across a severed link".into());
+                    }
+                    wedged += 1;
+                    Ok(())
+                },
+            );
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "{:?}",
+                report.outcome
+            );
+            assert!(wedged > 0, "wedged executions are surfaced, not hung");
+        }
+
+        #[test]
+        fn network_prefix_resume_matches_full_replay() {
+            let wl = workload();
+            let mk = |resume| {
+                explore_schedules_report(
+                    setup,
+                    &wl,
+                    &ExploreConfig {
+                        max_drops: 1,
+                        resume,
+                        ..Default::default()
+                    },
+                    |_, _| Ok(()),
+                )
+            };
+            let replay = mk(ResumeMode::FullReplay);
+            let resume = mk(ResumeMode::PrefixResume);
+            assert_eq!(replay.outcome, resume.outcome);
+            assert_eq!(replay.stats.schedules, resume.stats.schedules);
+            assert_eq!(replay.stats.delivery_steps, resume.stats.delivery_steps);
+            assert_eq!(replay.stats.drop_steps, resume.stats.drop_steps);
+            assert!(resume.stats.snapshots > 0);
+            assert_eq!(
+                resume.stats.snapshot_fallbacks, 0,
+                "network state must snapshot/restore cleanly"
+            );
+        }
+
+        #[test]
+        fn parallel_workers_agree_with_the_sequential_verdict() {
+            let wl = workload();
+            let config = ExploreConfig {
+                max_crashes: 1,
+                max_drops: 1,
+                threads: 2,
+                ..Default::default()
+            };
+            let report = explore_schedules_parallel_report(setup, &wl, &config, |_, _| Ok(()));
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "{:?}",
+                report.outcome
+            );
+            assert!(report.stats.delivery_steps > 0);
+        }
+
+        #[test]
+        fn an_expired_deadline_degrades_to_limit_reached() {
+            let wl = workload();
+            let report = explore_schedules_report(
+                setup,
+                &wl,
+                &ExploreConfig {
+                    deadline: Some(std::time::Instant::now()),
+                    ..Default::default()
+                },
+                |_, _| Ok(()),
+            );
+            match report.outcome {
+                Ok(ExploreOutcome::LimitReached { schedules }) => {
+                    assert!(schedules <= 1, "an expired deadline stops immediately");
+                }
+                other => panic!("expected LimitReached, got {other:?}"),
+            }
+        }
     }
 }

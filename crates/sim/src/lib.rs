@@ -66,7 +66,10 @@ pub use hb::HbTracker;
 pub use machine::{
     ImmediateOutcome, ObjectSnapshot, OpExecution, OpOutcome, SimObject, StepOutcome,
 };
-pub use memory::{Footprint, MemSnapshot, PrimitiveClass, RegId, SharedMemory, StepLabel};
+pub use memory::{
+    Footprint, MemSnapshot, Message, NetNode, PrimitiveClass, RegId, ServerHandler, SharedMemory,
+    StepLabel,
+};
 pub use metrics::{ContentionKind, ExecutionMetrics, OpMetrics};
 pub use rng::SplitMix64;
 pub use value::Value;

@@ -121,6 +121,27 @@ pub trait OpExecution<S: SequentialSpec, V> {
     fn may_respond_next(&self) -> bool {
         true
     }
+
+    /// Whether this operation is *blocked*: its next step cannot make
+    /// progress until the environment changes (typically a message-passing
+    /// client waiting on an empty inbox — see
+    /// [`SharedMemory::net_recv`](crate::memory::SharedMemory::net_recv)).
+    ///
+    /// A blocked operation is excluded from the enabled set, so the
+    /// scheduler never burns steps busy-polling and the explorer never
+    /// branches on them; it becomes schedulable again as soon as `blocked`
+    /// returns `false` (e.g. a delivery transition filled the inbox). If
+    /// every live process is blocked and nothing remains in flight, the
+    /// execution completes with the blocked operations still open — which
+    /// checkers report as a progress violation (a *wedged* run), not a hang.
+    ///
+    /// Unlike [`Self::next_footprint`], this may read the shared state (it
+    /// is a pure query, called between transitions, never counted as a
+    /// step). The default (`false`) means "never blocks".
+    fn blocked(&self, mem: &SharedMemory) -> bool {
+        let _ = mem;
+        false
+    }
 }
 
 /// An object implementation whose operations are driven step-by-step by the

@@ -38,6 +38,124 @@ use scl_spec::ProcessId;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RegId(pub usize);
 
+/// An endpoint of the simulated message-passing network: either a *client*
+/// (one of the scheduled processes, identified by its process index) or a
+/// *server* replica (passive state machines that live inside the network
+/// layer and react to message deliveries via the registered
+/// [`ServerHandler`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetNode {
+    /// Process `0..clients` — a scheduled process with a message inbox.
+    Client(usize),
+    /// Replica `0..servers` — passive state driven by deliveries.
+    Server(usize),
+}
+
+/// One simulated network message.
+///
+/// `owner` names the client process whose operation the message belongs to
+/// (the original sender for requests, the requesting client for replies);
+/// the explorer labels delivery and drop transitions with it. `lost` is set
+/// only on the loss notifications [`SharedMemory::net_drop`] synthesizes:
+/// the original message with `lost = true`, delivered directly to the
+/// owner's inbox — modelling the sender's timeout firing. A protocol must
+/// only inspect a lost message's routing metadata (`src`, `dst`, `body`
+/// kind/request tags) to decide what to re-send, never use its payload as
+/// received data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sending endpoint.
+    pub src: NetNode,
+    /// Destination endpoint.
+    pub dst: NetNode,
+    /// The client process whose operation this message belongs to.
+    pub owner: ProcessId,
+    /// Mailbox lane key: a client-bound message is filed under lane
+    /// `lane % NET_LANES` of the destination inbox, and each lane is its own
+    /// FIFO queue with its own virtual register. Protocols key this by
+    /// phase/request id so *stale* replies (a phase the client already left)
+    /// land in a different lane than the phase currently being collected —
+    /// making their deliveries commute with the client's progress instead of
+    /// serialising through one inbox cell. Replies and loss notifications
+    /// inherit the request's lane.
+    pub lane: usize,
+    /// Protocol payload (kind, request id, and protocol-specific words).
+    pub body: [i64; 4],
+    /// Whether this is a loss notification rather than a real delivery.
+    pub lost: bool,
+}
+
+/// Number of mailbox lanes per client inbox (see [`Message::lane`]). Lane
+/// keys are reduced modulo this, so distinct-enough phase ids map to
+/// distinct lanes; collisions are harmless (two phases sharing a lane just
+/// serialise through the same register, as the single-inbox model always
+/// did).
+pub const NET_LANES: usize = 8;
+
+/// The reaction of a passive server replica to a delivered message: mutate
+/// the replica state in place and optionally emit one reply (enqueued into
+/// the in-flight buffer as part of the same delivery transition). A plain
+/// `fn` so the network state stays `Clone` and snapshots stay trivial.
+pub type ServerHandler = fn(server: usize, state: &mut Vec<i64>, msg: &Message) -> Option<Message>;
+
+/// The simulated network: an in-flight message buffer whose deliveries are
+/// *scheduled transitions*, per-client inboxes, and passive server replicas.
+///
+/// Slots are never reused within an execution (`seq` is monotone and
+/// asserts `seq < cap`), so a slot index is a stable identity for "this
+/// message's delivery" across the whole schedule exploration — sends commute
+/// with deliveries and drops of *other* slots, which the explorer's
+/// footprints rely on.
+#[derive(Debug, Clone, Default)]
+struct Network {
+    cap: usize,
+    clients: usize,
+    /// Per-replica protocol state, mutated by the handler on delivery.
+    servers: Vec<Vec<i64>>,
+    handler: Option<ServerHandler>,
+    /// The in-flight buffer. Client sends occupy slots `0, 1, 2, …` in send
+    /// order; a server's *reply* to the request in slot `s` occupies slot
+    /// `cap - 1 - s` — a deterministic address, so the slot layout is
+    /// independent of delivery order and reply-enqueuing deliveries to
+    /// different replicas commute. Delivered/dropped slots become `None`.
+    slots: Vec<Option<Message>>,
+    /// Client messages sent so far this execution (the next send slot).
+    seq: usize,
+    /// Bit `s` = slot `s` has ever held a message this execution (slots are
+    /// never reused; this catches send/reply collisions under too-small
+    /// caps, since a consumed slot is `None` again).
+    born: u64,
+    /// Per-client, per-lane FIFO inboxes, indexed `c * NET_LANES + lane`;
+    /// deliveries push onto the message's lane, [`SharedMemory::net_recv`]
+    /// pops from the front of one lane. Separate queues make deliveries
+    /// into different lanes of the same client genuinely commute.
+    inboxes: Vec<Vec<Message>>,
+    /// Severed endpoints (bit `i` = client `i`, bit `clients + j` = server
+    /// `j`): a message to or from a severed endpoint vanishes silently at
+    /// send time — no slot, no loss notification, no drop budget consumed.
+    severed: u64,
+    /// Virtual registers giving network transitions honest footprints: one
+    /// per client inbox *lane*, one per server replica, one for the slot-allocation
+    /// order, and one per in-flight slot (the message's identity — its send,
+    /// delivery and drop all write it, so creation and consumption are
+    /// ordered and deliver/drop of the same slot never commute).
+    inbox_regs: Vec<RegId>,
+    server_regs: Vec<RegId>,
+    slot_reg: Option<RegId>,
+    slot_item_regs: Vec<RegId>,
+}
+
+/// A point-in-time copy of the network state (part of [`MemSnapshot`]).
+#[derive(Debug, Clone, Default)]
+struct NetSnapshot {
+    servers: Vec<Vec<i64>>,
+    slots: Vec<Option<Message>>,
+    seq: usize,
+    born: u64,
+    inboxes: Vec<Vec<Message>>,
+    severed: u64,
+}
+
 /// The shared-memory access footprint of one scheduling transition.
 ///
 /// In the paper's model a transition performs *at most one* shared-memory
@@ -49,6 +167,9 @@ pub struct RegId(pub usize);
 /// `Write` covers plain writes and every read-modify-write primitive.
 /// `Unknown` is the conservative footprint of transitions whose access
 /// cannot be predicted; it is treated as dependent with everything.
+/// `Net` is the exception to the one-register rule: a network transition
+/// (send, delivery, drop) touches a small *set* of virtual registers in one
+/// atomic step — see [`NetWrites`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Footprint {
     /// No shared-memory access (an invocation, or a purely local transition).
@@ -58,8 +179,55 @@ pub enum Footprint {
     Read(RegId),
     /// A write or read-modify-write of the register.
     Write(RegId),
+    /// The exact write set of a network transition.
+    Net(NetWrites),
     /// Not statically known; conservatively dependent with everything.
     Unknown,
+}
+
+/// The write set of one network transition, over the network layer's
+/// virtual registers: the slot-allocation register (any transition that
+/// assigns a slot number), per-slot cells (a message's send, delivery and
+/// drop all write its slot cell, ordering creation before consumption and
+/// making deliver-vs-drop of the same message conflict), per-replica state
+/// and per-client inboxes. Every effect is a write: two network footprints
+/// are dependent iff their sets intersect, and a network footprint is
+/// dependent with a plain `Read`/`Write` iff the set contains its register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetWrites {
+    regs: [RegId; 4],
+    len: u8,
+}
+
+impl NetWrites {
+    fn new(regs: &[RegId]) -> Self {
+        debug_assert!(!regs.is_empty() && regs.len() <= 4);
+        let mut a = [regs[0]; 4];
+        a[..regs.len()].copy_from_slice(regs);
+        NetWrites {
+            regs: a,
+            len: regs.len() as u8,
+        }
+    }
+
+    /// The written registers.
+    pub fn regs(&self) -> &[RegId] {
+        &self.regs[..self.len as usize]
+    }
+
+    /// Whether `r` is in the write set.
+    pub fn contains(&self, r: RegId) -> bool {
+        self.regs().contains(&r)
+    }
+
+    fn intersects(&self, other: &NetWrites) -> bool {
+        self.regs().iter().any(|r| other.contains(*r))
+    }
+}
+
+/// Shorthand for a network write-set footprint.
+fn net_fp(regs: &[RegId]) -> Footprint {
+    Footprint::Net(NetWrites::new(regs))
 }
 
 impl Footprint {
@@ -75,6 +243,13 @@ impl Footprint {
         match (self, other) {
             (Footprint::Unknown, _) | (_, Footprint::Unknown) => true,
             (Footprint::Pure, _) | (_, Footprint::Pure) => false,
+            // Network write sets: dependent on any overlap (all effects are
+            // writes).
+            (Footprint::Net(a), Footprint::Net(b)) => a.intersects(&b),
+            (Footprint::Net(a), Footprint::Read(r))
+            | (Footprint::Net(a), Footprint::Write(r))
+            | (Footprint::Read(r), Footprint::Net(a))
+            | (Footprint::Write(r), Footprint::Net(a)) => a.contains(r),
             // Read-read pairs commute even on the same register.
             (Footprint::Read(_), Footprint::Read(_)) => false,
             (Footprint::Write(a), Footprint::Write(b))
@@ -217,6 +392,7 @@ pub struct MemSnapshot {
     counters: Vec<ProcessCounters>,
     wrote_in_op: Vec<bool>,
     global_steps: u64,
+    net: NetSnapshot,
 }
 
 impl MemSnapshot {
@@ -250,6 +426,9 @@ pub struct SharedMemory {
     /// Footprint of the most recent shared-memory step (for the explorer's
     /// dependence tracking); `Pure` until the first step.
     last_footprint: Footprint,
+    /// The simulated message-passing network (empty until
+    /// [`Self::net_init`]).
+    net: Network,
 }
 
 impl SharedMemory {
@@ -271,6 +450,20 @@ impl SharedMemory {
         self.wrote_in_op.iter_mut().for_each(|w| *w = false);
         self.global_steps = 0;
         self.last_footprint = Footprint::Pure;
+        // The network is structural per epoch: setup re-runs `net_init`.
+        self.net.cap = 0;
+        self.net.clients = 0;
+        self.net.servers.clear();
+        self.net.handler = None;
+        self.net.slots.clear();
+        self.net.seq = 0;
+        self.net.born = 0;
+        self.net.inboxes.clear();
+        self.net.severed = 0;
+        self.net.inbox_regs.clear();
+        self.net.server_regs.clear();
+        self.net.slot_reg = None;
+        self.net.slot_item_regs.clear();
     }
 
     /// Allocates a fresh register with the given debug name and initial
@@ -354,6 +547,15 @@ impl SharedMemory {
         snap.wrote_in_op.clear();
         snap.wrote_in_op.extend_from_slice(&self.wrote_in_op);
         snap.global_steps = self.global_steps;
+        snap.net.servers.clear();
+        snap.net.servers.extend(self.net.servers.iter().cloned());
+        snap.net.slots.clear();
+        snap.net.slots.extend_from_slice(&self.net.slots);
+        snap.net.seq = self.net.seq;
+        snap.net.born = self.net.born;
+        snap.net.inboxes.clear();
+        snap.net.inboxes.extend(self.net.inboxes.iter().cloned());
+        snap.net.severed = self.net.severed;
     }
 
     /// Captures the memory state into a fresh [`MemSnapshot`].
@@ -383,6 +585,20 @@ impl SharedMemory {
         self.wrote_in_op.truncate(snap.wrote_in_op.len());
         self.wrote_in_op.copy_from_slice(&snap.wrote_in_op);
         self.global_steps = snap.global_steps;
+        debug_assert_eq!(
+            snap.net.servers.len(),
+            self.net.servers.len(),
+            "network snapshot from a different topology or epoch"
+        );
+        self.net.servers.clear();
+        self.net.servers.extend(snap.net.servers.iter().cloned());
+        self.net.slots.clear();
+        self.net.slots.extend_from_slice(&snap.net.slots);
+        self.net.seq = snap.net.seq;
+        self.net.born = snap.net.born;
+        self.net.inboxes.clear();
+        self.net.inboxes.extend(snap.net.inboxes.iter().cloned());
+        self.net.severed = snap.net.severed;
     }
 
     /// The footprint of the most recent shared-memory step
@@ -501,6 +717,393 @@ impl SharedMemory {
     /// and metrics collection in tests/harnesses, never by algorithms.
     pub fn peek(&self, r: RegId) -> Value {
         self.regs[r.0]
+    }
+
+    // ------------------------------------------------------------------
+    // The simulated network.
+    // ------------------------------------------------------------------
+
+    /// Sets up the simulated network: `clients` client endpoints (mapped to
+    /// processes `0..clients`), `servers` passive replicas each initialised
+    /// to `server_init`, and an in-flight buffer of `cap` slots. Call from
+    /// the scenario's setup closure, after [`Self::reset`] (the network is
+    /// structural per epoch and is *not* part of snapshots).
+    ///
+    /// `cap` bounds the total number of messages *sent* per execution (slots
+    /// are monotone, never reused); pick it as the worst-case message count
+    /// of the workload and the explorer will map slot `s` to delivery
+    /// pseudo-process `2n + s` and drop pseudo-process `2n + cap + s`.
+    pub fn net_init(
+        &mut self,
+        clients: usize,
+        servers: usize,
+        cap: usize,
+        server_init: &[i64],
+        handler: ServerHandler,
+    ) {
+        assert!(
+            clients + servers <= 64,
+            "severed-endpoint mask is a u64: at most 64 endpoints"
+        );
+        self.net.cap = cap;
+        self.net.clients = clients;
+        self.net.servers.clear();
+        self.net
+            .servers
+            .extend((0..servers).map(|_| server_init.to_vec()));
+        self.net.handler = Some(handler);
+        self.net.slots.clear();
+        self.net.slots.resize(cap, None);
+        self.net.seq = 0;
+        self.net.born = 0;
+        self.net.inboxes.clear();
+        self.net.inboxes.resize(clients * NET_LANES, Vec::new());
+        self.net.severed = 0;
+        self.net.inbox_regs.clear();
+        for c in 0..clients {
+            for lane in 0..NET_LANES {
+                let r = self.alloc(&format!("net.inbox{c}.{lane}"), Value::NULL);
+                self.net.inbox_regs.push(r);
+            }
+        }
+        self.net.server_regs.clear();
+        for s in 0..servers {
+            let r = self.alloc(&format!("net.srv{s}"), Value::NULL);
+            self.net.server_regs.push(r);
+        }
+        self.net.slot_reg = Some(self.alloc("net.slots", Value::NULL));
+        self.net.slot_item_regs.clear();
+        for s in 0..cap {
+            let r = self.alloc(&format!("net.slot{s}"), Value::NULL);
+            self.net.slot_item_regs.push(r);
+        }
+    }
+
+    /// The in-flight buffer capacity (0 when no network is configured —
+    /// the explorer uses this to decide whether network pseudo-processes
+    /// exist at all).
+    pub fn net_cap(&self) -> usize {
+        self.net.cap
+    }
+
+    /// Number of client endpoints.
+    pub fn net_clients(&self) -> usize {
+        self.net.clients
+    }
+
+    /// Severs the endpoints in `mask` (bit `i` = client `i`, bit
+    /// `clients + j` = server `j`): every subsequent send to or from a
+    /// severed endpoint vanishes silently — no slot, no loss notification,
+    /// no drop budget. Models a link partition (or an unresponsive node)
+    /// lasting the whole execution when applied at setup time.
+    pub fn net_sever(&mut self, mask: u64) {
+        self.net.severed = mask;
+    }
+
+    /// The current severed-endpoint mask.
+    pub fn net_severed(&self) -> u64 {
+        self.net.severed
+    }
+
+    #[inline]
+    fn endpoint_bit(clients: usize, node: NetNode) -> u64 {
+        match node {
+            NetNode::Client(i) => 1u64 << i,
+            NetNode::Server(j) => 1u64 << (clients + j),
+        }
+    }
+
+    #[inline]
+    fn net_crosses_severed(&self, msg: &Message) -> bool {
+        let bits = Self::endpoint_bit(self.net.clients, msg.src)
+            | Self::endpoint_bit(self.net.clients, msg.dst);
+        self.net.severed & bits != 0
+    }
+
+    /// Sends `msg`: the *one* shared-memory step of the calling process's
+    /// transition. Its footprint is `{slot_reg, item(s)}` — all sends
+    /// conflict with each other through `slot_reg` (slot assignment is
+    /// order-sensitive), and writing the freshly assigned slot's item cell
+    /// orders the send before the delivery/drop that consumes it. Returns
+    /// `false` when the message crossed a severed link and vanished without
+    /// consuming a slot (a purely local step: nothing shared was touched).
+    pub fn net_send(&mut self, p: ProcessId, msg: Message) -> bool {
+        if self.net_crosses_severed(&msg) {
+            return false;
+        }
+        let slot_reg = self.net.slot_reg.expect("net_send before net_init");
+        self.record(p, slot_reg, PrimitiveClass::Write);
+        let s = self.net.seq;
+        assert!(
+            s < self.net.cap && self.net.born & (1u64 << s) == 0,
+            "network capacity exhausted (send slot {s} collides with the reply region) — raise \
+             the net_init cap"
+        );
+        self.net.born |= 1u64 << s;
+        self.net.slots[s] = Some(msg);
+        self.net.seq += 1;
+        // `record` set a single-register `Write(slot_reg)`; widen it to the
+        // exact two-register network write set.
+        self.last_footprint = net_fp(&[slot_reg, self.net.slot_item_regs[s]]);
+        true
+    }
+
+    /// Bitmask of occupied in-flight slots (bit `s` = slot `s` holds an
+    /// undelivered message) — the explorer's per-state set of enabled
+    /// delivery/drop transitions.
+    pub fn net_occupied(&self) -> u64 {
+        let mut mask = 0u64;
+        for (s, slot) in self.net.slots.iter().enumerate() {
+            if slot.is_some() {
+                mask |= 1u64 << s;
+            }
+        }
+        mask
+    }
+
+    /// Number of in-flight (undelivered) messages.
+    pub fn net_in_flight(&self) -> usize {
+        self.net.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The message currently occupying `slot`, if any — an inspector for
+    /// harnesses and tests that steer deliveries by content (never used by
+    /// algorithms, which only see their own inboxes).
+    pub fn net_slot(&self, slot: usize) -> Option<&Message> {
+        self.net.slots.get(slot).and_then(|s| s.as_ref())
+    }
+
+    /// Delivers the message in `slot` (a scheduled transition, not a process
+    /// step — the executor charges no process counters). To a client: pushes
+    /// it onto the destination inbox. To a server: runs the handler, which
+    /// mutates the replica state and may enqueue one reply into a fresh slot
+    /// (vanishing silently if the reply would cross a severed link).
+    ///
+    /// Returns `(owner, footprint)` for the transition's [`StepLabel`].
+    /// The footprint is the transition's exact write set over the network's
+    /// virtual registers ([`NetWrites`]):
+    ///
+    /// * every delivery writes `item(slot)` — the same cell its send wrote,
+    ///   so the happens-before layer always has an edge back to the
+    ///   transition that *created* the message, and a deliver and a drop of
+    ///   the same message never commute;
+    /// * a delivery to a **client** also writes that client's inbox;
+    /// * a delivery to a **server** also writes that replica's state, and —
+    ///   when the handler **enqueues a reply** — the reply's item cell at
+    ///   its deterministic address `cap - 1 - s` (never `slot_reg`: reply
+    ///   placement is independent of delivery order by construction).
+    ///
+    /// Everything else (a delivery to server `j`, a delivery to client `c`,
+    /// a send by some other client) commutes, which is exactly the freedom
+    /// the partial-order reductions need to prune message interleavings.
+    pub fn net_deliver(&mut self, slot: usize) -> (ProcessId, Footprint) {
+        let msg = self.net.slots[slot]
+            .take()
+            .expect("net_deliver of an empty slot");
+        let owner = msg.owner;
+        let item = self.net.slot_item_regs[slot];
+        match msg.dst {
+            NetNode::Client(c) => {
+                let ix = Self::lane_ix(c, msg.lane);
+                let fp = net_fp(&[item, self.net.inbox_regs[ix]]);
+                self.net.inboxes[ix].push(msg);
+                (owner, fp)
+            }
+            NetNode::Server(j) => {
+                let handler = self.net.handler.expect("net_deliver before net_init");
+                let reply = handler(j, &mut self.net.servers[j], &msg);
+                let srv = self.net.server_regs[j];
+                match reply {
+                    Some(r) if !self.net_crosses_severed(&r) => {
+                        // Deterministic reply address: the reply to slot `s`
+                        // lands at `cap - 1 - s`, independent of delivery
+                        // order — so the footprint needs no `slot_reg` and
+                        // reply-enqueuing deliveries to different replicas
+                        // commute.
+                        let rs = self.net.cap - 1 - slot;
+                        assert!(
+                            rs > slot && self.net.born & (1u64 << rs) == 0,
+                            "network capacity exhausted (reply slot {rs} collides) — raise the \
+                             net_init cap"
+                        );
+                        self.net.born |= 1u64 << rs;
+                        self.net.slots[rs] = Some(r);
+                        (owner, net_fp(&[item, srv, self.net.slot_item_regs[rs]]))
+                    }
+                    _ => (owner, net_fp(&[item, srv])),
+                }
+            }
+        }
+    }
+
+    /// Drops the message in `slot` (a scheduled fault transition): the
+    /// message is removed from flight and a *loss notification* — the same
+    /// message with [`Message::lost`] set — is pushed directly onto the
+    /// owner's inbox, modelling the sender's timeout firing. Returns
+    /// `(owner, footprint)` for the transition's label: the write set
+    /// `{item(slot), inbox(owner, lane)}` — the item cell orders the drop
+    /// after the send that created the message (and excludes it against the
+    /// delivery of the same slot), the inbox-lane write covers the loss
+    /// notification (filed under the dropped message's own lane, so the
+    /// owner's current collect phase sees it iff it is still in that phase).
+    pub fn net_drop(&mut self, slot: usize) -> (ProcessId, Footprint) {
+        let msg = self.net.slots[slot]
+            .take()
+            .expect("net_drop of an empty slot");
+        let owner = msg.owner;
+        let ix = Self::lane_ix(owner.index(), msg.lane);
+        let fp = net_fp(&[self.net.slot_item_regs[slot], self.net.inbox_regs[ix]]);
+        self.net.inboxes[ix].push(Message { lost: true, ..msg });
+        (owner, fp)
+    }
+
+    /// The inbox index of client `c`'s lane for key `lane` (keys reduce
+    /// modulo [`NET_LANES`]).
+    #[inline]
+    fn lane_ix(c: usize, lane: usize) -> usize {
+        c * NET_LANES + lane % NET_LANES
+    }
+
+    /// Receives the next message from lane `lane` of process `p`'s inbox
+    /// (FIFO within the lane): the one shared-memory step of the calling
+    /// transition (a read of that lane's register — receives from other
+    /// lanes, and deliveries into them, commute with this one). Returns
+    /// `None` on an empty lane — protocols normally guard with
+    /// [`crate::machine::OpExecution::blocked`] so the scheduler never
+    /// wastes a step here.
+    pub fn net_recv(&mut self, p: ProcessId, lane: usize) -> Option<Message> {
+        let ix = Self::lane_ix(p.index(), lane);
+        let r = self.net.inbox_regs[ix];
+        self.record(p, r, PrimitiveClass::Read);
+        if self.net.inboxes[ix].is_empty() {
+            None
+        } else {
+            Some(self.net.inboxes[ix].remove(0))
+        }
+    }
+
+    /// Whether lane `lane` of process `p`'s inbox holds at least one
+    /// message (no step).
+    pub fn net_pending(&self, p: ProcessId, lane: usize) -> bool {
+        self.net
+            .inboxes
+            .get(Self::lane_ix(p.index(), lane))
+            .is_some_and(|ib| !ib.is_empty())
+    }
+
+    /// Read-only view of replica `j`'s protocol state — for assertions and
+    /// harnesses, never a protocol step.
+    pub fn net_server_state(&self, j: usize) -> &[i64] {
+        &self.net.servers[j]
+    }
+
+    /// The virtual register standing for lane `lane` of client `c`'s inbox.
+    pub fn net_inbox_reg(&self, c: usize, lane: usize) -> RegId {
+        self.net.inbox_regs[Self::lane_ix(c, lane)]
+    }
+
+    /// The virtual register standing for replica `j`'s protocol state.
+    pub fn net_server_reg(&self, j: usize) -> RegId {
+        self.net.server_regs[j]
+    }
+
+    /// The virtual register standing for the shared in-flight slot buffer.
+    pub fn net_slot_reg(&self) -> RegId {
+        self.net.slot_reg.expect("no network configured")
+    }
+
+    /// The virtual register standing for slot `s`'s in-flight message (its
+    /// send, delivery and drop all write it).
+    pub fn net_slot_item_reg(&self, s: usize) -> RegId {
+        self.net.slot_item_regs[s]
+    }
+
+    /// Predicted footprint of *delivering* slot `s` — the sleep-set wake
+    /// rule's over-approximation of what [`Self::net_deliver`] would touch.
+    /// For a server-bound message it always includes the deterministic reply
+    /// address `cap - 1 - s`: the handler *may* enqueue a reply there. An
+    /// empty slot (already consumed by the sibling drop) degrades to
+    /// [`Footprint::Unknown`] — a spurious wake at worst.
+    pub fn net_deliver_footprint(&self, s: usize) -> Footprint {
+        match self.net.slots.get(s).and_then(|m| m.as_ref()) {
+            None => Footprint::Unknown,
+            Some(msg) => match msg.dst {
+                NetNode::Client(c) => net_fp(&[
+                    self.net.slot_item_regs[s],
+                    self.net.inbox_regs[Self::lane_ix(c, msg.lane)],
+                ]),
+                NetNode::Server(j) => net_fp(&[
+                    self.net.slot_item_regs[s],
+                    self.net.server_regs[j],
+                    self.net.slot_item_regs[self.net.cap - 1 - s],
+                ]),
+            },
+        }
+    }
+
+    /// Predicted footprint of *dropping* slot `s` — exact (see
+    /// [`Self::net_drop`]), with the same empty-slot degradation as
+    /// [`Self::net_deliver_footprint`].
+    pub fn net_drop_footprint(&self, s: usize) -> Footprint {
+        match self.net.slots.get(s).and_then(|m| m.as_ref()) {
+            None => Footprint::Unknown,
+            Some(msg) => net_fp(&[
+                self.net.slot_item_regs[s],
+                self.net.inbox_regs[Self::lane_ix(msg.owner.index(), msg.lane)],
+            ]),
+        }
+    }
+
+    /// Order-sensitive digest of the full network state (replicas, in-flight
+    /// slots, seq, inboxes, severed mask) — used by snapshot round-trip
+    /// tests to check bit-identical restoration.
+    pub fn net_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |x: u64| {
+            h ^= x;
+            h = h.wrapping_mul(FNV_PRIME);
+        };
+        let mix_msg = |mix: &mut dyn FnMut(u64), m: &Message| {
+            let code = |n: NetNode| match n {
+                NetNode::Client(i) => i as u64 * 2,
+                NetNode::Server(j) => j as u64 * 2 + 1,
+            };
+            mix(code(m.src));
+            mix(code(m.dst));
+            mix(m.owner.index() as u64);
+            mix(m.lane as u64);
+            for w in m.body {
+                mix(w as u64);
+            }
+            mix(m.lost as u64);
+        };
+        mix(self.net.seq as u64);
+        mix(self.net.born);
+        mix(self.net.severed);
+        for state in &self.net.servers {
+            mix(state.len() as u64);
+            for &w in state {
+                mix(w as u64);
+            }
+        }
+        for slot in &self.net.slots {
+            match slot {
+                None => mix(0),
+                Some(m) => {
+                    mix(1);
+                    mix_msg(&mut mix, m);
+                }
+            }
+        }
+        for ib in &self.net.inboxes {
+            mix(ib.len() as u64);
+            for m in ib {
+                mix_msg(&mut mix, m);
+            }
+        }
+        h
     }
 }
 
@@ -789,5 +1392,169 @@ mod tests {
         assert_eq!(fresh.counters(p(2)), reused.counters(p(2)));
         assert_eq!(fresh.audit(), reused.audit());
         assert_eq!(fresh.peek(fb), reused.peek(rb));
+    }
+
+    /// Echo replica for network tests: stores the last payload word and
+    /// replies with it to the message's owner.
+    #[allow(clippy::ptr_arg)] // the `net_init` handler type is `fn(_, &mut Vec<i64>, _)`
+    fn echo_handler(server: usize, state: &mut Vec<i64>, msg: &Message) -> Option<Message> {
+        state[0] = msg.body[3];
+        Some(Message {
+            src: NetNode::Server(server),
+            dst: NetNode::Client(msg.owner.index()),
+            owner: msg.owner,
+            lane: msg.lane,
+            body: [1, msg.body[1], 0, state[0]],
+            lost: false,
+        })
+    }
+
+    /// Lane key used by [`req`] — deliberately above `NET_LANES` so the
+    /// tests exercise the modulo filing (11 % 8 = lane 3).
+    const LANE: usize = 11;
+
+    fn req(owner: usize, server: usize, val: i64) -> Message {
+        Message {
+            src: NetNode::Client(owner),
+            dst: NetNode::Server(server),
+            owner: p(owner),
+            lane: LANE,
+            body: [0, 7, 0, val],
+            lost: false,
+        }
+    }
+
+    #[test]
+    fn network_send_deliver_reply_recv_round_trip() {
+        let mut m = SharedMemory::new();
+        m.net_init(2, 2, 8, &[0], echo_handler);
+        assert_eq!(m.net_cap(), 8);
+        assert_eq!(m.net_clients(), 2);
+
+        assert!(m.net_send(p(0), req(0, 1, 42)));
+        assert_eq!(m.net_occupied(), 0b1);
+        assert_eq!(m.net_in_flight(), 1);
+        assert_eq!(
+            m.last_footprint(),
+            net_fp(&[m.net_slot_reg(), m.net_slot_item_reg(0)])
+        );
+
+        // Delivery to the server mutates the replica and enqueues the reply
+        // at its deterministic address cap-1-0 = 7: {item(0), srv(1), item(7)}.
+        let (owner, fp) = m.net_deliver(0);
+        assert_eq!(owner, p(0));
+        assert_eq!(
+            fp,
+            net_fp(&[
+                m.net_slot_item_reg(0),
+                m.net_server_reg(1),
+                m.net_slot_item_reg(7),
+            ])
+        );
+        assert_eq!(m.net_server_state(1), &[42]);
+        assert_eq!(m.net_occupied(), 0b1000_0000);
+
+        // Delivery of the reply lands in the owner's inbox.
+        let (owner, fp) = m.net_deliver(7);
+        assert_eq!(owner, p(0));
+        assert_eq!(
+            fp,
+            net_fp(&[m.net_slot_item_reg(7), m.net_inbox_reg(0, LANE)])
+        );
+        assert!(m.net_pending(p(0), LANE));
+        assert!(!m.net_pending(p(0), LANE + 1), "other lanes stay empty");
+        assert!(!m.net_pending(p(1), LANE));
+
+        let got = m.net_recv(p(0), LANE).expect("reply queued");
+        assert_eq!(got.body, [1, 7, 0, 42]);
+        assert_eq!(got.lane, LANE);
+        assert!(!got.lost);
+        assert!(m.net_recv(p(0), LANE).is_none());
+    }
+
+    #[test]
+    fn network_drop_delivers_a_loss_notification_to_the_owner() {
+        let mut m = SharedMemory::new();
+        m.net_init(1, 1, 4, &[0], echo_handler);
+        assert!(m.net_send(p(0), req(0, 0, 5)));
+        let (owner, fp) = m.net_drop(0);
+        assert_eq!(owner, p(0));
+        // The drop writes the message's item cell (ordering it after the
+        // send that created it) and the owner's inbox (the notification).
+        assert_eq!(
+            fp,
+            net_fp(&[m.net_slot_item_reg(0), m.net_inbox_reg(0, LANE)])
+        );
+        assert_eq!(m.net_in_flight(), 0);
+        // The server never saw the message.
+        assert_eq!(m.net_server_state(0), &[0]);
+        let lost = m.net_recv(p(0), LANE).expect("loss notification queued");
+        assert!(lost.lost);
+        assert_eq!(lost.dst, NetNode::Server(0));
+        assert_eq!(lost.body[1], 7);
+    }
+
+    #[test]
+    fn severed_sends_vanish_without_consuming_slots_or_steps() {
+        let mut m = SharedMemory::new();
+        m.net_init(2, 3, 8, &[0], echo_handler);
+        // Sever server 2 (bit clients + 2 = 4).
+        m.net_sever(1 << 4);
+        assert_eq!(m.net_severed(), 1 << 4);
+        let steps_before = m.global_steps();
+        assert!(!m.net_send(p(0), req(0, 2, 9)));
+        assert_eq!(m.global_steps(), steps_before);
+        assert_eq!(m.net_in_flight(), 0);
+        // Other links are unaffected, and a reply *to* a severed client
+        // vanishes at delivery time.
+        assert!(m.net_send(p(1), req(1, 0, 3)));
+        m.net_sever(1 << 1);
+        let (_, fp) = m.net_deliver(0);
+        // The reply vanished at the severed link, so the footprint is just
+        // {item(0), srv(0)} — no reply slot was allocated.
+        assert_eq!(fp, net_fp(&[m.net_slot_item_reg(0), m.net_server_reg(0)]));
+        assert_eq!(m.net_server_state(0), &[3]);
+        assert_eq!(m.net_in_flight(), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_the_network_bit_identically() {
+        let mut m = SharedMemory::new();
+        m.net_init(2, 2, 8, &[0], echo_handler);
+        assert!(m.net_send(p(0), req(0, 0, 1)));
+        assert!(m.net_send(p(1), req(1, 1, 2)));
+        m.net_deliver(0);
+        let digest = m.net_digest();
+        let snap = m.snapshot();
+
+        // Detour: deliver the reply (at cap-1-0 = 7), drop, sever, recv —
+        // then roll everything back.
+        m.net_deliver(7);
+        m.net_drop(1);
+        m.net_sever(0b11);
+        let _ = m.net_recv(p(0), LANE);
+        assert_ne!(m.net_digest(), digest);
+
+        m.restore(&snap);
+        assert_eq!(m.net_digest(), digest);
+        assert_eq!(m.net_server_state(0), &[1]);
+        assert_eq!(m.net_severed(), 0);
+        assert_eq!(m.net_occupied(), 0b1000_0010);
+    }
+
+    #[test]
+    fn reset_clears_the_network_for_the_next_epoch() {
+        let mut m = SharedMemory::new();
+        m.net_init(1, 1, 4, &[0], echo_handler);
+        assert!(m.net_send(p(0), req(0, 0, 5)));
+        m.net_sever(1);
+        m.reset();
+        assert_eq!(m.net_cap(), 0);
+        assert_eq!(m.net_in_flight(), 0);
+        assert_eq!(m.net_severed(), 0);
+        // Re-init after reset rebuilds the same structure deterministically.
+        m.net_init(1, 1, 4, &[0], echo_handler);
+        assert_eq!(m.net_cap(), 4);
+        assert_eq!(m.net_occupied(), 0);
     }
 }

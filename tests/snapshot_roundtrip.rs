@@ -10,7 +10,7 @@
 
 use scl::core::{
     new_composable_universal, new_solo_fast_tas, new_speculative_tas, new_three_level_universal,
-    A1Tas, A2Tas, CasConsensus, ConsensusObject, ResettableTas, SplitConsensus,
+    A1Tas, A2Tas, AbdRegister, CasConsensus, ConsensusObject, ResettableTas, SplitConsensus,
     UniversalConstruction, WriteBehindRegister,
 };
 use scl::sim::{
@@ -26,20 +26,25 @@ use std::hash::Hash;
 /// Replicates `ScriptedAdversary`'s choice rule for the step-wise API.
 /// Scripted ids in `n..2n` are crash pseudo-steps (crash of process
 /// `id - n`), honoured while the target is still enabled and the crash
-/// budget lasts — the same encoding the executor and explorer use.
+/// budget lasts; with a network of `cap` slots, ids in `2n..2n+cap` are
+/// deliveries (honoured while the survey lists them as enabled) and ids in
+/// `2n+cap..2n+2cap` are drops of the same slots — the same encoding the
+/// executor and explorer use.
 struct Script<'a> {
     script: &'a [ProcessId],
     pos: usize,
     processes: usize,
+    cap: usize,
     crash_budget: usize,
 }
 
 impl<'a> Script<'a> {
-    fn new(script: &'a [ProcessId], processes: usize, crash_budget: usize) -> Self {
+    fn new(script: &'a [ProcessId], processes: usize, cap: usize, crash_budget: usize) -> Self {
         Script {
             script,
             pos: 0,
             processes,
+            cap,
             crash_budget,
         }
     }
@@ -48,14 +53,25 @@ impl<'a> Script<'a> {
         if self.pos < self.script.len() {
             let p = self.script[self.pos];
             self.pos += 1;
+            // Real process steps and deliveries appear in `enabled` as-is.
             if enabled.contains(&p) {
                 return p;
             }
-            if p.index() >= self.processes
+            let i = p.index();
+            if i >= self.processes
+                && i < 2 * self.processes
                 && self.crash_budget > 0
-                && enabled.contains(&ProcessId(p.index() - self.processes))
+                && enabled.contains(&ProcessId(i - self.processes))
             {
                 self.crash_budget -= 1;
+                return p;
+            }
+            // A drop of slot `s` is valid exactly when the delivery of `s`
+            // is enabled (the message is in flight).
+            if self.cap > 0
+                && i >= 2 * self.processes + self.cap
+                && enabled.contains(&ProcessId(i - self.cap))
+            {
                 return p;
             }
         }
@@ -83,10 +99,11 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     // Uninterrupted reference run.
     let mut ref_mem = SharedMemory::new();
     let mut ref_obj = build(&mut ref_mem);
+    let cap = ref_mem.net_cap();
     let mut ref_session: ExecSession<S, V> = ExecSession::new();
     executor.begin(&mut ref_session, workload);
-    let mut ref_script = Script::new(script, n, usize::MAX);
-    while executor.survey(&mut ref_session, workload) == SurveyStatus::Choose {
+    let mut ref_script = Script::new(script, n, cap, usize::MAX);
+    while executor.survey(&mut ref_session, &ref_mem, workload) == SurveyStatus::Choose {
         let chosen = ref_script.choose(ref_session.enabled());
         executor.tick(
             &mut ref_session,
@@ -102,11 +119,11 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     let mut obj = build(&mut mem);
     let mut session: ExecSession<S, V> = ExecSession::new();
     executor.begin(&mut session, workload);
-    let mut run_script = Script::new(script, n, usize::MAX);
+    let mut run_script = Script::new(script, n, cap, usize::MAX);
     let mut mem_snap = MemSnapshot::new();
     let mut saved = None;
     loop {
-        let status = executor.survey(&mut session, workload);
+        let status = executor.survey(&mut session, &mem, workload);
         if saved.is_none() && session.depth() == checkpoint_at && status == SurveyStatus::Choose {
             mem.snapshot_into(&mut mem_snap);
             let session_snap = session
@@ -120,17 +137,22 @@ fn assert_roundtrip_bit_identical<S, V, O>(
             // Detour: run the execution some other way to scramble every
             // piece of state the restore must rewind — including a crash
             // (the restore must reinstate the pre-detour crash mask and
-            // re-enable the process the detour killed).
-            let victim = *session.enabled().last().expect("enabled is non-empty");
-            executor.tick(
-                &mut session,
-                &mut mem,
-                &mut obj,
-                workload,
-                ProcessId(n + victim.index()),
-            );
+            // re-enable the process the detour killed). With a network the
+            // enabled set may hold only delivery pseudo-steps; then the
+            // delivery-heavy detour below scrambles the in-flight buffer
+            // instead.
+            let victim = session.enabled().iter().copied().find(|p| p.index() < n);
+            if let Some(victim) = victim {
+                executor.tick(
+                    &mut session,
+                    &mut mem,
+                    &mut obj,
+                    workload,
+                    ProcessId(n + victim.index()),
+                );
+            }
             for _ in 0..8 {
-                if executor.survey(&mut session, workload) != SurveyStatus::Choose {
+                if executor.survey(&mut session, &mem, workload) != SurveyStatus::Choose {
                     break;
                 }
                 let last = *session.enabled().last().expect("enabled is non-empty");
@@ -167,6 +189,11 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     assert_eq!(ref_mem.global_steps(), mem.global_steps());
     assert_eq!(ref_mem.register_count(), mem.register_count());
     assert_eq!(ref_mem.audit(), mem.audit());
+    assert_eq!(
+        ref_mem.net_digest(),
+        mem.net_digest(),
+        "network state (replicas, in-flight slots, inboxes, partition) diverged"
+    );
     for i in 0..ref_mem.register_count() {
         assert_eq!(
             ref_mem.peek(scl::sim::RegId(i)),
@@ -199,6 +226,16 @@ fn scripts(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
 fn scripts_with_crashes(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
     let mut all = scripts(n, len, seeds);
     all.extend(scripts(2 * n, len, seeds));
+    all
+}
+
+/// Scripts over the full faulty alphabet of a networked object: real steps,
+/// crashes, deliveries (`2n..2n+cap`) and drops (`2n+cap..2n+2cap`), so
+/// checkpoints land between sends, deliveries and losses and the restore
+/// must rewind replicas, the in-flight buffer and every inbox exactly.
+fn scripts_with_network(n: usize, cap: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
+    let mut all = scripts_with_crashes(n, len, seeds);
+    all.extend(scripts(2 * n + 2 * cap, len, seeds));
     all
 }
 
@@ -313,6 +350,55 @@ fn write_behind_register_roundtrip() {
     for script in scripts_with_crashes(n, 32, &[1, 9, 321]) {
         for checkpoint_at in [1, 3, 6] {
             assert_roundtrip_bit_identical(WriteBehindRegister::new, &wl, &script, checkpoint_at);
+        }
+    }
+}
+
+#[test]
+fn abd_register_roundtrip() {
+    // A writer and a reader over two replicas: the scripts interleave
+    // quorum-phase sends with deliveries, drops (→ resends) and crashes, so
+    // the checkpoint catches the network mid-flight. Slots are never reused,
+    // so the cap must cover the worst case: per op ≤ 4 phase sends + 2
+    // retries and one reply each = 12 slots, ×2 ops = 24.
+    let n = 2;
+    let cap = 28;
+    let wl: Workload<RegisterSpec, ()> =
+        Workload::from_ops(vec![vec![RegisterOp::Write(5)], vec![RegisterOp::Read]]);
+    for script in scripts_with_network(n, cap, 96, &[7, 2012, 4242]) {
+        for checkpoint_at in [2, 6, 13] {
+            assert_roundtrip_bit_identical(
+                |mem| AbdRegister::new(mem, n, 2, cap, 2),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+        }
+    }
+}
+
+#[test]
+fn abd_register_partition_roundtrip() {
+    // Sever one replica at setup: quorum = 2 of 2 is unreachable, every op
+    // wedges open, and sends to the dead link vanish without allocating
+    // slots — the restore must reproduce the severed mask and the wedge.
+    let n = 2;
+    let cap = 16;
+    let wl: Workload<RegisterSpec, ()> =
+        Workload::from_ops(vec![vec![RegisterOp::Write(5)], vec![RegisterOp::Read]]);
+    for script in scripts_with_network(n, cap, 64, &[31, 900]) {
+        for checkpoint_at in [1, 4] {
+            assert_roundtrip_bit_identical(
+                |mem| {
+                    let reg = AbdRegister::new(mem, n, 2, cap, 2);
+                    // Endpoint bit n + 1 = server 1 (after the clients).
+                    mem.net_sever(1 << (n + 1));
+                    reg
+                },
+                &wl,
+                &script,
+                checkpoint_at,
+            );
         }
     }
 }
