@@ -36,15 +36,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod bridge;
 pub mod scenarios;
 
+pub use artifact::{artifact_json, parse_json, render_interleaving, Artifact, Json};
 pub use bridge::{CheckerMode, CrashedPending, LinMonitor};
 pub use scenarios::{
     checker_values, crashed_pending_values, find, metrics_only_conflict, nearest, parse_checker,
     parse_crashed_pending, parse_reduction, parse_resume, reduction_name, reduction_values,
-    registry, resume_name, resume_values, unknown_value_message, CheckConfig, Outcome, Scenario,
-    ScenarioReport,
+    registry, resume_name, resume_values, unknown_value_message, CheckConfig, Outcome,
+    ReplayCapture, Scenario, ScenarioReport,
 };
 
 /// Renders a set of scenario reports (plus the configuration that produced
@@ -92,7 +94,8 @@ pub fn reports_to_json_partial(
         entries.push(format!(
             "    \"{}\": {{\"outcome\": \"{}\", \"schedules\": {}, \"executed_steps\": {}, \
              \"executed_ticks\": {}, \"checker_states\": {}, \"expect_violation\": {}, \
-             \"underpowered\": {}, \"as_expected\": {}, \"violation\": {}}}",
+             \"underpowered\": {}, \"as_expected\": {}, \"secs\": {:.6}, \"violation\": {}, \
+             \"telemetry\": {}}}",
             r.name,
             r.outcome.tag(),
             schedules,
@@ -102,7 +105,9 @@ pub fn reports_to_json_partial(
             r.expect_violation,
             r.underpowered,
             r.as_expected(),
+            r.secs,
             violation,
+            telemetry_json(r),
         ));
     }
     for name in skipped {
@@ -135,8 +140,50 @@ pub fn reports_to_json_partial(
     )
 }
 
+/// Renders one report's telemetry counters (`"null"` when no observer was
+/// attached). The phase split is derived here: `checker_secs` is the wall
+/// time spent inside [`LinMonitor::verdict`] calls, `explore_secs` the
+/// remainder of the scenario's total wall time.
+fn telemetry_json(r: &ScenarioReport) -> String {
+    let Some(t) = &r.telemetry else {
+        return "null".to_string();
+    };
+    let checker_secs = t.checker_nanos as f64 / 1e9;
+    let explore_secs = (r.secs - checker_secs).max(0.0);
+    // The histogram has a fixed 65-bucket layout; trailing zeros carry no
+    // information, so trim them (keeping at least one bucket).
+    let hist = &t.depth_hist[..t
+        .depth_hist
+        .iter()
+        .rposition(|&c| c != 0)
+        .map_or(1, |i| i + 1)];
+    let hist: Vec<String> = hist.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{{\"explored_steps\": {}, \"replayed_steps\": {}, \"crash_branches\": {}, \
+         \"delivery_branches\": {}, \"drop_branches\": {}, \"schedules\": {}, \
+         \"sleep_blocked\": {}, \"checkpoint_saves\": {}, \"checkpoint_restores\": {}, \
+         \"races\": {}, \"race_seeds\": {}, \"hb_classes\": {}, \"depth_hist\": [{}], \
+         \"explore_secs\": {:.6}, \"checker_secs\": {:.6}}}",
+        t.explored_steps,
+        t.replayed_steps,
+        t.crash_branches,
+        t.delivery_branches,
+        t.drop_branches,
+        t.schedules,
+        t.sleep_blocked,
+        t.checkpoint_saves,
+        t.checkpoint_restores,
+        t.races,
+        t.race_seeds,
+        t.hb_classes,
+        hist.join(", "),
+        explore_secs,
+        checker_secs,
+    )
+}
+
 /// Escapes a string as a JSON string literal.
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

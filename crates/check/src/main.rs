@@ -5,17 +5,24 @@
 //! scl-check spec_tas_n2 a1_dropped_raw_fence_n2
 //! scl-check --all --reduction sleep-sets-lin --resume prefix-resume
 //! scl-check --smoke --json SCL_CHECK_SMOKE.json        # the CI entry point
+//! scl-check --smoke --artifacts traces/               # counterexample dumps
+//! scl-check replay traces/a1_dropped_raw_fence_n2.trace.json
 //! ```
 //!
 //! Exit code 0 iff every run matched its scenario's expectation (correct
-//! objects pass, seeded mutants violate).
+//! objects pass, seeded mutants violate). Per-scenario status lines,
+//! heartbeats and every other diagnostic go to **stderr**; stdout carries
+//! only requested output (`--list`, the replay diagram, and the JSON report
+//! when `--json -` is given), so `scl-check --json - | jq` just works.
 
 use scl_check::{
-    checker_values, crashed_pending_values, find, metrics_only_conflict, parse_checker,
-    parse_crashed_pending, parse_reduction, parse_resume, reduction_values, registry,
-    reports_to_json_partial, resume_values, unknown_value_message, CheckConfig, Outcome, Scenario,
-    ScenarioReport,
+    artifact_json, checker_values, crashed_pending_values, find, metrics_only_conflict,
+    parse_checker, parse_crashed_pending, parse_reduction, parse_resume, reduction_values,
+    registry, render_interleaving, reports_to_json_partial, resume_values, unknown_value_message,
+    Artifact, CheckConfig, Outcome, ReplayCapture, Scenario, ScenarioReport,
 };
+use scl_sim::{ReplayOutcome, TelemetryObserver};
+use std::sync::Arc;
 
 /// Prints the "unknown value, did you mean …" diagnostic and exits with the
 /// usage-error code.
@@ -58,12 +65,19 @@ fn usage() -> ! {
     let (reductions, resumes, checkers, crashed) = flag_values();
     eprintln!(
         "usage: scl-check [SCENARIO...] [options]\n\
+         \x20      scl-check replay TRACE.json\n\
          \n\
          Scenario selection:\n\
          \x20  SCENARIO...             run the named scenarios (see --list)\n\
          \x20  --all                   run every registered scenario\n\
          \x20  --smoke                 --all under tiny bounds (CI)\n\
          \x20  --list                  print the scenario catalogue and exit\n\
+         \n\
+         Replay:\n\
+         \x20  replay TRACE.json       re-execute a recorded counterexample\n\
+         \x20                          artifact deterministically, print the\n\
+         \x20                          per-process interleaving and assert the\n\
+         \x20                          recorded verdict reproduces\n\
          \n\
          Options:\n\
          \x20  --reduction MODE        {reductions}\n\
@@ -84,7 +98,13 @@ fn usage() -> ! {
          \x20                          and marks the remainder \"skipped\"\n\
          \x20  --metrics-only          skip event-trace recording (rejected for\n\
          \x20                          scenarios with trace-consuming checks)\n\
-         \x20  --json PATH             also write the JSON report to PATH"
+         \x20  --heartbeat N           print an exploration progress line to\n\
+         \x20                          stderr every N completed schedules\n\
+         \x20  --artifacts DIR         on violation, write a self-contained\n\
+         \x20                          counterexample artifact to\n\
+         \x20                          DIR/<scenario>.trace.json\n\
+         \x20  --json PATH             also write the JSON report to PATH\n\
+         \x20                          (`-` = stdout; diagnostics stay on stderr)"
     );
     std::process::exit(2);
 }
@@ -115,13 +135,131 @@ fn list() {
     println!("accepted --crashed-pending values: {crashed}");
 }
 
+/// `scl-check replay TRACE.json`: parse the artifact, rebuild the recorded
+/// configuration, re-execute the schedule through the scenario's own runner,
+/// print the per-process interleaving, and exit 0 iff the recorded verdict
+/// reproduced bit-identically.
+fn replay_main(args: &[String]) -> ! {
+    let [path] = args else { usage() };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let artifact = Artifact::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path} is not a counterexample artifact: {e}");
+        std::process::exit(2);
+    });
+    let scenario = find(&artifact.scenario).unwrap_or_else(|| {
+        die_unknown(
+            "artifact scenario",
+            &artifact.scenario,
+            registry().iter().map(|s| s.name),
+        )
+    });
+    let capture = Arc::new(ReplayCapture::new(artifact.schedule.clone()));
+    let mut config = artifact.check_config();
+    config.replay = Some(capture.clone());
+    let report = scenario.run(&config);
+    let Some((outcome, log)) = capture.take() else {
+        eprintln!(
+            "scenario `{}` never replayed the schedule: {:?}",
+            scenario.name, report.outcome
+        );
+        std::process::exit(2);
+    };
+    println!(
+        "replaying `{}` ({} ticks, {} processes)\n",
+        scenario.name,
+        log.ticks.len(),
+        log.processes
+    );
+    print!("{}", render_interleaving(&log));
+    match outcome {
+        ReplayOutcome::Violation(message) if message == artifact.message => {
+            println!("\nverdict reproduced: {message}");
+            std::process::exit(0);
+        }
+        ReplayOutcome::Violation(message) => {
+            eprintln!(
+                "\nVERDICT MISMATCH:\n  recorded: {}\n  replayed: {message}",
+                artifact.message
+            );
+            std::process::exit(1);
+        }
+        ReplayOutcome::Passed => {
+            eprintln!(
+                "\nVERDICT MISMATCH: the recorded violation did not reproduce\n  recorded: {}",
+                artifact.message
+            );
+            std::process::exit(1);
+        }
+        ReplayOutcome::Diverged { tick, reason } => {
+            eprintln!("\nREPLAY DIVERGED at tick {tick}: {reason}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Replays a just-reported violation through the scenario's own runner to
+/// decode it, and writes the self-contained artifact to
+/// `DIR/<scenario>.trace.json`. Synthetic violations with no schedule (e.g.
+/// "the designed abort never occurred") have nothing to replay and are
+/// skipped with a notice.
+fn emit_artifact(
+    dir: &str,
+    s: &Scenario,
+    config: &CheckConfig,
+    schedule: &[scl_spec::ProcessId],
+    message: &str,
+) {
+    if schedule.is_empty() {
+        eprintln!(
+            "{:<26} no artifact: the violation is synthetic (empty schedule)",
+            s.name
+        );
+        return;
+    }
+    let capture = Arc::new(ReplayCapture::new(schedule.to_vec()));
+    let mut replay_config = config.clone();
+    replay_config.observer = None;
+    replay_config.replay = Some(capture.clone());
+    let _ = s.run(&replay_config);
+    let Some((outcome, log)) = capture.take() else {
+        eprintln!("{:<26} no artifact: the replay never ran", s.name);
+        return;
+    };
+    if outcome != ReplayOutcome::Violation(message.to_string()) {
+        eprintln!(
+            "{:<26} no artifact: the violation did not reproduce under replay ({outcome:?})",
+            s.name
+        );
+        return;
+    }
+    let json = artifact_json(s.name, config, message, schedule, &log);
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("cannot create {dir}: {e}");
+        std::process::exit(2);
+    }
+    let path = format!("{dir}/{}.trace.json", s.name);
+    if let Err(e) = std::fs::write(&path, &json) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    eprintln!("{:<26} wrote {path}", s.name);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("replay") {
+        replay_main(&args[1..]);
+    }
     let mut config = CheckConfig::default();
     let mut names: Vec<String> = Vec::new();
     let mut all = false;
     let mut smoke = false;
     let mut json_path: Option<String> = None;
+    let mut artifacts_dir: Option<String> = None;
+    let mut heartbeat: u64 = 0;
     let mut time_budget_ms: Option<u64> = None;
 
     let mut i = 0;
@@ -200,6 +338,11 @@ fn main() {
                 config.workers = v.parse().unwrap_or_else(|_| usage());
             }
             "--json" => json_path = Some(value(&mut i)),
+            "--artifacts" => artifacts_dir = Some(value(&mut i)),
+            "--heartbeat" => {
+                let v = value(&mut i);
+                heartbeat = v.parse().unwrap_or_else(|_| usage());
+            }
             "--help" | "-h" => usage(),
             name if !name.starts_with('-') => names.push(name.to_string()),
             _ => usage(),
@@ -260,9 +403,18 @@ fn main() {
                 break;
             }
         }
-        let start = std::time::Instant::now();
-        let report = s.run(&config);
-        let secs = start.elapsed().as_secs_f64();
+        // One fresh observer per scenario: its counters land in this
+        // scenario's JSON entry and nothing else's. Exploration telemetry is
+        // cheap (relaxed atomic bumps against whole-schedule executions), so
+        // the CLI always collects it; the zero-cost NoObserver path is for
+        // library/bench callers that leave `observer` unset.
+        let mut run_config = config.clone();
+        run_config.observer = Some(Arc::new(TelemetryObserver::new(
+            heartbeat,
+            config.max_schedules,
+        )));
+        let report = s.run(&run_config);
+        let secs = report.secs;
         let status = match (&report.outcome, report.as_expected()) {
             (Outcome::ConfigError(msg), _) => format!("CONFIG ERROR: {msg}"),
             (Outcome::HarnessFailure { message }, _) => format!("HARNESS FAILURE: {message}"),
@@ -280,29 +432,40 @@ fn main() {
             }
             (_, false) => "EXPECTED A VIOLATION, none found".to_string(),
         };
-        println!(
+        eprintln!(
             "{:<26} {status} [steps={} checker_states={} {:.3}s]",
             s.name, report.explore.executed_steps, report.checker_states, secs
         );
+        if let (Some(dir), Outcome::Violation { schedule, message }) =
+            (&artifacts_dir, &report.outcome)
+        {
+            emit_artifact(dir, s, &config, schedule, message);
+        }
         reports.push(report);
     }
 
     let json = reports_to_json_partial(&config, &reports, &skipped, skipped.is_empty());
     if let Some(path) = &json_path {
-        if let Some(dir) = std::path::Path::new(path)
-            .parent()
-            .filter(|d| !d.as_os_str().is_empty())
-        {
-            std::fs::create_dir_all(dir).unwrap_or_else(|e| {
-                eprintln!("cannot create {}: {e}", dir.display());
+        if path == "-" {
+            // Machine-parseable stdout: the JSON document and nothing else
+            // (all diagnostics above went to stderr).
+            print!("{json}");
+        } else {
+            if let Some(dir) = std::path::Path::new(path)
+                .parent()
+                .filter(|d| !d.as_os_str().is_empty())
+            {
+                std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+                    eprintln!("cannot create {}: {e}", dir.display());
+                    std::process::exit(2);
+                });
+            }
+            std::fs::write(path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
                 std::process::exit(2);
             });
+            eprintln!("wrote {path}");
         }
-        std::fs::write(path, &json).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
-        println!("wrote {path}");
     }
 
     let ok = reports.iter().all(|r| r.as_expected());

@@ -18,9 +18,11 @@ use scl_core::{
     SplitConsensus, WriteBehindRegister,
 };
 use scl_sim::{
-    explore_schedules_monitored_report, explore_schedules_parallel_monitored_report,
-    ExecutionResult, ExploreConfig, ExploreError, ExploreOutcome, ExploreReport, ExploreStats,
-    ExploreViolation, OpOutcome, Reduction, ResumeMode, SharedMemory, SimObject, Workload,
+    explore_schedules_monitored_observed_report,
+    explore_schedules_parallel_monitored_observed_report, replay_schedule, ExecutionResult,
+    ExploreConfig, ExploreError, ExploreObserver, ExploreOutcome, ExploreReport, ExploreStats,
+    ExploreViolation, NoObserver, OpOutcome, Reduction, ReplayLog, ReplayOutcome, ResumeMode,
+    SharedMemory, SimObject, StepKind, TelemetryObserver, TelemetrySnapshot, Workload,
 };
 use scl_spec::{
     ConsensusOp, ConsensusSpec, History, ProcessId, QueueOp, QueueSpec, RegisterOp, RegisterSpec,
@@ -28,6 +30,8 @@ use scl_spec::{
 };
 use std::fmt::Debug;
 use std::hash::Hash;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Configuration of one scenario run (the CLI flags).
 #[derive(Debug, Clone)]
@@ -85,6 +89,48 @@ pub struct CheckConfig {
     /// degrades to a partial `LimitReached` result instead of blowing the
     /// whole run's budget.
     pub deadline: Option<std::time::Instant>,
+    /// Telemetry observer attached to the exploration (`None` — the default
+    /// — runs the zero-cost [`NoObserver`] path; the benches assert it stays
+    /// within noise of the pre-observer engine). The CLI attaches one fresh
+    /// observer per scenario run; its snapshot lands in
+    /// [`ScenarioReport::telemetry`] and the checker wall-clock share is
+    /// measured by timing every [`LinMonitor::verdict`] call into it.
+    pub observer: Option<Arc<TelemetryObserver>>,
+    /// Replay redirection: when set, the scenario's runner re-executes
+    /// exactly this recorded schedule (same object constructor, workload,
+    /// per-scenario config overrides and check closure as the exploration it
+    /// came from) instead of exploring, and deposits the decoded
+    /// [`ReplayLog`] in the capture. Used by `scl-check replay` and
+    /// `--artifacts`.
+    pub replay: Option<Arc<ReplayCapture>>,
+}
+
+/// A handle that redirects a scenario runner from exploration to the
+/// deterministic replay of one recorded schedule (see
+/// [`CheckConfig::replay`]). The runner stores the replay's outcome and
+/// decoded log here; [`ReplayCapture::take`] retrieves them.
+#[derive(Debug)]
+pub struct ReplayCapture {
+    /// The recorded schedule: raw pseudo-process ids exactly as reported in
+    /// the original violation (see [`StepKind::decode`] for the encoding).
+    pub schedule: Vec<ProcessId>,
+    result: Mutex<Option<(ReplayOutcome, ReplayLog)>>,
+}
+
+impl ReplayCapture {
+    /// A capture for `schedule`.
+    pub fn new(schedule: Vec<ProcessId>) -> Self {
+        ReplayCapture {
+            schedule,
+            result: Mutex::new(None),
+        }
+    }
+
+    /// Takes the replay result deposited by the runner (`None` if no replay
+    /// ran or it was already taken).
+    pub fn take(&self) -> Option<(ReplayOutcome, ReplayLog)> {
+        self.result.lock().ok()?.take()
+    }
 }
 
 impl Default for CheckConfig {
@@ -103,6 +149,8 @@ impl Default for CheckConfig {
             max_drops: 0,
             partition: 0,
             deadline: None,
+            observer: None,
+            replay: None,
         }
     }
 }
@@ -196,6 +244,12 @@ pub struct ScenarioReport {
     /// [`Scenario::needs_schedules`] floor — a limit-reached outcome is then
     /// *inconclusive* rather than a missed expectation.
     pub underpowered: bool,
+    /// Wall-clock seconds the whole run took (exploration plus checking).
+    pub secs: f64,
+    /// Telemetry counters, when [`CheckConfig::observer`] was attached. The
+    /// snapshot's `checker_nanos` is the checker's share of `secs`; the
+    /// remainder is exploration wall time.
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl ScenarioReport {
@@ -258,9 +312,13 @@ impl Scenario {
                 checker_states: 0,
                 expect_violation: self.expect_violation,
                 underpowered: false,
+                secs: 0.0,
+                telemetry: None,
             };
         }
+        let start = Instant::now();
         let (report, checker_states) = (self.runner)(config);
+        let secs = start.elapsed().as_secs_f64();
         let outcome = match report.outcome {
             Ok(ExploreOutcome::Exhausted { schedules }) => Outcome::Exhausted { schedules },
             Ok(ExploreOutcome::LimitReached { schedules }) => Outcome::LimitReached { schedules },
@@ -282,6 +340,8 @@ impl Scenario {
             checker_states,
             expect_violation: self.expect_violation,
             underpowered: config.max_schedules < self.needs_schedules,
+            secs,
+            telemetry: config.observer.as_ref().map(|o| o.snapshot()),
         }
     }
 }
@@ -315,22 +375,66 @@ where
     FExtra: Fn(&ExecutionResult<S, V>, &SharedMemory) -> Result<(), String> + Sync,
     FGate: Fn(&ExecutionResult<S, V>) -> bool + Sync,
 {
-    let check = |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut LinMonitor<S>| {
+    // When an observer is attached, every verdict call is timed into its
+    // checker-wall counter, so reports can split total wall time into
+    // "exploring" and "checking" shares.
+    let observer = config.observer.clone();
+    let check = move |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut LinMonitor<S>| {
         extra(res, mem)?;
-        if lin_applies(res) {
-            m.verdict()
-        } else {
-            Ok(())
+        if !lin_applies(res) {
+            return Ok(());
+        }
+        match &observer {
+            Some(obs) => {
+                let t0 = Instant::now();
+                let verdict = m.verdict();
+                obs.add_checker_nanos(t0.elapsed().as_nanos() as u64);
+                verdict
+            }
+            None => m.verdict(),
         }
     };
+    if let Some(capture) = &config.replay {
+        return replay_with_lin(config, spec, setup, workload, capture, check);
+    }
+    match &config.observer {
+        Some(obs) => drive(config, spec, setup, workload, check, obs.as_ref()),
+        None => drive(config, spec, setup, workload, check, &NoObserver),
+    }
+}
+
+/// The exploration driver behind [`explore_with_lin_opt`], generic over the
+/// observer so the `None` arm monomorphises to the zero-cost [`NoObserver`]
+/// engine (the same machine code as before the hooks existed).
+fn drive<S, V, O, Obs, FSetup, FCheck>(
+    config: &CheckConfig,
+    spec: S,
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    check: FCheck,
+    obs: &Obs,
+) -> RunnerOutput
+where
+    S: SequentialSpec + Send + Sync,
+    S::State: Send,
+    S::Op: Send + Sync,
+    S::Resp: Send,
+    V: Clone + Eq + Hash + Debug + Sync,
+    O: SimObject<S, V>,
+    Obs: ExploreObserver,
+    FSetup: Fn(&mut SharedMemory) -> O + Sync,
+    FCheck:
+        Fn(&ExecutionResult<S, V>, &SharedMemory, &mut LinMonitor<S>) -> Result<(), String> + Sync,
+{
     if config.workers == 1 {
         let mut monitor =
             LinMonitor::new(spec, config.checker).with_crashed_pending(config.crashed_pending);
-        let report = explore_schedules_monitored_report(
+        let report = explore_schedules_monitored_observed_report(
             setup,
             workload,
             &config.explore_config(),
             &mut monitor,
+            obs,
             check,
         );
         (report, monitor.checker_states())
@@ -339,16 +443,83 @@ where
         let crashed_pending = config.crashed_pending;
         let factory =
             move || LinMonitor::new(spec.clone(), checker).with_crashed_pending(crashed_pending);
-        let (report, monitors) = explore_schedules_parallel_monitored_report(
+        let (report, monitors) = explore_schedules_parallel_monitored_observed_report(
             setup,
             workload,
             &config.explore_config(),
             &factory,
+            obs,
             check,
         );
         let states = monitors.iter().map(|m| m.checker_states()).sum();
         (report, states)
     }
+}
+
+/// The replay driver behind [`explore_with_lin_opt`]: re-executes the
+/// capture's recorded schedule through [`replay_schedule`] with a fresh
+/// [`LinMonitor`] and the *same* check closure the exploration ran,
+/// deposits the decoded log in the capture, and synthesises an
+/// [`ExploreReport`] so [`Scenario::run`] classifies the replay exactly like
+/// an exploration — a reproduced violation is `Outcome::Violation` with the
+/// recorded schedule, a divergence is a violation naming the failing tick.
+fn replay_with_lin<S, V, O, FSetup, FCheck>(
+    config: &CheckConfig,
+    spec: S,
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    capture: &ReplayCapture,
+    check: FCheck,
+) -> RunnerOutput
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FCheck: FnOnce(&ExecutionResult<S, V>, &SharedMemory, &mut LinMonitor<S>) -> Result<(), String>,
+{
+    let mut monitor =
+        LinMonitor::new(spec, config.checker).with_crashed_pending(config.crashed_pending);
+    let (outcome, log) = replay_schedule(
+        setup,
+        workload,
+        &config.explore_config(),
+        &capture.schedule,
+        &mut monitor,
+        check,
+    );
+    let stats = ExploreStats {
+        schedules: 1,
+        executed_ticks: log.ticks.len() as u64,
+        executed_steps: log
+            .ticks
+            .iter()
+            .filter(|t| matches!(t.kind, StepKind::Step(_)))
+            .count() as u64,
+        ..ExploreStats::default()
+    };
+    let report_outcome = match &outcome {
+        ReplayOutcome::Passed => Ok(ExploreOutcome::Exhausted { schedules: 1 }),
+        ReplayOutcome::Violation(message) => Err(ExploreError::Check(ExploreViolation {
+            schedule: capture.schedule.clone(),
+            message: message.clone(),
+        })),
+        ReplayOutcome::Diverged { tick, reason } => Err(ExploreError::Check(ExploreViolation {
+            schedule: capture.schedule.clone(),
+            message: format!("replay diverged at tick {tick}: {reason}"),
+        })),
+    };
+    let states = monitor.checker_states();
+    if let Ok(mut slot) = capture.result.lock() {
+        *slot = Some((outcome, log));
+    }
+    (
+        ExploreReport {
+            outcome: report_outcome,
+            stats,
+        },
+        states,
+    )
 }
 
 /// [`explore_with_lin_opt`] with the verdict always applied.

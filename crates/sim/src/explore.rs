@@ -58,6 +58,8 @@ use crate::executor::{ExecSession, ExecutionResult, Executor, SurveyStatus, Trac
 use crate::hb::HbTracker;
 use crate::machine::{ObjectSnapshot, SimObject};
 use crate::memory::{MemSnapshot, SharedMemory, StepLabel};
+use crate::step::StepKind;
+use crate::telemetry::{ExploreObserver, NoObserver};
 use scl_spec::{ProcessId, SequentialSpec};
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -282,7 +284,7 @@ impl ExploreConfig {
         }
     }
 
-    fn executor(&self) -> Executor {
+    pub(crate) fn executor(&self) -> Executor {
         Executor::new()
             .max_ticks(self.max_ticks)
             .trace_mode(if self.metrics_only {
@@ -662,12 +664,13 @@ enum Subtree {
 
 /// The sequential DFS engine. One engine per worker; memory, session and all
 /// scratch buffers persist across the whole exploration.
-struct Engine<'a, S, V, O, M, FSetup, FCheck>
+struct Engine<'a, S, V, O, M, Obs, FSetup, FCheck>
 where
     S: SequentialSpec,
     V: Clone + Eq + Hash + Debug,
     O: SimObject<S, V>,
     M: ScheduleMonitor<S, V>,
+    Obs: ExploreObserver,
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
 {
@@ -677,6 +680,8 @@ where
     setup: FSetup,
     check: FCheck,
     monitor: M,
+    /// Telemetry hooks ([`NoObserver`] monomorphises them away entirely).
+    obs: &'a Obs,
     mem: SharedMemory,
     session: ExecSession<S, V>,
     object: Option<O>,
@@ -712,12 +717,13 @@ where
     stats: ExploreStats,
 }
 
-impl<'a, S, V, O, M, FSetup, FCheck> Engine<'a, S, V, O, M, FSetup, FCheck>
+impl<'a, S, V, O, M, Obs, FSetup, FCheck> Engine<'a, S, V, O, M, Obs, FSetup, FCheck>
 where
     S: SequentialSpec,
     V: Clone + Eq + Hash + Debug,
     O: SimObject<S, V>,
     M: ScheduleMonitor<S, V>,
+    Obs: ExploreObserver,
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
 {
@@ -727,6 +733,7 @@ where
         setup: FSetup,
         check: FCheck,
         monitor: M,
+        obs: &'a Obs,
         take_snapshots: bool,
     ) -> Self {
         if config.reduction.uses_sleep_sets() {
@@ -750,6 +757,7 @@ where
             setup,
             check,
             monitor,
+            obs,
             mem: SharedMemory::new(),
             session: ExecSession::new(),
             object: None,
@@ -803,6 +811,8 @@ where
             self.hb.clear();
         }
         let steps_before = self.mem.global_steps();
+        let n = self.workload.processes();
+        let cap = self.mem.net_cap();
         for i in 0..depth {
             let status = self
                 .executor
@@ -816,6 +826,8 @@ where
                 self.path[i],
             );
             self.monitor.observe(&self.session);
+            self.obs
+                .step_executed(StepKind::decode(self.path[i], n, cap), true);
             if source_dpor {
                 self.hb.push(self.step_label(self.path[i]));
             }
@@ -851,8 +863,12 @@ where
         let n = self.workload.processes();
         let proc = match self.session.last_emission() {
             TickEmission::Delivered { owner, .. } | TickEmission::Dropped { owner, .. } => owner,
-            _ if chosen.index() >= n => ProcessId(chosen.index() - n),
-            _ => chosen,
+            _ => match StepKind::decode(chosen, n, self.mem.net_cap()) {
+                StepKind::Step(p) | StepKind::Crash(p) => p,
+                // Unreachable: a network transition always emits
+                // Delivered/Dropped, matched above.
+                StepKind::Deliver(_) | StepKind::Drop(_) => chosen,
+            },
         };
         StepLabel {
             proc,
@@ -882,15 +898,14 @@ where
         self.stats.executed_steps += self.mem.global_steps() - steps_before;
         let n = self.workload.processes();
         let cap = self.mem.net_cap();
-        if cap > 0 && chosen.index() >= 2 * n {
-            if chosen.index() < 2 * n + cap {
-                self.stats.delivery_steps += 1;
-            } else {
-                self.stats.drop_steps += 1;
-            }
-        } else if chosen.index() >= n {
-            self.stats.crash_steps += 1;
+        let kind = StepKind::decode(chosen, n, cap);
+        match kind {
+            StepKind::Step(_) => {}
+            StepKind::Crash(_) => self.stats.crash_steps += 1,
+            StepKind::Deliver(_) => self.stats.delivery_steps += 1,
+            StepKind::Drop(_) => self.stats.drop_steps += 1,
         }
+        self.obs.step_executed(kind, false);
         if self.cur_sleep != 0 {
             let fp = self.session.last_step_footprint();
             let label = self.step_label(chosen);
@@ -958,6 +973,7 @@ where
         self.hb.races_of_last(&mut races);
         for &i in &races {
             self.stats.races += 1;
+            let mut seeded = false;
             let initials = self.hb.race_initials(i);
             debug_assert!(initials != 0, "a race reversal always has an initial");
             // The frame stack mirrors the current path's branch nodes, so
@@ -976,6 +992,7 @@ where
                         frame.alts.push(q);
                         frame.seeded |= bit(q);
                         self.stats.race_seeds += 1;
+                        seeded = true;
                     }
                 }
                 Err(_) if i < self.subtree_start => {
@@ -994,6 +1011,7 @@ where
                     // covered by the subtree that put them to sleep.
                 }
             }
+            self.obs.race_detected(seeded);
         }
         self.race_buf = races;
     }
@@ -1022,6 +1040,7 @@ where
         let mut mem = self.spare_mem.pop().unwrap_or_default();
         self.mem.snapshot_into(&mut mem);
         self.stats.snapshots += 1;
+        self.obs.checkpoint_saved();
         Some(Checkpoint {
             mem,
             session,
@@ -1058,7 +1077,7 @@ where
                 && self
                     .path
                     .iter()
-                    .filter(|p| p.index() >= n && p.index() < 2 * n)
+                    .filter(|p| matches!(StepKind::decode(**p, n, cap), StepKind::Crash(_)))
                     .count()
                     < self.config.max_crashes;
             let crash_eligible = self.config.crash_eligible;
@@ -1071,7 +1090,7 @@ where
             if crashes_left {
                 for p in &self.enabled_buf {
                     if p.index() < n && crash_eligible & bit(*p) != 0 {
-                        let c = ProcessId(n + p.index());
+                        let c = StepKind::Crash(*p).encode(n, cap);
                         if sleep & bit(c) == 0 {
                             crash_alts.push(c);
                         }
@@ -1088,14 +1107,14 @@ where
                 && self
                     .path
                     .iter()
-                    .filter(|p| p.index() >= 2 * n + cap)
+                    .filter(|p| matches!(StepKind::decode(**p, n, cap), StepKind::Drop(_)))
                     .count()
                     < self.config.max_drops;
             let mut drop_alts: Vec<ProcessId> = Vec::new();
             if drops_left {
                 for p in &self.enabled_buf {
-                    if p.index() >= 2 * n {
-                        let d = ProcessId(p.index() + cap);
+                    if let StepKind::Deliver(s) = StepKind::decode(*p, n, cap) {
+                        let d = StepKind::Drop(s).encode(n, cap);
                         if sleep & bit(d) == 0 {
                             drop_alts.push(d);
                         }
@@ -1212,6 +1231,7 @@ where
                     self.monitor.rewind_to(cp.monitor_mark);
                     self.path.truncate(depth);
                     self.hb.truncate(depth);
+                    self.obs.checkpoint_restored();
                     true
                 }
                 _ => false,
@@ -1269,6 +1289,13 @@ where
                         return Ok(Subtree::Stopped);
                     }
                     self.stats.schedules += 1;
+                    self.obs.schedule_completed(self.session.depth());
+                    // The happens-before stream covers the whole schedule
+                    // only in the source-DPOR modes; elsewhere there is no
+                    // class fingerprint to report.
+                    if self.config.reduction.is_source_dpor() && self.obs.wants_hb_classes() {
+                        self.obs.hb_class(self.hb.fingerprint());
+                    }
                     if let Err(message) =
                         (self.check)(self.session.result(), &self.mem, &mut self.monitor)
                     {
@@ -1283,6 +1310,7 @@ where
                 }
                 Leaf::SleepBlocked => {
                     self.stats.sleep_blocked += 1;
+                    self.obs.sleep_blocked();
                 }
             }
             if !self.backtrack() {
@@ -1362,6 +1390,39 @@ where
     FSetup: FnMut(&mut SharedMemory) -> O,
     FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
 {
+    explore_schedules_monitored_observed_report(
+        setup,
+        workload,
+        config,
+        monitor,
+        &NoObserver,
+        check,
+    )
+}
+
+/// Explores all schedules like [`explore_schedules_monitored_report`],
+/// additionally reporting engine telemetry to `obs` (see
+/// [`crate::telemetry::ExploreObserver`]). Passing [`NoObserver`]
+/// monomorphises every hook away; the other entry points do exactly that,
+/// so an observed exploration with `NoObserver` and an unobserved one are
+/// the same code.
+pub fn explore_schedules_monitored_observed_report<S, V, O, M, Obs, FSetup, FCheck>(
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    config: &ExploreConfig,
+    monitor: &mut M,
+    obs: &Obs,
+    check: FCheck,
+) -> ExploreReport
+where
+    S: SequentialSpec,
+    V: Clone + Eq + Hash + Debug,
+    O: SimObject<S, V>,
+    M: ScheduleMonitor<S, V>,
+    Obs: ExploreObserver,
+    FSetup: FnMut(&mut SharedMemory) -> O,
+    FCheck: FnMut(&ExecutionResult<S, V>, &SharedMemory, &mut M) -> Result<(), String>,
+{
     let mut check = check;
     let budget = SharedBudget::new(config.max_schedules);
     let mut engine = Engine::new(
@@ -1373,6 +1434,7 @@ where
         // level of indirection.
         move |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut &mut M| check(res, mem, m),
         monitor,
+        obs,
         true,
     );
     let result = engine.explore_subtree(
@@ -1518,6 +1580,43 @@ where
     FCheck:
         Fn(&ExecutionResult<S, V>, &SharedMemory, &mut MF::Monitor) -> Result<(), String> + Sync,
 {
+    explore_schedules_parallel_monitored_observed_report(
+        setup,
+        workload,
+        config,
+        factory,
+        &NoObserver,
+        check,
+    )
+}
+
+/// Explores all schedules like
+/// [`explore_schedules_parallel_monitored_report`], additionally reporting
+/// engine telemetry to `obs`. One observer is shared by the root-discovery
+/// engine and every worker engine (the [`ExploreObserver`] hooks take
+/// `&self` and the trait requires `Sync` for exactly this); counters
+/// therefore aggregate across the whole exploration. Passing [`NoObserver`]
+/// monomorphises every hook away.
+pub fn explore_schedules_parallel_monitored_observed_report<S, V, O, MF, Obs, FSetup, FCheck>(
+    setup: FSetup,
+    workload: &Workload<S, V>,
+    config: &ExploreConfig,
+    factory: &MF,
+    obs: &Obs,
+    check: FCheck,
+) -> (ExploreReport, Vec<MF::Monitor>)
+where
+    S: SequentialSpec,
+    S::Op: Sync,
+    V: Clone + Eq + Hash + Debug + Sync,
+    O: SimObject<S, V>,
+    MF: MonitorFactory<S, V> + Sync,
+    MF::Monitor: Send,
+    Obs: ExploreObserver,
+    FSetup: Fn(&mut SharedMemory) -> O + Sync,
+    FCheck:
+        Fn(&ExecutionResult<S, V>, &SharedMemory, &mut MF::Monitor) -> Result<(), String> + Sync,
+{
     let mut stats = ExploreStats::default();
     let budget = SharedBudget::new(config.max_schedules);
 
@@ -1530,6 +1629,7 @@ where
         |mem: &mut SharedMemory| setup(mem),
         |res: &ExecutionResult<S, V>, mem: &SharedMemory, m: &mut MF::Monitor| check(res, mem, m),
         factory.monitor(),
+        obs,
         false,
     );
     let root_result = root_engine.explore_subtree(
@@ -1662,6 +1762,7 @@ where
                                 check(res, mem, m)
                             },
                             factory.monitor(),
+                            obs,
                             true,
                         );
                         let mut worker_escapes: Vec<EscapedSeed> = Vec::new();

@@ -35,7 +35,7 @@
 //! sets do. Storage is flat (one `Vec` of labels, one stride-`n` `Vec` of
 //! clock entries) and reused across the whole exploration.
 
-use crate::memory::StepLabel;
+use crate::memory::{Footprint, StepLabel};
 use scl_spec::ProcessId;
 
 /// The bit of process `p` in an initials/backtrack mask (processes are
@@ -158,6 +158,61 @@ impl HbTracker {
                 out.push(i);
             }
         }
+    }
+
+    /// A fingerprint of the happens-before *class* of the recorded
+    /// schedule: two schedules that are equivalent up to commuting
+    /// independent transitions (the same Mazurkiewicz trace) produce the
+    /// same value.
+    ///
+    /// The hash folds, per process in index order and per event of that
+    /// process in program order, the event's label content (footprint and
+    /// invoke/response flags) and its full vector clock row. Program order
+    /// and clock rows are invariant under commuting independent steps, and
+    /// together they determine the trace's dependence graph, so equivalent
+    /// linearizations hash identically while schedules with a different
+    /// dependence structure (almost surely) do not.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, folded manually — no external hashers here.
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut fold = |v: u64| {
+            h ^= v;
+            h = h.wrapping_mul(PRIME);
+        };
+        let fp_words = |fp: Footprint| -> (u64, u64) {
+            match fp {
+                Footprint::Pure => (1, 0),
+                Footprint::Read(r) => (2, r.0 as u64),
+                Footprint::Write(r) => (3, r.0 as u64),
+                Footprint::Net(w) => {
+                    let mut acc = 0u64;
+                    for r in w.regs() {
+                        acc = acc
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add(r.0 as u64 + 1);
+                    }
+                    (4, acc)
+                }
+                Footprint::Unknown => (5, 0),
+            }
+        };
+        for p in 0..self.procs {
+            fold(0xffff_ffff_ffff_0000 | p as u64);
+            for (e, label) in self.labels.iter().enumerate() {
+                if label.proc.index() != p {
+                    continue;
+                }
+                let (tag, detail) = fp_words(label.footprint);
+                fold(tag | (u64::from(label.invoked) << 8) | (u64::from(label.responded) << 9));
+                fold(detail);
+                for q in 0..self.procs {
+                    fold(u64::from(self.clocks[e * self.procs + q]));
+                }
+            }
+        }
+        h
     }
 
     /// The weak initials of `v = notdep(i)·last` for a race `(i, last)`
@@ -325,6 +380,31 @@ mod tests {
         };
         assert!(mk(false).is_empty(), "plain mode: pure steps never race");
         assert_eq!(mk(true), vec![0], "lin mode: response vs invocation races");
+    }
+
+    #[test]
+    fn fingerprint_is_mazurkiewicz_invariant() {
+        let (a, b) = (RegId(0), RegId(1));
+        // Independent steps commute: the two interleavings of W(a) and W(b)
+        // are the same trace, so they fingerprint identically.
+        let mut one = HbTracker::new(2, false);
+        one.push(step(0, Footprint::Write(a)));
+        one.push(step(1, Footprint::Write(b)));
+        let mut two = HbTracker::new(2, false);
+        two.push(step(1, Footprint::Write(b)));
+        two.push(step(0, Footprint::Write(a)));
+        assert_eq!(one.fingerprint(), two.fingerprint());
+
+        // Dependent steps do not: swapping two writes to the same register
+        // changes the dependence structure's orientation.
+        let mut three = HbTracker::new(2, false);
+        three.push(step(0, Footprint::Write(a)));
+        three.push(step(1, Footprint::Write(a)));
+        let mut four = HbTracker::new(2, false);
+        four.push(step(1, Footprint::Write(a)));
+        four.push(step(0, Footprint::Write(a)));
+        assert_ne!(three.fingerprint(), four.fingerprint());
+        assert_ne!(one.fingerprint(), three.fingerprint());
     }
 
     #[test]

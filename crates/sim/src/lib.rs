@@ -44,7 +44,10 @@ pub mod hb;
 pub mod machine;
 pub mod memory;
 pub mod metrics;
+pub mod replay;
 pub mod rng;
+pub mod step;
+pub mod telemetry;
 pub mod value;
 
 pub use adversary::{
@@ -56,7 +59,9 @@ pub use executor::{
     SessionSnapshot, SurveyStatus, TickEmission, TraceMode, Workload,
 };
 pub use explore::{
-    explore_schedules, explore_schedules_monitored_report, explore_schedules_parallel,
+    explore_schedules, explore_schedules_monitored_observed_report,
+    explore_schedules_monitored_report, explore_schedules_parallel,
+    explore_schedules_parallel_monitored_observed_report,
     explore_schedules_parallel_monitored_report, explore_schedules_parallel_report,
     explore_schedules_report, ExploreConfig, ExploreError, ExploreOutcome, ExploreReport,
     ExploreStats, ExploreViolation, MonitorFactory, NoMonitor, Reduction, ResumeMode,
@@ -71,5 +76,8 @@ pub use memory::{
     StepLabel,
 };
 pub use metrics::{ContentionKind, ExecutionMetrics, OpMetrics};
+pub use replay::{replay_schedule, ReplayLog, ReplayOutcome, ReplayTick};
 pub use rng::SplitMix64;
+pub use step::StepKind;
+pub use telemetry::{ExploreObserver, NoObserver, TelemetryObserver, TelemetrySnapshot};
 pub use value::Value;
