@@ -41,6 +41,15 @@
 //!   the lossy space, the lossy space is strictly larger than the
 //!   crash-only one (drop branching is actually happening), and the
 //!   race-driven modes never cost representatives over the eager ones.
+//! * **recovery_exploration** — the PR 10 group: the n=2 recoverable-TAS
+//!   space under a 1-crash + 1-restart budget (`max_recoveries = 1`,
+//!   everyone eligible) in all five reduction modes, plus the crash-only
+//!   baseline (restarts off). Restart points multiply the schedule space
+//!   again and every restart runs the object's recovery routine. Asserted
+//!   bars on full runs: every mode exhausts the recovery space, the
+//!   recovery space is strictly larger than the crash-only one (restart
+//!   branching is actually happening), and the race-driven modes never
+//!   cost representatives over the eager ones.
 //! * **observer** — the PR 8 group: the exhaustive n=2 speculative-TAS
 //!   space driven three ways — `plain_entry` (the unobserved entry point),
 //!   `observer_off` (the observed entry point with [`NoObserver`], whose
@@ -50,9 +59,9 @@
 //!   overhead stays within 2% wall of the unobserved entry point, and the
 //!   live counters agree with the engine's own stats.
 //!
-//! Writes `BENCH_PR8.json` at the workspace root (`BENCH_PR7.json` is kept
-//! as the PR 7 record); `--smoke` caps the enumerations and writes
-//! `artifacts/BENCH_PR8.smoke.json` (the CI guard; `artifacts/` is
+//! Writes `BENCH_PR10.json` at the workspace root (`BENCH_PR8.json` is kept
+//! as the PR 8 record); `--smoke` caps the enumerations and writes
+//! `artifacts/BENCH_PR10.smoke.json` (the CI guard; `artifacts/` is
 //! gitignored). The full run asserts the PR 3/PR 4 acceptance bars:
 //! incremental checking expands measurably fewer checker states than
 //! from-scratch per-schedule checking on the `swap_tas_n3_3ops` workload
@@ -63,7 +72,7 @@
 
 use scl_bench::benchjson;
 use scl_check::{reduction_name, CheckConfig, CheckerMode, LinMonitor};
-use scl_core::{new_speculative_tas, AbdRegister};
+use scl_core::{new_speculative_tas, AbdRegister, RecoverableTas};
 use scl_sim::{
     explore_schedules_monitored_observed_report, explore_schedules_monitored_report,
     explore_schedules_report, ExploreConfig, ExploreOutcome, Footprint, NoMonitor, NoObserver,
@@ -434,6 +443,42 @@ fn measure_network(
     }
 }
 
+/// One recovery-group cell: the n=2 recoverable TAS under a crash/restart
+/// fault budget. Every restart runs the object's one-step recovery routine
+/// (re-validate ownership from the durable winner register), so the cell
+/// measures recovery branching *and* recovery execution.
+fn measure_recovery(
+    max_schedules: u64,
+    reduction: Reduction,
+    max_crashes: usize,
+    max_recoveries: usize,
+) -> Measurement {
+    let workload = wl(2, 1);
+    let config = ExploreConfig {
+        reduction,
+        max_crashes,
+        crash_eligible: !0,
+        max_recoveries,
+        recovery_eligible: !0,
+        ..base_config(max_schedules)
+    };
+    let start = Instant::now();
+    let report = explore_schedules_report(
+        |mem: &mut SharedMemory| RecoverableTas::new(mem, 2),
+        &workload,
+        &config,
+        |_r, _m| Ok(()),
+    );
+    let exhausted = matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. }));
+    Measurement {
+        schedules: report.stats.schedules,
+        executed_steps: report.stats.executed_steps,
+        checker_states: 0,
+        exhausted,
+        secs: start.elapsed().as_secs_f64(),
+    }
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let reps = if smoke { 1 } else { 3 };
@@ -554,6 +599,35 @@ fn main() {
         crash.push((mode_name, m));
     }
 
+    println!("-- recovery exploration (n=2 recoverable TAS, 1-crash + 1-restart budget) --");
+    let recovery_modes = [
+        Reduction::Off,
+        Reduction::SleepSets,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDpor,
+        Reduction::SourceDporLinPreserving,
+    ];
+    let mut recovery = Vec::new();
+    // Crash-only baseline (unreduced, restarts off): the bar "restart
+    // branching enlarges the space" needs it.
+    let recovery_crash_baseline = measure_recovery(n2_cap, Reduction::Off, 1, 0);
+    println!(
+        "rtas_crash1_restart0/off: schedules={} steps={} exhausted={} secs={:.3}",
+        recovery_crash_baseline.schedules,
+        recovery_crash_baseline.executed_steps,
+        recovery_crash_baseline.exhausted,
+        recovery_crash_baseline.secs
+    );
+    for &mode in &recovery_modes {
+        let m = measure_recovery(n2_cap, mode, 1, 1);
+        let mode_name = reduction_name(mode);
+        println!(
+            "rtas_crash1_restart1/{mode_name}: schedules={} steps={} exhausted={} secs={:.3}",
+            m.schedules, m.executed_steps, m.exhausted, m.secs
+        );
+        recovery.push((mode_name, m));
+    }
+
     println!("-- network exploration (1-writer ABD, 1-crash + 1-drop budget) --");
     let network_modes = [
         Reduction::Off,
@@ -651,6 +725,15 @@ fn main() {
             )
         })
         .collect();
+    let mut recovery_entries: Vec<String> = vec![format!(
+        "    \"rtas_crash1_restart0/off\": {}",
+        json_entry(&recovery_crash_baseline)
+    )];
+    recovery_entries.extend(
+        recovery
+            .iter()
+            .map(|(mode, m)| format!("    \"rtas_crash1_restart1/{mode}\": {}", json_entry(m))),
+    );
     let mut network_entries: Vec<String> = vec![format!(
         "    \"abd_write_crash1_drop0/off\": {}",
         json_entry(&crash_only_baseline)
@@ -688,16 +771,17 @@ fn main() {
         )],
     );
     let json = format!(
-        "{{\n  \"description\": \"Per-schedule linearizability checking (PR 4 groups + the PR 6 crash_exploration group): the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records the schedule counts of all five reduction modes (off, sleep_sets, sleep_sets_lin_preserving, source_dpor, source_dpor_lin_preserving). The scenario_suite group runs every registered scl-check scenario (crash scenarios included) through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism. The crash_exploration group enumerates the n=2 speculative-TAS space under a 1-crash budget (crash-stop failures as scheduled transitions) in all five modes; asserted on full runs: every mode exhausts, the race-driven modes never cost representatives over the eager ones, and the crashy space is strictly larger than the crash-free one. The network_exploration group (PR 7) enumerates a one-writer ABD register emulation (2 replicas, majority quorum, retry budget 1) whose message deliveries and drops are scheduled transitions, under a 1-crash + 1-drop fault budget in all five modes plus the unreduced crash-only baseline; asserted on full runs: every mode exhausts the lossy space, drop branching strictly enlarges it over crash-only, and the race-driven modes never cost representatives over the eager ones. The observer group (PR 8) drives the exhaustive n=2 speculative-TAS space three ways: plain_entry (the unobserved entry point), observer_off (the observed entry point with NoObserver, whose empty inline hooks monomorphise to the plain path — asserted within 2% wall on full runs) and observer_on (a live TelemetryObserver; its per-run counter snapshot is embedded as observer.telemetry).\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"observer\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"crash_exploration\": {{\n{}\n  }},\n  \"network_exploration\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
+        "{{\n  \"description\": \"Per-schedule linearizability checking (PR 4 groups + the PR 6 crash_exploration group): the LinMonitor bridge records the invoke/commit projection incrementally (works under MetricsOnly); incremental = suffix-only Wing-Gong re-checking via frontier states memoised at branch points and interned Copy configs, from_scratch = full Wing-Gong per schedule on the same recorded history. checker_states is the machine-independent cost metric. The reduction group records the schedule counts of all five reduction modes (off, sleep_sets, sleep_sets_lin_preserving, source_dpor, source_dpor_lin_preserving). The scenario_suite group runs every registered scl-check scenario (crash scenarios included) through the unified engine sequentially (workers=1) and with the parallel monitor-carrying driver (workers=2); interpret wall times against host.available_parallelism. The crash_exploration group enumerates the n=2 speculative-TAS space under a 1-crash budget (crash-stop failures as scheduled transitions) in all five modes; asserted on full runs: every mode exhausts, the race-driven modes never cost representatives over the eager ones, and the crashy space is strictly larger than the crash-free one. The network_exploration group (PR 7) enumerates a one-writer ABD register emulation (2 replicas, majority quorum, retry budget 1) whose message deliveries and drops are scheduled transitions, under a 1-crash + 1-drop fault budget in all five modes plus the unreduced crash-only baseline; asserted on full runs: every mode exhausts the lossy space, drop branching strictly enlarges it over crash-only, and the race-driven modes never cost representatives over the eager ones. The observer group (PR 8) drives the exhaustive n=2 speculative-TAS space three ways: plain_entry (the unobserved entry point), observer_off (the observed entry point with NoObserver, whose empty inline hooks monomorphise to the plain path — asserted within 2% wall on full runs) and observer_on (a live TelemetryObserver; its per-run counter snapshot is embedded as observer.telemetry). The recovery_exploration group (PR 10) enumerates the n=2 recoverable-TAS space under a 1-crash + 1-restart budget in all five modes plus the unreduced crash-only baseline (restarts off); every restart wipes the victim's volatile state and runs the object's recovery routine; asserted on full runs: every mode exhausts the recovery space, restart branching strictly enlarges it over crash-only, and the race-driven modes never cost representatives over the eager ones.\",\n{host},\n  \"recording\": {{\n{}\n  }},\n  \"observer\": {{\n{}\n  }},\n  \"reduction\": {{\n{}\n  }},\n  \"scenario_suite\": {{\n{}\n  }},\n  \"crash_exploration\": {{\n{}\n  }},\n  \"recovery_exploration\": {{\n{}\n  }},\n  \"network_exploration\": {{\n{}\n  }},\n  \"derived\": {{\n{}\n  }}\n}}\n",
         recording_entries.join(",\n"),
         observer_entries.join(",\n"),
         reduction_entries.join(",\n"),
         suite_entries.join(",\n"),
         crash_entries.join(",\n"),
+        recovery_entries.join(",\n"),
         network_entries.join(",\n"),
         derived,
     );
-    benchjson::write_report("BENCH_PR8", smoke, &json);
+    benchjson::write_report("BENCH_PR10", smoke, &json);
 
     // The suite must match its expectations in every engine mode, smoke
     // included: these are the same scenarios CI gates on.
@@ -795,6 +879,40 @@ fn main() {
         assert!(
             crash_find("source_dpor_lin_preserving").schedules
                 <= crash_find("sleep_sets_lin_preserving").schedules
+        );
+        // PR 10: restart branching must actually enlarge the crashy space,
+        // every mode must still exhaust it, and the race-driven modes must
+        // stay at or below their eager counterparts with restart steps in
+        // the race relation.
+        let recovery_find = |mode: &str| {
+            recovery
+                .iter()
+                .find(|(m, _)| *m == mode)
+                .map(|(_, m)| *m)
+                .expect("measured")
+        };
+        for &mode in &recovery_modes {
+            let m = recovery_find(reduction_name(mode));
+            assert!(
+                m.exhausted,
+                "{}: the 1-crash + 1-restart recoverable-TAS space must be exhausted",
+                reduction_name(mode)
+            );
+        }
+        assert!(
+            recovery_crash_baseline.exhausted,
+            "the crash-only recoverable-TAS baseline must be exhausted"
+        );
+        assert!(
+            recovery_find("off").schedules > recovery_crash_baseline.schedules,
+            "restart branching must enlarge the unreduced recovery space ({} vs {})",
+            recovery_find("off").schedules,
+            recovery_crash_baseline.schedules
+        );
+        assert!(recovery_find("source_dpor").schedules <= recovery_find("sleep_sets").schedules);
+        assert!(
+            recovery_find("source_dpor_lin_preserving").schedules
+                <= recovery_find("sleep_sets_lin_preserving").schedules
         );
         // PR 7: drop branching must actually enlarge the network space,
         // every mode must still exhaust it, and the race-driven modes must

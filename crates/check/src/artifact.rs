@@ -264,6 +264,8 @@ pub struct Artifact {
     pub max_ticks: u64,
     /// Message-drop budget of the original run.
     pub max_drops: usize,
+    /// Restart budget of the original run.
+    pub max_recoveries: usize,
 }
 
 impl Artifact {
@@ -316,6 +318,7 @@ impl Artifact {
             max_schedules: cfg_num("max_schedules")?,
             max_ticks: cfg_num("max_ticks")?,
             max_drops: cfg_num("max_drops")? as usize,
+            max_recoveries: cfg_num("max_recoveries")? as usize,
         })
     }
 
@@ -330,6 +333,7 @@ impl Artifact {
             max_schedules: self.max_schedules,
             max_ticks: self.max_ticks,
             max_drops: self.max_drops,
+            max_recoveries: self.max_recoveries,
             workers: 1,
             ..CheckConfig::default()
         }
@@ -379,13 +383,14 @@ pub fn artifact_json(
         .map(|(a, b)| format!("[{a}, {b}]"))
         .collect();
     let crashed: Vec<String> = log.crashed.iter().map(|c| c.to_string()).collect();
+    let restarted: Vec<String> = log.restarted.iter().map(|c| c.to_string()).collect();
     format!(
         "{{\n  \"tool\": \"scl-check\",\n  \"kind\": \"counterexample\",\n  \"scenario\": {},\n  \
          \"message\": {},\n  \"schedule\": [{}],\n  \"config\": {{\"reduction\": \"{}\", \
          \"resume\": \"{}\", \"checker\": \"{}\", \"crashed_pending\": \"{}\", \
-         \"max_schedules\": {}, \"max_ticks\": {}, \"max_drops\": {}}},\n  \"processes\": {},\n  \
-         \"net_cap\": {},\n  \"completed\": {},\n  \"crashed\": [{}],\n  \"races\": [{}],\n  \
-         \"ticks\": [\n{}\n  ]\n}}\n",
+         \"max_schedules\": {}, \"max_ticks\": {}, \"max_drops\": {}, \"max_recoveries\": \
+         {}}},\n  \"processes\": {},\n  \"net_cap\": {},\n  \"completed\": {},\n  \"crashed\": \
+         [{}],\n  \"restarted\": [{}],\n  \"races\": [{}],\n  \"ticks\": [\n{}\n  ]\n}}\n",
         crate::json_string(scenario),
         crate::json_string(message),
         sched.join(", "),
@@ -396,10 +401,12 @@ pub fn artifact_json(
         config.max_schedules,
         config.max_ticks,
         config.max_drops,
+        config.max_recoveries,
         log.processes,
         log.net_cap,
         log.completed,
         crashed.join(", "),
+        restarted.join(", "),
         races.join(", "),
         ticks.join(",\n"),
     )
@@ -413,13 +420,29 @@ fn tick_cell(t: &ReplayTick) -> String {
         StepKind::Crash(_) => "CRASH".to_string(),
         StepKind::Deliver(s) => format!("deliver s{s}"),
         StepKind::Drop(s) => format!("DROP s{s}"),
+        StepKind::Restart(_) => "RESTART".to_string(),
     };
     let mark = match t.emission {
         TickEmission::Invoked { op_index } => format!(" [invoke op{op_index}]"),
         TickEmission::Committed { op_index } => format!(" [commit op{op_index}]"),
         TickEmission::Aborted { op_index } => format!(" [abort op{op_index}]"),
         TickEmission::Crashed { op_index: Some(i) } => format!(" [op{i} left pending]"),
+        TickEmission::Restarted {
+            op_index: Some(i), ..
+        } => format!(" [op{i} latent]"),
+        TickEmission::Recovered {
+            op_index: Some(i),
+            resolved,
+        } => {
+            if resolved {
+                format!(" [recovery committed op{i}]")
+            } else {
+                format!(" [recovery abandoned op{i}]")
+            }
+        }
+        TickEmission::Recovered { op_index: None, .. } => " [recovered]".to_string(),
         TickEmission::Crashed { op_index: None }
+        | TickEmission::Restarted { op_index: None }
         | TickEmission::Delivered { .. }
         | TickEmission::Dropped { .. }
         | TickEmission::None => String::new(),
@@ -486,6 +509,16 @@ pub fn render_interleaving(log: &ReplayLog) -> String {
     if !crashed.is_empty() {
         out.push_str(&format!("crashed: {}\n", crashed.join(", ")));
     }
+    let restarted: Vec<String> = log
+        .restarted
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| **r)
+        .map(|(p, _)| format!("p{p}"))
+        .collect();
+    if !restarted.is_empty() {
+        out.push_str(&format!("restarted: {}\n", restarted.join(", ")));
+    }
     out
 }
 
@@ -512,6 +545,21 @@ fn emission_str(e: &TickEmission) -> String {
             op_index: Some(op_index),
         } => format!("crashed(op {op_index})"),
         TickEmission::Crashed { op_index: None } => "crashed".to_string(),
+        TickEmission::Restarted {
+            op_index: Some(op_index),
+        } => format!("restarted(op {op_index} latent)"),
+        TickEmission::Restarted { op_index: None } => "restarted".to_string(),
+        TickEmission::Recovered {
+            op_index: Some(op_index),
+            resolved,
+        } => {
+            if *resolved {
+                format!("recovered(op {op_index} resolved)")
+            } else {
+                format!("recovered(op {op_index} abandoned)")
+            }
+        }
+        TickEmission::Recovered { op_index: None, .. } => "recovered".to_string(),
         TickEmission::Delivered { slot, owner } => {
             format!("delivered(slot {slot}, owner p{})", owner.index())
         }
@@ -535,11 +583,13 @@ mod tests {
   "schedule": [0, 1, 1, 0],
   "config": {"reduction": "source-dpor-lin", "resume": "prefix-resume",
              "checker": "incremental", "crashed_pending": "open",
-             "max_schedules": 200000, "max_ticks": 10000, "max_drops": 0},
+             "max_schedules": 200000, "max_ticks": 10000, "max_drops": 0,
+             "max_recoveries": 0},
   "processes": 2,
   "net_cap": 0,
   "completed": true,
   "crashed": [false, false],
+  "restarted": [false, false],
   "races": [[0, 1]],
   "ticks": []
 }"#;

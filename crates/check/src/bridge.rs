@@ -64,6 +64,19 @@ pub enum CrashedPending {
     /// effect *before* its crash point (or be dropped) — it must precede
     /// every operation invoked after the crash.
     Strict,
+    /// Durable linearizability: completed operations persist across
+    /// crash/restart, and an operation interrupted by a crash may be lost —
+    /// but once its owner's recovery completes without resolving it, it may
+    /// no longer take effect (the deadline is the *recovery completion*, not
+    /// the crash point). An operation the recovery resolves simply commits,
+    /// late. Crashes without a restart leave the operation open-pending.
+    Durable,
+    /// Recoverable linearizability: like durable, except an interrupted
+    /// operation must take *effect* before its owner's recovery completes —
+    /// recovery may abandon the response, but not the operation. A recovery
+    /// completing with the operation neither resolved nor linearizable
+    /// before its completion point is a violation.
+    Recoverable,
 }
 
 impl CrashedPending {
@@ -72,6 +85,8 @@ impl CrashedPending {
         match self {
             CrashedPending::Open => "open",
             CrashedPending::Strict => "strict",
+            CrashedPending::Durable => "durable",
+            CrashedPending::Recoverable => "recoverable",
         }
     }
 }
@@ -153,7 +168,13 @@ impl<S: SequentialSpec> LinMonitor<S> {
             CheckerMode::FromScratch => {
                 let (result, stats) = match self.crashed_pending {
                     CrashedPending::Open => check_linearizable_with_stats(&self.spec, &self.hist),
-                    CrashedPending::Strict => {
+                    // The durable and recoverable closures share the strict
+                    // search — the difference is entirely in *what* `observe`
+                    // recorded: where the deadline sits (crash point vs
+                    // recovery completion) and whether the op is required.
+                    CrashedPending::Strict
+                    | CrashedPending::Durable
+                    | CrashedPending::Recoverable => {
                         check_strict_linearizable_with_stats(&self.spec, &self.hist)
                     }
                 };
@@ -167,6 +188,16 @@ impl<S: SequentialSpec> LinMonitor<S> {
                         CrashedPending::Strict => Err(
                             "commit projection is not strictly linearizable (crashed-pending: \
                              strict)"
+                                .to_string(),
+                        ),
+                        CrashedPending::Durable => Err(
+                            "commit projection is not durably linearizable (crashed-pending: \
+                             durable)"
+                                .to_string(),
+                        ),
+                        CrashedPending::Recoverable => Err(
+                            "commit projection is not recoverably linearizable (crashed-pending: \
+                             recoverable)"
                                 .to_string(),
                         ),
                     },
@@ -218,7 +249,9 @@ where
                 // Under the open closure a crashed-pending op is just a
                 // pending op (may take effect any time, or be dropped), so
                 // the crash records nothing. Under the strict closure the
-                // crash point caps where the op may take effect.
+                // crash point caps where the op may take effect. The durable
+                // and recoverable closures record nothing *here* — their
+                // deadline is the recovery completion, consumed below.
                 if self.crashed_pending == CrashedPending::Strict {
                     if let Some(op_index) = op_index {
                         let id = session.result().ops[op_index].req.id;
@@ -230,13 +263,62 @@ where
                     }
                 }
             }
+            TickEmission::Recovered { op_index, resolved } => {
+                let Some(op_index) = op_index else {
+                    // No operation was interrupted: the recovery carries no
+                    // history event under any closure.
+                    return;
+                };
+                let record = &session.result().ops[op_index];
+                let id = record.req.id;
+                if resolved {
+                    // The recovery resolved the interrupted operation: a
+                    // late commit, recorded under every closure (strict
+                    // included — a committed op's crash gate dissolves, in
+                    // both checkers).
+                    let Some(OpOutcome::Commit(resp)) = &record.outcome else {
+                        unreachable!("a resolving recovery always commits the op");
+                    };
+                    let at = self.hist.event_count();
+                    if self.mode == CheckerMode::Incremental {
+                        self.inc.commit(id, resp);
+                    }
+                    self.hist.record_response(at, id, resp.clone());
+                    return;
+                }
+                // The recovery completed without resolving the operation.
+                let at = self.hist.event_count();
+                match self.crashed_pending {
+                    // Open: still just a pending op. Strict: the crash point
+                    // (recorded at the Crashed emission) already caps it.
+                    CrashedPending::Open | CrashedPending::Strict => {}
+                    // Durable: the op may be lost, but not take effect after
+                    // its owner recovered — a strict-style deadline at the
+                    // recovery completion.
+                    CrashedPending::Durable => {
+                        if self.mode == CheckerMode::Incremental {
+                            self.inc.crash(id);
+                        }
+                        self.hist.record_crash(at, id);
+                    }
+                    // Recoverable: the op must have taken effect by now.
+                    CrashedPending::Recoverable => {
+                        if self.mode == CheckerMode::Incremental {
+                            self.inc.recovered_required(id);
+                        }
+                        self.hist.record_crash_required(at, id);
+                    }
+                }
+            }
             // Aborts are not part of the commit projection (the operation
-            // simply stays pending), silent steps record nothing, and
-            // network deliveries/drops move no operation event — their
-            // history effect surfaces later through the owner's own
-            // commit/abort step.
+            // simply stays pending), silent steps record nothing, restarts
+            // move no operation event (the history consequences arrive with
+            // the recovery's completion), and network deliveries/drops move
+            // no operation event — their history effect surfaces later
+            // through the owner's own commit/abort step.
             TickEmission::Aborted { .. }
             | TickEmission::None
+            | TickEmission::Restarted { .. }
             | TickEmission::Delivered { .. }
             | TickEmission::Dropped { .. } => {}
         }

@@ -119,9 +119,9 @@ pub fn reports_to_json_partial(
     format!(
         "{{\n  \"tool\": \"scl-check\",\n  \"config\": {{\"reduction\": \"{}\", \"resume\": \
          \"{}\", \"checker\": \"{}\", \"crashed_pending\": \"{}\", \"max_schedules\": {}, \
-         \"max_ticks\": {}, \"max_drops\": {}, \"metrics_only\": {}, \"workers\": {}}},\n  \
-         \"host\": {{\"available_parallelism\": {}}},\n  \"exhausted\": {},\n  \"scenarios\": \
-         {{\n{}\n  }},\n  \"all_as_expected\": {}\n}}\n",
+         \"max_ticks\": {}, \"max_drops\": {}, \"max_recoveries\": {}, \"metrics_only\": {}, \
+         \"workers\": {}}},\n  \"host\": {{\"available_parallelism\": {}}},\n  \"exhausted\": \
+         {},\n  \"scenarios\": {{\n{}\n  }},\n  \"all_as_expected\": {}\n}}\n",
         reduction_name(config.reduction),
         resume_name(config.resume),
         config.checker.name(),
@@ -129,6 +129,7 @@ pub fn reports_to_json_partial(
         config.max_schedules,
         config.max_ticks,
         config.max_drops,
+        config.max_recoveries,
         config.metrics_only,
         config.workers,
         std::thread::available_parallelism()
@@ -160,15 +161,16 @@ fn telemetry_json(r: &ScenarioReport) -> String {
     let hist: Vec<String> = hist.iter().map(|c| c.to_string()).collect();
     format!(
         "{{\"explored_steps\": {}, \"replayed_steps\": {}, \"crash_branches\": {}, \
-         \"delivery_branches\": {}, \"drop_branches\": {}, \"schedules\": {}, \
-         \"sleep_blocked\": {}, \"checkpoint_saves\": {}, \"checkpoint_restores\": {}, \
-         \"races\": {}, \"race_seeds\": {}, \"hb_classes\": {}, \"depth_hist\": [{}], \
-         \"explore_secs\": {:.6}, \"checker_secs\": {:.6}}}",
+         \"delivery_branches\": {}, \"drop_branches\": {}, \"restart_branches\": {}, \
+         \"schedules\": {}, \"sleep_blocked\": {}, \"checkpoint_saves\": {}, \
+         \"checkpoint_restores\": {}, \"races\": {}, \"race_seeds\": {}, \"hb_classes\": {}, \
+         \"depth_hist\": [{}], \"explore_secs\": {:.6}, \"checker_secs\": {:.6}}}",
         t.explored_steps,
         t.replayed_steps,
         t.crash_branches,
         t.delivery_branches,
         t.drop_branches,
+        t.restart_branches,
         t.schedules,
         t.sleep_blocked,
         t.checkpoint_saves,

@@ -91,6 +91,9 @@ fn usage() -> ! {
          \x20  --max-drops N           message-drop budget per schedule (default 0;\n\
          \x20                          only network scenarios have messages to drop,\n\
          \x20                          and lossy scenarios enforce their own minimum)\n\
+         \x20  --max-recoveries N      restart budget per schedule (default 0 =\n\
+         \x20                          crashed processes stay down; restarts only\n\
+         \x20                          arise in scenarios with a crash budget)\n\
          \x20  --workers N             engine worker threads: 1 = sequential\n\
          \x20                          (default), 0 = available parallelism\n\
          \x20  --time-budget-ms N      stop starting scenarios once N ms have\n\
@@ -332,6 +335,10 @@ fn main() {
             "--max-drops" => {
                 let v = value(&mut i);
                 config.max_drops = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--max-recoveries" => {
+                let v = value(&mut i);
+                config.max_recoveries = v.parse().unwrap_or_else(|_| usage());
             }
             "--workers" => {
                 let v = value(&mut i);

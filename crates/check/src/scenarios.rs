@@ -14,8 +14,8 @@
 use crate::bridge::{CheckerMode, CrashedPending, LinMonitor};
 use scl_core::{
     new_composable_universal, new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas,
-    AbdRegister, CasConsensus, Composed, ConsensusObject, ConsensusSwitch, ResettableTas,
-    SplitConsensus, WriteBehindRegister,
+    AbdRegister, CasConsensus, Composed, ConsensusObject, ConsensusSwitch, RecoverableTas,
+    ResettableTas, SplitConsensus, WbRecovery, WriteBehindRegister,
 };
 use scl_sim::{
     explore_schedules_monitored_observed_report,
@@ -74,6 +74,16 @@ pub struct CheckConfig {
     pub max_crashes: usize,
     /// Which processes may crash (bitmask over process indices).
     pub crash_eligible: u64,
+    /// Restart budget per explored schedule (`--max-recoveries`; 0 = crashed
+    /// processes stay down forever, the PR-6 semantics). Each restart wipes
+    /// the process's volatile state, runs the object's recovery routine and
+    /// re-enables it; the flag is safe to set globally because restarting is
+    /// only *possible* after a crash, and scenarios own their crash budgets.
+    pub max_recoveries: usize,
+    /// Which crashed processes may restart (bitmask over process indices).
+    /// Recovery scenarios narrow this themselves when the workload only
+    /// makes sense with a specific process recovering.
+    pub recovery_eligible: u64,
     /// Message-drop budget per explored schedule (`--max-drops`; 0 = no
     /// message loss). Only observable for scenarios whose object uses the
     /// simulated network — shared-memory scenarios have no messages to
@@ -146,6 +156,8 @@ impl Default for CheckConfig {
             crashed_pending: CrashedPending::Open,
             max_crashes: 0,
             crash_eligible: !0,
+            max_recoveries: 0,
+            recovery_eligible: !0,
             max_drops: 0,
             partition: 0,
             deadline: None,
@@ -175,6 +187,8 @@ impl CheckConfig {
             resume: self.resume,
             max_crashes: self.max_crashes,
             crash_eligible: self.crash_eligible,
+            max_recoveries: self.max_recoveries,
+            recovery_eligible: self.recovery_eligible,
             max_drops: self.max_drops,
             partition: self.partition,
             deadline: self.deadline,
@@ -934,6 +948,152 @@ fn run_crash_a1_dropped_raw_fence_n2(config: &CheckConfig) -> RunnerOutput {
     )
 }
 
+/// A 1-crash + 1-restart budget on top of `config` (the restart budget
+/// honours a larger `--max-recoveries`), optionally narrowed to specific
+/// processes. The shared preamble of every crash-recovery scenario.
+fn recovery_config(
+    config: &CheckConfig,
+    crash_eligible: u64,
+    recovery_eligible: u64,
+) -> CheckConfig {
+    CheckConfig {
+        max_crashes: 1,
+        crash_eligible,
+        max_recoveries: config.max_recoveries.max(1),
+        recovery_eligible,
+        ..config.clone()
+    }
+}
+
+fn run_recovery_tas(config: &CheckConfig, mutant: bool) -> RunnerOutput {
+    // The crash_spec_tas_n2 space plus every restart extension: a crashed
+    // process may come back, run the object's recovery routine and resolve
+    // its interrupted test-and-set from the durable winner register. The
+    // correct object passes under every crashed-pending closure — recovery
+    // always resolves, so nothing is ever abandoned; the mutant's blind
+    // Winner commit manufactures a second winner that even the outcome
+    // check (at most one winner) catches, closure-independent.
+    let config = recovery_config(config, !0, !0);
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+    if mutant {
+        explore_with_lin(
+            &config,
+            TasSpec,
+            |mem| RecoverableTas::new_mutant(mem, 2),
+            &wl,
+            tas_crash_safe,
+        )
+    } else {
+        explore_with_lin(
+            &config,
+            TasSpec,
+            |mem| RecoverableTas::new(mem, 2),
+            &wl,
+            tas_crash_safe,
+        )
+    }
+}
+
+fn run_recovery_tas_n2(config: &CheckConfig) -> RunnerOutput {
+    run_recovery_tas(config, false)
+}
+
+fn run_recovery_tas_mutant_n2(config: &CheckConfig) -> RunnerOutput {
+    run_recovery_tas(config, true)
+}
+
+fn run_recovery_write_behind(
+    config: &CheckConfig,
+    recovery: WbRecovery,
+    crashed_pending: CrashedPending,
+) -> RunnerOutput {
+    // The crash_write_behind space plus restarts of the writer, under a
+    // chosen recovery routine × crashed-pending closure. The four scenario
+    // pairings below pin the closure axis:
+    //
+    //   flush   × durable     — recovery redoes and late-commits the write:
+    //                           every closure accepts a completed op (pass);
+    //   flush   × strict      — the never-restarted subspace keeps the
+    //                           PR-6 stale-read strict witness (violation);
+    //   abandon × durable     — the rolled-back write is genuinely lost,
+    //                           which durable permits (pass);
+    //   abandon × recoverable — the same histories with the op *required*
+    //                           to take effect by recovery completion
+    //                           (violation — the separating pair).
+    let config = CheckConfig {
+        crashed_pending,
+        ..recovery_config(config, 0b01, 0b01) // only the writer crashes/restarts
+    };
+    explore_with_lin(
+        &config,
+        RegisterSpec,
+        move |mem| WriteBehindRegister::with_recovery(mem, recovery),
+        &write_behind_workload(),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            Ok(())
+        },
+    )
+}
+
+fn run_recovery_write_behind_flush_durable_n2(config: &CheckConfig) -> RunnerOutput {
+    run_recovery_write_behind(config, WbRecovery::Flush, CrashedPending::Durable)
+}
+
+fn run_recovery_write_behind_flush_strict_n2(config: &CheckConfig) -> RunnerOutput {
+    run_recovery_write_behind(config, WbRecovery::Flush, CrashedPending::Strict)
+}
+
+fn run_recovery_write_behind_abandon_durable_n2(config: &CheckConfig) -> RunnerOutput {
+    run_recovery_write_behind(config, WbRecovery::Abandon, CrashedPending::Durable)
+}
+
+fn run_recovery_write_behind_abandon_recoverable_n2(config: &CheckConfig) -> RunnerOutput {
+    run_recovery_write_behind(config, WbRecovery::Abandon, CrashedPending::Recoverable)
+}
+
+fn run_recovery_recrash_unrecovered_n2(config: &CheckConfig) -> RunnerOutput {
+    // A 2-crash budget lets the writer crash *again mid-recovery*: the
+    // flush routine is itself a multi-step execution, and a second crash
+    // before it commits leaves the interrupted write unresolved with the
+    // restart budget spent — a designed recovery-crash-safety violation,
+    // reported through the op records rather than found as a hang.
+    // Linearizability is gated off so the designed message is *the*
+    // violation (the open closure would pass these histories anyway).
+    let config = CheckConfig {
+        max_crashes: 2,
+        ..recovery_config(config, 0b01, 0b01)
+    };
+    explore_with_lin_opt(
+        &config,
+        RegisterSpec,
+        |mem| WriteBehindRegister::with_recovery(mem, WbRecovery::Flush),
+        &write_behind_workload(),
+        |res, _mem| {
+            if !res.completed {
+                return Err("execution hit the tick limit".into());
+            }
+            let p0 = ProcessId(0);
+            let write_unresolved = res
+                .ops
+                .iter()
+                .any(|o| o.req.proc == p0 && o.outcome.is_none());
+            if res.is_restarted(p0) && res.is_crashed(p0) && write_unresolved {
+                return Err(
+                    "recovery crash-safety violated: the writer crashed again mid-recovery and \
+                     its interrupted write stays unresolved with the restart budget spent \
+                     (designed violation, not a hang)"
+                        .into(),
+                );
+            }
+            Ok(())
+        },
+        |_res| false,
+    )
+}
+
 /// The ABD workload shared by every network scenario: a writer and a
 /// reader racing over the emulated register.
 fn abd_workload() -> Workload<RegisterSpec, ()> {
@@ -1302,6 +1462,91 @@ static SCENARIOS: &[Scenario] = &[
         runner: run_crash_a1_dropped_raw_fence_n2,
     },
     Scenario {
+        name: "recovery_tas_n2",
+        object: "recoverable TAS (announce + CAS claim)",
+        processes: 2,
+        description: "one test-and-set per process under a 1-crash + 1-restart budget; recovery \
+                      re-validates ownership and resolves — passes every crashed-pending closure",
+        checks: &["linearizable", "at_most_one_winner", "wait_free"],
+        expect_violation: false,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_recovery_tas_n2,
+    },
+    Scenario {
+        name: "recovery_tas_mutant_n2",
+        object: "recoverable TAS — seeded blind-winner recovery mutant",
+        processes: 2,
+        description: "recovery skips re-validating ownership and blindly commits Winner: two \
+                      winners whenever the other process won while the victim was down",
+        checks: &["linearizable", "at_most_one_winner", "wait_free"],
+        expect_violation: true,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_recovery_tas_mutant_n2,
+    },
+    Scenario {
+        name: "recovery_write_behind_flush_durable_n2",
+        object: "write-behind register (flush recovery)",
+        processes: 2,
+        description: "the restarted writer redoes and late-commits its interrupted write; the \
+                      durable closure accepts every history",
+        checks: &["durably_linearizable", "completes"],
+        expect_violation: false,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_recovery_write_behind_flush_durable_n2,
+    },
+    Scenario {
+        name: "recovery_write_behind_flush_strict_n2",
+        object: "write-behind register (flush recovery)",
+        processes: 2,
+        description: "the same space under the strict closure: the never-restarted subspace keeps \
+                      the stale-read strict witness alive",
+        checks: &["strictly_linearizable", "completes"],
+        expect_violation: true,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_recovery_write_behind_flush_strict_n2,
+    },
+    Scenario {
+        name: "recovery_write_behind_abandon_durable_n2",
+        object: "write-behind register (abandon recovery)",
+        processes: 2,
+        description: "recovery rolls the half-applied write back and abandons it; a lost \
+                      interrupted op is exactly what the durable closure permits",
+        checks: &["durably_linearizable", "completes"],
+        expect_violation: false,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_recovery_write_behind_abandon_durable_n2,
+    },
+    Scenario {
+        name: "recovery_write_behind_abandon_recoverable_n2",
+        object: "write-behind register (abandon recovery)",
+        processes: 2,
+        description: "the same histories under the recoverable closure: the abandoned write was \
+                      required to take effect by recovery completion — the separating pair",
+        checks: &["recoverably_linearizable", "completes"],
+        expect_violation: true,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_recovery_write_behind_abandon_recoverable_n2,
+    },
+    Scenario {
+        name: "recovery_recrash_unrecovered_n2",
+        object: "write-behind register (flush recovery) — recovery re-crashes",
+        processes: 2,
+        description: "a 2-crash budget crashes the writer again mid-recovery: the interrupted \
+                      write stays unresolved with the restart budget spent — a designed \
+                      recovery-crash-safety violation",
+        checks: &["completes", "recovery_crash_safety"],
+        expect_violation: true,
+        needs_schedules: 0,
+        needs_trace: false,
+        runner: run_recovery_recrash_unrecovered_n2,
+    },
+    Scenario {
         name: "abd_lossy_n2",
         object: "ABD register (2 replicas, quorum 2)",
         processes: 2,
@@ -1436,6 +1681,8 @@ pub fn crashed_pending_values() -> &'static [(&'static str, CrashedPending)] {
     &[
         ("open", CrashedPending::Open),
         ("strict", CrashedPending::Strict),
+        ("durable", CrashedPending::Durable),
+        ("recoverable", CrashedPending::Recoverable),
     ]
 }
 

@@ -425,6 +425,184 @@ fn wedged_resettable_tas_is_reported_within_budget_in_every_lin_preserving_mode(
     }
 }
 
+/// Recovery-aware signature set: every op's outcome, which processes
+/// crashed *and which restarted*, plus the bridge's verdict under
+/// `crashed_pending` — computed over the 1-crash + 1-restart extension of
+/// the workload's schedule space.
+fn recovery_signature_set<O, F>(
+    setup: F,
+    wl: &Wl,
+    reduction: Reduction,
+    resume: ResumeMode,
+    crashed_pending: CrashedPending,
+) -> (BTreeSet<String>, u64)
+where
+    O: scl_sim::SimObject<TasSpec, TasSwitch>,
+    F: FnMut(&mut SharedMemory) -> O,
+{
+    let mut set = BTreeSet::new();
+    let mut monitor =
+        LinMonitor::new(TasSpec, CheckerMode::Incremental).with_crashed_pending(crashed_pending);
+    let report = explore_schedules_monitored_report(
+        setup,
+        wl,
+        &ExploreConfig {
+            max_schedules: 1_000_000,
+            max_crashes: 1,
+            max_recoveries: 1,
+            reduction,
+            resume,
+            ..Default::default()
+        },
+        &mut monitor,
+        |res, _mem, m: &mut LinMonitor<TasSpec>| {
+            let mut ops: Vec<String> = res
+                .ops
+                .iter()
+                .map(|o| format!("{}={:?}", o.req.id, o.outcome))
+                .collect();
+            ops.sort();
+            set.insert(format!(
+                "{}|crashed={:b}|restarted={:b}|lin={}",
+                ops.join(","),
+                res.crashed,
+                res.restarted,
+                m.verdict().is_ok()
+            ));
+            Ok(())
+        },
+    );
+    let schedules = match report.outcome {
+        Ok(ExploreOutcome::Exhausted { schedules }) => schedules,
+        other => panic!("exploration must exhaust, got {other:?}"),
+    };
+    (set, schedules)
+}
+
+#[test]
+fn recovery_aware_reductions_have_the_full_verdict_set_on_recoverable_tas() {
+    // The PR-10 tentpole soundness oracle: with a 1-crash + 1-restart
+    // budget on the n=2 recoverable-TAS space, every lin-preserving
+    // reduction × resume mode × crashed-pending closure reaches exactly the
+    // outcome+crash+restart+verdict signatures of unreduced enumeration.
+    let wl: Wl = Workload::single_op_each(2, TasOp::TestAndSet);
+    let mk = |mem: &mut SharedMemory| scl_core::RecoverableTas::new(mem, 2);
+    for crashed_pending in [
+        CrashedPending::Open,
+        CrashedPending::Strict,
+        CrashedPending::Durable,
+        CrashedPending::Recoverable,
+    ] {
+        let (full, full_scheds) = recovery_signature_set(
+            mk,
+            &wl,
+            Reduction::Off,
+            ResumeMode::PrefixResume,
+            crashed_pending,
+        );
+        assert!(
+            full.iter().any(|s| !s.contains("|restarted=0|")),
+            "restart branches must actually be explored"
+        );
+        // Recovery always resolves the interrupted op from the durable
+        // winner register, so the object passes even the strongest closure.
+        assert!(
+            full.iter().all(|s| s.ends_with("lin=true")),
+            "{crashed_pending:?}: the recoverable TAS must stay linearizable under \
+             crash + restart"
+        );
+        for reduction in [
+            Reduction::SleepSetsLinPreserving,
+            Reduction::SourceDporLinPreserving,
+        ] {
+            for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+                let (set, scheds) =
+                    recovery_signature_set(mk, &wl, reduction, resume, crashed_pending);
+                assert_eq!(full, set, "{crashed_pending:?}/{reduction:?}/{resume:?}");
+                if reduction == Reduction::SourceDporLinPreserving {
+                    assert!(
+                        scheds < full_scheds,
+                        "recovery-aware source DPOR must still prune: {scheds} vs {full_scheds}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_mutant_is_detected_in_every_mode() {
+    // The blind-winner recovery bug is a *final-state* violation (two
+    // committed winners), so even the non-lin-preserving reductions must
+    // find it — they preserve reachable final states.
+    let scenario = find("recovery_tas_mutant_n2").expect("registered");
+    for reduction in [
+        Reduction::Off,
+        Reduction::SleepSets,
+        Reduction::SleepSetsLinPreserving,
+        Reduction::SourceDpor,
+        Reduction::SourceDporLinPreserving,
+    ] {
+        for resume in [ResumeMode::FullReplay, ResumeMode::PrefixResume] {
+            for checker in [CheckerMode::Incremental, CheckerMode::FromScratch] {
+                let config = CheckConfig {
+                    reduction,
+                    resume,
+                    checker,
+                    ..Default::default()
+                };
+                let report = scenario.run(&config);
+                assert!(
+                    matches!(report.outcome, Outcome::Violation { .. }),
+                    "recovery mutant not detected under {reduction:?}/{resume:?}/{checker:?}: \
+                     {:?}",
+                    report.outcome
+                );
+                assert!(report.as_expected());
+            }
+        }
+    }
+}
+
+#[test]
+fn durable_and_recoverable_closures_separate_on_the_write_behind_register() {
+    // The new closure axis is observable on the same witness space: under
+    // abandon-recovery the rolled-back write is lost, which `durable`
+    // permits and `recoverable` rejects; under flush-recovery the late
+    // commit satisfies `durable` while the never-restarted subspace still
+    // breaks `strict`. Both checker modes agree.
+    let cases = [
+        ("recovery_write_behind_flush_durable_n2", false),
+        ("recovery_write_behind_flush_strict_n2", true),
+        ("recovery_write_behind_abandon_durable_n2", false),
+        ("recovery_write_behind_abandon_recoverable_n2", true),
+    ];
+    for (name, violates) in cases {
+        let scenario = find(name).expect("registered");
+        for checker in [CheckerMode::Incremental, CheckerMode::FromScratch] {
+            let config = CheckConfig {
+                checker,
+                ..Default::default()
+            };
+            let report = scenario.run(&config);
+            if violates {
+                assert!(
+                    matches!(report.outcome, Outcome::Violation { .. }),
+                    "{name}/{checker:?}: {:?}",
+                    report.outcome
+                );
+            } else {
+                assert!(
+                    matches!(report.outcome, Outcome::Exhausted { .. }),
+                    "{name}/{checker:?}: {:?}",
+                    report.outcome
+                );
+            }
+            assert!(report.as_expected());
+        }
+    }
+}
+
 #[test]
 fn strict_and_open_closures_separate_on_the_write_behind_register() {
     // The crashed-pending axis is observable: identical histories, opposite

@@ -93,13 +93,14 @@ fn every_expected_violation_replays_bit_identically_across_modes() {
         .filter(|s| s.expect_violation)
         .collect();
     assert!(
-        violating.len() >= 7,
+        violating.len() >= 11,
         "the registry lost its seeded-violation scenarios"
     );
-    // Crash and network faults must both be represented: replay has to
-    // handle crash pseudo-steps and delivery/drop transitions, not just
+    // Crash, recovery and network faults must all be represented: replay
+    // has to handle crash, restart and delivery/drop pseudo-steps, not just
     // real steps.
     assert!(violating.iter().any(|s| s.name.starts_with("crash_")));
+    assert!(violating.iter().any(|s| s.name.starts_with("recovery_")));
     assert!(violating.iter().any(|s| s.name.starts_with("abd_")));
 
     for scenario in violating {
@@ -116,13 +117,14 @@ fn every_expected_violation_replays_bit_identically_across_modes() {
 
 #[test]
 fn artifact_round_trip_reproduces_the_verdict() {
-    // The full pipeline for one shared-memory, one crash and one network
-    // counterexample: violate → decode via replay → serialize the artifact →
-    // parse it back → rebuild the config from recorded provenance → replay
-    // again → identical verdict.
+    // The full pipeline for one shared-memory, one crash, one recovery and
+    // one network counterexample: violate → decode via replay → serialize
+    // the artifact → parse it back → rebuild the config from recorded
+    // provenance → replay again → identical verdict.
     for name in [
         "a1_dropped_raw_fence_n2",
         "crash_write_behind_strict_n2",
+        "recovery_tas_mutant_n2",
         "abd_quorum_mutant",
     ] {
         let scenario = scl_check::find(name).expect("registered scenario");

@@ -25,6 +25,13 @@
 //!   bounded retry budget (dropped messages are re-sent until the budget
 //!   degrades the operation to a designed abort), plus the seeded
 //!   quorum-off-by-one mutant.
+//! * [`register`] — a write-behind register whose buffered writes separate
+//!   the open/strict and durable/recoverable crashed-pending closures, with
+//!   pluggable crash-recovery routines (flush vs abandon).
+//! * [`recovery`] — a recoverable test-and-set for the crash-restart
+//!   adversary: per-process announcements plus a winner register, with a
+//!   recovery routine that re-validates ownership after a restart (and a
+//!   seeded mutant whose recovery blindly trusts the winner register).
 //!
 //! Every algorithm is a [`scl_sim::SimObject`]: operations advance one
 //! shared-memory step at a time under an adversarial scheduler, so the
@@ -38,6 +45,7 @@
 pub mod compose;
 pub mod consensus;
 pub mod network;
+pub mod recovery;
 pub mod register;
 pub mod tas;
 pub mod universal;
@@ -48,7 +56,8 @@ pub use consensus::{
     ConsensusOutcome, ConsensusSwitch, SplitConsensus, Splitter, SplitterResult,
 };
 pub use network::AbdRegister;
-pub use register::WriteBehindRegister;
+pub use recovery::RecoverableTas;
+pub use register::{WbRecovery, WriteBehindRegister};
 pub use tas::{
     new_solo_fast_tas, new_speculative_tas, A1Tas, A1Variant, A2Tas, ResettableTas, SoloFastTas,
     SpeculativeTas,

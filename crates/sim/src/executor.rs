@@ -253,6 +253,28 @@ pub enum TickEmission {
         /// The client process whose operation the message belongs to.
         owner: ProcessId,
     },
+    /// The tick restarted a crashed process: its volatile state is wiped
+    /// (shared registers persist) and control passes to the object's
+    /// [`SimObject::recover`] routine. `op_index` names the operation that
+    /// was in flight when the process crashed, `None` when it crashed
+    /// between operations.
+    Restarted {
+        /// Index of the interrupted operation in [`ExecutionResult::ops`],
+        /// if the process crashed mid-operation.
+        op_index: Option<usize>,
+    },
+    /// The tick completed a recovery routine. With `resolved = true` the
+    /// interrupted operation `ops[op_index]` received its response during
+    /// recovery (a late commit); with `resolved = false` the recovery
+    /// finished without resolving it — the interrupted operation (if any)
+    /// is abandoned and stays pending forever.
+    Recovered {
+        /// Index of the interrupted operation in [`ExecutionResult::ops`],
+        /// if the process crashed mid-operation.
+        op_index: Option<usize>,
+        /// Whether the recovery committed the interrupted operation.
+        resolved: bool,
+    },
 }
 
 /// One operation's record: the request and outcome indices into the trace.
@@ -282,8 +304,12 @@ pub struct ExecutionResult<S: SequentialSpec, V> {
     /// Number of ticks consumed.
     pub ticks: u64,
     /// Bitmask of processes that crashed during the execution (bit `p` set
-    /// when [`Executor::tick`] executed a crash of process `p`).
+    /// when [`Executor::tick`] executed a crash of process `p`). Historical:
+    /// the bit stays set even after the process restarts.
     pub crashed: u64,
+    /// Bitmask of processes that restarted during the execution (bit `p`
+    /// set when [`Executor::tick`] executed a restart of process `p`).
+    pub restarted: u64,
 }
 
 impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Default for ExecutionResult<S, V> {
@@ -296,12 +322,14 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> Default for ExecutionResul
             completed: false,
             ticks: 0,
             crashed: 0,
+            restarted: 0,
         }
     }
 }
 
 impl<S: SequentialSpec, V> ExecutionResult<S, V> {
-    /// Whether process `p` crashed during the execution.
+    /// Whether process `p` crashed during the execution (at any point —
+    /// the flag persists across a restart).
     pub fn is_crashed(&self, p: ProcessId) -> bool {
         p.index() < 64 && self.crashed & (1u64 << p.index()) != 0
     }
@@ -309,6 +337,16 @@ impl<S: SequentialSpec, V> ExecutionResult<S, V> {
     /// Number of processes that crashed during the execution.
     pub fn crash_count(&self) -> u32 {
         self.crashed.count_ones()
+    }
+
+    /// Whether process `p` restarted during the execution.
+    pub fn is_restarted(&self, p: ProcessId) -> bool {
+        p.index() < 64 && self.restarted & (1u64 << p.index()) != 0
+    }
+
+    /// Number of processes that restarted during the execution.
+    pub fn restart_count(&self) -> u32 {
+        self.restarted.count_ones()
     }
 }
 
@@ -322,9 +360,23 @@ enum ProcState<S: SequentialSpec, V> {
         op_cursor: usize,
     },
     Done,
-    /// The process crashed (crash-stop): it is never enabled again and its
-    /// in-flight operation, if any, stays pending forever.
-    Crashed,
+    /// The process crashed: it is not enabled again unless the schedule
+    /// restarts it. `interrupted` names its in-flight operation at crash
+    /// time (still unresolved), `next_op` the workload cursor a restart
+    /// resumes at once recovery completes.
+    Crashed {
+        interrupted: Option<usize>,
+        next_op: usize,
+    },
+    /// The process restarted and is executing the object's recovery routine
+    /// for the interrupted operation. `exec: None` is the trivial recovery
+    /// (the object had nothing to recover): its single tick completes the
+    /// recovery without resolving anything.
+    Recovering {
+        exec: Option<Box<dyn OpExecution<S, V>>>,
+        op_index: Option<usize>,
+        next_op: usize,
+    },
 }
 
 impl<S: SequentialSpec, V> ProcState<S, V> {
@@ -343,8 +395,43 @@ impl<S: SequentialSpec, V> ProcState<S, V> {
                 op_cursor: *op_cursor,
             },
             ProcState::Done => ProcState::Done,
-            ProcState::Crashed => ProcState::Crashed,
+            ProcState::Crashed {
+                interrupted,
+                next_op,
+            } => ProcState::Crashed {
+                interrupted: *interrupted,
+                next_op: *next_op,
+            },
+            ProcState::Recovering {
+                exec,
+                op_index,
+                next_op,
+            } => ProcState::Recovering {
+                exec: match exec {
+                    None => None,
+                    Some(e) => Some(e.fork()?),
+                },
+                op_index: *op_index,
+                next_op: *next_op,
+            },
         })
+    }
+
+    /// The operation record index this state may still resolve *outside*
+    /// the session's open set: the interrupted op of a crashed process (a
+    /// future restart's recovery may commit it) or of an in-flight recovery.
+    /// Snapshots capture these so a rewind undoes late resolutions.
+    fn latent_op(&self) -> Option<usize> {
+        match self {
+            ProcState::Crashed {
+                interrupted: Some(m),
+                ..
+            }
+            | ProcState::Recovering {
+                op_index: Some(m), ..
+            } => Some(*m),
+            _ => None,
+        }
     }
 }
 
@@ -364,10 +451,17 @@ pub struct SessionSnapshot<S: SequentialSpec, V> {
     /// Copies of `metrics.ops[i]` for each `i` in `open` (closed operations
     /// never mutate again, open ones do).
     open_metrics: Vec<OpMetrics>,
+    /// Interrupted operations of crashed / recovering processes
+    /// ([`ProcState::latent_op`]) with their metrics: not in `open`, but a
+    /// later restart's recovery may still resolve them, so a rewind must
+    /// restore them too.
+    latent: Vec<usize>,
+    latent_metrics: Vec<OpMetrics>,
     trace_len: usize,
     ops_len: usize,
     decisions_len: usize,
     crashed: u64,
+    restarted: u64,
 }
 
 impl<S: SequentialSpec, V> SessionSnapshot<S, V> {
@@ -440,6 +534,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
     pub fn next_footprint(&self, p: ProcessId) -> Footprint {
         match self.states.get(p.index()) {
             Some(ProcState::Running { exec, .. }) => exec.next_footprint(),
+            Some(ProcState::Recovering { exec: Some(e), .. }) => e.next_footprint(),
             _ => Footprint::Pure,
         }
     }
@@ -456,6 +551,12 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
     pub fn next_may_respond(&self, p: ProcessId) -> bool {
         match self.states.get(p.index()) {
             Some(ProcState::Running { exec, .. }) => exec.may_respond_next(),
+            // A recovery's completion is a response-like event (it may
+            // resolve the interrupted operation); the trivial recovery
+            // completes on its very next tick.
+            Some(ProcState::Recovering { exec, .. }) => {
+                exec.as_ref().is_none_or(|e| e.may_respond_next())
+            }
             _ => false,
         }
     }
@@ -486,7 +587,13 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         for st in &self.states {
             states.push(st.fork()?);
         }
+        let latent: Vec<usize> = self.states.iter().filter_map(|st| st.latent_op()).collect();
         Some(SessionSnapshot {
+            latent_metrics: latent
+                .iter()
+                .map(|&i| self.result.metrics.ops[i].clone())
+                .collect(),
+            latent,
             states,
             open: self.open.clone(),
             open_metrics: self
@@ -498,6 +605,7 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
             ops_len: self.result.ops.len(),
             decisions_len: self.result.decisions.len(),
             crashed: self.result.crashed,
+            restarted: self.result.restarted,
         })
     }
 
@@ -523,6 +631,21 @@ impl<S: SequentialSpec, V: Clone + Eq + Hash + Debug> ExecSession<S, V> {
         self.result.completed = false;
         self.result.ticks = 0;
         self.result.crashed = 0;
+        self.result.restarted = 0;
+    }
+
+    /// Bitmask of processes that are crashed *right now* (state
+    /// [`ProcState::Crashed`], not yet restarted) — the restart candidates
+    /// the explorer branches on. Unlike [`ExecutionResult::crashed`], which
+    /// is historical, a bit here clears when the process restarts.
+    pub fn crashed_now(&self) -> u64 {
+        let mut mask = 0u64;
+        for (i, st) in self.states.iter().enumerate() {
+            if matches!(st, ProcState::Crashed { .. }) && i < 64 {
+                mask |= 1u64 << i;
+            }
+        }
+        mask
     }
 }
 
@@ -686,6 +809,15 @@ impl Executor {
                     }
                     session.in_progress.push(ProcessId(i));
                 }
+                ProcState::Recovering { exec, op_index, .. } => {
+                    live = true;
+                    if exec.as_ref().is_none_or(|e| !e.blocked(mem)) {
+                        session.enabled.push(ProcessId(i));
+                    }
+                    if op_index.is_some() {
+                        session.in_progress.push(ProcessId(i));
+                    }
+                }
                 _ => {}
             }
         }
@@ -734,6 +866,13 @@ impl Executor {
     /// message in slot `s` — scheduled network transitions that charge no
     /// process counters and emit [`TickEmission::Delivered`] /
     /// [`TickEmission::Dropped`].
+    ///
+    /// An index `2n + 2cap + p` is a **restart step** of a crashed process
+    /// `p`: the process becomes [`ProcState::Recovering`] running the
+    /// object's [`SimObject::recover`] routine (shared registers persist,
+    /// volatile state is gone) and emits [`TickEmission::Restarted`]; the
+    /// recovery's completion emits [`TickEmission::Recovered`] and the
+    /// process resumes its remaining workload.
     pub fn tick<S, V, O>(
         &self,
         session: &mut ExecSession<S, V>,
@@ -755,9 +894,14 @@ impl Executor {
                 session.enabled.contains(&ProcessId(chosen.index() - n))
             } else if chosen.index() < 2 * n + cap {
                 session.enabled.contains(&chosen)
+            } else if chosen.index() < 2 * n + 2 * cap {
+                mem.net_occupied() & (1u64 << (chosen.index() - 2 * n - cap)) != 0
             } else {
-                chosen.index() < 2 * n + 2 * cap
-                    && mem.net_occupied() & (1u64 << (chosen.index() - 2 * n - cap)) != 0
+                chosen.index() < 2 * n + 2 * cap + n
+                    && matches!(
+                        session.states[chosen.index() - 2 * n - 2 * cap],
+                        ProcState::Crashed { .. }
+                    )
             },
             "tick({chosen:?}) without a preceding survey enabling it \
              (enabled {:?}, path {:?})",
@@ -769,6 +913,43 @@ impl Executor {
         session.result.decisions.push(&session.enabled, chosen);
         session.last_emission = TickEmission::None;
         session.last_footprint = Footprint::Pure;
+        if chosen.index() >= 2 * n + 2 * cap {
+            // Restart step: the crashed process comes back. Its volatile
+            // state (the interrupted OpExecution) was already lost at the
+            // crash; shared registers persist. The object's recovery routine
+            // takes over — like `invoke`, `recover` itself must not take
+            // shared-memory steps (it only allocates the routine).
+            let ri = chosen.index() - 2 * n - 2 * cap;
+            let (interrupted, next_op) = match &session.states[ri] {
+                ProcState::Crashed {
+                    interrupted,
+                    next_op,
+                } => (*interrupted, *next_op),
+                _ => unreachable!("restart of a process that is not crashed"),
+            };
+            let p = ProcessId(ri);
+            let steps_before = mem.global_steps();
+            let exec = {
+                let req = interrupted.map(|oi| &session.result.ops[oi].req);
+                object.recover(mem, p, req)
+            };
+            debug_assert_eq!(
+                mem.global_steps(),
+                steps_before,
+                "SimObject::recover must not take shared-memory steps \
+                 (allocate lazily, access in OpExecution::step)"
+            );
+            session.states[ri] = ProcState::Recovering {
+                exec,
+                op_index: interrupted,
+                next_op,
+            };
+            session.result.restarted |= 1u64 << ri;
+            session.last_emission = TickEmission::Restarted {
+                op_index: interrupted,
+            };
+            return;
+        }
         if chosen.index() >= 2 * n && cap > 0 {
             // Network transition: deliver or drop the message in one
             // in-flight slot. Not a process step — no counters are charged;
@@ -790,19 +971,35 @@ impl Executor {
         }
         if chosen.index() >= n {
             // Crash step: the crashed process drops out of the enabled set
-            // forever; its in-flight operation stays open in the history
-            // sense (no response is ever recorded) but stops participating
-            // in metrics charging.
+            // until (and unless) a restart is scheduled; its in-flight
+            // operation stays open in the history sense (no response is
+            // ever recorded unless a later recovery resolves it) but stops
+            // participating in metrics charging. A crash may also hit a
+            // process mid-recovery: the recovery routine is lost and the
+            // original interrupted operation stays unresolved.
             let ri = chosen.index() - n;
-            let op_index = match &session.states[ri] {
-                ProcState::Running { metrics_idx, .. } => {
+            let (op_index, next_op) = match &session.states[ri] {
+                ProcState::Running {
+                    metrics_idx,
+                    op_cursor,
+                    ..
+                } => {
                     let midx = *metrics_idx;
                     session.open.retain(|&oi| oi != midx);
-                    Some(midx)
+                    (Some(midx), *op_cursor + 1)
                 }
-                _ => None,
+                ProcState::Idle { next_op } => (None, *next_op),
+                ProcState::Recovering {
+                    op_index, next_op, ..
+                } => (*op_index, *next_op),
+                // Done / already-crashed processes are never enabled, so a
+                // crash step cannot reach them (debug-asserted above).
+                ProcState::Done | ProcState::Crashed { .. } => (None, workload.ops[ri].len()),
             };
-            session.states[ri] = ProcState::Crashed;
+            session.states[ri] = ProcState::Crashed {
+                interrupted: op_index,
+                next_op,
+            };
             session.result.crashed |= 1u64 << ri;
             session.last_emission = TickEmission::Crashed { op_index };
             return;
@@ -933,7 +1130,74 @@ impl Executor {
                     };
                 }
             }
-            ProcState::Done | ProcState::Crashed => {}
+            ProcState::Recovering {
+                exec,
+                op_index,
+                next_op,
+            } => {
+                let oi = *op_index;
+                let resume_at = *next_op;
+                let finished = match exec {
+                    // Trivial recovery: completes immediately, resolving
+                    // nothing.
+                    None => Some(None),
+                    Some(e) => {
+                        let before = mem.counters(p);
+                        let outcome = e.step(mem);
+                        let after = mem.counters(p);
+                        let dsteps = after.steps - before.steps;
+                        session.last_footprint = match dsteps {
+                            0 => Footprint::Pure,
+                            1 => mem.last_footprint(),
+                            _ => Footprint::Unknown,
+                        };
+                        // Recovery steps are not charged to the interrupted
+                        // operation (its metrics froze at the crash), but
+                        // they are still foreign steps for everyone else.
+                        if dsteps > 0 {
+                            for &o in &session.open {
+                                if metrics.ops[o].proc != p {
+                                    metrics.ops[o].foreign_steps += dsteps;
+                                }
+                            }
+                        }
+                        match outcome {
+                            StepOutcome::Done(out) => Some(Some(out)),
+                            _ => None,
+                        }
+                    }
+                };
+                if let Some(outcome) = finished {
+                    let resolved = match (outcome, oi) {
+                        (Some(OpOutcome::Commit(resp)), Some(midx)) => {
+                            // Late commit: the recovery resolved the
+                            // interrupted operation.
+                            let req_id = metrics.ops[midx].req_id;
+                            metrics.ops[midx].response_tick = Some(tick);
+                            if full_trace {
+                                session.result.trace.record_commit(p, req_id, resp.clone());
+                            }
+                            session.result.ops[midx].outcome = Some(OpOutcome::Commit(resp));
+                            true
+                        }
+                        // An aborting recovery abandons the interrupted
+                        // operation (it stays pending forever); a committing
+                        // recovery with nothing interrupted discards the
+                        // response.
+                        _ => false,
+                    };
+                    session.last_emission = TickEmission::Recovered {
+                        op_index: oi,
+                        resolved,
+                    };
+                    session.states[pi] = if resume_at < workload.ops[pi].len() {
+                        ProcState::Idle { next_op: resume_at }
+                    } else {
+                        ProcState::Done
+                    };
+                }
+            }
+            ProcState::Done | ProcState::Crashed { .. } => {}
         }
     }
 
@@ -969,10 +1233,18 @@ impl Executor {
             // abandoned suffix closed it, reopen it.
             result.ops[oi].outcome = None;
         }
+        for (&oi, m) in snap.latent.iter().zip(&snap.latent_metrics) {
+            // An interrupted operation of a crashed / recovering process was
+            // unresolved at snapshot time; if the abandoned suffix resolved
+            // it through a recovery, reopen it.
+            result.metrics.ops[oi] = m.clone();
+            result.ops[oi].outcome = None;
+        }
         result.decisions.truncate(snap.decisions_len);
         result.completed = false;
         result.ticks = snap.decisions_len as u64;
         result.crashed = snap.crashed;
+        result.restarted = snap.restarted;
     }
 }
 
@@ -1262,6 +1534,195 @@ mod tests {
         assert_eq!(res.ops.len(), 1);
         assert!(matches!(
             res.ops[0].outcome,
+            Some(OpOutcome::Commit(TasResp::Winner))
+        ));
+    }
+
+    /// A swap-based TAS whose recovery routine re-derives the interrupted
+    /// operation's response: if the flag is still clear the recovery claims
+    /// it (the crashed op takes effect during recovery), otherwise the op
+    /// is resolved as a loser.
+    struct RecoverSwapTas {
+        flag: RegId,
+    }
+
+    struct RecoverSwapTasRecovery {
+        flag: RegId,
+        proc: ProcessId,
+    }
+
+    impl OpExecution<TasSpec, TasSwitch> for RecoverSwapTasRecovery {
+        fn step(&mut self, mem: &mut SharedMemory) -> StepOutcome<TasSpec, TasSwitch> {
+            let prev = mem.swap(self.proc, self.flag, Value::TRUE);
+            StepOutcome::Done(OpOutcome::Commit(if prev.as_bool() {
+                TasResp::Loser
+            } else {
+                TasResp::Winner
+            }))
+        }
+    }
+
+    impl SimObject<TasSpec, TasSwitch> for RecoverSwapTas {
+        fn invoke(
+            &mut self,
+            _mem: &mut SharedMemory,
+            req: Request<TasSpec>,
+            _switch: Option<TasSwitch>,
+        ) -> Box<dyn OpExecution<TasSpec, TasSwitch>> {
+            Box::new(SwapTasOp {
+                flag: self.flag,
+                proc: req.proc,
+            })
+        }
+
+        fn recover(
+            &mut self,
+            _mem: &mut SharedMemory,
+            proc: ProcessId,
+            interrupted: Option<&Request<TasSpec>>,
+        ) -> Option<Box<dyn OpExecution<TasSpec, TasSwitch>>> {
+            interrupted.map(|_| {
+                Box::new(RecoverSwapTasRecovery {
+                    flag: self.flag,
+                    proc,
+                }) as Box<dyn OpExecution<TasSpec, TasSwitch>>
+            })
+        }
+    }
+
+    #[test]
+    fn restart_runs_recovery_and_resolves_the_interrupted_op() {
+        let mut mem = SharedMemory::new();
+        let flag = mem.alloc("flag", Value::FALSE);
+        let mut obj = RecoverSwapTas { flag };
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let executor = Executor::new();
+        let mut session: ExecSession<TasSpec, TasSwitch> = ExecSession::new();
+        executor.begin(&mut session, &wl);
+        // p0 invokes, crashes before its swap, then restarts (pseudo-process
+        // id 2n + 2cap + 0 = 4 for n = 2, cap = 0).
+        for id in [0usize, 2, 4] {
+            assert_eq!(
+                executor.survey(&mut session, &mem, &wl),
+                SurveyStatus::Choose
+            );
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(id));
+        }
+        assert_eq!(
+            session.last_emission(),
+            TickEmission::Restarted { op_index: Some(0) }
+        );
+        assert_eq!(session.crashed_now(), 0);
+        // The recovery's single step claims the flag and resolves the op.
+        assert_eq!(
+            executor.survey(&mut session, &mem, &wl),
+            SurveyStatus::Choose
+        );
+        assert!(session.enabled().contains(&ProcessId(0)));
+        executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(0));
+        assert_eq!(
+            session.last_emission(),
+            TickEmission::Recovered {
+                op_index: Some(0),
+                resolved: true
+            }
+        );
+        while executor.survey(&mut session, &mem, &wl) == SurveyStatus::Choose {
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(1));
+        }
+        let res = session.result();
+        assert!(res.completed);
+        assert!(res.is_crashed(ProcessId(0)));
+        assert!(res.is_restarted(ProcessId(0)));
+        assert_eq!(res.restart_count(), 1);
+        assert!(matches!(
+            res.ops[0].outcome,
+            Some(OpOutcome::Commit(TasResp::Winner))
+        ));
+        assert!(matches!(
+            res.ops[1].outcome,
+            Some(OpOutcome::Commit(TasResp::Loser))
+        ));
+        let lin = check_linearizable(&TasSpec, &res.trace.commit_projection());
+        assert!(lin.is_linearizable());
+    }
+
+    #[test]
+    fn trivial_recovery_abandons_the_interrupted_op() {
+        let mut mem = SharedMemory::new();
+        let mut obj = SwapTas::new(&mut mem);
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let executor = Executor::new();
+        let mut session: ExecSession<TasSpec, TasSwitch> = ExecSession::new();
+        executor.begin(&mut session, &wl);
+        // p0 invokes, crashes, restarts; SwapTas has no recovery routine, so
+        // the restart installs the trivial recovery.
+        for id in [0usize, 2, 4] {
+            assert_eq!(
+                executor.survey(&mut session, &mem, &wl),
+                SurveyStatus::Choose
+            );
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(id));
+        }
+        // Its single recovery tick completes without resolving the op.
+        assert_eq!(
+            executor.survey(&mut session, &mem, &wl),
+            SurveyStatus::Choose
+        );
+        executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(0));
+        assert_eq!(
+            session.last_emission(),
+            TickEmission::Recovered {
+                op_index: Some(0),
+                resolved: false
+            }
+        );
+        while executor.survey(&mut session, &mem, &wl) == SurveyStatus::Choose {
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(1));
+        }
+        let res = session.result();
+        assert!(res.completed);
+        // The abandoned op stays pending; p1 wins (p0's swap never ran).
+        assert_eq!(res.ops[0].outcome, None);
+        assert!(matches!(
+            res.ops[1].outcome,
+            Some(OpOutcome::Commit(TasResp::Winner))
+        ));
+        assert!(res.is_restarted(ProcessId(0)));
+    }
+
+    #[test]
+    fn crash_during_recovery_keeps_the_op_interrupted() {
+        let mut mem = SharedMemory::new();
+        let flag = mem.alloc("flag", Value::FALSE);
+        let mut obj = RecoverSwapTas { flag };
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let executor = Executor::new();
+        let mut session: ExecSession<TasSpec, TasSwitch> = ExecSession::new();
+        executor.begin(&mut session, &wl);
+        // p0 invokes, crashes, restarts, then crashes again mid-recovery.
+        for id in [0usize, 2, 4, 2] {
+            assert_eq!(
+                executor.survey(&mut session, &mem, &wl),
+                SurveyStatus::Choose
+            );
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(id));
+        }
+        assert_eq!(
+            session.last_emission(),
+            TickEmission::Crashed { op_index: Some(0) }
+        );
+        assert_eq!(session.crashed_now(), 0b01);
+        while executor.survey(&mut session, &mem, &wl) == SurveyStatus::Choose {
+            executor.tick(&mut session, &mut mem, &mut obj, &wl, ProcessId(1));
+        }
+        let res = session.result();
+        assert!(res.completed);
+        // The re-crash killed the recovery: the op is never resolved.
+        assert_eq!(res.ops[0].outcome, None);
+        assert!(res.is_restarted(ProcessId(0)));
+        assert!(matches!(
+            res.ops[1].outcome,
             Some(OpOutcome::Commit(TasResp::Winner))
         ));
     }

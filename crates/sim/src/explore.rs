@@ -237,6 +237,21 @@ pub struct ExploreConfig {
     /// `2n + cap + s` (see [`Executor::tick`]), removing slot `s` from
     /// flight and handing its owner a loss notification.
     pub max_drops: usize,
+    /// Maximum number of restart (crash-recovery) transitions injected per
+    /// execution. `0` (the default) keeps crashes crash-stop. With a
+    /// positive budget the DFS additionally branches, at every decision
+    /// point with budget left, on restarting each currently-crashed
+    /// recovery-eligible process — a restart is scheduled as the
+    /// pseudo-process `2n + 2cap + p` (see [`Executor::tick`]): the process
+    /// re-enters the enabled set running the object's
+    /// [`crate::machine::SimObject::recover`] routine for its interrupted
+    /// operation. Restart branches exist only at decision points where some
+    /// other transition is enabled (an execution in which *every* process is
+    /// crashed is complete).
+    pub max_recoveries: usize,
+    /// Processes eligible to restart, as a bitmask over process indices
+    /// (`!0` = every process). Only consulted when `max_recoveries > 0`.
+    pub recovery_eligible: u64,
     /// Network endpoints severed for the whole exploration (bit `i` =
     /// client `i`, bit `clients + j` = server `j`; `0` = no partition).
     /// Applied via [`SharedMemory::net_sever`] right after every `setup`
@@ -265,6 +280,8 @@ impl Default for ExploreConfig {
             max_crashes: 0,
             crash_eligible: !0,
             max_drops: 0,
+            max_recoveries: 0,
+            recovery_eligible: !0,
             partition: 0,
             deadline: None,
         }
@@ -428,6 +445,9 @@ pub struct ExploreStats {
     /// Message-drop transitions executed (including prefix replays); always
     /// 0 when [`ExploreConfig::max_drops`] is 0.
     pub drop_steps: u64,
+    /// Restart (crash-recovery) transitions executed (including prefix
+    /// replays); always 0 when [`ExploreConfig::max_recoveries`] is 0.
+    pub restart_steps: u64,
 }
 
 impl ExploreStats {
@@ -444,6 +464,7 @@ impl ExploreStats {
         self.crash_steps += other.crash_steps;
         self.delivery_steps += other.delivery_steps;
         self.drop_steps += other.drop_steps;
+        self.restart_steps += other.restart_steps;
     }
 }
 
@@ -749,6 +770,16 @@ where
                     "crash exploration under a sleep-set reduction supports at most 32 processes"
                 );
             }
+            if config.max_recoveries > 0 {
+                // Restart transitions sit past the crash band (and any
+                // network band) at `2n + 2cap + p`; ids beyond 64 fall off
+                // the sleep masks (never asleep — sound, just unreduced),
+                // but keep the cap-free geometry honest.
+                assert!(
+                    3 * workload.processes() <= 64,
+                    "recovery exploration under a sleep-set reduction supports at most 21 processes"
+                );
+            }
         }
         Engine {
             executor: config.executor(),
@@ -848,6 +879,11 @@ where
             // invocations, so the lin-preserving modes must treat it like a
             // response barrier.
             TickEmission::Crashed { .. } => (false, true),
+            // A restart is a conservative barrier like a crash, and a
+            // recovery completion is a genuine response event under the
+            // durable/recoverable closures (it may resolve — or forever
+            // abandon — the interrupted operation).
+            TickEmission::Restarted { .. } | TickEmission::Recovered { .. } => (false, true),
             // Network transitions move no operation event; their ordering
             // effect is carried entirely by their footprint (inbox/replica
             // writes, or Unknown for reply-enqueuing deliveries).
@@ -864,7 +900,7 @@ where
         let proc = match self.session.last_emission() {
             TickEmission::Delivered { owner, .. } | TickEmission::Dropped { owner, .. } => owner,
             _ => match StepKind::decode(chosen, n, self.mem.net_cap()) {
-                StepKind::Step(p) | StepKind::Crash(p) => p,
+                StepKind::Step(p) | StepKind::Crash(p) | StepKind::Restart(p) => p,
                 // Unreachable: a network transition always emits
                 // Delivered/Dropped, matched above.
                 StepKind::Deliver(_) | StepKind::Drop(_) => chosen,
@@ -904,17 +940,35 @@ where
             StepKind::Crash(_) => self.stats.crash_steps += 1,
             StepKind::Deliver(_) => self.stats.delivery_steps += 1,
             StepKind::Drop(_) => self.stats.drop_steps += 1,
+            StepKind::Restart(_) => self.stats.restart_steps += 1,
         }
         self.obs.step_executed(kind, false);
         if self.cur_sleep != 0 {
             let fp = self.session.last_step_footprint();
             let label = self.step_label(chosen);
             let lin = self.config.reduction.preserves_lin();
+            // An executed *restart* wakes every sleeper. A restart re-enables
+            // a disabled process, and the commuted order — run the sleeping
+            // transition first, restart afterwards — may not exist in the
+            // tree at all: once every live process is done the execution is
+            // complete and no restart can be scheduled behind it. Waking
+            // everything over-approximates that non-commutativity soundly
+            // (it only costs reduction on restart branches), mirroring the
+            // wake-on-everything rule for *sleeping* restarts below.
+            let executed_restart = chosen.index() >= 2 * n + 2 * cap;
             let mut rest = self.cur_sleep;
             while rest != 0 {
                 let i = rest.trailing_zeros() as usize;
                 rest &= rest - 1;
-                let wake = if cap > 0 && i >= 2 * n {
+                let wake = if executed_restart || i >= 2 * n + 2 * cap {
+                    // A sleeping *restart* transition: its recovery
+                    // routine's behaviour depends on shared state the
+                    // explorer cannot predict before `recover` is called,
+                    // so restarts never stay asleep — sound (wake-on-
+                    // everything over-approximates dependence), it merely
+                    // costs reduction on restart branches.
+                    true
+                } else if cap > 0 && i >= 2 * n {
                     // A sleeping *network* transition: wake on dependence
                     // between its predicted write set and the executed
                     // step's footprint. The predictions over-approximate
@@ -1056,9 +1110,12 @@ where
     /// choices at a decision point additionally include crashing each
     /// enabled crash-eligible process (the pseudo-process `n + p`); with a
     /// drop budget ([`ExploreConfig::max_drops`]) they include dropping
-    /// each in-flight message (the pseudo-process `2n + cap + s`). The
-    /// enabled set itself already contains every in-flight *delivery*
-    /// (`2n + s`) — deliveries are ordinary transitions, not faults.
+    /// each in-flight message (the pseudo-process `2n + cap + s`); with a
+    /// recovery budget ([`ExploreConfig::max_recoveries`]) they include
+    /// restarting each currently-crashed process (the pseudo-process
+    /// `2n + 2cap + p`). The enabled set itself already contains every
+    /// in-flight *delivery* (`2n + s`) — deliveries are ordinary
+    /// transitions, not faults.
     fn drive(&mut self) -> Leaf {
         let n = self.workload.processes();
         let cap = self.mem.net_cap();
@@ -1121,6 +1178,31 @@ where
                     }
                 }
             }
+            // Restart alternatives: one per currently-crashed recovery-
+            // eligible process, while the recovery budget lasts. Crashed
+            // processes are not in the enabled set, so these come from the
+            // session's live crash mask; a restart only branches at nodes
+            // where something else is enabled (an all-crashed execution is
+            // already complete).
+            let recoveries_left = self.config.max_recoveries != 0
+                && self
+                    .path
+                    .iter()
+                    .filter(|p| matches!(StepKind::decode(**p, n, cap), StepKind::Restart(_)))
+                    .count()
+                    < self.config.max_recoveries;
+            let mut restart_alts: Vec<ProcessId> = Vec::new();
+            if recoveries_left {
+                let mut rest = self.session.crashed_now() & self.config.recovery_eligible;
+                while rest != 0 {
+                    let i = rest.trailing_zeros() as usize;
+                    rest &= rest - 1;
+                    let r = StepKind::Restart(ProcessId(i)).encode(n, cap);
+                    if sleep & bit(r) == 0 {
+                        restart_alts.push(r);
+                    }
+                }
+            }
             let chosen = match self
                 .enabled_buf
                 .iter()
@@ -1128,10 +1210,15 @@ where
                 .find(|p| sleep & bit(*p) == 0)
             {
                 Some(p) => p,
-                // Every enabled process is asleep; a still-awake crash or
-                // drop transition keeps the node alive (see above — its
-                // continuations are not covered by the sleeping siblings).
-                None => match crash_alts.pop().or_else(|| drop_alts.pop()) {
+                // Every enabled process is asleep; a still-awake crash,
+                // drop or restart transition keeps the node alive (see
+                // above — its continuations are not covered by the sleeping
+                // siblings).
+                None => match crash_alts
+                    .pop()
+                    .or_else(|| drop_alts.pop())
+                    .or_else(|| restart_alts.pop())
+                {
                     Some(c) => c,
                     None => return Leaf::SleepBlocked,
                 },
@@ -1154,8 +1241,10 @@ where
             // subtree.
             crash_alts.retain(|c| *c != chosen);
             drop_alts.retain(|c| *c != chosen);
+            restart_alts.retain(|c| *c != chosen);
             let has_awake_sibling = !crash_alts.is_empty()
                 || !drop_alts.is_empty()
+                || !restart_alts.is_empty()
                 || self
                     .enabled_buf
                     .iter()
@@ -1176,6 +1265,10 @@ where
                 };
                 alts.extend(crash_alts);
                 alts.extend(drop_alts);
+                // Restarts are queued eagerly in every mode, like crashes
+                // and drops: a restart label never participates in a
+                // shared-memory race the seeding would discover.
+                alts.extend(restart_alts);
                 let seeded = alts.iter().fold(bit(chosen), |m, p| m | bit(*p));
                 let enabled_mask = self.enabled_buf.iter().fold(0u64, |m, p| m | bit(*p));
                 let snap = self.checkpoint();
@@ -2910,6 +3003,8 @@ mod tests {
                     }
                     TickEmission::None
                     | TickEmission::Crashed { .. }
+                    | TickEmission::Restarted { .. }
+                    | TickEmission::Recovered { .. }
                     | TickEmission::Delivered { .. }
                     | TickEmission::Dropped { .. } => {}
                 }
@@ -3112,6 +3207,163 @@ mod tests {
         // Checkpoints taken after crash steps restore bit-identically, so
         // no fallback replay is ever needed on this fully snapshottable
         // object.
+        assert!(resume.stats.snapshots > 0);
+        assert_eq!(resume.stats.snapshot_fallbacks, 0);
+        assert!(resume.stats.executed_ticks < replay.stats.executed_ticks);
+    }
+
+    #[test]
+    fn restart_exploration_respects_the_budget_and_branches() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let crash_only = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                max_crashes: 1,
+                ..Default::default()
+            },
+            lin_check,
+        );
+        assert_eq!(crash_only.stats.restart_steps, 0);
+        let mut max_seen = 0u32;
+        let report = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                max_crashes: 1,
+                max_recoveries: 1,
+                ..Default::default()
+            },
+            |res, mem| {
+                max_seen = max_seen.max(res.restart_count());
+                // The default (trivial) recovery abandons the interrupted
+                // op, so the commit projection must still linearize.
+                lin_check(res, mem)
+            },
+        );
+        assert!(
+            matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+            "{:?}",
+            report.outcome
+        );
+        assert_eq!(max_seen, 1, "recovery budget must be reachable");
+        assert!(report.stats.restart_steps > 0);
+        assert!(
+            report.stats.schedules > crash_only.stats.schedules,
+            "restart branching must grow the tree: {} vs {}",
+            report.stats.schedules,
+            crash_only.stats.schedules
+        );
+    }
+
+    #[test]
+    fn recovery_eligible_mask_limits_who_restarts() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let mut restarted_union = 0u64;
+        let report = explore_schedules_report(
+            |mem| SwapTas {
+                flag: mem.alloc("flag", Value::FALSE),
+            },
+            &wl,
+            &ExploreConfig {
+                max_crashes: 1,
+                max_recoveries: 1,
+                recovery_eligible: 0b01,
+                ..Default::default()
+            },
+            |res, _mem| {
+                restarted_union |= res.restarted;
+                Ok(())
+            },
+        );
+        assert!(matches!(
+            report.outcome,
+            Ok(ExploreOutcome::Exhausted { .. })
+        ));
+        assert_eq!(restarted_union, 0b01, "only process 0 may restart");
+    }
+
+    /// A fingerprint that additionally pins which processes crashed and
+    /// which restarted, so mode-coverage comparisons are recovery-aware.
+    fn restart_fingerprint(
+        res: &ExecutionResult<TasSpec, TasSwitch>,
+        mem: &SharedMemory,
+    ) -> String {
+        format!(
+            "{};crashed={:b};restarted={:b}",
+            fingerprint(res, mem),
+            res.crashed,
+            res.restarted
+        )
+    }
+
+    #[test]
+    fn restart_exploration_covers_identical_final_states_in_every_mode() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let run = |config: &ExploreConfig| {
+            let mut states = std::collections::BTreeSet::new();
+            let report = explore_schedules_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                config,
+                |res, mem| {
+                    states.insert(restart_fingerprint(res, mem));
+                    Ok(())
+                },
+            );
+            assert!(
+                matches!(report.outcome, Ok(ExploreOutcome::Exhausted { .. })),
+                "{config:?}: {:?}",
+                report.outcome
+            );
+            states
+        };
+        let reference = run(&ExploreConfig {
+            max_crashes: 1,
+            max_recoveries: 1,
+            ..Default::default()
+        });
+        // Restarts actually reach states the restart-free space cannot.
+        assert!(reference.iter().any(|fp| !fp.ends_with("restarted=0")));
+        for base in all_mode_configs() {
+            let config = ExploreConfig {
+                max_crashes: 1,
+                max_recoveries: 1,
+                ..base
+            };
+            assert_eq!(run(&config), reference, "config {config:?}");
+        }
+    }
+
+    #[test]
+    fn restart_prefix_resume_is_equivalent_to_full_replay() {
+        let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(2, TasOp::TestAndSet);
+        let mk = |resume| {
+            explore_schedules_report(
+                |mem| SwapTas {
+                    flag: mem.alloc("flag", Value::FALSE),
+                },
+                &wl,
+                &ExploreConfig {
+                    max_crashes: 1,
+                    max_recoveries: 1,
+                    resume,
+                    ..Default::default()
+                },
+                lin_check,
+            )
+        };
+        let replay = mk(ResumeMode::FullReplay);
+        let resume = mk(ResumeMode::PrefixResume);
+        assert_eq!(replay.outcome, resume.outcome);
+        assert_eq!(replay.stats.schedules, resume.stats.schedules);
+        assert_eq!(replay.stats.restart_steps, resume.stats.restart_steps);
         assert!(resume.stats.snapshots > 0);
         assert_eq!(resume.stats.snapshot_fallbacks, 0);
         assert!(resume.stats.executed_ticks < replay.stats.executed_ticks);

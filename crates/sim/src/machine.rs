@@ -168,6 +168,30 @@ pub trait SimObject<S: SequentialSpec, V> {
         "object"
     }
 
+    /// Builds the recovery routine a restarted process runs before resuming
+    /// its workload. `interrupted` is the request that was in flight when
+    /// `proc` crashed (`None` when it crashed between operations).
+    ///
+    /// Like [`Self::invoke`], `recover` must not access shared memory — it
+    /// only allocates the routine; every step belongs in
+    /// [`OpExecution::step`] (the executor debug-asserts this). The routine
+    /// runs as the restarted process's first activity: finishing with
+    /// [`OpOutcome::Commit`] *resolves* the interrupted operation with that
+    /// late response, finishing with [`OpOutcome::Abort`] *abandons* it (the
+    /// operation stays pending forever — the witness separating the
+    /// `durable` and `recoverable` crashed-pending closures). Returning
+    /// `None` (the default) is the trivial recovery: the process resumes
+    /// its workload after one recovery tick without resolving anything.
+    fn recover(
+        &mut self,
+        mem: &mut SharedMemory,
+        proc: scl_spec::ProcessId,
+        interrupted: Option<&Request<S>>,
+    ) -> Option<Box<dyn OpExecution<S, V>>> {
+        let _ = (mem, proc, interrupted);
+        None
+    }
+
     /// Captures the object's private (non-shared-memory) state for the
     /// explorer's prefix-resume backtracking.
     ///

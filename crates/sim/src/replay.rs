@@ -50,6 +50,8 @@ pub struct ReplayLog {
     pub races: Vec<(usize, usize)>,
     /// Which processes ended the execution crashed.
     pub crashed: Vec<bool>,
+    /// Which processes restarted at least once during the execution.
+    pub restarted: Vec<bool>,
     /// Whether the execution was complete after the last recorded tick
     /// (recorded violation schedules always are).
     pub completed: bool,
@@ -90,13 +92,16 @@ where
         TickEmission::Invoked { .. } => (true, false),
         TickEmission::Committed { .. } | TickEmission::Aborted { .. } => (false, true),
         TickEmission::Crashed { .. } => (false, true),
+        // Restart/recovery transitions are conservative lin barriers, exactly
+        // as the exploration engine labels them (see `Engine::step_label`).
+        TickEmission::Restarted { .. } | TickEmission::Recovered { .. } => (false, true),
         TickEmission::Delivered { .. } | TickEmission::Dropped { .. } => (false, false),
         TickEmission::None => (false, false),
     };
     let proc = match session.last_emission() {
         TickEmission::Delivered { owner, .. } | TickEmission::Dropped { owner, .. } => owner,
         _ => match StepKind::decode(chosen, n, cap) {
-            StepKind::Step(p) | StepKind::Crash(p) => p,
+            StepKind::Step(p) | StepKind::Crash(p) | StepKind::Restart(p) => p,
             StepKind::Deliver(_) | StepKind::Drop(_) => chosen,
         },
     };
@@ -149,6 +154,7 @@ where
         ticks: Vec::with_capacity(schedule.len()),
         races: Vec::new(),
         crashed: vec![false; n],
+        restarted: vec![false; n],
         completed: false,
     };
     executor.begin(&mut session, workload);
@@ -173,12 +179,20 @@ where
         // A recorded decision is schedulable iff its *underlying* transition
         // is in the enabled set: the transition itself for real steps and
         // deliveries, the real process for a crash, the delivery for a drop.
-        let gate = match kind {
-            StepKind::Step(_) | StepKind::Deliver(_) => id,
-            StepKind::Crash(p) => p,
-            StepKind::Drop(s) => StepKind::Deliver(s).encode(n, cap),
+        // Restart targets are never in the enabled set (crashed processes
+        // are disabled by definition) — a restart is schedulable iff the
+        // process is currently crashed.
+        let schedulable = match kind {
+            StepKind::Step(_) | StepKind::Deliver(_) => session.enabled().contains(&id),
+            StepKind::Crash(p) => session.enabled().contains(&p),
+            StepKind::Drop(s) => session
+                .enabled()
+                .contains(&StepKind::Deliver(s).encode(n, cap)),
+            StepKind::Restart(p) => {
+                p.index() < n && session.crashed_now() & (1u64 << p.index()) != 0
+            }
         };
-        if !session.enabled().contains(&gate) {
+        if !schedulable {
             return (
                 ReplayOutcome::Diverged {
                     tick: i,
@@ -207,6 +221,7 @@ where
     log.completed = status != SurveyStatus::Choose;
     for p in 0..n {
         log.crashed[p] = session.result().is_crashed(ProcessId(p));
+        log.restarted[p] = session.result().is_restarted(ProcessId(p));
     }
     let outcome = match check(session.result(), &mem, monitor) {
         Ok(()) => ReplayOutcome::Passed,

@@ -12,6 +12,7 @@
 //! | `n + p`            | a crash step of process `p`           |
 //! | `2n + s`           | delivery of the message in slot `s`   |
 //! | `2n + cap + s`     | drop of the message in slot `s`       |
+//! | `2n + 2cap + p`    | restart of the crashed process `p`    |
 //!
 //! [`StepKind`] is the single decoder/encoder for this layout. Every place
 //! that needs to interpret a scheduled id — the engine's statistics, the
@@ -34,14 +35,17 @@ pub enum StepKind {
     Deliver(usize),
     /// Drop of the message in the slot (encoded `2n + cap + s`).
     Drop(usize),
+    /// Restart of the crashed process (encoded `2n + 2cap + p`).
+    Restart(ProcessId),
 }
 
 impl StepKind {
     /// Decodes a raw scheduled id for `n` processes and `cap` network slots.
     ///
-    /// Ids at or beyond `2n + 2*cap` do not occur in well-formed schedules;
-    /// they decode as a `Drop` with an out-of-range slot rather than panic,
-    /// so diagnostic paths can still print something for corrupt input.
+    /// Ids at or beyond `2n + 2*cap + n` do not occur in well-formed
+    /// schedules; they decode as a `Restart` of an out-of-range process
+    /// rather than panic, so diagnostic paths can still print something for
+    /// corrupt input.
     #[inline]
     pub fn decode(id: ProcessId, n: usize, cap: usize) -> StepKind {
         let i = id.index();
@@ -51,8 +55,10 @@ impl StepKind {
             StepKind::Crash(ProcessId(i - n))
         } else if i < 2 * n + cap {
             StepKind::Deliver(i - 2 * n)
-        } else {
+        } else if i < 2 * n + 2 * cap {
             StepKind::Drop(i - 2 * n - cap)
+        } else {
+            StepKind::Restart(ProcessId(i - 2 * n - 2 * cap))
         }
     }
 
@@ -65,28 +71,31 @@ impl StepKind {
             StepKind::Crash(p) => ProcessId(n + p.index()),
             StepKind::Deliver(s) => ProcessId(2 * n + s),
             StepKind::Drop(s) => ProcessId(2 * n + cap + s),
+            StepKind::Restart(p) => ProcessId(2 * n + 2 * cap + p.index()),
         }
     }
 
-    /// The real process this transition belongs to, if any: the stepping or
-    /// crashing process. Deliveries and drops belong to the network, not to
-    /// a process (their *owner* is only known to the memory layer).
+    /// The real process this transition belongs to, if any: the stepping,
+    /// crashing or restarting process. Deliveries and drops belong to the
+    /// network, not to a process (their *owner* is only known to the memory
+    /// layer).
     #[inline]
     pub fn proc(self) -> Option<ProcessId> {
         match self {
-            StepKind::Step(p) | StepKind::Crash(p) => Some(p),
+            StepKind::Step(p) | StepKind::Crash(p) | StepKind::Restart(p) => Some(p),
             StepKind::Deliver(_) | StepKind::Drop(_) => None,
         }
     }
 
     /// Short human-readable rendering: `p0`, `crash(p0)`, `deliver(s3)`,
-    /// `drop(s3)`.
+    /// `drop(s3)`, `restart(p0)`.
     pub fn describe(self) -> String {
         match self {
             StepKind::Step(p) => format!("{p}"),
             StepKind::Crash(p) => format!("crash({p})"),
             StepKind::Deliver(s) => format!("deliver(s{s})"),
             StepKind::Drop(s) => format!("drop(s{s})"),
+            StepKind::Restart(p) => format!("restart({p})"),
         }
     }
 }
@@ -114,14 +123,78 @@ mod tests {
         assert_eq!(StepKind::decode(ProcessId(9), n, cap), StepKind::Deliver(3));
         assert_eq!(StepKind::decode(ProcessId(10), n, cap), StepKind::Drop(0));
         assert_eq!(StepKind::decode(ProcessId(13), n, cap), StepKind::Drop(3));
+        assert_eq!(
+            StepKind::decode(ProcessId(14), n, cap),
+            StepKind::Restart(ProcessId(0))
+        );
+        assert_eq!(
+            StepKind::decode(ProcessId(16), n, cap),
+            StepKind::Restart(ProcessId(2))
+        );
     }
 
     #[test]
     fn encode_is_inverse_of_decode() {
         let (n, cap) = (2, 3);
-        for raw in 0..(2 * n + 2 * cap) {
+        for raw in 0..(2 * n + 2 * cap + n) {
             let id = ProcessId(raw);
             assert_eq!(StepKind::decode(id, n, cap).encode(n, cap), id);
+        }
+    }
+
+    /// Satellite: exhaustive encode/decode round-trip over *all* bands for a
+    /// sweep of `(n, cap)` geometries, plus the band-membership invariant, so
+    /// extending the id space can never silently alias two transitions.
+    #[test]
+    fn encode_decode_round_trip_sweeps_every_band() {
+        for n in 1..=5usize {
+            for cap in 0..=4usize {
+                let total = 2 * n + 2 * cap + n;
+                for raw in 0..total {
+                    let id = ProcessId(raw);
+                    let kind = StepKind::decode(id, n, cap);
+                    assert_eq!(
+                        kind.encode(n, cap),
+                        id,
+                        "round-trip failed at raw={raw} n={n} cap={cap}"
+                    );
+                    // Band membership must match the documented layout.
+                    let expect_band = if raw < n {
+                        0
+                    } else if raw < 2 * n {
+                        1
+                    } else if raw < 2 * n + cap {
+                        2
+                    } else if raw < 2 * n + 2 * cap {
+                        3
+                    } else {
+                        4
+                    };
+                    let got_band = match kind {
+                        StepKind::Step(p) => {
+                            assert_eq!(p.index(), raw);
+                            0
+                        }
+                        StepKind::Crash(p) => {
+                            assert_eq!(p.index(), raw - n);
+                            1
+                        }
+                        StepKind::Deliver(s) => {
+                            assert_eq!(s, raw - 2 * n);
+                            2
+                        }
+                        StepKind::Drop(s) => {
+                            assert_eq!(s, raw - 2 * n - cap);
+                            3
+                        }
+                        StepKind::Restart(p) => {
+                            assert_eq!(p.index(), raw - 2 * n - 2 * cap);
+                            4
+                        }
+                    };
+                    assert_eq!(got_band, expect_band, "band mismatch at raw={raw}");
+                }
+            }
         }
     }
 
@@ -131,5 +204,6 @@ mod tests {
         assert_eq!(StepKind::Crash(ProcessId(0)).describe(), "crash(p0)");
         assert_eq!(StepKind::Deliver(2).describe(), "deliver(s2)");
         assert_eq!(StepKind::Drop(7).describe(), "drop(s7)");
+        assert_eq!(StepKind::Restart(ProcessId(1)).describe(), "restart(p1)");
     }
 }

@@ -107,6 +107,7 @@ pub struct TelemetryObserver {
     crash_branches: AtomicU64,
     delivery_branches: AtomicU64,
     drop_branches: AtomicU64,
+    restart_branches: AtomicU64,
     schedules: AtomicU64,
     sleep_blocked: AtomicU64,
     checkpoint_saves: AtomicU64,
@@ -132,6 +133,8 @@ pub struct TelemetrySnapshot {
     pub delivery_branches: u64,
     /// Drop pseudo-steps taken (explored or replayed).
     pub drop_branches: u64,
+    /// Restart pseudo-steps taken (explored or replayed).
+    pub restart_branches: u64,
     /// Complete schedules explored.
     pub schedules: u64,
     /// Sleep-blocked continuations pruned.
@@ -169,6 +172,7 @@ impl TelemetryObserver {
             crash_branches: AtomicU64::new(0),
             delivery_branches: AtomicU64::new(0),
             drop_branches: AtomicU64::new(0),
+            restart_branches: AtomicU64::new(0),
             schedules: AtomicU64::new(0),
             sleep_blocked: AtomicU64::new(0),
             checkpoint_saves: AtomicU64::new(0),
@@ -195,6 +199,7 @@ impl TelemetryObserver {
             crash_branches: self.crash_branches.load(Ordering::Relaxed),
             delivery_branches: self.delivery_branches.load(Ordering::Relaxed),
             drop_branches: self.drop_branches.load(Ordering::Relaxed),
+            restart_branches: self.restart_branches.load(Ordering::Relaxed),
             schedules: self.schedules.load(Ordering::Relaxed),
             sleep_blocked: self.sleep_blocked.load(Ordering::Relaxed),
             checkpoint_saves: self.checkpoint_saves.load(Ordering::Relaxed),
@@ -229,6 +234,9 @@ impl ExploreObserver for TelemetryObserver {
             }
             StepKind::Drop(_) => {
                 self.drop_branches.fetch_add(1, Ordering::Relaxed);
+            }
+            StepKind::Restart(_) => {
+                self.restart_branches.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -294,6 +302,7 @@ mod tests {
         t.step_executed(StepKind::Crash(ProcessId(1)), false);
         t.step_executed(StepKind::Deliver(0), true);
         t.step_executed(StepKind::Drop(2), true);
+        t.step_executed(StepKind::Restart(ProcessId(1)), false);
         t.schedule_completed(3);
         t.schedule_completed(500);
         t.sleep_blocked();
@@ -306,11 +315,12 @@ mod tests {
         t.hb_class(7);
         t.add_checker_nanos(11);
         let s = t.snapshot();
-        assert_eq!(s.explored_steps, 2);
+        assert_eq!(s.explored_steps, 3);
         assert_eq!(s.replayed_steps, 2);
         assert_eq!(s.crash_branches, 1);
         assert_eq!(s.delivery_branches, 1);
         assert_eq!(s.drop_branches, 1);
+        assert_eq!(s.restart_branches, 1);
         assert_eq!(s.schedules, 2);
         assert_eq!(s.sleep_blocked, 1);
         assert_eq!(s.checkpoint_saves, 1);

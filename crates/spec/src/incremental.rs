@@ -439,6 +439,104 @@ impl<S: SequentialSpec> IncrementalLinChecker<S> {
         self.log.push(LogEntry::Crashed(slot));
     }
 
+    /// Consumes a recovery-completion event under the *recoverable*
+    /// closure: the process running operation `id` crashed, restarted, and
+    /// its recovery routine just completed *without* resolving the
+    /// operation. Recoverability demands the interrupted operation takes
+    /// effect no later than this point, so the frontier is eagerly replaced:
+    /// from every configuration, the checker linearizes any sequence of
+    /// currently-pending operations ending with `id` (which takes effect
+    /// with an arbitrary response — nothing observed it yet). An empty new
+    /// frontier means no order places the operation before its recovery
+    /// completed — the history is not recoverable, and stays so for every
+    /// extension.
+    ///
+    /// The eager expansion is required for soundness, not an optimisation:
+    /// deferring the check to the next commit (or the final verdict) would
+    /// miss histories where *no* later commit re-examines the frontier —
+    /// the deadline is the recovery completion itself. The operation also
+    /// picks up the strict crash gate (it may not be ordered after anything
+    /// invoked after this point), which is what "no later than" means for
+    /// events consumed afterwards. Events for unknown, committed or
+    /// already-crashed requests are ignored.
+    pub fn recovered_required(&mut self, id: RequestId) {
+        if self.too_large {
+            return;
+        }
+        let Some(&slot) = self.index.get(&id) else {
+            return;
+        };
+        if self.ops[slot].committed || self.ops[slot].crashed_seq.is_some() {
+            return;
+        }
+        self.ops[slot].crashed_seq = Some(self.ops.len());
+        self.log.push(LogEntry::Crashed(slot));
+        if self.failure.is_some() {
+            return;
+        }
+        self.visited.clear();
+        self.next_frontier.clear();
+        self.stack.clear();
+        for cfg in self.frontier.drain(..) {
+            if self.visited.insert(cfg) {
+                self.stack.push(cfg);
+            }
+        }
+        let target_bit = 1u128 << slot;
+        while let Some(cfg) = self.stack.pop() {
+            self.stats.states += 1;
+            if cfg.mask & target_bit != 0 {
+                // Already linearized on demand earlier (with some assigned
+                // response, never validated — the operation never commits):
+                // the configuration survives as-is. `visited` guarantees
+                // each configuration is popped once, so no duplicates.
+                self.next_frontier.push(cfg);
+                continue;
+            }
+            // Linearize the required operation now (with an arbitrary
+            // response, recorded for the — never arriving — commit)...
+            let (next_state, r) = self
+                .spec
+                .apply(self.store.states.get(cfg.state), &self.ops[slot].op);
+            let resp_id = self.store.resps.intern(r);
+            let next = Config {
+                mask: cfg.mask | target_bit,
+                state: self.store.states.intern(next_state),
+                assigned: self.store.assigned_insert(cfg.assigned, slot, resp_id),
+            };
+            if self.visited.insert(next) {
+                self.next_frontier.push(next);
+            }
+            // ...or linearize some other pending operation first.
+            for (i, op) in self.ops.iter().enumerate() {
+                let bit = 1u128 << i;
+                if i == slot || cfg.mask & bit != 0 || op.committed {
+                    continue;
+                }
+                if let Some(seq) = op.crashed_seq {
+                    if seq < 128 && cfg.mask & (!0u128 << seq) != 0 {
+                        continue;
+                    }
+                }
+                let (next_state, assigned_resp) =
+                    self.spec.apply(self.store.states.get(cfg.state), &op.op);
+                let resp_id = self.store.resps.intern(assigned_resp);
+                let next = Config {
+                    mask: cfg.mask | bit,
+                    state: self.store.states.intern(next_state),
+                    assigned: self.store.assigned_insert(cfg.assigned, i, resp_id),
+                };
+                if self.visited.insert(next) {
+                    self.stack.push(next);
+                }
+            }
+        }
+        std::mem::swap(&mut self.frontier, &mut self.next_frontier);
+        if self.frontier.is_empty() {
+            self.failure = Some(id);
+        }
+    }
+
     /// Consumes a commit event: operation `id` responded with `resp`.
     /// Commits of unknown or already-committed requests are ignored.
     pub fn commit(&mut self, id: RequestId, resp: &S::Resp) {
@@ -856,6 +954,104 @@ mod tests {
         let r2: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
         inc.invoke(&r2);
         inc.commit(RequestId(3), &5);
+        assert!(inc.verdict().is_linearizable());
+    }
+
+    /// The recoverable-closure shape (see `required_op_must_take_effect…` in
+    /// `linearizability.rs`): W(5) interrupted, recovery completes without
+    /// resolving it, a later read observes `sees`.
+    fn required_write_then_read(sees: u64) -> IncrementalLinChecker<RegisterSpec> {
+        let mut inc = IncrementalLinChecker::new(RegisterSpec);
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        inc.invoke(&w);
+        inc.recovered_required(RequestId(1));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r);
+        inc.commit(RequestId(2), &sees);
+        inc
+    }
+
+    #[test]
+    fn recovered_required_forces_the_op_into_every_order() {
+        // The post-recovery read seeing 0 contradicts the obligation: the
+        // required W(5) is in every frontier configuration, so the read's
+        // commit validates against the assigned 5 and the frontier empties.
+        let inc = required_write_then_read(0);
+        assert_eq!(inc.verdict(), IncVerdict::NotLinearizable(RequestId(2)));
+        // Seeing 5 is exactly the required order.
+        assert!(required_write_then_read(5).verdict().is_linearizable());
+    }
+
+    #[test]
+    fn recovered_required_agrees_with_the_from_scratch_checker() {
+        // Drive both checkers over the same recoverable-closure event
+        // sequences (including a pre-deadline read that may be ordered
+        // before the required write) and compare verdicts.
+        for (r1_at_invoke, sees, expect) in [
+            (false, 0u64, false), // post-deadline stale read: violation
+            (false, 5u64, true),  // post-deadline fresh read: fine
+            (true, 0u64, true),   // pre-deadline read may precede the write
+            (true, 5u64, true),   // pre-deadline read may follow it too
+        ] {
+            let mut inc = IncrementalLinChecker::new(RegisterSpec);
+            let mut hist: ConcurrentHistory<RegisterSpec> = ConcurrentHistory::new();
+            let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+            let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+            let mut at = 0;
+            inc.invoke(&w);
+            hist.record_invoke(at, w.clone());
+            at += 1;
+            if r1_at_invoke {
+                inc.invoke(&r);
+                hist.record_invoke(at, r.clone());
+                at += 1;
+            }
+            inc.recovered_required(RequestId(1));
+            hist.record_crash_required(at, RequestId(1));
+            at += 1;
+            if !r1_at_invoke {
+                inc.invoke(&r);
+                hist.record_invoke(at, r.clone());
+                at += 1;
+            }
+            inc.commit(RequestId(2), &sees);
+            hist.record_response(at, RequestId(2), sees);
+            let from_scratch =
+                crate::linearizability::check_strict_linearizable(&RegisterSpec, &hist)
+                    .is_linearizable();
+            assert_eq!(
+                from_scratch, expect,
+                "from-scratch on r1_at_invoke={r1_at_invoke} sees={sees}"
+            );
+            assert_eq!(
+                inc.verdict().is_linearizable(),
+                expect,
+                "incremental on r1_at_invoke={r1_at_invoke} sees={sees}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovered_required_is_undone_by_rewind() {
+        let mut inc = IncrementalLinChecker::new(RegisterSpec);
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        inc.invoke(&w);
+        let m = inc.mark();
+
+        // Required suffix with a contradicting read: violation.
+        inc.recovered_required(RequestId(1));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r);
+        inc.commit(RequestId(2), &0);
+        assert!(!inc.verdict().is_linearizable());
+
+        // Rewinding clears the obligation: the same read is fine against the
+        // merely-pending write.
+        inc.rewind_to(m);
+        assert!(inc.verdict().is_linearizable());
+        let r: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
+        inc.invoke(&r);
+        inc.commit(RequestId(3), &0);
         assert!(inc.verdict().is_linearizable());
     }
 

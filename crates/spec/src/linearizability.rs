@@ -44,6 +44,12 @@ pub struct PendingOp<S: SequentialSpec> {
     /// linearizability; [`check_strict_linearizable`] only lets the
     /// operation take effect before this point.
     pub crashed_at: Option<usize>,
+    /// Whether the operation is *required* to take effect (see
+    /// [`ConcurrentHistory::record_crash_required`]): its owner's recovery
+    /// completed without resolving it, so under the recoverable closure it
+    /// must be linearized (with some response) rather than dropped. Ignored
+    /// by plain linearizability.
+    pub required: bool,
 }
 
 /// One tracked operation of a [`ConcurrentHistory`].
@@ -53,6 +59,7 @@ struct TrackedOp<S: SequentialSpec> {
     invoke_at: usize,
     completion: Option<(usize, S::Resp)>,
     crashed_at: Option<usize>,
+    required: bool,
 }
 
 /// A point-in-time position of a [`ConcurrentHistory`], produced by
@@ -119,6 +126,7 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
             invoke_at: at,
             completion: None,
             crashed_at: None,
+            required: false,
         });
     }
 
@@ -144,6 +152,25 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
             let op = &mut self.ops[slot];
             if op.completion.is_none() && op.crashed_at.is_none() {
                 op.crashed_at = Some(at);
+                self.crashes.push(slot);
+            }
+        }
+    }
+
+    /// Records that the process of the (pending) operation `id` completed
+    /// its recovery at real-time index `at` without resolving the operation:
+    /// under the *recoverable* closure the operation must take effect — and
+    /// no later than `at`. It gets the same deadline as
+    /// [`Self::record_crash`] (it may only linearize before anything invoked
+    /// after `at`) plus the obligation to be linearized rather than dropped;
+    /// [`check_strict_linearizable`] enforces both. Events for unknown,
+    /// completed or already-crashed requests are ignored.
+    pub fn record_crash_required(&mut self, at: usize, id: RequestId) {
+        if let Some(&slot) = self.index.get(&id) {
+            let op = &mut self.ops[slot];
+            if op.completion.is_none() && op.crashed_at.is_none() {
+                op.crashed_at = Some(at);
+                op.required = true;
                 self.crashes.push(slot);
             }
         }
@@ -198,6 +225,7 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
                 req: op.req.clone(),
                 invoke_at: op.invoke_at,
                 crashed_at: op.crashed_at,
+                required: op.required,
             })
             .collect();
         pending.sort_by_key(|p| p.invoke_at);
@@ -251,6 +279,7 @@ impl<S: SequentialSpec> ConcurrentHistory<S> {
         while self.crashes.len() > mark.crashes_len {
             let slot = self.crashes.pop().expect("len checked above");
             self.ops[slot].crashed_at = None;
+            self.ops[slot].required = false;
         }
         while self.ops.len() > mark.ops_len {
             let op = self.ops.pop().expect("len checked above");
@@ -292,6 +321,9 @@ struct OpEntry<S: SequentialSpec> {
     /// Real-time index of the crash that orphaned a pending op, if any.
     /// Consulted only by the strict checker.
     crashed_at: Option<usize>,
+    /// Whether the pending op must be linearized rather than dropped (the
+    /// recoverable closure). Consulted only by the strict checker.
+    required: bool,
 }
 
 /// Work accounting of one [`check_linearizable_with_stats`] call: how many
@@ -364,6 +396,7 @@ fn check_linearizable_impl<S: SequentialSpec>(
             invoke_at: c.invoke_at,
             completion: Some((c.respond_at, c.resp)),
             crashed_at: None,
+            required: false,
         })
         .collect();
     for p in history.pending() {
@@ -372,6 +405,7 @@ fn check_linearizable_impl<S: SequentialSpec>(
             invoke_at: p.invoke_at,
             completion: None,
             crashed_at: if strict { p.crashed_at } else { None },
+            required: strict && p.required,
         });
     }
     if ops.len() > 128 {
@@ -382,10 +416,13 @@ fn check_linearizable_impl<S: SequentialSpec>(
     } else {
         (1u128 << ops.len()) - 1
     };
+    // Required pending ops (recoverable closure) must be linearized like
+    // completed ops — with any response instead of an observed one — so they
+    // join the success mask.
     let completed_mask: u128 = ops
         .iter()
         .enumerate()
-        .filter(|(_, o)| o.completion.is_some())
+        .filter(|(_, o)| o.completion.is_some() || o.required)
         .fold(0u128, |m, (i, _)| m | (1u128 << i));
 
     let mut seen: HashSet<(u128, S::State)> = HashSet::new();
@@ -779,6 +816,104 @@ mod tests {
         h.record_invoke(1, tas_req(2, 1));
         h.record_response(2, RequestId(2), TasResp::Loser);
         assert!(check_linearizable(&spec, &h).is_linearizable());
+        assert!(check_strict_linearizable(&spec, &h).is_linearizable());
+    }
+
+    /// The recoverable-closure shape: W(5) is interrupted, its owner's
+    /// recovery completes at `at` without resolving it (the op is
+    /// *required*), then a read invoked after the recovery observes `sees`.
+    fn required_write_then_read(sees: u64) -> ConcurrentHistory<RegisterSpec> {
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        h.record_crash_required(1, RequestId(1));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(2, r);
+        h.record_response(3, RequestId(2), sees);
+        h
+    }
+
+    #[test]
+    fn required_op_must_take_effect_before_its_deadline() {
+        let spec = RegisterSpec;
+        // The read invoked after the recovery completed sees 0: the required
+        // W(5) can neither be dropped (recoverability forces it into the
+        // witness) nor ordered after the read (its deadline is the recovery
+        // completion). Not recoverable — but fine under the open closure,
+        // which simply drops the pending write.
+        let h = required_write_then_read(0);
+        assert!(check_linearizable(&spec, &h).is_linearizable());
+        assert_eq!(
+            check_strict_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
+        // The read seeing 5 is exactly the required order: recoverable.
+        let h = required_write_then_read(5);
+        match check_strict_linearizable(&spec, &h) {
+            LinCheckResult::Linearizable(w) => {
+                assert!(w.contains(&RequestId(1)), "required op is in the witness")
+            }
+            other => panic!("expected linearizable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn required_differs_from_plain_crash_on_the_same_events() {
+        // Same events, but the write is recorded with `record_crash` (the
+        // durable closure records interrupted ops this way): dropping it is
+        // allowed, so the 0-read linearizes. This is the durable/recoverable
+        // separation at the checker level.
+        let spec = RegisterSpec;
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        h.record_crash(1, RequestId(1));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(2, r);
+        h.record_response(3, RequestId(2), 0);
+        assert!(check_strict_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn required_op_may_be_ordered_among_earlier_invocations() {
+        // A read invoked *before* the recovery completed may be ordered
+        // before the required write: 0-then-obligation is recoverable.
+        let spec = RegisterSpec;
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(1, r);
+        h.record_crash_required(2, RequestId(1));
+        h.record_response(3, RequestId(2), 0);
+        assert!(check_strict_linearizable(&spec, &h).is_linearizable());
+    }
+
+    #[test]
+    fn truncate_to_reopens_required_ops() {
+        let spec = RegisterSpec;
+        let mut h = ConcurrentHistory::new();
+        let w: Request<RegisterSpec> = Request::new(1u64, 0usize, RegisterOp::Write(5));
+        h.record_invoke(0, w);
+        let mark = h.mark();
+
+        h.record_crash_required(1, RequestId(1));
+        let r: Request<RegisterSpec> = Request::new(2u64, 1usize, RegisterOp::Read);
+        h.record_invoke(2, r);
+        h.record_response(3, RequestId(2), 0);
+        assert_eq!(
+            check_strict_linearizable(&spec, &h),
+            LinCheckResult::NotLinearizable
+        );
+
+        // Rewinding past the recovery event clears the obligation: the same
+        // suffix is strictly linearizable again (W is merely pending).
+        h.truncate_to(mark);
+        assert_eq!(h.crashed_count(), 0);
+        assert!(!h.pending().iter().any(|p| p.required));
+        let r: Request<RegisterSpec> = Request::new(3u64, 1usize, RegisterOp::Read);
+        h.record_invoke(2, r);
+        h.record_response(3, RequestId(3), 0);
         assert!(check_strict_linearizable(&spec, &h).is_linearizable());
     }
 

@@ -10,8 +10,8 @@
 
 use scl::core::{
     new_composable_universal, new_solo_fast_tas, new_speculative_tas, new_three_level_universal,
-    A1Tas, A2Tas, AbdRegister, CasConsensus, ConsensusObject, ResettableTas, SplitConsensus,
-    UniversalConstruction, WriteBehindRegister,
+    A1Tas, A2Tas, AbdRegister, CasConsensus, ConsensusObject, RecoverableTas, ResettableTas,
+    SplitConsensus, UniversalConstruction, WbRecovery, WriteBehindRegister,
 };
 use scl::sim::{
     ExecSession, Executor, MemSnapshot, SharedMemory, SimObject, SplitMix64, SurveyStatus, Workload,
@@ -28,8 +28,9 @@ use std::hash::Hash;
 /// `id - n`), honoured while the target is still enabled and the crash
 /// budget lasts; with a network of `cap` slots, ids in `2n..2n+cap` are
 /// deliveries (honoured while the survey lists them as enabled) and ids in
-/// `2n+cap..2n+2cap` are drops of the same slots — the same encoding the
-/// executor and explorer use.
+/// `2n+cap..2n+2cap` are drops of the same slots; ids in `2n+2cap..` are
+/// restarts of crashed processes, honoured while the target is currently
+/// down — the same encoding the executor and explorer use.
 struct Script<'a> {
     script: &'a [ProcessId],
     pos: usize,
@@ -49,7 +50,7 @@ impl<'a> Script<'a> {
         }
     }
 
-    fn choose(&mut self, enabled: &[ProcessId]) -> ProcessId {
+    fn choose(&mut self, enabled: &[ProcessId], crashed_now: u64) -> ProcessId {
         if self.pos < self.script.len() {
             let p = self.script[self.pos];
             self.pos += 1;
@@ -70,9 +71,18 @@ impl<'a> Script<'a> {
             // is enabled (the message is in flight).
             if self.cap > 0
                 && i >= 2 * self.processes + self.cap
+                && i < 2 * self.processes + 2 * self.cap
                 && enabled.contains(&ProcessId(i - self.cap))
             {
                 return p;
+            }
+            // A restart of process `r` is valid exactly while `r` is
+            // currently crashed (the same rule the replay decoder uses).
+            if i >= 2 * self.processes + 2 * self.cap {
+                let r = i - 2 * self.processes - 2 * self.cap;
+                if r < self.processes && crashed_now & (1u64 << r) != 0 {
+                    return p;
+                }
             }
         }
         enabled[0]
@@ -104,7 +114,7 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     executor.begin(&mut ref_session, workload);
     let mut ref_script = Script::new(script, n, cap, usize::MAX);
     while executor.survey(&mut ref_session, &ref_mem, workload) == SurveyStatus::Choose {
-        let chosen = ref_script.choose(ref_session.enabled());
+        let chosen = ref_script.choose(ref_session.enabled(), ref_session.crashed_now());
         executor.tick(
             &mut ref_session,
             &mut ref_mem,
@@ -150,6 +160,16 @@ fn assert_roundtrip_bit_identical<S, V, O>(
                     workload,
                     ProcessId(n + victim.index()),
                 );
+                // ...and bring it straight back: the restart wipes volatile
+                // state, sets the restarted bit and installs the object's
+                // recovery routine — all of which the restore must rewind.
+                executor.tick(
+                    &mut session,
+                    &mut mem,
+                    &mut obj,
+                    workload,
+                    ProcessId(2 * n + 2 * cap + victim.index()),
+                );
             }
             for _ in 0..8 {
                 if executor.survey(&mut session, &mem, workload) != SurveyStatus::Choose {
@@ -169,7 +189,7 @@ fn assert_roundtrip_bit_identical<S, V, O>(
         if status != SurveyStatus::Choose {
             break;
         }
-        let chosen = run_script.choose(session.enabled());
+        let chosen = run_script.choose(session.enabled(), session.crashed_now());
         executor.tick(&mut session, &mut mem, &mut obj, workload, chosen);
     }
     // Short executions may finish before `checkpoint_at`; the run then
@@ -186,6 +206,7 @@ fn assert_roundtrip_bit_identical<S, V, O>(
     assert_eq!(r.ticks, c.ticks);
     assert_eq!(r.completed, c.completed);
     assert_eq!(r.crashed, c.crashed, "crash mask diverged");
+    assert_eq!(r.restarted, c.restarted, "restart mask diverged");
     assert_eq!(ref_mem.global_steps(), mem.global_steps());
     assert_eq!(ref_mem.register_count(), mem.register_count());
     assert_eq!(ref_mem.audit(), mem.audit());
@@ -226,6 +247,16 @@ fn scripts(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
 fn scripts_with_crashes(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
     let mut all = scripts(n, len, seeds);
     all.extend(scripts(2 * n, len, seeds));
+    all
+}
+
+/// Scripts over the crash-recovery alphabet (no network, so cap = 0): real
+/// steps, crashes (`n..2n`) and restarts (`2n..3n`). Checkpoints land after
+/// restarts and *inside* recovery routines, so the restore must rewind the
+/// restart mask, the revived process and its in-flight recovery execution.
+fn scripts_with_recovery(n: usize, len: usize, seeds: &[u64]) -> Vec<Vec<ProcessId>> {
+    let mut all = scripts_with_crashes(n, len, seeds);
+    all.extend(scripts(3 * n, len, seeds));
     all
 }
 
@@ -350,6 +381,49 @@ fn write_behind_register_roundtrip() {
     for script in scripts_with_crashes(n, 32, &[1, 9, 321]) {
         for checkpoint_at in [1, 3, 6] {
             assert_roundtrip_bit_identical(WriteBehindRegister::new, &wl, &script, checkpoint_at);
+        }
+    }
+}
+
+#[test]
+fn recoverable_tas_roundtrip() {
+    // The crash-*recovery* object: restart steps in the scripts wipe a
+    // crashed process's volatile state and hand it the object's recovery
+    // routine, so checkpoints land after restarts and mid-recovery.
+    let n = 2;
+    let wl: Workload<TasSpec, TasSwitch> = Workload::single_op_each(n, TasOp::TestAndSet);
+    for script in scripts_with_recovery(n, 32, &[2012, 7, 99]) {
+        for checkpoint_at in [1, 3, 6] {
+            assert_roundtrip_bit_identical(
+                |mem| RecoverableTas::new(mem, n),
+                &wl,
+                &script,
+                checkpoint_at,
+            );
+        }
+    }
+}
+
+#[test]
+fn write_behind_recovery_roundtrip() {
+    // Both recovery policies of the write-behind register: the flush redo
+    // and the rollback each run a two-step recovery routine, so a
+    // checkpoint can land between its steps.
+    let n = 2;
+    let wl: Workload<RegisterSpec, ()> = Workload::from_ops(vec![
+        vec![RegisterOp::Write(5)],
+        vec![RegisterOp::Read, RegisterOp::Read],
+    ]);
+    for recovery in [WbRecovery::Flush, WbRecovery::Abandon] {
+        for script in scripts_with_recovery(n, 32, &[1, 9, 321]) {
+            for checkpoint_at in [1, 3, 6] {
+                assert_roundtrip_bit_identical(
+                    |mem| WriteBehindRegister::with_recovery(mem, recovery),
+                    &wl,
+                    &script,
+                    checkpoint_at,
+                );
+            }
         }
     }
 }
